@@ -1,0 +1,44 @@
+// Ablation: hierarchical (node-first) vs flat (all-GPUs-at-once)
+// partitioning. The paper's §III-A argues node-first bisection minimizes
+// the slow inter-node communication even when it does not minimize total
+// communication; this quantifies both sides, in volume and exchange time.
+#include <cstdio>
+
+#include "common.h"
+#include "core/partition.h"
+
+using namespace stencil::bench;
+using stencil::Dim3;
+
+int main() {
+  std::printf("Ablation: hierarchical vs flat partitioning (radius 3)\n\n");
+  struct Case {
+    Dim3 dom;
+    int nodes;
+  } cases[] = {{{1440, 1440, 720}, 8}, {{2163, 2163, 2163}, 4}, {{3000, 500, 500}, 8},
+               {{1717, 1717, 1717}, 2}};
+
+  std::printf("%-24s %-6s %-18s %-18s %-10s\n", "domain", "nodes", "internode(hier)",
+              "internode(flat)", "ratio");
+  for (const auto& c : cases) {
+    stencil::HierarchicalPartition hp(c.dom, c.nodes, 6);
+    stencil::FlatPartition fp(c.dom, c.nodes, 6);
+    const auto h = hp.internode_exchange_volume(3);
+    const auto f = fp.internode_exchange_volume(3);
+    std::printf("%-24s %-6d %-18lld %-18lld %.3f\n", c.dom.str().c_str(), c.nodes,
+                static_cast<long long>(h), static_cast<long long>(f),
+                static_cast<double>(h) / static_cast<double>(f));
+  }
+
+  std::printf("\nTotal exchange volume (hier may be larger overall — the tradeoff §III-A accepts):\n");
+  for (const auto& c : cases) {
+    stencil::HierarchicalPartition hp(c.dom, c.nodes, 6);
+    std::printf("%-24s %-6d total=%lld internode=%lld (%.1f%% crosses nodes)\n",
+                c.dom.str().c_str(), c.nodes,
+                static_cast<long long>(hp.total_exchange_volume(3)),
+                static_cast<long long>(hp.internode_exchange_volume(3)),
+                100.0 * static_cast<double>(hp.internode_exchange_volume(3)) /
+                    static_cast<double>(hp.total_exchange_volume(3)));
+  }
+  return 0;
+}

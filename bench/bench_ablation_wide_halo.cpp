@@ -1,0 +1,31 @@
+// Ablation: trading halo width against exchange frequency (paper §VI,
+// citing SkelCL [22]): with a radius-(k*r) halo, a radius-r stencil can
+// take k time steps between exchanges. Fewer, larger exchanges mean fewer
+// synchronization points but superlinearly more transferred data (and
+// redundant computation, which this communication-focused model ignores).
+//
+// Reports simulated exchange time per *time step* for k = 1, 2, 4, 8.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace stencil::bench;
+
+int main() {
+  std::printf("Ablation: halo width vs exchange frequency (2 nodes, 6r/6g, base radius 1)\n\n");
+  std::printf("%-4s %-10s %-16s %-20s\n", "k", "radius", "per exchange", "amortized per step");
+  for (const int k : {1, 2, 4, 8}) {
+    ExchangeConfig cfg;
+    cfg.nodes = 2;
+    cfg.ranks_per_node = 6;
+    cfg.domain = weak_scaling_domain(12);
+    cfg.radius = k;  // base radius 1, k steps per exchange
+    cfg.quantities = 4;
+    cfg.flags = stencil::MethodFlags::kAll;
+    const double ms = measure_exchange_ms(cfg);
+    std::printf("%-4d %-10d %10.3f ms    %10.3f ms\n", k, k, ms, ms / k);
+  }
+  std::printf("\n(the per-step optimum depends on how latency-bound the exchange is:\n"
+              " wider halos amortize fixed costs until bandwidth dominates)\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Wall-clock microbenchmarks (google-benchmark) of the substrate itself:
+// engine scheduling overhead, resource math, QAP solvers, pack/unpack
+// kernels, and a small end-to-end exchange. These measure the *simulator's*
+// real cost (the other bench binaries report simulated/virtual time).
+#include <benchmark/benchmark.h>
+
+#include "core/cluster.h"
+#include "core/distributed_domain.h"
+#include "core/local_domain.h"
+#include "core/partition.h"
+#include "core/placement.h"
+#include "qap/qap.h"
+#include "simtime/engine.h"
+#include "simtime/resource.h"
+#include "topo/archetype.h"
+
+namespace sim = stencil::sim;
+
+static void BM_EngineSleepFastPath(benchmark::State& state) {
+  sim::Engine eng;
+  for (auto _ : state) {
+    state.PauseTiming();
+    state.ResumeTiming();
+    eng.run({[&] {
+      for (int i = 0; i < 1000; ++i) sim::Engine::current()->sleep_for(10);
+    }});
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineSleepFastPath);
+
+static void BM_EngineTokenHandoff(benchmark::State& state) {
+  const int actors = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    std::vector<std::function<void()>> bodies;
+    for (int i = 0; i < actors; ++i) {
+      bodies.push_back([] {
+        for (int k = 0; k < 100; ++k) sim::Engine::current()->yield();
+      });
+    }
+    eng.run(std::move(bodies));
+  }
+  state.SetItemsProcessed(state.iterations() * actors * 100);
+}
+BENCHMARK(BM_EngineTokenHandoff)->Arg(2)->Arg(12)->Arg(48);
+
+static void BM_ResourceAcquire(benchmark::State& state) {
+  sim::Resource r;
+  sim::Time t = 0;
+  for (auto _ : state) {
+    t = r.acquire(t, 10);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_ResourceAcquire);
+
+static void BM_QapExhaustive6(benchmark::State& state) {
+  stencil::HierarchicalPartition hp({1440, 1452, 700}, 1, 6);
+  stencil::Placement p(hp, stencil::topo::summit(), 3, 16, stencil::Neighborhood::kFull,
+                       stencil::PlacementStrategy::kTrivial);
+  const auto w = p.node_flow(0);
+  const auto& d = p.distance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stencil::qap::solve_exhaustive(w, d));
+  }
+}
+BENCHMARK(BM_QapExhaustive6);
+
+static void BM_QapGreedy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  stencil::qap::SquareMatrix w(n), d(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      w.at(i, j) = static_cast<double>((i * 31 + j * 17) % 97);
+      d.at(i, j) = 1.0 + static_cast<double>((i * 13 + j * 7) % 11);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stencil::qap::solve_greedy_2swap(w, d));
+  }
+}
+BENCHMARK(BM_QapGreedy)->Arg(6)->Arg(16)->Arg(32);
+
+static void BM_PackRegion(benchmark::State& state) {
+  const std::int64_t edge = state.range(0);
+  sim::Engine eng;
+  stencil::topo::Machine machine(stencil::topo::summit(), 1);
+  stencil::vgpu::Runtime rt(eng, machine);
+  eng.run({[&] {
+    std::vector<stencil::Quantity> qs{{"a", 4}, {"b", 4}};
+    stencil::LocalDomain ld(rt, 0, {0, 0, 0}, {0, 0, 0}, {edge, edge, edge}, 3, qs);
+    const stencil::Region3 face = stencil::interior_slab(ld.size(), {1, 0, 0}, 3);
+    auto buf = rt.alloc_device(0, ld.region_bytes(face));
+    for (auto _ : state) {
+      ld.pack_region(buf, face);
+      benchmark::DoNotOptimize(buf);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(ld.region_bytes(face)));
+  }});
+}
+BENCHMARK(BM_PackRegion)->Arg(64)->Arg(128);
+
+static void BM_FullExchangeSimulated(benchmark::State& state) {
+  // Real seconds needed to *simulate* one single-node 6-rank exchange.
+  for (auto _ : state) {
+    stencil::Cluster cluster(stencil::topo::summit(), 1, 6);
+    cluster.set_mem_mode(stencil::vgpu::MemMode::kPhantom);
+    cluster.run([&](stencil::RankCtx& ctx) {
+      stencil::DistributedDomain dd(ctx, {512, 512, 512});
+      dd.set_radius(3);
+      dd.add_data<float>("q");
+      dd.realize();
+      dd.exchange();
+    });
+  }
+}
+BENCHMARK(BM_FullExchangeSimulated)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Reproduces Fig. 12a: single-node exchange time as communication
+// capabilities are enabled one by one, for 1, 2, and 6 ranks per node,
+// with and without CUDA-aware MPI.
+//
+// Paper headline numbers at 6 ranks: full specialization is ~6x faster
+// than STAGED-only and ~2x faster than CUDA-aware MPI.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace stencil::bench;
+
+int main() {
+  const stencil::Dim3 domain = weak_scaling_domain(6);  // 1364^3: ~750^3 per GPU
+  std::printf("Fig. 12a reproduction: single-node communication specialization\n");
+  std::printf("domain %s, radius 3, 4 SP quantities, exchange time (max over ranks)\n\n",
+              domain.str().c_str());
+
+  double staged_6r = 0.0;
+  double ca_6r = 0.0;
+  double best_6r = 0.0;
+
+  for (const bool cuda_aware : {false, true}) {
+    for (const int rpn : {1, 2, 6}) {
+      ExchangeConfig cfg;
+      cfg.nodes = 1;
+      cfg.ranks_per_node = rpn;
+      cfg.domain = domain;
+      std::vector<std::pair<std::string, double>> cells;
+      for (const auto& [name, flags] : capability_tiers(cuda_aware)) {
+        cfg.flags = flags;
+        const double ms = measure_exchange_ms(cfg);
+        cells.emplace_back(name, ms);
+        if (rpn == 6 && !cuda_aware && name == "+remote") staged_6r = ms;
+        if (rpn == 6 && cuda_aware && name == "+remote") ca_6r = ms;
+        if (rpn == 6 && !cuda_aware && name == "+kernel") best_6r = ms;
+      }
+      print_row(cfg.label(), cells);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("headline ratios (paper: ~6x over STAGED, ~2x over CUDA-aware at 6 ranks):\n");
+  std::printf("  specialization vs STAGED-only:    %.2fx\n", staged_6r / best_6r);
+  std::printf("  specialization vs CUDA-aware MPI: %.2fx\n", ca_6r / best_6r);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces Fig. 13: strong scaling of the exchange. The domain is the
+// largest that fits one node with four SP quantities (1363^3) and is
+// distributed over 1..256 nodes with 6 ranks and 6 GPUs per node.
+//
+// Expected shape: exchange time falls as nodes are added (each node's
+// communication volume shrinks), on-node specialization matters most at
+// small node counts, stops helping past ~32 nodes, and scaling tails off
+// by 256 nodes when subdomains become tiny. No CUDA-aware configuration
+// (the paper drops it after Fig. 12c).
+#include <cstdio>
+#include <cstdlib>
+
+#include "common.h"
+
+using namespace stencil::bench;
+
+int main(int argc, char** argv) {
+  const int max_nodes = argc > 1 ? std::atoi(argv[1]) : 256;
+
+  std::printf("Fig. 13 reproduction: strong scaling, fixed 1363^3 domain\n");
+  std::printf("6 ranks x 6 GPUs per node, radius 3, 4 SP quantities\n\n");
+
+  for (int nodes = 1; nodes <= max_nodes; nodes *= 2) {
+    ExchangeConfig cfg;
+    cfg.nodes = nodes;
+    cfg.ranks_per_node = 6;
+    cfg.domain = {1363, 1363, 1363};
+    cfg.iterations = 2;
+    std::vector<std::pair<std::string, double>> cells;
+    for (const auto& [name, flags] : capability_tiers(/*cuda_aware=*/false)) {
+      cfg.flags = flags;
+      cells.emplace_back(name, measure_exchange_ms(cfg));
+    }
+    print_row(cfg.label(), cells);
+  }
+  return 0;
+}

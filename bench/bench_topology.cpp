@@ -1,0 +1,63 @@
+// Reproduces Table I / Fig. 10: the node hardware summary — component
+// inventory, link types, the GPU-GPU bandwidth matrix that topology
+// discovery (nvml-style) reports, and the communication capabilities that
+// drive specialization.
+#include <cstdio>
+
+#include "topo/archetype.h"
+#include "topo/machine.h"
+
+namespace topo = stencil::topo;
+
+namespace {
+
+void print_archetype(const topo::NodeArchetype& a) {
+  std::printf("== node archetype: %s ==\n", a.name.c_str());
+  std::printf("  sockets:            %d\n", a.sockets);
+  std::printf("  GPUs per socket:    %d  (%d per node)\n", a.gpus_per_socket, a.gpus_per_node());
+  std::printf("  NVLink GPU-GPU:     %.1f GiB/s (in-socket, per direction)\n", a.bw_nvlink_gpu_gpu);
+  std::printf("  NVLink CPU-GPU:     %.1f GiB/s\n", a.bw_nvlink_cpu_gpu);
+  std::printf("  X-Bus (SMP):        %.1f GiB/s\n", a.bw_xbus);
+  std::printf("  NIC:                %.1f GiB/s per direction\n", a.bw_nic);
+  std::printf("  GPU memory:         %.1f GiB/s\n", a.bw_gpu_mem);
+  std::printf("  peer access:        %s in-socket, %s cross-socket\n",
+              a.peer_within_socket ? "yes" : "no", a.peer_across_socket ? "yes" : "no");
+  std::printf("  CUDA-aware MPI:     %s\n", a.cuda_aware_mpi ? "yes" : "no");
+
+  const int g = a.gpus_per_node();
+  std::printf("\n  discovered GPU-GPU bandwidth matrix (GiB/s):\n        ");
+  for (int j = 0; j < g; ++j) std::printf("  gpu%-3d", j);
+  std::printf("\n");
+  for (int i = 0; i < g; ++i) {
+    std::printf("  gpu%-3d", i);
+    for (int j = 0; j < g; ++j) {
+      if (i == j) {
+        std::printf("  %6s", "-");
+      } else {
+        std::printf("  %6.1f", a.theoretical_gpu_bw(i, j));
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n  link types:\n        ");
+  for (int j = 0; j < g; ++j) std::printf("  gpu%-4d", j);
+  std::printf("\n");
+  for (int i = 0; i < g; ++i) {
+    std::printf("  gpu%-3d", i);
+    for (int j = 0; j < g; ++j) std::printf("  %-7s", topo::to_string(a.gpu_link(i, j)));
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table I / Fig. 10 reproduction: node hardware summary\n");
+  std::printf("(simulated archetypes; Summit values mirror the paper's Fig. 10)\n\n");
+  print_archetype(topo::summit());
+  print_archetype(topo::dgx_like(4));
+  print_archetype(topo::pcie_box(2));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Fig. 12b and Fig. 12c: weak scaling of the exchange to 256
+// nodes (1536 GPUs), 6 ranks x 6 GPUs per node, total domain
+// round(750 * nGPUs^(1/3))^3 (a constant ~750^3 points per GPU).
+//
+// Fig. 12b (no CUDA-aware MPI): exchange time flattens once most nodes have
+// 26 distinct neighbors (~32 nodes); specialization is worth ~1.16x at 256
+// nodes. Fig. 12c (CUDA-aware): performance degrades with node count and
+// specialization stops helping.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common.h"
+
+using namespace stencil::bench;
+
+int main(int argc, char** argv) {
+  // Allow a smaller sweep for quick runs: bench_weak_scaling [max_nodes]
+  const int max_nodes = argc > 1 ? std::atoi(argv[1]) : 256;
+
+  std::printf("Fig. 12b/12c reproduction: weak scaling, 6 ranks x 6 GPUs per node\n");
+  std::printf("domain = round(750 * nGPUs^(1/3))^3, radius 3, 4 SP quantities\n\n");
+
+  for (const bool cuda_aware : {false, true}) {
+    std::printf("== %s (Fig. %s) ==\n", cuda_aware ? "with CUDA-aware MPI" : "without CUDA-aware MPI",
+                cuda_aware ? "12c" : "12b");
+    double staged_256 = 0.0, best_256 = 0.0;
+    for (int nodes = 1; nodes <= max_nodes; nodes *= 2) {
+      ExchangeConfig cfg;
+      cfg.nodes = nodes;
+      cfg.ranks_per_node = 6;
+      cfg.domain = weak_scaling_domain(nodes * 6);
+      cfg.iterations = 2;
+      std::vector<std::pair<std::string, double>> cells;
+      for (const auto& [name, flags] : capability_tiers(cuda_aware)) {
+        cfg.flags = flags;
+        const double ms = measure_exchange_ms(cfg);
+        cells.emplace_back(name, ms);
+        if (nodes == max_nodes && name == "+remote") staged_256 = ms;
+        if (nodes == max_nodes && name == "+kernel") best_256 = ms;
+      }
+      print_row(cfg.label(), cells);
+    }
+    if (best_256 > 0.0) {
+      std::printf("  specialization speedup at %dn: %.3fx%s\n\n", max_nodes,
+                  staged_256 / best_256,
+                  cuda_aware ? "" : "  (paper: 1.16x at 256n)");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "common.h"
+
+#include <cmath>
+
+namespace stencil::bench {
+
+Dim3 weak_scaling_domain(int total_gpus, int per_gpu_edge) {
+  const double edge = std::round(static_cast<double>(per_gpu_edge) *
+                                 std::cbrt(static_cast<double>(total_gpus)));
+  const auto e = static_cast<std::int64_t>(edge);
+  return {e, e, e};
+}
+
+double measure_exchange_ms(const ExchangeConfig& cfg) {
+  Cluster cluster(cfg.arch, cfg.nodes, cfg.ranks_per_node);
+  cluster.set_mem_mode(vgpu::MemMode::kPhantom);  // timing-only at scale
+  std::vector<double> per_rank_avg(
+      static_cast<std::size_t>(cfg.nodes) * static_cast<std::size_t>(cfg.ranks_per_node), 0.0);
+
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, cfg.domain);
+    dd.set_radius(cfg.radius);
+    for (int q = 0; q < cfg.quantities; ++q) {
+      dd.add_data<float>("q" + std::to_string(q));
+    }
+    dd.set_methods(cfg.flags);
+    dd.set_placement(cfg.strategy);
+    dd.set_neighborhood(cfg.nbhd);
+    dd.realize();
+
+    // One untimed warm-up exchange (populates nothing in the deterministic
+    // model, but mirrors the measurement discipline of the paper).
+    ctx.comm.barrier();
+    dd.exchange();
+
+    double total = 0.0;
+    for (int it = 0; it < cfg.iterations; ++it) {
+      ctx.comm.barrier();
+      const double t0 = ctx.comm.wtime();
+      dd.exchange();
+      total += ctx.comm.wtime() - t0;
+    }
+    per_rank_avg[static_cast<std::size_t>(ctx.rank())] =
+        total / static_cast<double>(cfg.iterations);
+  });
+
+  const double max_s = *std::max_element(per_rank_avg.begin(), per_rank_avg.end());
+  return max_s * 1e3;
+}
+
+void print_row(const std::string& label, const std::vector<std::pair<std::string, double>>& cells) {
+  std::printf("%-26s", label.c_str());
+  for (const auto& [name, ms] : cells) {
+    std::printf("  %s=%9.3f ms", name.c_str(), ms);
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace stencil::bench

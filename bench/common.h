@@ -1,0 +1,62 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/distributed_domain.h"
+#include "topo/archetype.h"
+
+namespace stencil::bench {
+
+/// One measured configuration, labeled the paper's way:
+/// "Xn/Xr/Xg/NNNN[/ca]" plus the enabled-method suffix (+remote/+colo/...).
+struct ExchangeConfig {
+  topo::NodeArchetype arch = topo::summit();
+  int nodes = 1;
+  int ranks_per_node = 1;
+  Dim3 domain{0, 0, 0};
+  int radius = 3;      // the paper's surveyed "typical stencil radius" (§I)
+  int quantities = 4;  // four SP quantities, as in §IV
+  MethodFlags flags = MethodFlags::kAll;
+  PlacementStrategy strategy = PlacementStrategy::kNodeAware;
+  Neighborhood nbhd = Neighborhood::kFull;
+  int iterations = 3;
+
+  int gpus_per_node() const { return arch.gpus_per_node(); }
+  int total_gpus() const { return nodes * gpus_per_node(); }
+
+  std::string label() const {
+    std::string s = std::to_string(nodes) + "n/" + std::to_string(ranks_per_node) + "r/" +
+                    std::to_string(gpus_per_node()) + "g/" + std::to_string(domain.x);
+    if (any(flags & MethodFlags::kCudaAwareMpi)) s += "/ca";
+    return s;
+  }
+};
+
+/// The paper's cumulative capability tiers for one remote method.
+inline std::vector<std::pair<std::string, MethodFlags>> capability_tiers(bool cuda_aware) {
+  const MethodFlags remote = cuda_aware ? MethodFlags::kCudaAwareMpi : MethodFlags::kStaged;
+  return {
+      {"+remote", remote},
+      {"+colo", remote | MethodFlags::kColocated},
+      {"+peer", remote | MethodFlags::kColocated | MethodFlags::kPeer},
+      {"+kernel", remote | MethodFlags::kColocated | MethodFlags::kPeer | MethodFlags::kKernel},
+  };
+}
+
+/// The weak-scaling domain rule from §IV-D: closest cube to 750^3 points
+/// per GPU, i.e. round(750 * nGPUs^(1/3))^3.
+Dim3 weak_scaling_domain(int total_gpus, int per_gpu_edge = 750);
+
+/// Run the exchange benchmark exactly as §IV-A measures it: per iteration,
+/// MPI_Barrier, MPI_Wtime, exchange, MPI_Wtime; report the maximum per-rank
+/// average across the job, in milliseconds of *virtual* time. Deterministic.
+double measure_exchange_ms(const ExchangeConfig& cfg);
+
+/// Printf helper: fixed-width table cell.
+void print_row(const std::string& label, const std::vector<std::pair<std::string, double>>& cells);
+
+}  // namespace stencil::bench

@@ -1,0 +1,205 @@
+#include "common_cli.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace stencil::cli {
+
+namespace {
+
+bool parse_domain(const std::string& s, Dim3* out) {
+  long long x = 0, y = 0, z = 0;
+  const int n = std::sscanf(s.c_str(), "%lld,%lld,%lld", &x, &y, &z);
+  if (n == 1) {
+    *out = {x, x, x};
+    return x > 0;
+  }
+  if (n == 3) {
+    *out = {x, y, z};
+    return x > 0 && y > 0 && z > 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+void print_usage(const char* tool) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --arch summit|dgx|pcie      node archetype            (default summit)\n"
+      "  --nodes N                   number of nodes           (default 1)\n"
+      "  --rpn N                     ranks per node            (default 6)\n"
+      "  --domain X[,Y,Z]            grid extents              (default 1363)\n"
+      "  --radius R                  halo width                (default 3)\n"
+      "  --quantities N              SP quantities             (default 4)\n"
+      "  --methods staged|ca|all|allca                         (default all)\n"
+      "  --placement aware|measured|trivial|worst              (default aware)\n"
+      "  --boundary periodic|fixed                             (default periodic)\n"
+      "  --pack kernel|3d|auto                                 (default kernel)\n"
+      "  --aggregate                 aggregate STAGED messages (default off)\n"
+      "  --iters N                   measured exchanges        (default 3)\n"
+      "  --csv                       machine-readable output\n",
+      tool);
+}
+
+bool parse(int argc, char** argv, Options* opt, std::string* err) {
+  const auto need_value = [&](int i) { return i + 1 < argc; };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&]() -> std::string { return argv[++i]; };
+    if (a == "--help" || a == "-h") {
+      opt->help = true;
+      return true;
+    }
+    if (a == "--csv") {
+      opt->csv = true;
+      continue;
+    }
+    if (a == "--aggregate") {
+      opt->aggregate = true;
+      continue;
+    }
+    if (!need_value(i)) {
+      *err = "missing value for " + a;
+      return false;
+    }
+    if (a == "--arch") {
+      opt->arch_name = value();
+      if (opt->arch_name == "summit") {
+        opt->arch = topo::summit();
+      } else if (opt->arch_name == "dgx") {
+        opt->arch = topo::dgx_like();
+      } else if (opt->arch_name == "pcie") {
+        opt->arch = topo::pcie_box();
+      } else {
+        *err = "unknown arch '" + opt->arch_name + "'";
+        return false;
+      }
+    } else if (a == "--nodes") {
+      opt->nodes = std::atoi(value().c_str());
+    } else if (a == "--rpn") {
+      opt->rpn = std::atoi(value().c_str());
+    } else if (a == "--domain") {
+      if (!parse_domain(value(), &opt->domain)) {
+        *err = "bad --domain (use X or X,Y,Z)";
+        return false;
+      }
+    } else if (a == "--radius") {
+      opt->radius = std::atoi(value().c_str());
+    } else if (a == "--quantities") {
+      opt->quantities = std::atoi(value().c_str());
+    } else if (a == "--methods") {
+      opt->methods_name = value();
+      if (opt->methods_name == "staged") {
+        opt->methods = MethodFlags::kStaged;
+      } else if (opt->methods_name == "ca") {
+        opt->methods = MethodFlags::kStaged | MethodFlags::kCudaAwareMpi;
+      } else if (opt->methods_name == "all") {
+        opt->methods = MethodFlags::kAll;
+      } else if (opt->methods_name == "allca") {
+        opt->methods = MethodFlags::kAllCudaAware;
+      } else {
+        *err = "unknown methods '" + opt->methods_name + "'";
+        return false;
+      }
+    } else if (a == "--placement") {
+      opt->placement_name = value();
+      if (opt->placement_name == "aware") {
+        opt->placement = PlacementStrategy::kNodeAware;
+      } else if (opt->placement_name == "measured") {
+        opt->placement = PlacementStrategy::kMeasured;
+      } else if (opt->placement_name == "trivial") {
+        opt->placement = PlacementStrategy::kTrivial;
+      } else if (opt->placement_name == "worst") {
+        opt->placement = PlacementStrategy::kWorst;
+      } else {
+        *err = "unknown placement '" + opt->placement_name + "'";
+        return false;
+      }
+    } else if (a == "--boundary") {
+      const std::string v = value();
+      if (v == "periodic") {
+        opt->boundary = Boundary::kPeriodic;
+      } else if (v == "fixed") {
+        opt->boundary = Boundary::kFixed;
+      } else {
+        *err = "unknown boundary '" + v + "'";
+        return false;
+      }
+    } else if (a == "--pack") {
+      const std::string v = value();
+      if (v == "kernel") {
+        opt->pack = PackMode::kKernel;
+      } else if (v == "3d") {
+        opt->pack = PackMode::kMemcpy3D;
+      } else if (v == "auto") {
+        opt->pack = PackMode::kAuto;
+      } else {
+        *err = "unknown pack mode '" + v + "'";
+        return false;
+      }
+    } else if (a == "--iters") {
+      opt->iters = std::atoi(value().c_str());
+    } else {
+      *err = "unknown option '" + a + "'";
+      return false;
+    }
+  }
+  if (opt->nodes < 1 || opt->rpn < 1 || opt->radius < 1 || opt->quantities < 1 ||
+      opt->iters < 1) {
+    *err = "counts must be positive";
+    return false;
+  }
+  if (opt->arch.gpus_per_node() % opt->rpn != 0) {
+    *err = "--rpn must divide " + std::to_string(opt->arch.gpus_per_node()) + " GPUs per node";
+    return false;
+  }
+  return true;
+}
+
+RunResult run_config(const Options& opt) {
+  RunResult out;
+  out.gpus_per_node = opt.arch.gpus_per_node();
+  Cluster cluster(opt.arch, opt.nodes, opt.rpn);
+  cluster.set_mem_mode(vgpu::MemMode::kPhantom);
+  std::vector<double> per_rank(static_cast<std::size_t>(opt.nodes) * opt.rpn, 0.0);
+
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, opt.domain);
+    dd.set_radius(opt.radius);
+    for (int q = 0; q < opt.quantities; ++q) dd.add_data<float>("q" + std::to_string(q));
+    dd.set_methods(opt.methods);
+    dd.set_placement(opt.placement);
+    dd.set_boundary(opt.boundary);
+    dd.set_pack_mode(opt.pack);
+    dd.set_remote_aggregation(opt.aggregate);
+    dd.realize();
+
+    if (ctx.rank() == 0) {
+      const auto& hp = dd.placement().partition();
+      out.node_extent = hp.node_extent();
+      out.gpu_extent = hp.gpu_extent();
+      out.global_extent = hp.global_extent();
+      out.subdomain_size = hp.subdomain_size({0, 0, 0});
+      out.rank0_methods = dd.local_method_histogram();
+    }
+
+    ctx.comm.barrier();
+    dd.exchange();  // warm-up
+    double total = 0.0;
+    for (int it = 0; it < opt.iters; ++it) {
+      ctx.comm.barrier();
+      const double t0 = ctx.comm.wtime();
+      dd.exchange();
+      total += ctx.comm.wtime() - t0;
+    }
+    per_rank[static_cast<std::size_t>(ctx.rank())] = total / opt.iters;
+  });
+
+  out.exchange_ms = *std::max_element(per_rank.begin(), per_rank.end()) * 1e3;
+  return out;
+}
+
+}  // namespace stencil::cli

@@ -1,0 +1,47 @@
+#pragma once
+
+// Shared option parsing and config runner for the example CLI tools
+// (exchange_explorer, plan_report).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/distributed_domain.h"
+#include "topo/archetype.h"
+
+namespace stencil::cli {
+
+struct Options {
+  bool help = false;
+  bool csv = false;
+  std::string arch_name = "summit";
+  topo::NodeArchetype arch = topo::summit();
+  int nodes = 1;
+  int rpn = 6;
+  Dim3 domain{1363, 1363, 1363};
+  int radius = 3;
+  int quantities = 4;
+  std::string methods_name = "all";
+  MethodFlags methods = MethodFlags::kAll;
+  std::string placement_name = "aware";
+  PlacementStrategy placement = PlacementStrategy::kNodeAware;
+  Boundary boundary = Boundary::kPeriodic;
+  PackMode pack = PackMode::kKernel;
+  bool aggregate = false;
+  int iters = 3;
+};
+
+struct RunResult {
+  int gpus_per_node = 0;
+  Dim3 node_extent, gpu_extent, global_extent, subdomain_size;
+  std::map<Method, int> rank0_methods;
+  double exchange_ms = 0.0;
+};
+
+bool parse(int argc, char** argv, Options* opt, std::string* err);
+void print_usage(const char* tool);
+RunResult run_config(const Options& opt);
+
+}  // namespace stencil::cli

@@ -1,0 +1,81 @@
+// plan_report: introspect the three-phase setup for a configuration —
+// what the partitioner decided, which subdomain landed on which GPU and
+// why (flow/distance matrices, QAP cost per strategy), and how every
+// transfer was specialized. The debugging companion to exchange_explorer.
+//
+// Usage: same options as exchange_explorer (timing options ignored).
+#include <cstdio>
+
+#include "common_cli.h"
+#include "core/exchange.h"
+
+int main(int argc, char** argv) {
+  stencil::cli::Options opt;
+  std::string err;
+  if (!stencil::cli::parse(argc, argv, &opt, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 2;
+  }
+  if (opt.help) {
+    stencil::cli::print_usage("plan_report");
+    return 0;
+  }
+
+  std::size_t bytes_per_point = static_cast<std::size_t>(opt.quantities) * 4;
+  stencil::HierarchicalPartition hp(opt.domain, opt.nodes, opt.arch.gpus_per_node());
+
+  std::printf("== partition ==\n");
+  std::printf("domain %s over %d nodes x %d GPUs\n", opt.domain.str().c_str(), opt.nodes,
+              opt.arch.gpus_per_node());
+  std::printf("node index space %s, GPU index space %s, global %s\n",
+              hp.node_extent().str().c_str(), hp.gpu_extent().str().c_str(),
+              hp.global_extent().str().c_str());
+  std::printf("subdomain [0,0,0]: size %s origin %s\n",
+              hp.subdomain_size({0, 0, 0}).str().c_str(),
+              hp.subdomain_origin({0, 0, 0}).str().c_str());
+  std::printf("inter-node exchange volume (radius %d): %lld points (%.1f%% of total)\n",
+              opt.radius, static_cast<long long>(hp.internode_exchange_volume(opt.radius)),
+              100.0 * static_cast<double>(hp.internode_exchange_volume(opt.radius)) /
+                  static_cast<double>(hp.total_exchange_volume(opt.radius)));
+
+  std::printf("\n== placement (node 0) ==\n");
+  stencil::Placement placement(hp, opt.arch, opt.radius, bytes_per_point,
+                               stencil::Neighborhood::kFull, opt.placement, opt.boundary);
+  const auto w = placement.node_flow(0);
+  std::printf("flow matrix (MiB moved per exchange between subdomains):\n");
+  for (int i = 0; i < w.n(); ++i) {
+    std::printf("  s%-2d", i);
+    for (int j = 0; j < w.n(); ++j) std::printf(" %8.1f", w.at(i, j) / (1 << 20));
+    std::printf("\n");
+  }
+  std::printf("assignment (subdomain -> local GPU) under each strategy, with QAP cost:\n");
+  for (const auto strat :
+       {stencil::PlacementStrategy::kNodeAware, stencil::PlacementStrategy::kMeasured,
+        stencil::PlacementStrategy::kTrivial, stencil::PlacementStrategy::kWorst}) {
+    stencil::Placement p(hp, opt.arch, opt.radius, bytes_per_point, stencil::Neighborhood::kFull,
+                         strat, opt.boundary);
+    std::printf("  %-11s cost %.4g  map:", to_string(strat), p.total_cost());
+    for (std::int64_t s = 0; s < hp.gpu_extent().volume(); ++s) {
+      const stencil::Dim3 gidx =
+          hp.global_index({0, 0, 0}, stencil::Dim3::from_linear(s, hp.gpu_extent()));
+      std::printf(" s%lld->g%d", static_cast<long long>(s), p.local_gpu_of(gidx));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n== specialization ==\n");
+  const auto plan = stencil::ExchangePlan::full(placement, opt.rpn, opt.methods,
+                                                stencil::Neighborhood::kFull, opt.boundary);
+  std::printf("%zu transfers total:\n", plan.transfers().size());
+  for (const auto& [m, n] : plan.method_histogram()) {
+    std::printf("  %-16s x%d\n", to_string(m), n);
+  }
+  std::size_t internode = 0;
+  for (const auto& t : plan.transfers()) {
+    if (t.src_gpu / opt.arch.gpus_per_node() != t.dst_gpu / opt.arch.gpus_per_node()) {
+      ++internode;
+    }
+  }
+  std::printf("  (%zu cross node boundaries)\n", internode);
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "core/cluster.h"
+
+#include <string>
+
+namespace stencil {
+
+Cluster::Cluster(topo::NodeArchetype arch, int num_nodes, int ranks_per_node)
+    : machine_(std::move(arch), num_nodes),
+      rt_(eng_, machine_),
+      job_(eng_, machine_, rt_, ranks_per_node) {}
+
+void Cluster::run(const std::function<void(RankCtx&)>& body) {
+  job_.run([&](simpi::Comm& comm) {
+    RankCtx ctx{comm, rt_, machine_, *this, gpus_per_rank(), {}};
+    const int gpn = machine_.gpus_per_node();
+    const int slot = comm.rank() % job_.ranks_per_node();
+    for (int k = 0; k < ctx.gpus_per_rank; ++k) {
+      ctx.gpus.push_back(comm.node() * gpn + slot * ctx.gpus_per_rank + k);
+    }
+    body(ctx);
+  });
+}
+
+std::shared_ptr<const Placement> Cluster::placement_cached(Dim3 domain, Radius radius,
+                                                           std::size_t bytes_per_point,
+                                                           Neighborhood nbhd,
+                                                           PlacementStrategy strategy,
+                                                           Boundary boundary) {
+  std::string key = domain.str() + "/r" + radius.str() + "/b" +
+                    std::to_string(bytes_per_point) + "/n" +
+                    std::to_string(static_cast<int>(nbhd)) + "/s" +
+                    std::to_string(static_cast<int>(strategy)) + "/" + to_string(boundary);
+  auto it = placement_cache_.find(key);
+  if (it != placement_cache_.end()) return it->second;
+  // Token-scheduled actors: no data race; the first rank to ask computes.
+  HierarchicalPartition hp(domain, machine_.num_nodes(), machine_.gpus_per_node());
+  auto placement = std::make_shared<const Placement>(hp, machine_.arch(), radius, bytes_per_point,
+                                                     nbhd, strategy, boundary);
+  placement_cache_.emplace(std::move(key), placement);
+  return placement;
+}
+
+}  // namespace stencil

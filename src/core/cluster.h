@@ -1,0 +1,75 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/placement.h"
+#include "simpi/mpi.h"
+#include "simtime/engine.h"
+#include "topo/machine.h"
+#include "trace/recorder.h"
+#include "vgpu/runtime.h"
+
+namespace stencil {
+
+class Cluster;
+
+/// Everything one rank's code needs: its communicator, the CUDA-like
+/// runtime, and the GPUs this rank drives. GPUs are block-assigned within
+/// the node (rank slot s of R ranks drives GPUs [s*G/R, (s+1)*G/R)), as a
+/// typical Summit jsrun layout does.
+struct RankCtx {
+  simpi::Comm comm;
+  vgpu::Runtime& rt;
+  topo::Machine& machine;
+  Cluster& cluster;
+  int gpus_per_rank = 0;
+  std::vector<int> gpus;  // global GPU ids owned by this rank
+
+  int rank() const { return comm.rank(); }
+  int node() const { return comm.node(); }
+  sim::Engine& engine() { return rt.engine(); }
+};
+
+/// Owns the whole simulated world — engine, machine, virtual GPU runtime,
+/// and MPI job — and runs SPMD bodies across the ranks. Also hosts the
+/// cross-rank placement cache: placement is deterministic, so rank 0's
+/// result is shared instead of recomputed 1536 times.
+class Cluster {
+ public:
+  Cluster(topo::NodeArchetype arch, int num_nodes, int ranks_per_node);
+
+  /// Run `body` once per rank (SPMD), to completion.
+  void run(const std::function<void(RankCtx&)>& body);
+
+  sim::Engine& engine() { return eng_; }
+  topo::Machine& machine() { return machine_; }
+  vgpu::Runtime& runtime() { return rt_; }
+  simpi::Job& job() { return job_; }
+
+  int num_nodes() const { return machine_.num_nodes(); }
+  int ranks_per_node() const { return job_.ranks_per_node(); }
+  int gpus_per_rank() const { return machine_.gpus_per_node() / job_.ranks_per_node(); }
+
+  void set_recorder(trace::Recorder* rec) {
+    rt_.set_recorder(rec);
+    job_.set_recorder(rec);
+  }
+  void set_mem_mode(vgpu::MemMode m) { rt_.set_mem_mode(m); }
+
+  /// Shared placement cache (see Placement: identical on every rank).
+  std::shared_ptr<const Placement> placement_cached(
+      Dim3 domain, Radius radius, std::size_t bytes_per_point, Neighborhood nbhd,
+      PlacementStrategy strategy, Boundary boundary = Boundary::kPeriodic);
+
+ private:
+  sim::Engine eng_;
+  topo::Machine machine_;
+  vgpu::Runtime rt_;
+  simpi::Job job_;
+  std::map<std::string, std::shared_ptr<const Placement>> placement_cache_;
+};
+
+}  // namespace stencil

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace stencil {
+
+/// A 3D integer coordinate / extent. Named Dim3 after the reference
+/// library's type; used for domain sizes, subdomain indices, and direction
+/// vectors (components in {-1, 0, 1}).
+struct Dim3 {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  std::int64_t z = 0;
+
+  constexpr Dim3() = default;
+  constexpr Dim3(std::int64_t x_, std::int64_t y_, std::int64_t z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr std::int64_t volume() const { return x * y * z; }
+
+  constexpr bool operator==(const Dim3& o) const = default;
+
+  constexpr Dim3 operator+(const Dim3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Dim3 operator-(const Dim3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Dim3 operator*(const Dim3& o) const { return {x * o.x, y * o.y, z * o.z}; }
+
+  /// Component-wise Euclidean-style modulo with a positive result; used to
+  /// wrap neighbor indices under periodic boundary conditions.
+  constexpr Dim3 wrap(const Dim3& extent) const {
+    auto m = [](std::int64_t v, std::int64_t e) { return ((v % e) + e) % e; };
+    return {m(x, extent.x), m(y, extent.y), m(z, extent.z)};
+  }
+
+  /// True if every component is within [0, extent).
+  constexpr bool inside(const Dim3& extent) const {
+    return x >= 0 && y >= 0 && z >= 0 && x < extent.x && y < extent.y && z < extent.z;
+  }
+
+  /// Row-major linearization (z slowest is NOT used here; x fastest, then y,
+  /// then z — matching XYZ storage order used throughout).
+  constexpr std::int64_t linearize(const Dim3& extent) const {
+    return (z * extent.y + y) * extent.x + x;
+  }
+
+  static constexpr Dim3 from_linear(std::int64_t i, const Dim3& extent) {
+    const std::int64_t x = i % extent.x;
+    const std::int64_t y = (i / extent.x) % extent.y;
+    const std::int64_t z = i / (extent.x * extent.y);
+    return {x, y, z};
+  }
+
+  std::string str() const {
+    return "[" + std::to_string(x) + "," + std::to_string(y) + "," + std::to_string(z) + "]";
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Dim3& d) { return os << d.str(); }
+
+}  // namespace stencil

@@ -1,0 +1,625 @@
+#include "core/distributed_domain.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stencil {
+
+/// The stand-in for a cudaIpcEventHandle pair: a shared channel through
+/// which the COLOCATED sender and receiver synchronize without MPI.
+/// data_ev/data_gen flow sender -> receiver ("generation N has landed in
+/// your buffer"); done_ev/done_gen flow back ("generation N is unpacked,
+/// the buffer may be overwritten"). The receiver owns the channel; the
+/// sender learns its address during the one-time setup handshake.
+struct DistributedDomain::IpcEventChannel {
+  vgpu::Event data_ev;
+  std::uint64_t data_gen = 0;
+  vgpu::Event done_ev;
+  std::uint64_t done_gen = 0;
+  sim::Gate gate{"colocated-channel"};
+};
+
+/// Per-transfer runtime state: streams, packed buffers, staging buffers,
+/// and in-flight requests. A transfer where this rank is both sender and
+/// receiver (PEER, KERNEL, or MPI-to-self) populates both halves.
+struct DistributedDomain::TransferState {
+  Transfer t;
+  bool i_send = false;
+  bool i_recv = false;
+  LocalDomain* src_ld = nullptr;
+  LocalDomain* dst_ld = nullptr;
+  Region3 src_region{};
+  Region3 dst_region{};
+  std::size_t bytes = 0;         // full-quantity-set message size
+  std::size_t active_bytes = 0;  // size for the exchange in flight
+
+  vgpu::Stream src_stream;
+  vgpu::Stream dst_stream;
+  vgpu::Buffer src_pack;  // device, on src GPU
+  vgpu::Buffer dst_pack;  // device, on dst GPU
+  vgpu::Buffer src_host;  // pinned host (STAGED sender)
+  vgpu::Buffer dst_host;  // pinned host (STAGED receiver)
+
+  std::unique_ptr<IpcEventChannel> channel;  // COLOCATED receiver owns
+  IpcEventChannel* peer_channel = nullptr;   // COLOCATED sender's view
+  vgpu::IpcMappedPtr mapped;                 // sender's mapping of dst_pack
+
+  vgpu::Event ready_ev;  // sender: packed (+staged) data ready for MPI
+  simpi::Request send_req;
+  simpi::Request recv_req;
+};
+
+/// One aggregated STAGED message: every staged transfer between this rank
+/// and `peer_rank` (in one direction) rides in a single pinned buffer, each
+/// member at its `agg_offset`.
+struct DistributedDomain::AggGroup {
+  int peer_rank = -1;
+  std::size_t bytes = 0;
+  vgpu::Buffer host;  // pinned, on this rank's node (sized for all quantities)
+  std::vector<std::pair<TransferState*, std::size_t>> members;  // (transfer, full offset)
+  simpi::Request req;
+  // Layout of the exchange in flight (selective exchanges shrink it).
+  std::size_t active_bytes = 0;
+  std::vector<std::size_t> active_offsets;
+};
+
+namespace {
+
+/// Setup message a COLOCATED receiver sends its sender: the exported
+/// buffer handle plus the event channel's address (our cudaIpcEventHandle,
+/// opaque on the wire just as CUDA's is).
+struct ColoSetupMsg {
+  vgpu::IpcMemHandle handle;
+  void* channel;
+};
+
+int setup_tag(const Transfer& t) { return -(t.tag + 10); }
+
+/// Tag for the aggregated message from `src_rank`; (src, dst) channels keep
+/// it unique, and the offset keeps it clear of data and setup tags.
+int agg_tag(int src_rank) { return -(10'000'000 + src_rank); }
+
+std::string dir_str(Dim3 d) {
+  auto c = [](std::int64_t v) { return v > 0 ? "+" : v < 0 ? "-" : "0"; };
+  return std::string(c(d.x)) + c(d.y) + c(d.z);
+}
+
+}  // namespace
+
+DistributedDomain::~DistributedDomain() = default;
+
+DistributedDomain::DistributedDomain(RankCtx& ctx, Dim3 domain) : ctx_(ctx), domain_(domain) {
+  if (domain_.x <= 0 || domain_.y <= 0 || domain_.z <= 0) {
+    throw std::invalid_argument("DistributedDomain: domain extents must be positive");
+  }
+}
+
+void DistributedDomain::require_unrealized(const char* what) const {
+  if (realized_) throw std::logic_error(std::string(what) + " after realize()");
+}
+
+void DistributedDomain::set_radius(Radius r) {
+  require_unrealized("set_radius");
+  if (r.min() < 0 || r.max() < 1) {
+    throw std::invalid_argument("set_radius: widths must be >= 0 with at least one > 0");
+  }
+  radius_ = r;
+}
+
+void DistributedDomain::set_methods(MethodFlags f) {
+  require_unrealized("set_methods");
+  if (!any(f & (MethodFlags::kStaged | MethodFlags::kCudaAwareMpi))) {
+    throw std::invalid_argument("set_methods: need STAGED or CUDA-aware MPI as the remote method");
+  }
+  if (any(f & MethodFlags::kCudaAwareMpi) && !ctx_.machine.arch().cuda_aware_mpi) {
+    throw std::invalid_argument("set_methods: platform MPI is not CUDA-aware");
+  }
+  flags_ = f;
+}
+
+void DistributedDomain::set_placement(PlacementStrategy s) {
+  require_unrealized("set_placement");
+  strategy_ = s;
+}
+
+void DistributedDomain::set_neighborhood(Neighborhood n) {
+  require_unrealized("set_neighborhood");
+  nbhd_ = n;
+}
+
+void DistributedDomain::set_boundary(Boundary b) {
+  require_unrealized("set_boundary");
+  boundary_ = b;
+}
+
+void DistributedDomain::set_remote_aggregation(bool on) {
+  require_unrealized("set_remote_aggregation");
+  aggregate_remote_ = on;
+}
+
+void DistributedDomain::set_pack_mode(PackMode m) {
+  require_unrealized("set_pack_mode");
+  pack_mode_ = m;
+}
+
+void DistributedDomain::set_staged_zero_copy(bool on) {
+  require_unrealized("set_staged_zero_copy");
+  staged_zero_copy_ = on;
+}
+
+std::size_t DistributedDomain::add_data_bytes(const std::string& name, std::size_t elem_size) {
+  require_unrealized("add_data");
+  if (elem_size == 0) throw std::invalid_argument("add_data: zero element size");
+  quantities_.push_back(Quantity{name, elem_size});
+  return quantities_.size() - 1;
+}
+
+const Placement& DistributedDomain::placement() const {
+  if (!placement_) throw std::logic_error("placement() before realize()");
+  return *placement_;
+}
+
+LocalDomain* DistributedDomain::local_by_gpu(int ggpu) {
+  auto it = local_index_by_gpu_.find(ggpu);
+  return it == local_index_by_gpu_.end() ? nullptr : locals_[it->second].get();
+}
+
+void DistributedDomain::realize() {
+  require_unrealized("realize");
+  if (quantities_.empty()) throw std::logic_error("realize: no quantities added");
+  for (const auto& q : quantities_) bytes_per_point_ += q.elem_size;
+
+  // Phase 1+2 of the paper's setup: partition and placement (shared across
+  // ranks — deterministic, needs no communication).
+  placement_ = ctx_.cluster.placement_cached(domain_, radius_, bytes_per_point_, nbhd_, strategy_,
+                                             boundary_);
+  const auto& hp = placement_->partition();
+
+  // Materialize this rank's subdomains.
+  const int gpn = ctx_.machine.gpus_per_node();
+  for (int ggpu : ctx_.gpus) {
+    const Dim3 idx = placement_->subdomain_at(ctx_.node(), ggpu % gpn);
+    const Dim3 sz = hp.subdomain_size(idx);
+    const Dim3 origin = hp.subdomain_origin(idx);
+    locals_.push_back(std::make_unique<LocalDomain>(ctx_.rt, ggpu, idx, origin, sz, radius_,
+                                                    quantities_));
+    local_index_by_gpu_[ggpu] = locals_.size() - 1;
+  }
+
+  // Enable peer access between my GPUs and every capable same-node GPU
+  // (needed for PEER and for direct COLOCATED copies).
+  for (int g : ctx_.gpus) {
+    for (int h = ctx_.node() * gpn; h < (ctx_.node() + 1) * gpn; ++h) {
+      if (g != h && ctx_.rt.can_access_peer(g, h)) {
+        ctx_.rt.enable_peer_access(g, h);
+        ctx_.rt.enable_peer_access(h, g);
+      }
+    }
+  }
+
+  // Phase 3: capability specialization.
+  plan_ = ExchangePlan::for_rank(*placement_, ctx_.comm.rank(), ctx_.cluster.ranks_per_node(),
+                                 flags_, nbhd_, boundary_);
+  build_transfer_states();
+  if (aggregate_remote_) build_aggregation_groups();
+  colocated_setup();
+  ctx_.comm.barrier();
+  realized_ = true;
+}
+
+void DistributedDomain::build_aggregation_groups() {
+  // Group staged transfers by peer rank, separately for the send and
+  // receive sides, in deterministic (plan) order so both ends compute the
+  // same member offsets.
+  std::map<int, std::vector<TransferState*>> by_dst, by_src;
+  for (auto& xp : xfers_) {
+    TransferState& x = *xp;
+    if (x.t.method != Method::kStaged || x.bytes == 0) continue;
+    if (x.i_send) by_dst[x.t.dst_rank].push_back(&x);
+    if (x.i_recv) by_src[x.t.src_rank].push_back(&x);
+  }
+  const auto build = [&](std::map<int, std::vector<TransferState*>>& sides,
+                         std::vector<std::unique_ptr<AggGroup>>& out) {
+    for (auto& [peer, members] : sides) {
+      auto g = std::make_unique<AggGroup>();
+      g->peer_rank = peer;
+      // Both ends must agree on member offsets; the transfer tag is unique
+      // and identical on both sides, so it defines the layout.
+      std::sort(members.begin(), members.end(),
+                [](const TransferState* a, const TransferState* b) { return a->t.tag < b->t.tag; });
+      for (TransferState* x : members) {
+        g->members.emplace_back(x, g->bytes);
+        g->bytes += x->bytes;
+      }
+      g->host = ctx_.rt.alloc_pinned_host(ctx_.node(), g->bytes);
+      out.push_back(std::move(g));
+    }
+  };
+  build(by_dst, send_groups_);
+  build(by_src, recv_groups_);
+}
+
+void DistributedDomain::build_transfer_states() {
+  const auto& hp = placement_->partition();
+  for (const Transfer& t : plan_.transfers()) {
+    auto xp = std::make_unique<TransferState>();
+    TransferState& x = *xp;
+    x.t = t;
+    x.i_send = t.src_rank == ctx_.comm.rank();
+    x.i_recv = t.dst_rank == ctx_.comm.rank();
+    const Dim3 src_sz = hp.subdomain_size(t.src_idx);
+    const Dim3 dst_sz = hp.subdomain_size(t.dst_idx);
+    x.src_region = interior_slab(src_sz, t.dir, radius_);
+    x.dst_region = halo_slab(dst_sz, t.dir, radius_);
+    if (x.src_region.extent != x.dst_region.extent) {
+      throw std::logic_error("transfer " + t.src_idx.str() + "->" + t.dst_idx.str() + " dir " +
+                             dir_str(t.dir) + ": slab shapes differ");
+    }
+    x.bytes = static_cast<std::size_t>(x.src_region.volume()) * bytes_per_point_;
+    if (x.bytes == 0) continue;  // asymmetric radius: nothing moves this way
+    if (x.i_send) x.src_ld = local_by_gpu(t.src_gpu);
+    if (x.i_recv) x.dst_ld = local_by_gpu(t.dst_gpu);
+
+    auto& rt = ctx_.rt;
+    switch (t.method) {
+      case Method::kKernel:
+        if (x.i_send) x.src_stream = rt.create_stream(t.src_gpu);
+        break;
+      case Method::kPeer:
+        // Same rank: both halves are ours.
+        x.src_stream = rt.create_stream(t.src_gpu);
+        x.dst_stream = rt.create_stream(t.dst_gpu);
+        x.src_pack = rt.alloc_device(t.src_gpu, x.bytes);
+        x.dst_pack = rt.alloc_device(t.dst_gpu, x.bytes);
+        break;
+      case Method::kColocated:
+        if (x.i_send) {
+          x.src_stream = rt.create_stream(t.src_gpu);
+          x.src_pack = rt.alloc_device(t.src_gpu, x.bytes);
+        }
+        if (x.i_recv) {
+          x.dst_stream = rt.create_stream(t.dst_gpu);
+          x.dst_pack = rt.alloc_device(t.dst_gpu, x.bytes);
+          x.channel = std::make_unique<IpcEventChannel>();
+        }
+        break;
+      case Method::kCudaAwareMpi:
+        if (x.i_send) {
+          x.src_stream = rt.create_stream(t.src_gpu);
+          x.src_pack = rt.alloc_device(t.src_gpu, x.bytes);
+        }
+        if (x.i_recv) {
+          x.dst_stream = rt.create_stream(t.dst_gpu);
+          x.dst_pack = rt.alloc_device(t.dst_gpu, x.bytes);
+        }
+        break;
+      case Method::kStaged:
+        if (x.i_send) {
+          x.src_stream = rt.create_stream(t.src_gpu);
+          x.src_pack = rt.alloc_device(t.src_gpu, x.bytes);
+          x.src_host = rt.alloc_pinned_host(ctx_.machine.node_of(t.src_gpu), x.bytes);
+        }
+        if (x.i_recv) {
+          x.dst_stream = rt.create_stream(t.dst_gpu);
+          x.dst_pack = rt.alloc_device(t.dst_gpu, x.bytes);
+          x.dst_host = rt.alloc_pinned_host(ctx_.machine.node_of(t.dst_gpu), x.bytes);
+        }
+        break;
+    }
+    xfers_.push_back(std::move(xp));
+  }
+}
+
+void DistributedDomain::colocated_setup() {
+  auto& comm = ctx_.comm;
+  // Receivers export their packed buffer and event channel. Eager messages
+  // complete immediately, so every rank can post all of its setup sends
+  // before receiving any.
+  for (auto& xp : xfers_) {
+    TransferState& x = *xp;
+    if (x.t.method != Method::kColocated || !x.i_recv) continue;
+    ColoSetupMsg msg{ctx_.rt.ipc_get_mem_handle(x.dst_pack), x.channel.get()};
+    comm.send(simpi::Payload::of_values(&msg, 1), x.t.src_rank, setup_tag(x.t));
+  }
+  for (auto& xp : xfers_) {
+    TransferState& x = *xp;
+    if (x.t.method != Method::kColocated || !x.i_send) continue;
+    ColoSetupMsg msg{};
+    comm.recv(simpi::Payload::of_values(&msg, 1), x.t.dst_rank, setup_tag(x.t));
+    x.peer_channel = static_cast<IpcEventChannel*>(msg.channel);
+    x.mapped = ctx_.rt.ipc_open_mem_handle(msg.handle, x.t.src_gpu);
+  }
+}
+
+void DistributedDomain::exchange() {
+  exchange_start();
+  exchange_finish();
+}
+
+void DistributedDomain::exchange(const std::vector<std::size_t>& quantities) {
+  exchange_start(quantities);
+  exchange_finish();
+}
+
+void DistributedDomain::exchange_start() {
+  std::vector<std::size_t> all(quantities_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  exchange_start(all);
+}
+
+void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantities) {
+  if (!realized_) throw std::logic_error("exchange() before realize()");
+  if (inflight_.active) throw std::logic_error("exchange_start() while an exchange is in flight");
+  if (quantities.empty()) throw std::invalid_argument("exchange: empty quantity list");
+  for (std::size_t i = 0; i < quantities.size(); ++i) {
+    if (quantities[i] >= quantities_.size() || (i > 0 && quantities[i] <= quantities[i - 1])) {
+      throw std::invalid_argument(
+          "exchange: quantity indices must be strictly increasing and in range");
+    }
+  }
+  active_qs_ = quantities;
+  std::size_t active_bpp = 0;
+  for (std::size_t q : active_qs_) active_bpp += quantities_[q].elem_size;
+  for (auto& xp : xfers_) {
+    xp->active_bytes = static_cast<std::size_t>(xp->src_region.volume()) * active_bpp;
+  }
+  for (auto groups : {&send_groups_, &recv_groups_}) {
+    for (auto& gp : *groups) {
+      gp->active_bytes = 0;
+      gp->active_offsets.clear();
+      for (auto& [x, full_off] : gp->members) {
+        (void)full_off;
+        gp->active_offsets.push_back(gp->active_bytes);
+        gp->active_bytes += x->active_bytes;
+      }
+    }
+  }
+  inflight_.active = true;
+  ++seq_;
+  auto& comm = ctx_.comm;
+  auto& rt = ctx_.rt;
+  auto& eng = ctx_.engine();
+
+  // --- Phase 0: post every MPI receive up front (maximizes matching). ----
+  std::vector<simpi::Request>& recv_reqs = inflight_.recv_reqs;
+  auto& recv_map = inflight_.recv_map;
+  for (auto& gp : recv_groups_) {  // aggregated STAGED receives, one per peer
+    gp->req = comm.irecv(simpi::Payload::of(gp->host, 0, gp->active_bytes), gp->peer_rank,
+                         agg_tag(gp->peer_rank));
+    recv_reqs.push_back(gp->req);
+    recv_map.emplace_back(nullptr, gp.get());
+  }
+  for (auto& xp : xfers_) {
+    TransferState& x = *xp;
+    if (!x.i_recv) continue;
+    if (x.t.method == Method::kStaged && !aggregate_remote_) {
+      x.recv_req =
+          comm.irecv(simpi::Payload::of(x.dst_host, 0, x.active_bytes), x.t.src_rank, x.t.tag);
+      recv_reqs.push_back(x.recv_req);
+      recv_map.emplace_back(&x, nullptr);
+    } else if (x.t.method == Method::kCudaAwareMpi) {
+      x.recv_req =
+          comm.irecv(simpi::Payload::of(x.dst_pack, 0, x.active_bytes), x.t.src_rank, x.t.tag);
+      recv_reqs.push_back(x.recv_req);
+      recv_map.emplace_back(&x, nullptr);
+    }
+  }
+
+  // --- Phase 1: pure-CUDA local transfers (KERNEL, PEER). ----------------
+  for (auto& xp : xfers_) {
+    TransferState& x = *xp;
+    if (x.t.method == Method::kKernel && x.i_send) {
+      rt.launch_kernel(x.src_stream, x.active_bytes, "self " + dir_str(x.t.dir),
+                       [&x, this] { x.src_ld->self_exchange(x.t.dir, active_qs_); });
+    } else if (x.t.method == Method::kPeer) {
+      // Pack-free path (§VI): a strided copy straight into the neighbor's
+      // halo, when configured — and under kAuto, whenever the modeled
+      // strided time beats pack kernel + dense copy + unpack kernel.
+      bool use_3d = pack_mode_ == PackMode::kMemcpy3D;
+      if (pack_mode_ == PackMode::kAuto) {
+        const auto& arch = ctx_.machine.arch();
+        const double link = arch.bw_nvlink_gpu_gpu * arch.eff_nvlink;  // peer-pair estimate
+        const double pack_bw = arch.bw_gpu_mem * arch.eff_pack;
+        const double b = static_cast<double>(x.active_bytes);
+        const double kernel_est =
+            2.0 * (sim::to_seconds(arch.lat_kernel) + b / (pack_bw * (1ull << 30))) +
+            sim::to_seconds(arch.lat_gpu_copy) + b / (link * (1ull << 30));
+        const double eff = ctx_.machine.strided_efficiency(x.src_ld->row_bytes(x.src_region, 0));
+        const double strided_est =
+            static_cast<double>(active_qs_.size()) * sim::to_seconds(arch.lat_gpu_copy) +
+            b / (link * eff * (1ull << 30));
+        use_3d = strided_est < kernel_est;
+      }
+      if (use_3d) {
+        for (std::size_t q : active_qs_) {
+          const std::size_t qbytes = static_cast<std::size_t>(x.src_region.volume()) *
+                                     quantities_[q].elem_size;
+          rt.memcpy3d_peer_async(
+              x.t.dst_gpu, x.t.src_gpu, qbytes, x.src_ld->row_bytes(x.src_region, q),
+              x.src_stream, "3d " + dir_str(x.t.dir), [&x, q] {
+                LocalDomain::copy_region(*x.src_ld, x.src_region, *x.dst_ld, x.dst_region, q);
+              });
+        }
+        vgpu::Event copied;
+        rt.record_event(copied, x.src_stream);
+        rt.stream_wait_event(x.dst_stream, copied);
+      } else {
+        rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
+                         [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); });
+        rt.memcpy_peer_async(x.dst_pack, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
+        vgpu::Event copied;
+        rt.record_event(copied, x.src_stream);
+        rt.stream_wait_event(x.dst_stream, copied);
+        rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
+                         [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); });
+      }
+    }
+  }
+
+  // --- Phase 2: COLOCATED senders (pure CUDA after the setup handshake). -
+  for (auto& xp : xfers_) {
+    TransferState& x = *xp;
+    if (x.t.method != Method::kColocated || !x.i_send) continue;
+    // Flow control: the receiver must have unpacked the previous
+    // generation before we overwrite its buffer.
+    while (x.peer_channel->done_gen + 1 < seq_) x.peer_channel->gate.wait(eng);
+    rt.stream_wait_event(x.src_stream, x.peer_channel->done_ev);
+    rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
+                     [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); });
+    rt.memcpy_to_ipc_async(x.mapped, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
+    rt.record_event(x.peer_channel->data_ev, x.src_stream);
+    x.peer_channel->data_gen = seq_;
+    x.peer_channel->gate.notify_all(eng);
+  }
+
+  // --- Phase 3: STAGED / CUDA-aware senders enqueue pack (+ D2H). --------
+  auto& pending = inflight_.pending_sends;
+  for (auto& xp : xfers_) {
+    TransferState& x = *xp;
+    if (!x.i_send) continue;
+    if (x.t.method == Method::kStaged && !aggregate_remote_) {
+      if (staged_zero_copy_) {
+        // Zero-copy pack (§VI/[18]): the kernel's stores land directly in
+        // the pinned staging buffer — no separate D2H step.
+        rt.launch_zero_copy_kernel(
+            x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
+            [&x, this] { x.src_ld->pack_region(x.src_host, x.src_region, active_qs_); });
+      } else {
+        rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
+                         [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); });
+        rt.memcpy_async(x.src_host, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
+      }
+      rt.record_event(x.ready_ev, x.src_stream);
+      pending.emplace_back(x.ready_ev.completed_at, &x);
+    } else if (x.t.method == Method::kCudaAwareMpi) {
+      rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
+                       [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); });
+      rt.record_event(x.ready_ev, x.src_stream);
+      pending.emplace_back(x.ready_ev.completed_at, &x);
+    }
+  }
+  // Aggregated STAGED sends: every member packs and stages into its slot of
+  // the shared buffer; the group is ready when its slowest member is.
+  for (auto& gp : send_groups_) {
+    sim::Time ready = 0;
+    for (std::size_t m = 0; m < gp->members.size(); ++m) {
+      TransferState* x = gp->members[m].first;
+      rt.launch_kernel(x->src_stream, x->active_bytes, "pack " + dir_str(x->t.dir),
+                       [x, this] { x->src_ld->pack_region(x->src_pack, x->src_region, active_qs_); });
+      rt.memcpy_async(gp->host, gp->active_offsets[m], x->src_pack, 0, x->active_bytes,
+                      x->src_stream);
+      rt.record_event(x->ready_ev, x->src_stream);
+      ready = std::max(ready, x->ready_ev.completed_at);
+    }
+    inflight_.pending_group_sends.emplace_back(ready, gp.get());
+  }
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::stable_sort(inflight_.pending_group_sends.begin(), inflight_.pending_group_sends.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  (void)eng;
+}
+
+void DistributedDomain::exchange_finish() {
+  if (!inflight_.active) throw std::logic_error("exchange_finish() without exchange_start()");
+  auto& comm = ctx_.comm;
+  auto& rt = ctx_.rt;
+  auto& eng = ctx_.engine();
+  std::vector<simpi::Request>& recv_reqs = inflight_.recv_reqs;
+  auto& recv_map = inflight_.recv_map;
+
+  // --- Phase 4: post Isends in data-ready order (the Sender state
+  // machines' "advance when your CUDA phase completes" loop). -------------
+  std::vector<simpi::Request> send_reqs;
+  {
+    auto xi = inflight_.pending_sends.begin();
+    auto gi = inflight_.pending_group_sends.begin();
+    while (xi != inflight_.pending_sends.end() || gi != inflight_.pending_group_sends.end()) {
+      const bool take_group = xi == inflight_.pending_sends.end() ||
+                              (gi != inflight_.pending_group_sends.end() && gi->first < xi->first);
+      if (take_group) {
+        eng.sleep_until(gi->first);
+        AggGroup& g = *gi->second;
+        g.req = comm.isend(simpi::Payload::of(g.host, 0, g.active_bytes), g.peer_rank,
+                           agg_tag(comm.rank()));
+        send_reqs.push_back(g.req);
+        ++gi;
+      } else {
+        eng.sleep_until(xi->first);
+        TransferState& x = *xi->second;
+        if (x.t.method == Method::kStaged) {
+          x.send_req = comm.isend(simpi::Payload::of(x.src_host, 0, x.active_bytes), x.t.dst_rank,
+                                  x.t.tag);
+        } else {
+          x.send_req = comm.isend(simpi::Payload::of(x.src_pack, 0, x.active_bytes), x.t.dst_rank,
+                                  x.t.tag);
+        }
+        send_reqs.push_back(x.send_req);
+        ++xi;
+      }
+    }
+  }
+
+  // --- Phase 5: as each MPI receive lands, enqueue H2D + unpack. ----------
+  for (;;) {
+    const int i = comm.wait_any(recv_reqs);
+    if (i < 0) break;
+    auto [xp, gp] = recv_map[static_cast<std::size_t>(i)];
+    if (gp != nullptr) {
+      // A whole aggregated message landed: fan its members out to their GPUs.
+      for (std::size_t m = 0; m < gp->members.size(); ++m) {
+        TransferState* x = gp->members[m].first;
+        rt.memcpy_async(x->dst_pack, 0, gp->host, gp->active_offsets[m], x->active_bytes,
+                        x->dst_stream);
+        rt.launch_kernel(x->dst_stream, x->active_bytes, "unpack " + dir_str(x->t.dir),
+                         [x, this] { x->dst_ld->unpack_region(x->dst_pack, x->dst_region, active_qs_); });
+      }
+      continue;
+    }
+    TransferState& x = *xp;
+    if (x.t.method == Method::kStaged) {
+      rt.memcpy_async(x.dst_pack, 0, x.dst_host, 0, x.active_bytes, x.dst_stream);
+    }
+    rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
+                     [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); });
+  }
+
+  // --- Phase 6: COLOCATED receivers unpack and acknowledge. ---------------
+  for (auto& xp : xfers_) {
+    TransferState& x = *xp;
+    if (x.t.method != Method::kColocated || !x.i_recv) continue;
+    while (x.channel->data_gen < seq_) x.channel->gate.wait(eng);
+    rt.stream_wait_event(x.dst_stream, x.channel->data_ev);
+    rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
+                     [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); });
+    rt.record_event(x.channel->done_ev, x.dst_stream);
+    x.channel->done_gen = seq_;
+    x.channel->gate.notify_all(eng);
+  }
+
+  // --- Phase 7: drain sends, then quiesce every stream we touched. --------
+  comm.waitall(send_reqs);
+  for (auto& xp : xfers_) {
+    TransferState& x = *xp;
+    if (x.src_stream.valid()) rt.stream_synchronize(x.src_stream);
+    if (x.dst_stream.valid()) rt.stream_synchronize(x.dst_stream);
+  }
+
+  inflight_.active = false;
+  inflight_.recv_reqs.clear();
+  inflight_.recv_map.clear();
+  inflight_.pending_sends.clear();
+  inflight_.pending_group_sends.clear();
+}
+
+void DistributedDomain::launch_compute(LocalDomain& ld, const std::string& label,
+                                       std::uint64_t bytes_moved,
+                                       const std::function<void()>& body) {
+  ctx_.rt.launch_kernel(ld.compute_stream(), bytes_moved, label, body);
+}
+
+void DistributedDomain::compute_synchronize() {
+  for (auto& l : locals_) ctx_.rt.stream_synchronize(l->compute_stream());
+}
+
+}  // namespace stencil

@@ -1,0 +1,176 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/exchange.h"
+#include "core/local_domain.h"
+#include "core/method_flags.h"
+#include "core/placement.h"
+
+namespace stencil {
+
+/// The library's user-facing type (mirroring the reference implementation):
+/// one instance per rank, holding that rank's subdomains and the machinery
+/// for overlapped halo exchanges.
+///
+///   stencil::DistributedDomain dd(ctx, {1364, 1364, 1364});
+///   dd.set_radius(2);
+///   dd.add_data<float>("pressure");
+///   dd.set_methods(stencil::MethodFlags::kAll);
+///   dd.set_placement(stencil::PlacementStrategy::kNodeAware);
+///   dd.realize();
+///   ...
+///   dd.exchange();
+///
+/// realize() performs the paper's three-phase setup: partitioning
+/// (hierarchical prime-factor bisection), placement (QAP over the node's
+/// bandwidth matrix), and specialization (choosing KERNEL / PEER /
+/// COLOCATED / CUDA-aware / STAGED per subdomain pair, including the
+/// one-time cudaIpc* handshakes for COLOCATED).
+class DistributedDomain {
+ public:
+  DistributedDomain(RankCtx& ctx, Dim3 domain);
+  ~DistributedDomain();  // out-of-line: TransferState is an impl detail
+
+  // --- configuration (before realize) ------------------------------------
+  /// Uniform (set_radius(2)) or per-face asymmetric halo widths.
+  void set_radius(Radius r);
+  void set_methods(MethodFlags f);
+  void set_placement(PlacementStrategy s);
+  void set_neighborhood(Neighborhood n);
+
+  /// Periodic (default, the paper's setting) or fixed boundaries. With
+  /// fixed boundaries, outward-facing halos are not exchanged — they belong
+  /// to the application (e.g. Dirichlet values written once).
+  void set_boundary(Boundary b);
+
+  /// Combine all STAGED transfers between each rank pair into one MPI
+  /// message per exchange (the aggregation idea of §VI / [3]): fewer,
+  /// larger messages amortize per-message latency, at the cost of delaying
+  /// the whole group to its slowest pack. Off by default, matching the
+  /// paper ("our messages may already be few enough and large enough").
+  void set_remote_aggregation(bool on);
+
+  /// How same-rank PEER transfers move halos: GPU pack kernels (default,
+  /// the paper's choice), direct strided cudaMemcpy3D-style copies, or a
+  /// per-transfer automatic choice (§VI pack-avoidance future work).
+  void set_pack_mode(PackMode m);
+
+  /// STAGED senders pack straight into pinned host memory with a zero-copy
+  /// kernel (§VI / [18]) instead of pack-then-D2H: one fewer async op and
+  /// copy, at the cost of the GPU being busy for the host-link duration.
+  void set_staged_zero_copy(bool on);
+
+  /// Register a grid quantity; returns its index.
+  template <typename T>
+  std::size_t add_data(const std::string& name) {
+    return add_data_bytes(name, sizeof(T));
+  }
+  std::size_t add_data_bytes(const std::string& name, std::size_t elem_size);
+
+  /// Partition, place, allocate, and specialize. Collective: every rank of
+  /// the job must call realize() (the COLOCATED setup handshakes cross
+  /// ranks).
+  void realize();
+
+  /// One full halo exchange, overlapping every transfer the paper's Fig. 9
+  /// way. Collective. Returns when all of this rank's sends are delivered,
+  /// all its halos are unpacked, and its streams are quiescent.
+  /// Equivalent to exchange_start() immediately followed by exchange_finish().
+  void exchange();
+
+  /// Selective exchange: move only the listed quantities (strictly
+  /// increasing indices). Collective — every rank must pass the same list.
+  /// Double-buffered schemes typically only need the field they read,
+  /// halving the traffic of a blanket exchange.
+  void exchange(const std::vector<std::size_t>& quantities);
+  void exchange_start(const std::vector<std::size_t>& quantities);
+
+  /// Split-phase exchange for computation/communication overlap: start()
+  /// posts receives and enqueues all asynchronous sender work (packs, local
+  /// copies, colocated pushes), then returns. The application typically
+  /// launches *interior* compute kernels next — they only need cells the
+  /// exchange does not touch — and calls finish() before computing on the
+  /// boundary. finish() drives the remaining sender/receiver state machines
+  /// to completion (§III-D).
+  void exchange_start();
+  void exchange_finish();
+
+  // --- introspection ------------------------------------------------------
+  Dim3 domain() const { return domain_; }
+  const Radius& radius() const { return radius_; }
+  Boundary boundary() const { return boundary_; }
+  MethodFlags methods() const { return flags_; }
+  std::size_t num_subdomains() const { return locals_.size(); }
+  LocalDomain& subdomain(std::size_t i) { return *locals_[i]; }
+  const Placement& placement() const;
+  const std::vector<Transfer>& transfers() const { return plan_.transfers(); }
+  std::map<Method, int> local_method_histogram() const { return plan_.method_histogram(); }
+  std::uint64_t exchanges_done() const { return seq_; }
+
+  template <typename F>
+  void for_each_subdomain(F&& f) {
+    for (auto& l : locals_) f(*l);
+  }
+
+  /// Launch a compute "kernel" over a subdomain on its compute stream,
+  /// with `bytes_moved` charged through device memory (cost model).
+  void launch_compute(LocalDomain& ld, const std::string& label, std::uint64_t bytes_moved,
+                      const std::function<void()>& body);
+
+  /// Block until every subdomain's compute stream is quiescent.
+  void compute_synchronize();
+
+ private:
+  struct IpcEventChannel;
+  struct TransferState;
+  struct AggGroup;
+
+  void require_unrealized(const char* what) const;
+  void build_transfer_states();
+  void build_aggregation_groups();
+  void colocated_setup();
+  LocalDomain* local_by_gpu(int ggpu);
+
+  RankCtx& ctx_;
+  Dim3 domain_;
+  Radius radius_{1};
+  std::vector<Quantity> quantities_;
+  MethodFlags flags_ = MethodFlags::kAll;
+  PlacementStrategy strategy_ = PlacementStrategy::kNodeAware;
+  Neighborhood nbhd_ = Neighborhood::kFull;
+  Boundary boundary_ = Boundary::kPeriodic;
+  bool aggregate_remote_ = false;
+  bool staged_zero_copy_ = false;
+  PackMode pack_mode_ = PackMode::kKernel;
+  bool realized_ = false;
+  std::size_t bytes_per_point_ = 0;
+
+  std::shared_ptr<const Placement> placement_;
+  ExchangePlan plan_;
+  std::vector<std::unique_ptr<LocalDomain>> locals_;
+  std::map<int, std::size_t> local_index_by_gpu_;
+  std::vector<std::unique_ptr<TransferState>> xfers_;
+  std::vector<std::unique_ptr<AggGroup>> send_groups_;
+  std::vector<std::unique_ptr<AggGroup>> recv_groups_;
+  std::uint64_t seq_ = 0;
+  // Quantities moved by the exchange currently in flight.
+  std::vector<std::size_t> active_qs_;
+
+  // Split-phase exchange state, valid between exchange_start/finish.
+  struct InFlight {
+    bool active = false;
+    std::vector<simpi::Request> recv_reqs;
+    // Exactly one of the pair is set: a plain transfer or a whole group.
+    std::vector<std::pair<TransferState*, AggGroup*>> recv_map;
+    std::vector<std::pair<sim::Time, TransferState*>> pending_sends;        // (data-ready, xfer)
+    std::vector<std::pair<sim::Time, AggGroup*>> pending_group_sends;       // (all-ready, group)
+  };
+  InFlight inflight_;
+};
+
+}  // namespace stencil

@@ -1,0 +1,117 @@
+#include "core/exchange.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace stencil {
+
+int ExchangePlan::rank_of(const Placement& placement, Dim3 global_idx, int ranks_per_node) {
+  const int gpn = placement.partition().gpus_per_node();
+  const int gpus_per_rank = gpn / ranks_per_node;
+  const int node = placement.node_linear_of(global_idx);
+  const int local = placement.local_gpu_of(global_idx);
+  return node * ranks_per_node + local / gpus_per_rank;
+}
+
+Transfer ExchangePlan::make_transfer(const Placement& placement, Dim3 src_idx, Dim3 dst_idx,
+                                     Dim3 dir, int ranks_per_node, MethodFlags flags) {
+  const auto& hp = placement.partition();
+  Transfer t;
+  t.src_idx = src_idx;
+  t.dir = dir;
+  t.dst_idx = dst_idx;
+  t.src_gpu = placement.global_gpu_of(src_idx);
+  t.dst_gpu = placement.global_gpu_of(t.dst_idx);
+  t.src_rank = rank_of(placement, src_idx, ranks_per_node);
+  t.dst_rank = rank_of(placement, t.dst_idx, ranks_per_node);
+
+  const int gpn = static_cast<int>(hp.gpu_extent().volume());
+  const bool same_node = t.src_gpu / gpn == t.dst_gpu / gpn;
+  const Method remote =
+      any(flags & MethodFlags::kCudaAwareMpi) ? Method::kCudaAwareMpi : Method::kStaged;
+
+  if (t.self()) {
+    if (any(flags & MethodFlags::kKernel)) {
+      t.method = Method::kKernel;
+    } else if (any(flags & MethodFlags::kPeer)) {
+      t.method = Method::kPeer;  // pack/copy/unpack within one GPU
+    } else {
+      t.method = remote;  // MPI message to our own rank
+    }
+  } else if (t.src_rank == t.dst_rank) {
+    t.method = any(flags & MethodFlags::kPeer) ? Method::kPeer : remote;
+  } else if (same_node) {
+    t.method = any(flags & MethodFlags::kColocated) ? Method::kColocated : remote;
+  } else {
+    t.method = remote;
+  }
+
+  const int di = direction_index(dir);
+  if (di < 0) throw std::logic_error("ExchangePlan: bad direction");
+  t.tag = static_cast<int>(src_idx.linearize(hp.global_extent())) * 26 + di;
+  return t;
+}
+
+ExchangePlan ExchangePlan::for_rank(const Placement& placement, int rank, int ranks_per_node,
+                                    MethodFlags flags, Neighborhood nbhd, Boundary boundary) {
+  const auto& hp = placement.partition();
+  const int gpn = static_cast<int>(hp.gpu_extent().volume());
+  const int gpus_per_rank = gpn / ranks_per_node;
+  const int node = rank / ranks_per_node;
+  const int slot = rank % ranks_per_node;
+  const Dim3 ext = hp.global_extent();
+
+  ExchangePlan plan;
+  std::set<std::pair<std::int64_t, int>> seen;  // (src linear, dir index)
+
+  const auto maybe_add = [&](Dim3 src, Dim3 dst, Dim3 dir) {
+    Transfer t = make_transfer(placement, src, dst, dir, ranks_per_node, flags);
+    if (t.src_rank != rank && t.dst_rank != rank) return;
+    if (seen.emplace(src.linearize(ext), direction_index(dir)).second) {
+      plan.transfers_.push_back(t);
+    }
+  };
+
+  const auto add_for_subdomain = [&](Dim3 idx) {
+    for (const Dim3& dir : neighbor_directions(nbhd)) {
+      // Transfers we *send*.
+      if (const auto dst = neighbor_index(idx, dir, ext, boundary)) {
+        maybe_add(idx, *dst, dir);
+      }
+      // Transfers we *receive*: the neighbor at -dir sends along +dir.
+      if (const auto src = neighbor_index(idx, dir * Dim3{-1, -1, -1}, ext, boundary)) {
+        maybe_add(*src, idx, dir);
+      }
+    }
+  };
+
+  for (int k = 0; k < gpus_per_rank; ++k) {
+    const int local_gpu = slot * gpus_per_rank + k;
+    add_for_subdomain(placement.subdomain_at(node, local_gpu));
+  }
+  return plan;
+}
+
+ExchangePlan ExchangePlan::full(const Placement& placement, int ranks_per_node, MethodFlags flags,
+                                Neighborhood nbhd, Boundary boundary) {
+  const auto& hp = placement.partition();
+  const Dim3 ext = hp.global_extent();
+  ExchangePlan plan;
+  for (std::int64_t i = 0; i < ext.volume(); ++i) {
+    const Dim3 idx = Dim3::from_linear(i, ext);
+    for (const Dim3& dir : neighbor_directions(nbhd)) {
+      if (const auto dst = neighbor_index(idx, dir, ext, boundary)) {
+        plan.transfers_.push_back(make_transfer(placement, idx, *dst, dir, ranks_per_node, flags));
+      }
+    }
+  }
+  return plan;
+}
+
+std::map<Method, int> ExchangePlan::method_histogram() const {
+  std::map<Method, int> h;
+  for (const auto& t : transfers_) ++h[t.method];
+  return h;
+}
+
+}  // namespace stencil

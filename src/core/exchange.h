@@ -1,0 +1,61 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/method_flags.h"
+#include "core/placement.h"
+
+namespace stencil {
+
+/// One directed halo transfer: subdomain at src_idx sends its dir-facing
+/// interior slab to the subdomain at dst_idx (periodic wrap), realized by
+/// `method`. Built identically on every rank from the shared placement.
+struct Transfer {
+  Dim3 src_idx;
+  Dim3 dst_idx;
+  Dim3 dir;
+  int src_gpu = -1;   // global GPU ids
+  int dst_gpu = -1;
+  int src_rank = -1;
+  int dst_rank = -1;
+  Method method = Method::kStaged;
+  int tag = 0;
+
+  bool self() const { return src_idx == dst_idx; }
+};
+
+/// Capability specialization (paper §III-C): choose, for every subdomain
+/// pair, the first applicable enabled method:
+///   self-exchange          -> KERNEL
+///   same rank              -> PEER_MEMCPY
+///   same node, other rank  -> COLOCATED_MEMCPY
+///   otherwise              -> CUDA_AWARE_MPI if enabled, else STAGED
+/// Disabled methods fall through to the next tier; STAGED is always legal.
+class ExchangePlan {
+ public:
+  /// Build only the transfers in which `rank` participates (as sender,
+  /// receiver, or both). `ranks_per_node` defines subdomain ownership:
+  /// local GPU g belongs to rank slot g / (gpus_per_node / ranks_per_node).
+  static ExchangePlan for_rank(const Placement& placement, int rank, int ranks_per_node,
+                               MethodFlags flags, Neighborhood nbhd,
+                               Boundary boundary = Boundary::kPeriodic);
+
+  /// Build every transfer in the whole job (tests, planning reports).
+  static ExchangePlan full(const Placement& placement, int ranks_per_node, MethodFlags flags,
+                           Neighborhood nbhd, Boundary boundary = Boundary::kPeriodic);
+
+  const std::vector<Transfer>& transfers() const { return transfers_; }
+
+  std::map<Method, int> method_histogram() const;
+
+  /// Rank owning a subdomain under this ownership layout.
+  static int rank_of(const Placement& placement, Dim3 global_idx, int ranks_per_node);
+
+ private:
+  static Transfer make_transfer(const Placement& placement, Dim3 src_idx, Dim3 dst_idx, Dim3 dir,
+                                int ranks_per_node, MethodFlags flags);
+  std::vector<Transfer> transfers_;
+};
+
+}  // namespace stencil

@@ -1,0 +1,179 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stencil {
+
+std::vector<std::int64_t> prime_factors_desc(std::int64_t n) {
+  if (n <= 0) throw std::invalid_argument("prime_factors_desc: n must be positive");
+  std::vector<std::int64_t> out;
+  for (std::int64_t p = 2; p * p <= n; ++p) {
+    while (n % p == 0) {
+      out.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) out.push_back(n);
+  std::sort(out.rbegin(), out.rend());
+  return out;
+}
+
+Dim3 partition_extent(Dim3 domain, int parts) {
+  if (parts <= 0) throw std::invalid_argument("partition_extent: parts must be positive");
+  if (domain.x <= 0 || domain.y <= 0 || domain.z <= 0) {
+    throw std::invalid_argument("partition_extent: domain extents must be positive");
+  }
+  Dim3 q{1, 1, 1};
+  for (std::int64_t f : prime_factors_desc(parts)) {
+    // Current (fractional) subdomain extents; split the longest axis.
+    const double cx = static_cast<double>(domain.x) / static_cast<double>(q.x);
+    const double cy = static_cast<double>(domain.y) / static_cast<double>(q.y);
+    const double cz = static_cast<double>(domain.z) / static_cast<double>(q.z);
+    if (cx >= cy && cx >= cz) {
+      q.x *= f;
+    } else if (cy >= cz) {
+      q.y *= f;
+    } else {
+      q.z *= f;
+    }
+  }
+  return q;
+}
+
+namespace {
+std::int64_t split_size(std::int64_t dim, std::int64_t parts, std::int64_t idx) {
+  const std::int64_t base = dim / parts;
+  const std::int64_t rem = dim % parts;
+  return base + (idx < rem ? 1 : 0);
+}
+std::int64_t split_origin(std::int64_t dim, std::int64_t parts, std::int64_t idx) {
+  const std::int64_t base = dim / parts;
+  const std::int64_t rem = dim % parts;
+  return idx * base + std::min(idx, rem);
+}
+}  // namespace
+
+Dim3 subdomain_size(Dim3 domain, Dim3 extent, Dim3 idx) {
+  if (!idx.inside(extent)) throw std::out_of_range("subdomain_size: index outside extent");
+  return {split_size(domain.x, extent.x, idx.x), split_size(domain.y, extent.y, idx.y),
+          split_size(domain.z, extent.z, idx.z)};
+}
+
+Dim3 subdomain_origin(Dim3 domain, Dim3 extent, Dim3 idx) {
+  if (!idx.inside(extent)) throw std::out_of_range("subdomain_origin: index outside extent");
+  return {split_origin(domain.x, extent.x, idx.x), split_origin(domain.y, extent.y, idx.y),
+          split_origin(domain.z, extent.z, idx.z)};
+}
+
+std::int64_t sent_halo_volume(Dim3 size, int radius) {
+  std::int64_t total = 0;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        total += halo_volume(size, Dim3{dx, dy, dz}, radius);
+      }
+    }
+  }
+  return total;
+}
+
+HierarchicalPartition::HierarchicalPartition(Dim3 domain, int num_nodes, int gpus_per_node)
+    : domain_(domain), num_nodes_(num_nodes), gpus_per_node_(gpus_per_node) {
+  if (num_nodes_ <= 0 || gpus_per_node_ <= 0) {
+    throw std::invalid_argument("HierarchicalPartition: counts must be positive");
+  }
+  node_extent_ = partition_extent(domain_, num_nodes_);
+  // Second level: partition the typical node block across GPUs. Using the
+  // fractional node block (domain / node_extent) keeps the GPU extent
+  // identical on every node, so the composed index space is uniform.
+  const Dim3 node_block{std::max<std::int64_t>(domain_.x / node_extent_.x, 1),
+                        std::max<std::int64_t>(domain_.y / node_extent_.y, 1),
+                        std::max<std::int64_t>(domain_.z / node_extent_.z, 1)};
+  gpu_extent_ = partition_extent(node_block, gpus_per_node_);
+}
+
+std::pair<Dim3, Dim3> HierarchicalPartition::split_index(Dim3 g) const {
+  const Dim3 node{g.x / gpu_extent_.x, g.y / gpu_extent_.y, g.z / gpu_extent_.z};
+  const Dim3 gpu{g.x % gpu_extent_.x, g.y % gpu_extent_.y, g.z % gpu_extent_.z};
+  return {node, gpu};
+}
+
+Dim3 HierarchicalPartition::subdomain_size(Dim3 global_idx) const {
+  return stencil::subdomain_size(domain_, global_extent(), global_idx);
+}
+
+Dim3 HierarchicalPartition::subdomain_origin(Dim3 global_idx) const {
+  return stencil::subdomain_origin(domain_, global_extent(), global_idx);
+}
+
+namespace {
+
+// Sum halo volume over all (subdomain, direction) pairs selected by `count`.
+template <typename Pred>
+std::int64_t exchange_volume(Dim3 domain, Dim3 extent, int radius, Pred count) {
+  std::int64_t total = 0;
+  const std::int64_t n = extent.volume();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Dim3 idx = Dim3::from_linear(i, extent);
+    const Dim3 sz = subdomain_size(domain, extent, idx);
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          const Dim3 dir{dx, dy, dz};
+          const Dim3 nbr = (idx + dir).wrap(extent);
+          if (nbr == idx) continue;  // self-exchange moves no data off-GPU
+          if (count(idx, nbr)) total += halo_volume(sz, dir, radius);
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+std::int64_t HierarchicalPartition::internode_exchange_volume(int radius) const {
+  return exchange_volume(domain_, global_extent(), radius, [&](Dim3 a, Dim3 b) {
+    return split_index(a).first != split_index(b).first;
+  });
+}
+
+std::int64_t HierarchicalPartition::total_exchange_volume(int radius) const {
+  return exchange_volume(domain_, global_extent(), radius, [](Dim3, Dim3) { return true; });
+}
+
+FlatPartition::FlatPartition(Dim3 domain, int num_nodes, int gpus_per_node)
+    : domain_(domain), num_nodes_(num_nodes), gpus_per_node_(gpus_per_node) {
+  extent_ = partition_extent(domain_, num_nodes_ * gpus_per_node_);
+}
+
+int FlatPartition::node_of(Dim3 idx) const {
+  const std::int64_t linear = idx.linearize(extent_);
+  return static_cast<int>(linear / gpus_per_node_);
+}
+
+std::int64_t FlatPartition::internode_exchange_volume(int radius) const {
+  std::int64_t total = 0;
+  const std::int64_t n = extent_.volume();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Dim3 idx = Dim3::from_linear(i, extent_);
+    const Dim3 sz = subdomain_size(idx);
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          const Dim3 dir{dx, dy, dz};
+          const Dim3 nbr = (idx + dir).wrap(extent_);
+          if (nbr == idx) continue;
+          if (node_of(nbr) != node_of(idx)) total += halo_volume(sz, dir, radius);
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace stencil

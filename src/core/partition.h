@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/dim3.h"
+#include "core/region.h"
+
+namespace stencil {
+
+/// Domain boundary handling. Periodic wraps neighbor indices around the
+/// global index space (the paper's evaluation setting); Fixed means
+/// boundary subdomains simply have no neighbor in outward directions and
+/// their outer halo is left for the application (e.g. Dirichlet values).
+enum class Boundary {
+  kPeriodic,
+  kFixed,
+};
+
+inline const char* to_string(Boundary b) {
+  return b == Boundary::kPeriodic ? "periodic" : "fixed";
+}
+
+/// The subdomain adjacent to `idx` in direction `dir` under the given
+/// boundary rule, or nullopt when there is none (fixed boundary edge).
+inline std::optional<Dim3> neighbor_index(Dim3 idx, Dim3 dir, Dim3 extent, Boundary b) {
+  const Dim3 raw = idx + dir;
+  if (b == Boundary::kPeriodic) return raw.wrap(extent);
+  if (!raw.inside(extent)) return std::nullopt;
+  return raw;
+}
+
+/// Prime factors of n, sorted descending (12 -> {3, 2, 2}). The descending
+/// order gives the most opportunities to divide the longest axis, keeping
+/// subdomains as cubical as possible (paper §III-A).
+std::vector<std::int64_t> prime_factors_desc(std::int64_t n);
+
+/// Recursive inertial bisection: split `domain` into `parts` boxes by
+/// repeatedly dividing the (currently) longest axis by the next prime
+/// factor. Returns the partition counts per dimension, with
+/// extent.x * extent.y * extent.z == parts. Ties prefer x, then y, then z,
+/// which reproduces the paper's Fig. 4 walkthrough.
+Dim3 partition_extent(Dim3 domain, int parts);
+
+/// Size of the subdomain at `idx` when `domain` is split into `extent`
+/// parts per dimension. Balanced split: the first (domain % extent) parts
+/// along a dimension get one extra grid point.
+Dim3 subdomain_size(Dim3 domain, Dim3 extent, Dim3 idx);
+
+/// Origin (inclusive, in global grid coordinates) of the subdomain at `idx`.
+Dim3 subdomain_origin(Dim3 domain, Dim3 extent, Dim3 idx);
+
+/// Grid points a subdomain of `size` sends to all 26 neighbors in one
+/// exchange of a radius-`radius` stencil (faces + edges + corners), i.e.
+/// the per-subdomain communication volume V_s of Fig. 3 generalized to 3D.
+/// A 2D domain is expressed with z extent 1 (its z faces exchange nothing
+/// only under non-periodic conditions; this helper counts the face set
+/// selected by `dims`, the number of dimensions actually decomposed).
+std::int64_t sent_halo_volume(Dim3 size, int radius);
+// halo_volume(sz, dir, radius) lives in core/region.h (asymmetric-aware).
+
+/// The paper's two-level decomposition: the domain is first partitioned
+/// across nodes, then each node's block across its GPUs, both with
+/// partition_extent(). The two index spaces compose into one global space
+/// (node index major, GPU index minor per dimension); subdomain shapes come
+/// from a balanced split of the whole domain by the composed extent, so
+/// every subdomain is within one grid point of its neighbors per dimension.
+class HierarchicalPartition {
+ public:
+  HierarchicalPartition(Dim3 domain, int num_nodes, int gpus_per_node);
+
+  Dim3 domain() const { return domain_; }
+  int num_nodes() const { return num_nodes_; }
+  int gpus_per_node() const { return gpus_per_node_; }
+
+  /// Partition counts across nodes (first level).
+  Dim3 node_extent() const { return node_extent_; }
+  /// Partition counts across GPUs within one node (second level).
+  Dim3 gpu_extent() const { return gpu_extent_; }
+  /// Composed global index space: node_extent * gpu_extent.
+  Dim3 global_extent() const { return node_extent_ * gpu_extent_; }
+
+  /// Compose (node index, gpu index) into a global subdomain index.
+  Dim3 global_index(Dim3 node_idx, Dim3 gpu_idx) const {
+    return node_idx * gpu_extent_ + gpu_idx;
+  }
+  /// Split a global subdomain index into (node index, gpu index).
+  std::pair<Dim3, Dim3> split_index(Dim3 global_idx) const;
+
+  Dim3 subdomain_size(Dim3 global_idx) const;
+  Dim3 subdomain_origin(Dim3 global_idx) const;
+
+  /// Total grid points crossing node boundaries in one radius-r exchange —
+  /// the quantity the node-first split minimizes (used by the ablation).
+  std::int64_t internode_exchange_volume(int radius) const;
+  /// Total grid points crossing any subdomain boundary.
+  std::int64_t total_exchange_volume(int radius) const;
+
+ private:
+  Dim3 domain_;
+  int num_nodes_;
+  int gpus_per_node_;
+  Dim3 node_extent_;
+  Dim3 gpu_extent_;
+};
+
+/// Flat (single-level) partition of the domain across all GPUs at once;
+/// the baseline against which the hierarchical scheme's inter-node volume
+/// reduction is measured.
+class FlatPartition {
+ public:
+  FlatPartition(Dim3 domain, int num_nodes, int gpus_per_node);
+
+  Dim3 global_extent() const { return extent_; }
+  Dim3 subdomain_size(Dim3 idx) const { return stencil::subdomain_size(domain_, extent_, idx); }
+  Dim3 subdomain_origin(Dim3 idx) const { return stencil::subdomain_origin(domain_, extent_, idx); }
+
+  /// Node owning a global subdomain index under linearized assignment.
+  int node_of(Dim3 idx) const;
+
+  std::int64_t internode_exchange_volume(int radius) const;
+
+ private:
+  Dim3 domain_;
+  int num_nodes_;
+  int gpus_per_node_;
+  Dim3 extent_;
+};
+
+}  // namespace stencil

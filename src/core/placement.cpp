@@ -1,0 +1,170 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stencil {
+
+std::vector<Dim3> neighbor_directions(Neighborhood nbhd) {
+  std::vector<Dim3> dirs;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int nz = std::abs(dx) + std::abs(dy) + std::abs(dz);
+        if (nbhd == Neighborhood::kFaces && nz > 1) continue;
+        if (nbhd == Neighborhood::kFacesEdges && nz > 2) continue;
+        dirs.push_back({dx, dy, dz});
+      }
+    }
+  }
+  return dirs;
+}
+
+int direction_index(Dim3 dir) {
+  if (dir.x < -1 || dir.x > 1 || dir.y < -1 || dir.y > 1 || dir.z < -1 || dir.z > 1 ||
+      (dir.x == 0 && dir.y == 0 && dir.z == 0)) {
+    return -1;
+  }
+  const int raw = static_cast<int>((dir.z + 1) * 9 + (dir.y + 1) * 3 + (dir.x + 1));
+  return raw > 13 ? raw - 1 : raw;  // skip the (0,0,0) slot
+}
+
+std::vector<Dim3> Placement::directions() const { return neighbor_directions(nbhd_); }
+
+Placement::Placement(const HierarchicalPartition& hp, const topo::NodeArchetype& arch, Radius radius,
+                     std::size_t bytes_per_point, Neighborhood nbhd, PlacementStrategy strategy,
+                     Boundary boundary)
+    : hp_(hp),
+      arch_(arch),
+      radius_(radius),
+      bytes_per_point_(bytes_per_point),
+      nbhd_(nbhd),
+      strategy_(strategy),
+      boundary_(boundary) {
+  const int g = arch_.gpus_per_node();
+  if (hp_.gpu_extent().volume() != g) {
+    throw std::invalid_argument("Placement: partition GPU count != node GPU count");
+  }
+  if (hp_.node_extent().volume() != hp_.num_nodes()) {
+    throw std::invalid_argument("Placement: partition node count mismatch");
+  }
+
+  // Distance: reciprocal bandwidth, shared by every node (homogeneous
+  // cluster). kNodeAware uses the figure nvml-style topology discovery
+  // reports; kMeasured uses what an empirical probe achieves (§VI) —
+  // notably lower for non-peer pairs that stage through the host.
+  distance_ = qap::SquareMatrix(g);
+  for (int i = 0; i < g; ++i) {
+    for (int j = 0; j < g; ++j) {
+      if (i == j) continue;
+      const double bw = strategy_ == PlacementStrategy::kMeasured
+                            ? arch_.achieved_gpu_bw(i, j)
+                            : arch_.theoretical_gpu_bw(i, j);
+      distance_.at(i, j) = bw > 0 ? 1.0 / bw : 1e9;
+    }
+  }
+
+  const int nodes = hp_.num_nodes();
+  assign_.resize(static_cast<std::size_t>(nodes));
+  inverse_.resize(static_cast<std::size_t>(nodes));
+
+  // Memoize QAP solutions by flow matrix: most nodes share one of a few
+  // distinct flow matrices (subdomain sizes differ by at most one point).
+  std::map<std::vector<double>, std::vector<int>> memo;
+
+  for (int n = 0; n < nodes; ++n) {
+    const qap::SquareMatrix w = node_flow(n);
+    std::vector<int> f;
+    switch (strategy_) {
+      case PlacementStrategy::kTrivial:
+        f = qap::identity_assignment(g);
+        break;
+      case PlacementStrategy::kWorst: {
+        std::vector<double> key(static_cast<std::size_t>(g) * g + 1, -1.0);
+        for (int i = 0; i < g; ++i)
+          for (int j = 0; j < g; ++j) key[static_cast<std::size_t>(i) * g + j] = w.at(i, j);
+        auto it = memo.find(key);
+        if (it == memo.end()) {
+          f = g <= 8 ? qap::solve_worst(w, distance_) : qap::identity_assignment(g);
+          memo.emplace(std::move(key), f);
+        } else {
+          f = it->second;
+        }
+        break;
+      }
+      case PlacementStrategy::kMeasured:
+      case PlacementStrategy::kNodeAware: {
+        std::vector<double> key(static_cast<std::size_t>(g) * g, 0.0);
+        for (int i = 0; i < g; ++i)
+          for (int j = 0; j < g; ++j) key[static_cast<std::size_t>(i) * g + j] = w.at(i, j);
+        auto it = memo.find(key);
+        if (it == memo.end()) {
+          f = g <= 8 ? qap::solve_exhaustive(w, distance_) : qap::solve_greedy_2swap(w, distance_);
+          memo.emplace(std::move(key), f);
+        } else {
+          f = it->second;
+        }
+        break;
+      }
+    }
+    total_cost_ += qap::cost(w, distance_, f);
+    assign_[static_cast<std::size_t>(n)] = f;
+    std::vector<int> inv(static_cast<std::size_t>(g), -1);
+    for (int s = 0; s < g; ++s) inv[static_cast<std::size_t>(f[static_cast<std::size_t>(s)])] = s;
+    inverse_[static_cast<std::size_t>(n)] = std::move(inv);
+  }
+}
+
+qap::SquareMatrix Placement::node_flow(int node_linear) const {
+  const int g = arch_.gpus_per_node();
+  qap::SquareMatrix w(g);
+  const Dim3 node_idx = Dim3::from_linear(node_linear, hp_.node_extent());
+  const Dim3 gext = hp_.gpu_extent();
+  const Dim3 global_ext = hp_.global_extent();
+  for (std::int64_t a = 0; a < gext.volume(); ++a) {
+    const Dim3 gpu_idx = Dim3::from_linear(a, gext);
+    const Dim3 gidx = hp_.global_index(node_idx, gpu_idx);
+    const Dim3 sz = hp_.subdomain_size(gidx);
+    for (const Dim3& dir : neighbor_directions(nbhd_)) {
+      const auto nbr_opt = neighbor_index(gidx, dir, global_ext, boundary_);
+      if (!nbr_opt) continue;  // fixed boundary: no neighbor outward
+      const Dim3 nbr = *nbr_opt;
+      if (nbr == gidx) continue;  // self-exchange stays on one GPU
+      const auto [nbr_node, nbr_gpu] = hp_.split_index(nbr);
+      if (nbr_node != node_idx) continue;  // off-node flow is the NIC's problem
+      const std::int64_t b = nbr_gpu.linearize(gext);
+      if (b == a) continue;  // wrap within the node onto the same GPU
+      w.at(static_cast<int>(a), static_cast<int>(b)) +=
+          static_cast<double>(halo_volume(sz, dir, radius_)) * static_cast<double>(bytes_per_point_);
+    }
+  }
+  return w;
+}
+
+int Placement::node_linear_of(Dim3 global_idx) const {
+  const auto [node_idx, gpu_idx] = hp_.split_index(global_idx);
+  (void)gpu_idx;
+  return static_cast<int>(node_idx.linearize(hp_.node_extent()));
+}
+
+int Placement::local_gpu_of(Dim3 global_idx) const {
+  const auto [node_idx, gpu_idx] = hp_.split_index(global_idx);
+  const int n = static_cast<int>(node_idx.linearize(hp_.node_extent()));
+  const int s = static_cast<int>(gpu_idx.linearize(hp_.gpu_extent()));
+  return assign_[static_cast<std::size_t>(n)][static_cast<std::size_t>(s)];
+}
+
+int Placement::global_gpu_of(Dim3 global_idx) const {
+  return node_linear_of(global_idx) * arch_.gpus_per_node() + local_gpu_of(global_idx);
+}
+
+Dim3 Placement::subdomain_at(int node_linear, int local_gpu) const {
+  const int s = inverse_[static_cast<std::size_t>(node_linear)][static_cast<std::size_t>(local_gpu)];
+  if (s < 0) throw std::logic_error("Placement: GPU hosts no subdomain");
+  const Dim3 node_idx = Dim3::from_linear(node_linear, hp_.node_extent());
+  const Dim3 gpu_idx = Dim3::from_linear(s, hp_.gpu_extent());
+  return hp_.global_index(node_idx, gpu_idx);
+}
+
+}  // namespace stencil

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/method_flags.h"
+#include "core/partition.h"
+#include "core/radius.h"
+#include "qap/qap.h"
+#include "topo/archetype.h"
+
+namespace stencil {
+
+/// How subdomains are assigned to GPUs within each node (paper §III-B).
+enum class PlacementStrategy {
+  kNodeAware,  // QAP: flow = exchange volume, distance = 1/theoretical bw
+  kMeasured,   // QAP with distances from an empirical bandwidth probe (§VI)
+  kTrivial,    // linearized subdomain id -> GPU id (the paper's baseline)
+  kWorst,      // QAP maximizer (the "poorly placed" half of Fig. 11)
+};
+
+inline const char* to_string(PlacementStrategy s) {
+  switch (s) {
+    case PlacementStrategy::kNodeAware: return "node-aware";
+    case PlacementStrategy::kMeasured: return "measured";
+    case PlacementStrategy::kTrivial: return "trivial";
+    case PlacementStrategy::kWorst: return "worst";
+  }
+  return "?";
+}
+
+/// The placement phase: given the hierarchical partition and the node's
+/// GPU-GPU bandwidth matrix (as nvml-style discovery reports it), assign
+/// each node's subdomains to its GPUs.
+///
+/// Deterministic given its inputs, so every rank computes an identical
+/// placement with no communication — one of the paper's stated advantages
+/// over profiling-based approaches.
+class Placement {
+ public:
+  Placement(const HierarchicalPartition& hp, const topo::NodeArchetype& arch, Radius radius,
+            std::size_t bytes_per_point, Neighborhood nbhd, PlacementStrategy strategy,
+            Boundary boundary = Boundary::kPeriodic);
+
+  const HierarchicalPartition& partition() const { return hp_; }
+  PlacementStrategy strategy() const { return strategy_; }
+
+  /// Local GPU index (within the owning node) hosting this subdomain.
+  int local_gpu_of(Dim3 global_idx) const;
+
+  /// Node (linearized over the node index space) owning this subdomain.
+  int node_linear_of(Dim3 global_idx) const;
+
+  /// Global GPU id hosting this subdomain: node * gpus_per_node + local.
+  int global_gpu_of(Dim3 global_idx) const;
+
+  /// Inverse map: the subdomain hosted by (node_linear, local_gpu).
+  Dim3 subdomain_at(int node_linear, int local_gpu) const;
+
+  /// QAP objective summed over all nodes (bytes / (GiB/s) in arbitrary
+  /// units); lower means high-volume exchanges land on fast links.
+  double total_cost() const { return total_cost_; }
+
+  /// Flow matrix (exchange bytes between same-node subdomains) for one
+  /// node — exposed for tests and the placement benchmark.
+  qap::SquareMatrix node_flow(int node_linear) const;
+
+  /// Distance matrix shared by all nodes: 1 / theoretical bandwidth.
+  const qap::SquareMatrix& distance() const { return distance_; }
+
+ private:
+  std::vector<Dim3> directions() const;
+
+  HierarchicalPartition hp_;
+  topo::NodeArchetype arch_;
+  Radius radius_;
+  std::size_t bytes_per_point_;
+  Neighborhood nbhd_;
+  PlacementStrategy strategy_;
+  Boundary boundary_ = Boundary::kPeriodic;
+  qap::SquareMatrix distance_;
+  double total_cost_ = 0.0;
+  // Per node: subdomain (linearized in gpu space) -> local GPU, and inverse.
+  std::vector<std::vector<int>> assign_;
+  std::vector<std::vector<int>> inverse_;
+};
+
+/// All direction vectors of a neighborhood, in a fixed deterministic order
+/// (used for plan building and message tags).
+std::vector<Dim3> neighbor_directions(Neighborhood nbhd);
+
+/// Index of `dir` within neighbor_directions(kFull) — stable across
+/// neighborhoods, used to build unique message tags. -1 if not a neighbor
+/// direction.
+int direction_index(Dim3 dir);
+
+}  // namespace stencil

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "core/dim3.h"
+
+namespace stencil {
+
+/// Halo width on each face of a subdomain. Symmetric stencils use a single
+/// number (Radius r = 2), but asymmetric stencils (e.g. upwind schemes)
+/// may need, say, two cells of the -x neighbor and none of the +x one —
+/// then only the directions that carry data are exchanged.
+///
+/// Naming: `neg(axis)` is the width of the halo on the *negative* face,
+/// i.e. how many cells of the -axis neighbor this subdomain reads.
+class Radius {
+ public:
+  constexpr Radius() = default;
+  // Implicit: a plain int means a uniform radius, so set_radius(2) reads
+  // naturally and all pre-existing call sites keep working.
+  constexpr Radius(int r) : v_{{{r, r}, {r, r}, {r, r}}} {}  // NOLINT(google-explicit-constructor)
+
+  static constexpr Radius uniform(int r) { return Radius(r); }
+  static constexpr Radius faces(int xm, int xp, int ym, int yp, int zm, int zp) {
+    Radius r;
+    r.v_ = {{{xm, xp}, {ym, yp}, {zm, zp}}};
+    return r;
+  }
+
+  constexpr int neg(int axis) const { return v_[static_cast<std::size_t>(axis)][0]; }
+  constexpr int pos(int axis) const { return v_[static_cast<std::size_t>(axis)][1]; }
+
+  constexpr int max() const {
+    int m = 0;
+    for (const auto& a : v_) m = std::max({m, a[0], a[1]});
+    return m;
+  }
+  constexpr int min() const {
+    int m = v_[0][0];
+    for (const auto& a : v_) m = std::min({m, a[0], a[1]});
+    return m;
+  }
+  constexpr bool is_uniform() const {
+    for (const auto& a : v_) {
+      if (a[0] != v_[0][0] || a[1] != v_[0][0]) return false;
+    }
+    return true;
+  }
+
+  /// Width of the slab a transfer along `dir_component` carries in `axis`:
+  /// data moving in +axis lands in the receiver's negative-face halo.
+  constexpr int slab_width(int axis, std::int64_t dir_component) const {
+    if (dir_component > 0) return neg(axis);
+    if (dir_component < 0) return pos(axis);
+    return 0;  // caller substitutes the full extent
+  }
+
+  /// Storage padding (neg + pos) in each dimension.
+  constexpr Dim3 padding() const {
+    return {neg(0) + pos(0), neg(1) + pos(1), neg(2) + pos(2)};
+  }
+  constexpr Dim3 offsets() const { return {neg(0), neg(1), neg(2)}; }
+
+  constexpr bool operator==(const Radius& o) const { return v_ == o.v_; }
+
+  std::string str() const {
+    return "x[" + std::to_string(neg(0)) + "," + std::to_string(pos(0)) + "]y[" +
+           std::to_string(neg(1)) + "," + std::to_string(pos(1)) + "]z[" +
+           std::to_string(neg(2)) + "," + std::to_string(pos(2)) + "]";
+  }
+
+ private:
+  std::array<std::array<int, 2>, 3> v_{};
+};
+
+}  // namespace stencil

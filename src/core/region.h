@@ -1,0 +1,67 @@
+#pragma once
+
+#include "core/dim3.h"
+#include "core/radius.h"
+
+namespace stencil {
+
+/// A box within a subdomain's storage, in interior coordinates: origin may
+/// be negative (halo cells live at [-neg, 0) and [sz, sz + pos)).
+struct Region3 {
+  Dim3 origin;
+  Dim3 extent;
+
+  std::int64_t volume() const { return extent.volume(); }
+};
+
+/// The slab of a subdomain's *interior* sent toward direction `dir`
+/// (each component in {-1, 0, 1}): against the face in non-zero dims,
+/// with the width the *receiver's* halo needs, full interior extent in
+/// zero dims. (An int radius converts implicitly to a uniform Radius.)
+inline Region3 interior_slab(Dim3 sz, Dim3 dir, Radius r) {
+  Region3 out;
+  const std::int64_t s[3] = {sz.x, sz.y, sz.z};
+  const std::int64_t d[3] = {dir.x, dir.y, dir.z};
+  std::int64_t lo[3], ex[3];
+  for (int c = 0; c < 3; ++c) {
+    const std::int64_t w = r.slab_width(c, d[c]);
+    ex[c] = d[c] == 0 ? s[c] : w;
+    lo[c] = d[c] > 0 ? s[c] - w : 0;
+  }
+  out.origin = {lo[0], lo[1], lo[2]};
+  out.extent = {ex[0], ex[1], ex[2]};
+  return out;
+}
+
+/// The halo slab where data *sent along direction dir* lands in the
+/// receiving neighbor. The sender sits on the receiver's -dir side, so its
+/// data adjoins the receiver's -dir face: dir == +1 fills [-neg, 0) and
+/// dir == -1 fills [sz, sz + pos) in that dimension.
+inline Region3 halo_slab(Dim3 sz, Dim3 dir, Radius r) {
+  Region3 out;
+  const std::int64_t s[3] = {sz.x, sz.y, sz.z};
+  const std::int64_t d[3] = {dir.x, dir.y, dir.z};
+  std::int64_t lo[3], ex[3];
+  for (int c = 0; c < 3; ++c) {
+    const std::int64_t w = r.slab_width(c, d[c]);
+    ex[c] = d[c] == 0 ? s[c] : w;
+    lo[c] = d[c] > 0 ? -w : (d[c] < 0 ? s[c] : 0);
+  }
+  out.origin = {lo[0], lo[1], lo[2]};
+  out.extent = {ex[0], ex[1], ex[2]};
+  return out;
+}
+
+/// Grid points moving from a subdomain of size `sz` toward the neighbor in
+/// direction `dir` under an (possibly asymmetric) radius.
+inline std::int64_t halo_volume(Dim3 sz, Dim3 dir, Radius r) {
+  const std::int64_t s[3] = {sz.x, sz.y, sz.z};
+  const std::int64_t d[3] = {dir.x, dir.y, dir.z};
+  std::int64_t vol = 1;
+  for (int c = 0; c < 3; ++c) {
+    vol *= d[c] == 0 ? s[c] : r.slab_width(c, d[c]);
+  }
+  return vol;
+}
+
+}  // namespace stencil

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/local_domain.h"
+#include "core/region.h"
+
+namespace stencil {
+
+/// Iterate fn(x, y, z) over every interior point of a subdomain.
+template <typename Fn>
+void for_interior(const LocalDomain& ld, Fn&& fn) {
+  const Dim3 s = ld.size();
+  for (std::int64_t z = 0; z < s.z; ++z)
+    for (std::int64_t y = 0; y < s.y; ++y)
+      for (std::int64_t x = 0; x < s.x; ++x) fn(x, y, z);
+}
+
+/// Iterate fn(x, y, z) over one region (interior coordinates).
+template <typename Fn>
+void for_region(const Region3& r, Fn&& fn) {
+  for (std::int64_t z = r.origin.z; z < r.origin.z + r.extent.z; ++z)
+    for (std::int64_t y = r.origin.y; y < r.origin.y + r.extent.y; ++y)
+      for (std::int64_t x = r.origin.x; x < r.origin.x + r.extent.x; ++x) fn(x, y, z);
+}
+
+/// The interior *core*: interior points whose stencil (of this radius) does
+/// not read any halo cell. A core update needs no exchange, so it can run
+/// between exchange_start() and exchange_finish().
+inline Region3 interior_core(const LocalDomain& ld) {
+  const Radius& r = ld.radius();
+  const Dim3 s = ld.size();
+  return Region3{{r.neg(0), r.neg(1), r.neg(2)},
+                 {s.x - r.neg(0) - r.pos(0), s.y - r.neg(1) - r.pos(1),
+                  s.z - r.neg(2) - r.pos(2)}};
+}
+
+/// The boundary shell: interior points *not* in the core. Callers iterate
+/// the (up to six) face slabs this yields; fn receives each slab region.
+/// Slabs are disjoint and together with interior_core() tile the interior.
+template <typename Fn>
+void for_boundary_shell(const LocalDomain& ld, Fn&& fn) {
+  const Radius& r = ld.radius();
+  const Dim3 s = ld.size();
+  const Region3 core = interior_core(ld);
+  // -x / +x full-height slabs.
+  if (r.neg(0) > 0) fn(Region3{{0, 0, 0}, {r.neg(0), s.y, s.z}});
+  if (r.pos(0) > 0) fn(Region3{{s.x - r.pos(0), 0, 0}, {r.pos(0), s.y, s.z}});
+  // -y / +y slabs excluding the x slabs.
+  const std::int64_t x0 = core.origin.x;
+  const std::int64_t xw = core.extent.x;
+  if (r.neg(1) > 0) fn(Region3{{x0, 0, 0}, {xw, r.neg(1), s.z}});
+  if (r.pos(1) > 0) fn(Region3{{x0, s.y - r.pos(1), 0}, {xw, r.pos(1), s.z}});
+  // -z / +z slabs excluding both.
+  const std::int64_t y0 = core.origin.y;
+  const std::int64_t yw = core.extent.y;
+  if (r.neg(2) > 0) fn(Region3{{x0, y0, 0}, {xw, yw, r.neg(2)}});
+  if (r.pos(2) > 0) fn(Region3{{x0, y0, s.z - r.pos(2)}, {xw, yw, r.pos(2)}});
+}
+
+}  // namespace stencil

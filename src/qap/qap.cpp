@@ -1,0 +1,144 @@
+#include "qap/qap.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace stencil::qap {
+
+double cost(const SquareMatrix& w, const SquareMatrix& d, const std::vector<int>& f) {
+  const int n = w.n();
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double flow = w.at(i, j);
+      if (flow != 0.0) total += flow * d.at(f[static_cast<std::size_t>(i)], f[static_cast<std::size_t>(j)]);
+    }
+  }
+  return total;
+}
+
+bool is_permutation(const std::vector<int>& f, int n) {
+  if (static_cast<int>(f.size()) != n) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (int x : f) {
+    if (x < 0 || x >= n || seen[static_cast<std::size_t>(x)]) return false;
+    seen[static_cast<std::size_t>(x)] = true;
+  }
+  return true;
+}
+
+namespace {
+
+void check_inputs(const SquareMatrix& w, const SquareMatrix& d) {
+  if (w.n() != d.n()) throw std::invalid_argument("qap: flow and distance sizes differ");
+  if (w.n() <= 0) throw std::invalid_argument("qap: empty problem");
+}
+
+template <typename Better>
+std::vector<int> search_all(const SquareMatrix& w, const SquareMatrix& d, Better better) {
+  check_inputs(w, d);
+  const int n = w.n();
+  if (n > 10) throw std::invalid_argument("qap: exhaustive search capped at n=10");
+  std::vector<int> f(static_cast<std::size_t>(n));
+  std::iota(f.begin(), f.end(), 0);
+  std::vector<int> best = f;
+  double best_cost = cost(w, d, f);
+  while (std::next_permutation(f.begin(), f.end())) {
+    const double c = cost(w, d, f);
+    if (better(c, best_cost)) {
+      best_cost = c;
+      best = f;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<int> solve_exhaustive(const SquareMatrix& w, const SquareMatrix& d) {
+  return search_all(w, d, [](double a, double b) { return a < b; });
+}
+
+std::vector<int> solve_worst(const SquareMatrix& w, const SquareMatrix& d) {
+  return search_all(w, d, [](double a, double b) { return a > b; });
+}
+
+std::vector<int> identity_assignment(int n) {
+  std::vector<int> f(static_cast<std::size_t>(n));
+  std::iota(f.begin(), f.end(), 0);
+  return f;
+}
+
+std::vector<int> solve_greedy_2swap(const SquareMatrix& w, const SquareMatrix& d) {
+  check_inputs(w, d);
+  const int n = w.n();
+
+  // Constructive phase: repeatedly take the facility with the largest total
+  // flow to already-placed facilities (or largest overall flow first), and
+  // put it on the free location minimizing the incremental cost.
+  std::vector<int> f(static_cast<std::size_t>(n), -1);
+  std::vector<bool> loc_used(static_cast<std::size_t>(n), false);
+  std::vector<bool> fac_placed(static_cast<std::size_t>(n), false);
+
+  for (int step = 0; step < n; ++step) {
+    // Pick the unplaced facility with the largest flow to placed ones
+    // (falling back to total flow for the first pick).
+    int fac = -1;
+    double fac_score = -1.0;
+    for (int i = 0; i < n; ++i) {
+      if (fac_placed[static_cast<std::size_t>(i)]) continue;
+      double s = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double wij = w.at(i, j) + w.at(j, i);
+        s += fac_placed[static_cast<std::size_t>(j)] || step == 0 ? wij : 0.0;
+      }
+      if (s > fac_score) {
+        fac_score = s;
+        fac = i;
+      }
+    }
+    // Place it on the free location with the smallest incremental cost.
+    int best_loc = -1;
+    double best_inc = std::numeric_limits<double>::max();
+    for (int loc = 0; loc < n; ++loc) {
+      if (loc_used[static_cast<std::size_t>(loc)]) continue;
+      double inc = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (!fac_placed[static_cast<std::size_t>(j)]) continue;
+        inc += w.at(fac, j) * d.at(loc, f[static_cast<std::size_t>(j)]);
+        inc += w.at(j, fac) * d.at(f[static_cast<std::size_t>(j)], loc);
+      }
+      if (inc < best_inc) {
+        best_inc = inc;
+        best_loc = loc;
+      }
+    }
+    f[static_cast<std::size_t>(fac)] = best_loc;
+    fac_placed[static_cast<std::size_t>(fac)] = true;
+    loc_used[static_cast<std::size_t>(best_loc)] = true;
+  }
+
+  // Improvement phase: pairwise swaps to a local optimum.
+  double cur = cost(w, d, f);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        std::swap(f[static_cast<std::size_t>(i)], f[static_cast<std::size_t>(j)]);
+        const double c = cost(w, d, f);
+        if (c < cur) {
+          cur = c;
+          improved = true;
+        } else {
+          std::swap(f[static_cast<std::size_t>(i)], f[static_cast<std::size_t>(j)]);
+        }
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace stencil::qap

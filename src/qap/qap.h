@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace stencil::qap {
+
+/// Dense square matrix of doubles, row-major. Used for QAP flow (exchange
+/// volume between subdomains) and distance (reciprocal GPU bandwidth).
+class SquareMatrix {
+ public:
+  SquareMatrix() = default;
+  explicit SquareMatrix(int n) : n_(n), v_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0) {}
+
+  int n() const { return n_; }
+  double& at(int i, int j) { return v_[static_cast<std::size_t>(i) * n_ + static_cast<std::size_t>(j)]; }
+  double at(int i, int j) const {
+    return v_[static_cast<std::size_t>(i) * n_ + static_cast<std::size_t>(j)];
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<double> v_;
+};
+
+/// QAP objective: sum over i,j of w(i,j) * d(f(i), f(j)), where f assigns
+/// facility i (subdomain) to location f(i) (GPU).
+double cost(const SquareMatrix& w, const SquareMatrix& d, const std::vector<int>& f);
+
+/// True iff f is a permutation of 0..n-1.
+bool is_permutation(const std::vector<int>& f, int n);
+
+/// Exhaustive search over all n! assignments; exact optimum. The paper uses
+/// this because n = GPUs per node is small (6 on Summit, at most 8 or so).
+/// Throws for n > 10 to protect against accidental blowup.
+std::vector<int> solve_exhaustive(const SquareMatrix& w, const SquareMatrix& d);
+
+/// Greedy constructive assignment (largest remaining flow pair onto the
+/// closest remaining location pair) followed by pairwise-swap hill climbing.
+/// For nodes with more GPUs than exhaustive search can cover.
+std::vector<int> solve_greedy_2swap(const SquareMatrix& w, const SquareMatrix& d);
+
+/// The identity assignment (subdomain i on GPU i) — the paper's "trivial
+/// placement" baseline where subdomain ids are linearized onto devices.
+std::vector<int> identity_assignment(int n);
+
+/// Exhaustive search for the *worst* assignment; the adversarial baseline in
+/// the Fig. 11 comparison ("poorly placed").
+std::vector<int> solve_worst(const SquareMatrix& w, const SquareMatrix& d);
+
+}  // namespace stencil::qap

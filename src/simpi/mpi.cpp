@@ -1,0 +1,405 @@
+#include "simpi/mpi.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace stencil::simpi {
+
+namespace {
+
+int ceil_log2(int n) {
+  int hops = 0;
+  int v = 1;
+  while (v < n) {
+    v *= 2;
+    ++hops;
+  }
+  return hops;
+}
+
+// Pipelined hop chaining: the next hop may start once the previous has
+// streamed enough to keep it fed, but not before the previous hop started.
+sim::Time cut_through_ready(const sim::Span& prev, sim::Duration dur) {
+  return std::max(prev.start, prev.end - dur);
+}
+
+std::byte* payload_ptr(const Payload& p) {
+  if (p.raw != nullptr) return static_cast<std::byte*>(p.raw);
+  if (p.buf != nullptr && p.buf->mode() == vgpu::MemMode::kMaterialized) {
+    return p.buf->data() + p.offset;
+  }
+  return nullptr;  // phantom: timing only
+}
+
+}  // namespace
+
+Job::Job(sim::Engine& eng, topo::Machine& machine, vgpu::Runtime& runtime, int ranks_per_node)
+    : eng_(eng), machine_(machine), runtime_(runtime), ranks_per_node_(ranks_per_node) {
+  if (ranks_per_node_ <= 0) throw std::invalid_argument("Job: ranks_per_node must be positive");
+  if (machine_.gpus_per_node() % ranks_per_node_ != 0) {
+    throw std::invalid_argument("Job: ranks_per_node must divide gpus_per_node");
+  }
+  world_size_ = ranks_per_node_ * machine_.num_nodes();
+  cpu_.reserve(static_cast<std::size_t>(world_size_));
+  rank_gates_.reserve(static_cast<std::size_t>(world_size_));
+  for (int r = 0; r < world_size_; ++r) {
+    cpu_.emplace_back("rank" + std::to_string(r) + ".cpu");
+    rank_gates_.push_back(std::make_unique<sim::Gate>("rank" + std::to_string(r) + ".mpi"));
+  }
+  unmatched_sends_.resize(static_cast<std::size_t>(world_size_));
+  unmatched_recvs_.resize(static_cast<std::size_t>(world_size_));
+  barrier_gate_ = std::make_unique<sim::Gate>("barrier");
+}
+
+void Job::run(const std::function<void(Comm&)>& body) {
+  std::vector<int> members(static_cast<std::size_t>(world_size_));
+  for (int r = 0; r < world_size_; ++r) members[static_cast<std::size_t>(r)] = r;
+
+  std::vector<std::function<void()>> bodies;
+  std::vector<std::string> names;
+  bodies.reserve(static_cast<std::size_t>(world_size_));
+  for (int r = 0; r < world_size_; ++r) {
+    bodies.push_back([this, r, members, &body] {
+      Comm comm(this, members, r);
+      body(comm);
+    });
+    names.push_back("rank" + std::to_string(r));
+  }
+  eng_.run(std::move(bodies), std::move(names));
+}
+
+std::shared_ptr<Request::Record> Job::post(bool is_send, int me, int peer, int tag,
+                                           const Payload& p) {
+  if (peer < 0 || peer >= world_size_) throw std::out_of_range("simpi: peer rank out of range");
+  if (p.is_device() && !machine_.arch().cuda_aware_mpi) {
+    throw std::runtime_error(
+        "simpi: device pointer passed to MPI, but this platform is not CUDA-aware");
+  }
+  eng_.sleep_for(machine_.arch().cpu_issue);  // CPU cost of the MPI call
+
+  auto rec = std::make_shared<Request::Record>();
+  rec->is_send = is_send;
+  rec->src = is_send ? me : peer;
+  rec->dst = is_send ? peer : me;
+  rec->tag = tag;
+  rec->payload = p;
+  rec->post_time = eng_.now();
+
+  if (is_send && !p.is_device() && p.bytes <= kEagerLimit) {
+    // Eager protocol: buffer the payload inside the library; the send
+    // completes immediately and the data moves when the receive matches.
+    rec->buffered = true;
+    rec->matched = true;
+    rec->complete_at = rec->post_time;
+    if (const std::byte* sp = payload_ptr(p); sp != nullptr && p.bytes > 0) {
+      rec->staged.assign(sp, sp + p.bytes);
+    }
+  }
+
+  auto& queue = is_send ? unmatched_sends_[static_cast<std::size_t>(rec->dst)]
+                        : unmatched_recvs_[static_cast<std::size_t>(rec->dst)];
+  queue.push_back(rec);
+  try_match(rec->dst);
+  return rec;
+}
+
+void Job::try_match(int dst_rank) {
+  auto& sends = unmatched_sends_[static_cast<std::size_t>(dst_rank)];
+  auto& recvs = unmatched_recvs_[static_cast<std::size_t>(dst_rank)];
+  // Match in recv-post order (MPI non-overtaking per (src, tag)).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto rit = recvs.begin(); rit != recvs.end(); ++rit) {
+      auto& recv = **rit;
+      auto sit = std::find_if(sends.begin(), sends.end(), [&](const auto& s) {
+        return s->src == recv.src && s->tag == recv.tag;
+      });
+      if (sit != sends.end()) {
+        auto send_rec = *sit;
+        auto recv_rec = *rit;
+        sends.erase(sit);
+        recvs.erase(rit);
+        complete_match(*send_rec, *recv_rec);
+        progress = true;
+        break;  // iterators invalidated; rescan
+      }
+    }
+  }
+}
+
+sim::Time Job::device_ready_barrier(const Request::Record& send, const Request::Record& recv,
+                                    sim::Time ready) {
+  // The profiled MPI implementation calls cudaDeviceSynchronize before its
+  // internal copies, so the message cannot move until all prior work on the
+  // involved devices has drained.
+  if (send.payload.is_device()) {
+    ready = std::max(ready, runtime_.device_frontier(send.payload.buf->owner()));
+  }
+  if (recv.payload.is_device()) {
+    ready = std::max(ready, runtime_.device_frontier(recv.payload.buf->owner()));
+  }
+  return ready;
+}
+
+void Job::complete_match(Request::Record& send, Request::Record& recv) {
+  const std::size_t bytes = send.payload.bytes;
+  if (recv.payload.bytes < bytes) {
+    throw std::runtime_error("simpi: message truncation (recv buffer smaller than message)");
+  }
+  const int node_s = node_of_rank(send.src);
+  const int node_r = node_of_rank(recv.dst);
+  const bool same_node = node_s == node_r;
+  const auto& arch = machine_.arch();
+
+  sim::Time ready = std::max(send.post_time, recv.post_time) +
+                    (same_node ? arch.lat_mpi_intra : arch.lat_mpi_inter);
+
+  const bool dev_s = send.payload.is_device();
+  const bool dev_r = recv.payload.is_device();
+  sim::Span span;
+
+  if (dev_s || dev_r) {
+    // CUDA-aware path.
+    const int sgpu = dev_s ? send.payload.buf->owner() : -1;
+    const int rgpu = dev_r ? recv.payload.buf->owner() : -1;
+    if (same_node) {
+      // Intra-node, the library moves data over the GPU interconnect via
+      // cudaIpc*, but maps the peer buffer on *every* message — the
+      // overhead COLOCATED pays only once at setup (§IV-C). The mapping is
+      // CPU work on the receiving rank, so many small messages serialize
+      // behind one core.
+      const sim::Span ipc = cpu(recv.dst).acquire_span(ready, arch.lat_ipc_setup);
+      ready = ipc.end;
+      if (dev_s && dev_r) {
+        span = machine_.schedule_d2d(sgpu, rgpu, bytes, ready, machine_.peer_capable(sgpu, rgpu));
+      } else if (dev_s) {
+        span = machine_.schedule_d2h(sgpu, bytes, ready);
+        const sim::Span hc = machine_.schedule_host_copy(
+            cpu(recv.dst), bytes, cut_through_ready(span, sim::transfer_time(bytes, arch.bw_host_mem)));
+        span = {span.start, hc.end};
+      } else {
+        const sim::Span hc = machine_.schedule_host_copy(cpu(recv.dst), bytes, ready);
+        const sim::Span h2d = machine_.schedule_h2d(
+            rgpu, bytes,
+            cut_through_ready(hc, sim::transfer_time(bytes, arch.bw_nvlink_cpu_gpu * arch.eff_nvlink)));
+        span = {hc.start, h2d.end};
+      }
+    } else {
+      // Inter-node, the profiled implementation runs its internal copies on
+      // the devices' *default streams* and brackets them with device
+      // synchronization (§IV-D) — the overlap-killing behaviour behind the
+      // Fig. 12c degradation. Modeled below via device_ready_barrier and
+      // occupy_default_stream.
+      ready = device_ready_barrier(send, recv, ready);
+      sim::Time r = ready;
+      sim::Time begin = 0;
+      sim::Span prev{r, r};
+      if (dev_s) {
+        prev = machine_.schedule_d2h(sgpu, bytes, r);
+        begin = prev.start;
+      }
+      const sim::Duration net_dur = sim::transfer_time(bytes, arch.bw_nic * arch.eff_nic);
+      const sim::Span net =
+          machine_.schedule_internode(node_s, node_r, bytes, dev_s ? cut_through_ready(prev, net_dur) : r);
+      if (begin == 0) begin = net.start;
+      prev = net;
+      if (dev_r) {
+        const sim::Duration h2d_dur =
+            sim::transfer_time(bytes, arch.bw_nvlink_cpu_gpu * arch.eff_nvlink);
+        prev = machine_.schedule_h2d(rgpu, bytes, cut_through_ready(prev, h2d_dur));
+      }
+      span = {begin, prev.end};
+      if (dev_s) runtime_.occupy_default_stream(sgpu, span.end);
+      if (dev_r) runtime_.occupy_default_stream(rgpu, span.end);
+    }
+  } else {
+    // Host path.
+    if (same_node) {
+      // Shared-memory double copy: the sender's core copies into the shm
+      // segment, the receiver's core copies out (large-message protocol of
+      // a typical MPI). Two serial single-core copies are what make the
+      // STAGED regime so expensive with few ranks per node (Fig. 12a).
+      const sim::Span in = machine_.schedule_host_copy(cpu(send.src), bytes, ready);
+      const sim::Span out = machine_.schedule_host_copy(cpu(recv.dst), bytes, in.end);
+      span = {in.start, out.end};
+    } else {
+      span = machine_.schedule_internode(node_s, node_r, bytes, ready);
+    }
+  }
+
+  // Move real payload bytes (skipped when either side is phantom).
+  std::byte* dp = payload_ptr(recv.payload);
+  const std::byte* sp =
+      send.buffered ? (send.staged.empty() ? nullptr : send.staged.data()) : payload_ptr(send.payload);
+  if (dp != nullptr && sp != nullptr && bytes > 0) std::memcpy(dp, sp, bytes);
+
+  if (!send.buffered) {
+    send.matched = true;
+    send.complete_at = span.end;
+  }
+  recv.matched = true;
+  recv.complete_at = span.end;
+
+  if (recorder_ != nullptr) {
+    recorder_->record("mpi.r" + std::to_string(send.src) + "->r" + std::to_string(recv.dst),
+                      (dev_s || dev_r ? "ca-msg " : "msg ") + std::to_string(bytes) + "B", span.start,
+                      span.end);
+  }
+
+  rank_gates_[static_cast<std::size_t>(send.src)]->notify_all(eng_);
+  rank_gates_[static_cast<std::size_t>(recv.dst)]->notify_all(eng_);
+}
+
+void Job::wait(Request& r, int me) {
+  if (!r.valid()) throw std::logic_error("simpi: wait on an invalid Request");
+  auto& rec = *r.rec_;
+  while (!rec.matched) rank_gates_[static_cast<std::size_t>(me)]->wait(eng_);
+  eng_.sleep_until(rec.complete_at);
+}
+
+bool Job::test(Request& r) {
+  if (!r.valid()) throw std::logic_error("simpi: test on an invalid Request");
+  const auto& rec = *r.rec_;
+  return rec.matched && rec.complete_at <= eng_.now();
+}
+
+int Job::wait_any(std::vector<Request>& rs, int me) {
+  for (;;) {
+    int best = -1;
+    sim::Time best_t = 0;
+    bool any_valid = false;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      if (!rs[i].valid()) continue;
+      any_valid = true;
+      const auto& rec = *rs[i].rec_;
+      if (rec.matched && (best < 0 || rec.complete_at < best_t)) {
+        best = static_cast<int>(i);
+        best_t = rec.complete_at;
+      }
+    }
+    if (!any_valid) return -1;
+    if (best >= 0) {
+      eng_.sleep_until(best_t);
+      rs[static_cast<std::size_t>(best)].rec_.reset();
+      return best;
+    }
+    rank_gates_[static_cast<std::size_t>(me)]->wait(eng_);
+  }
+}
+
+void Job::barrier(int me) {
+  (void)me;
+  const std::uint64_t gen = barrier_generation_;
+  barrier_max_arrival_ = std::max(barrier_max_arrival_, eng_.now());
+  if (++barrier_arrived_ == world_size_) {
+    barrier_arrived_ = 0;
+    const auto& arch = machine_.arch();
+    const sim::Duration lat =
+        machine_.num_nodes() > 1 ? arch.lat_mpi_inter : arch.lat_mpi_intra;
+    barrier_release_ = barrier_max_arrival_ + 2 * ceil_log2(world_size_) * lat;
+    barrier_max_arrival_ = 0;
+    ++barrier_generation_;
+    barrier_gate_->notify_all(eng_);
+    eng_.sleep_until(barrier_release_);
+  } else {
+    while (barrier_generation_ == gen) barrier_gate_->wait(eng_);
+    eng_.sleep_until(barrier_release_);
+  }
+}
+
+// --- Comm ------------------------------------------------------------------
+
+Request Comm::isend(const Payload& p, int dst, int tag) {
+  return Request(job_->post(true, world_rank(), members_[static_cast<std::size_t>(dst)], tag, p));
+}
+
+Request Comm::irecv(const Payload& p, int src, int tag) {
+  return Request(job_->post(false, world_rank(), members_[static_cast<std::size_t>(src)], tag, p));
+}
+
+void Comm::send(const Payload& p, int dst, int tag) {
+  Request r = isend(p, dst, tag);
+  wait(r);
+}
+
+void Comm::recv(const Payload& p, int src, int tag) {
+  Request r = irecv(p, src, tag);
+  wait(r);
+}
+
+void Comm::wait(Request& r) { job_->wait(r, world_rank()); }
+
+bool Comm::test(Request& r) { return job_->test(r); }
+
+void Comm::waitall(std::vector<Request>& rs) {
+  for (auto& r : rs) {
+    if (r.valid()) wait(r);
+  }
+}
+
+int Comm::wait_any(std::vector<Request>& rs) { return job_->wait_any(rs, world_rank()); }
+
+void Comm::barrier() {
+  // Sub-communicator barriers are only used with the world communicator in
+  // this library; enforce that to keep the collective state simple.
+  if (size() != job_->world_size()) {
+    throw std::logic_error("simpi: barrier on a sub-communicator is not supported");
+  }
+  job_->barrier(world_rank());
+}
+
+void Comm::allgather(const void* send, void* recv, std::size_t bytes) {
+  // Simple setup-path implementation: everyone sends to sub-rank 0, which
+  // broadcasts the gathered vector back over point-to-point messages.
+  constexpr int kTagGather = -1001;
+  constexpr int kTagBcast = -1002;
+  auto* out = static_cast<std::byte*>(recv);
+  if (rank() == 0) {
+    std::memcpy(out, send, bytes);
+    for (int r = 1; r < size(); ++r) {
+      this->recv(Payload::raw_host(out + static_cast<std::size_t>(r) * bytes, bytes), r, kTagGather);
+    }
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(size() - 1));
+    for (int r = 1; r < size(); ++r) {
+      reqs.push_back(isend(Payload::raw_host(out, bytes * static_cast<std::size_t>(size())), r, kTagBcast));
+    }
+    waitall(reqs);
+  } else {
+    this->send(Payload::raw_host(const_cast<void*>(send), bytes), 0, kTagGather);
+    this->recv(Payload::raw_host(out, bytes * static_cast<std::size_t>(size())), 0, kTagBcast);
+  }
+}
+
+Comm Comm::split(int color, int key) const {
+  // Gather (color, key, world_rank) from everyone, then locally compute the
+  // members of our color group ordered by (key, world_rank).
+  struct Entry {
+    int color, key, wrank;
+  };
+  Entry mine{color, key, world_rank()};
+  std::vector<Entry> all(static_cast<std::size_t>(size()));
+  const_cast<Comm*>(this)->allgather(&mine, all.data(), sizeof(Entry));
+  std::vector<Entry> group;
+  for (const auto& e : all) {
+    if (e.color == color) group.push_back(e);
+  }
+  std::stable_sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.wrank < b.wrank;
+  });
+  std::vector<int> members;
+  members.reserve(group.size());
+  int my_sub = -1;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    members.push_back(group[i].wrank);
+    if (group[i].wrank == world_rank()) my_sub = static_cast<int>(i);
+  }
+  return Comm(job_, std::move(members), my_sub);
+}
+
+double Comm::wtime() const { return sim::to_seconds(job_->engine().now()); }
+
+}  // namespace stencil::simpi

@@ -1,0 +1,186 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simtime/engine.h"
+#include "simtime/resource.h"
+#include "topo/machine.h"
+#include "trace/recorder.h"
+#include "vgpu/runtime.h"
+
+namespace stencil::simpi {
+
+class Comm;
+
+/// What a message carries. Either a vgpu::Buffer slice (pinned host or
+/// device memory) or a raw host pointer (ordinary memory, used for setup
+/// metadata such as IPC handles and sizes). Device payloads require a
+/// CUDA-aware platform, exactly like passing a device pointer to MPI_Isend.
+struct Payload {
+  vgpu::Buffer* buf = nullptr;
+  std::size_t offset = 0;
+  void* raw = nullptr;
+  std::size_t bytes = 0;
+
+  static Payload of(vgpu::Buffer& b, std::size_t off, std::size_t n) {
+    return Payload{&b, off, nullptr, n};
+  }
+  static Payload raw_host(void* p, std::size_t n) { return Payload{nullptr, 0, p, n}; }
+  template <typename T>
+  static Payload of_values(T* p, std::size_t count) {
+    return raw_host(const_cast<std::remove_const_t<T>*>(p), count * sizeof(T));
+  }
+
+  bool is_device() const { return buf != nullptr && buf->space() == vgpu::MemSpace::kDevice; }
+};
+
+/// Handle to a pending nonblocking operation. Copyable; all copies refer to
+/// the same operation.
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return rec_ != nullptr; }
+
+ private:
+  friend class Job;
+  friend class Comm;
+  struct Record;
+  explicit Request(std::shared_ptr<Record> rec) : rec_(std::move(rec)) {}
+  std::shared_ptr<Record> rec_;
+};
+
+/// One simulated MPI job: `ranks_per_node * machine.num_nodes()` ranks, each
+/// an engine actor. Owns the matching engine, per-rank CPU resources, and
+/// collective state. Ranks are block-mapped to nodes (rank r lives on node
+/// r / ranks_per_node), matching how jobs are launched on Summit.
+class Job {
+ public:
+  /// Host-memory sends at or below this size complete eagerly (buffered).
+  static constexpr std::size_t kEagerLimit = 64 * 1024;
+
+  Job(sim::Engine& eng, topo::Machine& machine, vgpu::Runtime& runtime, int ranks_per_node);
+
+  /// SPMD entry point: runs `body` once per rank, to completion.
+  void run(const std::function<void(Comm&)>& body);
+
+  sim::Engine& engine() { return eng_; }
+  topo::Machine& machine() { return machine_; }
+  vgpu::Runtime& runtime() { return runtime_; }
+
+  int world_size() const { return world_size_; }
+  int ranks_per_node() const { return ranks_per_node_; }
+  int node_of_rank(int rank) const { return rank / ranks_per_node_; }
+
+  /// The CPU resource of a rank (one core driving copies and issue).
+  sim::Resource& cpu(int rank) { return cpu_[static_cast<std::size_t>(rank)]; }
+
+  void set_recorder(trace::Recorder* rec) { recorder_ = rec; }
+
+ private:
+  friend class Comm;
+
+  std::shared_ptr<Request::Record> post(bool is_send, int me, int peer, int tag, const Payload& p);
+  void try_match(int dst_rank);
+  void complete_match(Request::Record& send, Request::Record& recv);
+  void wait(Request& r, int me);
+  bool test(Request& r);
+  int wait_any(std::vector<Request>& rs, int me);
+  void barrier(int me);
+  sim::Time device_ready_barrier(const Request::Record& send, const Request::Record& recv,
+                                 sim::Time ready);
+
+  sim::Engine& eng_;
+  topo::Machine& machine_;
+  vgpu::Runtime& runtime_;
+  trace::Recorder* recorder_ = nullptr;
+  int ranks_per_node_ = 0;
+  int world_size_ = 0;
+
+  std::vector<sim::Resource> cpu_;                       // per rank
+  std::vector<std::unique_ptr<sim::Gate>> rank_gates_;   // per rank: wakes its waits
+  // Unmatched queues, bucketed by destination rank, in post order.
+  std::vector<std::deque<std::shared_ptr<Request::Record>>> unmatched_sends_;
+  std::vector<std::deque<std::shared_ptr<Request::Record>>> unmatched_recvs_;
+
+  // Barrier state.
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  sim::Time barrier_release_ = 0;
+  sim::Time barrier_max_arrival_ = 0;
+  std::unique_ptr<sim::Gate> barrier_gate_;
+};
+
+struct Request::Record {
+  bool is_send = false;
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  Payload payload;
+  sim::Time post_time = 0;
+  bool matched = false;
+  sim::Time complete_at = 0;
+  bool cancelled = false;
+  // Eager protocol: small host-memory sends are buffered inside the library
+  // and complete immediately (like real MPI's eager path), so a blocking
+  // small send never deadlocks against an out-of-order receiver.
+  bool buffered = false;
+  std::vector<std::byte> staged;
+};
+
+/// The per-rank communicator handle (the world communicator; split() yields
+/// sub-communicators whose ranks translate to world ranks internally).
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  Job& job() { return *job_; }
+
+  /// Node index this rank runs on (what hwloc/MPI would derive).
+  int node() const { return job_->node_of_rank(world_rank()); }
+  int world_rank() const { return members_[static_cast<std::size_t>(rank_)]; }
+
+  Request isend(const Payload& p, int dst, int tag);
+  Request irecv(const Payload& p, int src, int tag);
+  void send(const Payload& p, int dst, int tag);
+  void recv(const Payload& p, int src, int tag);
+  void wait(Request& r);
+  bool test(Request& r);
+  void waitall(std::vector<Request>& rs);
+
+  /// MPI_Waitany: block until one of the valid requests completes, return
+  /// its index, and invalidate it (REQUEST_NULL semantics). Returns -1 when
+  /// no valid request remains. If several are complete, returns the one
+  /// with the earliest completion time.
+  int wait_any(std::vector<Request>& rs);
+
+  void barrier();
+
+  /// Gather `bytes` from every rank into recv (rank-major); simple
+  /// setup-path collective (O(size) messages to root + bcast back).
+  void allgather(const void* send, void* recv, std::size_t bytes);
+
+  /// Split into sub-communicators by color; ranks ordered by (key, rank).
+  Comm split(int color, int key) const;
+
+  /// Virtual wall clock in seconds (MPI_Wtime).
+  double wtime() const;
+
+  /// The calling rank's CPU resource (for cost-model extensions).
+  sim::Resource& cpu() { return job_->cpu(world_rank()); }
+
+ private:
+  friend class Job;
+  Comm(Job* job, std::vector<int> members, int rank)
+      : job_(job), members_(std::move(members)), rank_(rank) {}
+
+  Job* job_ = nullptr;
+  std::vector<int> members_;  // sub-rank -> world rank
+  int rank_ = -1;             // my sub-rank
+};
+
+}  // namespace stencil::simpi

@@ -1,0 +1,248 @@
+#include "simtime/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace stencil::sim {
+
+namespace {
+struct TlsBinding {
+  Engine* engine = nullptr;
+  int actor_id = -1;
+};
+thread_local TlsBinding tls;
+}  // namespace
+
+Engine* Engine::current() { return tls.engine; }
+
+int Engine::actor_id() const {
+  check_in_actor();
+  return tls.actor_id;
+}
+
+const std::string& Engine::actor_name() const {
+  check_in_actor();
+  return actors_[static_cast<std::size_t>(tls.actor_id)]->name;
+}
+
+void Engine::check_in_actor() const {
+  if (tls.engine != this || tls.actor_id < 0) {
+    throw std::logic_error("Engine call outside of an actor body");
+  }
+}
+
+void Engine::run(std::vector<std::function<void()>> bodies, std::vector<std::string> names) {
+  if (bodies.empty()) return;
+  if (tls.engine != nullptr) {
+    throw std::logic_error("Engine::run() may not be called from inside an actor");
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (live_actors_ != 0) {
+    throw std::logic_error("Engine::run() is already active");
+  }
+  shutdown_ = false;
+  first_error_ = nullptr;
+  actors_.clear();
+  actors_.reserve(bodies.size());
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    auto a = std::make_unique<Actor>();
+    a->body = std::move(bodies[i]);
+    a->name = i < names.size() ? std::move(names[i]) : std::string{};
+    a->state = State::kTimed;
+    a->wake_time = now_;
+    a->seq = next_seq_++;
+    actors_.push_back(std::move(a));
+  }
+  live_actors_ = static_cast<int>(actors_.size());
+
+  // Spawn threads; each parks immediately until it receives the token.
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    actors_[i]->thread = std::thread([this, i] { actor_main(static_cast<int>(i)); });
+  }
+
+  // Hand the token to the first actor and wait for the whole cohort.
+  Actor* first = pick_next_locked();
+  assert(first != nullptr);
+  wake_locked(*first);
+  run_cv_.wait(lk, [this] { return live_actors_ == 0; });
+
+  lk.unlock();
+  for (auto& a : actors_) {
+    if (a->thread.joinable()) a->thread.join();
+  }
+  lk.lock();
+
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void Engine::actor_main(int id) {
+  tls.engine = this;
+  tls.actor_id = id;
+  Actor& self = *actors_[static_cast<std::size_t>(id)];
+
+  {
+    // Park until the scheduler grants the token the first time.
+    std::unique_lock<std::mutex> lk(mu_);
+    self.cv.wait(lk, [&] { return self.token; });
+    self.token = false;
+    self.state = State::kRunning;
+  }
+
+  std::exception_ptr err;
+  if (!shutdown_) {
+    try {
+      self.body();
+    } catch (const SimulationAborted&) {
+      // Unwinding due to another actor's failure; not a new error.
+    } catch (...) {
+      err = std::current_exception();
+    }
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (err) begin_shutdown_locked(err);
+  self.state = State::kDone;
+  --live_actors_;
+  if (live_actors_ == 0) {
+    run_cv_.notify_all();
+  } else {
+    Actor* next = pick_next_locked();
+    if (next != nullptr) {
+      wake_locked(*next);
+    } else if (!shutdown_) {
+      // Every remaining actor is gate-blocked: they can never wake.
+      std::ostringstream oss;
+      oss << "simulation deadlock at t=" << format_duration(now_) << ": ";
+      for (const auto& a : actors_) {
+        if (a->state == State::kGateBlocked) {
+          oss << "[" << (a->name.empty() ? "actor" : a->name) << " blocked on gate '"
+              << (a->gate != nullptr ? a->gate->name() : "?") << "'] ";
+        }
+      }
+      begin_shutdown_locked(std::make_exception_ptr(DeadlockError(oss.str())));
+    }
+  }
+  tls.engine = nullptr;
+  tls.actor_id = -1;
+}
+
+void Engine::sleep_for(Duration d) {
+  if (d <= 0) return;
+  sleep_until(now_ + d);
+}
+
+void Engine::sleep_until(Time t) {
+  check_in_actor();
+  std::unique_lock<std::mutex> lk(mu_);
+  if (shutdown_) throw SimulationAborted("simulation aborted during sleep");
+  if (t <= now_) return;
+  Actor& self = *actors_[static_cast<std::size_t>(tls.actor_id)];
+  self.wake_time = t;
+  self.seq = next_seq_++;
+  block_and_reschedule(lk, self, State::kTimed);
+}
+
+void Engine::yield() {
+  check_in_actor();
+  std::unique_lock<std::mutex> lk(mu_);
+  if (shutdown_) throw SimulationAborted("simulation aborted during yield");
+  Actor& self = *actors_[static_cast<std::size_t>(tls.actor_id)];
+  self.wake_time = now_;
+  self.seq = next_seq_++;  // go to the back of the same-time queue
+  block_and_reschedule(lk, self, State::kTimed);
+}
+
+void Engine::block_and_reschedule(std::unique_lock<std::mutex>& lk, Actor& self, State state) {
+  self.state = state;
+  Actor* next = pick_next_locked();
+  if (next == &self) {
+    // Fast path: we are still the best candidate; keep the token without a
+    // thread handoff.
+    self.state = State::kRunning;
+    return;
+  }
+  if (next != nullptr) {
+    wake_locked(*next);
+  } else if (!shutdown_) {
+    std::ostringstream oss;
+    oss << "simulation deadlock at t=" << format_duration(now_)
+        << ": all live actors blocked on gates:";
+    for (const auto& a : actors_) {
+      if (a->state == State::kGateBlocked || a.get() == &self) {
+        oss << " [" << (a->name.empty() ? "actor" : a->name) << " <- gate '"
+            << (a->gate != nullptr ? a->gate->name() : "timed") << "']";
+      }
+    }
+    begin_shutdown_locked(std::make_exception_ptr(DeadlockError(oss.str())));
+  }
+  self.cv.wait(lk, [&] { return self.token; });
+  self.token = false;
+  self.state = State::kRunning;
+  if (shutdown_) throw SimulationAborted("simulation aborted while blocked");
+}
+
+Engine::Actor* Engine::pick_next_locked() {
+  Actor* best = nullptr;
+  for (const auto& a : actors_) {
+    if (a->state != State::kTimed) continue;
+    if (best == nullptr || a->wake_time < best->wake_time ||
+        (a->wake_time == best->wake_time && a->seq < best->seq)) {
+      best = a.get();
+    }
+  }
+  if (best != nullptr && best->wake_time > now_) now_ = best->wake_time;
+  return best;
+}
+
+void Engine::wake_locked(Actor& a) {
+  ++context_switches_;
+  a.token = true;
+  a.cv.notify_one();
+}
+
+void Engine::begin_shutdown_locked(std::exception_ptr err) {
+  if (!first_error_) first_error_ = err;
+  if (shutdown_) return;
+  shutdown_ = true;
+  // Release every blocked actor so it can unwind with SimulationAborted.
+  for (const auto& a : actors_) {
+    if (a->state == State::kTimed || a->state == State::kGateBlocked) {
+      a->token = true;
+      a->cv.notify_one();
+    }
+  }
+}
+
+void Gate::wait(Engine& eng) {
+  eng.check_in_actor();
+  std::unique_lock<std::mutex> lk(eng.mu_);
+  if (eng.shutdown_) throw SimulationAborted("simulation aborted during gate wait");
+  Engine::Actor& self = *eng.actors_[static_cast<std::size_t>(tls.actor_id)];
+  self.gate = this;
+  waiters_.push_back(&self);
+  eng.block_and_reschedule(lk, self, Engine::State::kGateBlocked);
+  self.gate = nullptr;
+  // NOTE: notify_all() removes us from waiters_; if we are unwinding due to
+  // shutdown we may still be registered, which is harmless.
+}
+
+void Gate::notify_all(Engine& eng) {
+  eng.check_in_actor();
+  std::unique_lock<std::mutex> lk(eng.mu_);
+  for (Engine::Actor* a : waiters_) {
+    if (a->state == Engine::State::kGateBlocked) {
+      a->state = Engine::State::kTimed;
+      a->wake_time = eng.now_;
+      a->seq = eng.next_seq_++;
+    }
+  }
+  waiters_.clear();
+}
+
+}  // namespace stencil::sim

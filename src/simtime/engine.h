@@ -1,0 +1,164 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "simtime/time.h"
+
+namespace stencil::sim {
+
+class Gate;
+
+/// Thrown out of sleep/wait calls in secondary actors when the simulation is
+/// shutting down because another actor failed (or a deadlock was detected).
+/// Actor bodies should let it propagate.
+class SimulationAborted : public std::runtime_error {
+ public:
+  explicit SimulationAborted(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown (from the scheduling actor) when every live actor is blocked on a
+/// Gate and no timed wakeup exists: virtual time can never advance again.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Deterministic discrete-event virtual-time engine.
+///
+/// Each *actor* (e.g. a simulated MPI rank) is an OS thread, but exactly one
+/// actor runs at a time: when the running actor blocks (sleep_until, Gate
+/// wait, or finishing), it selects the next actor under a global mutex and
+/// hands the token over. Selection is by (wake_time, admission sequence), so
+/// a given program produces a bit-identical schedule on every run regardless
+/// of OS thread timing.
+///
+/// Virtual time is global and monotonically non-decreasing. Code executed by
+/// an actor between engine calls takes zero virtual time; model CPU cost by
+/// calling sleep_for() explicitly.
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Run one actor per body, to completion. Returns once all actors finish.
+  /// If any actor throws, the remaining actors are unwound (their pending
+  /// engine calls throw SimulationAborted) and the first exception rethrows
+  /// here. May be called repeatedly; virtual time continues from where the
+  /// previous run() left off.
+  void run(std::vector<std::function<void()>> bodies,
+           std::vector<std::string> names = {});
+
+  /// Current virtual time. Valid from actor bodies and between run() calls.
+  Time now() const { return now_; }
+
+  /// Index of the calling actor within the bodies vector. Must be called
+  /// from an actor body.
+  int actor_id() const;
+
+  /// Name of the calling actor (empty if none was given).
+  const std::string& actor_name() const;
+
+  int actor_count() const { return static_cast<int>(actors_.size()); }
+
+  /// Block the calling actor for d nanoseconds of virtual time (d <= 0 is a
+  /// no-op that does not reschedule).
+  void sleep_for(Duration d);
+
+  /// Block the calling actor until virtual time t. If t <= now(), returns
+  /// immediately without rescheduling.
+  void sleep_until(Time t);
+
+  /// Hand the token to other actors runnable at the current virtual time,
+  /// resuming after they have each had a turn.
+  void yield();
+
+  /// Engine driving the calling thread, or nullptr outside actor bodies.
+  static Engine* current();
+
+  /// Number of token handoffs performed so far (scheduling cost metric).
+  std::uint64_t context_switches() const { return context_switches_; }
+
+ private:
+  friend class Gate;
+
+  enum class State {
+    kRunning,        // holds the token
+    kTimed,          // wake at wake_time
+    kGateBlocked,    // waiting on a Gate, no wakeup time
+    kDone,
+    kUnstarted,
+  };
+
+  struct Actor {
+    std::function<void()> body;
+    std::string name;
+    std::thread thread;
+    std::condition_variable cv;
+    State state = State::kUnstarted;
+    Time wake_time = 0;
+    std::uint64_t seq = 0;  // admission order for same-time tie-breaks
+    bool token = false;     // set by the scheduler; cleared on wakeup
+    Gate* gate = nullptr;   // which gate, when kGateBlocked (diagnostics)
+  };
+
+  void actor_main(int id);
+  // Move the calling actor to `state`, pick and wake the next actor, and
+  // block until the token returns. Must be entered with mu_ held.
+  void block_and_reschedule(std::unique_lock<std::mutex>& lk, Actor& self, State state);
+  // Pick the next runnable actor (min wake_time, then min seq); advances
+  // virtual time. Returns nullptr when no actor can run.
+  Actor* pick_next_locked();
+  void wake_locked(Actor& a);
+  void begin_shutdown_locked(std::exception_ptr err);
+  void check_in_actor() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable run_cv_;  // run() waits here for completion
+  std::vector<std::unique_ptr<Actor>> actors_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t context_switches_ = 0;
+  int live_actors_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Condition-variable-like wakeup channel bound to an Engine.
+///
+/// A waiting actor blocks with no scheduled wake time; it becomes runnable
+/// (at the notifier's current virtual time) when another actor calls
+/// notify_all(). As with std::condition_variable, callers re-check their
+/// predicate in a loop:
+///
+///   while (!pred()) gate.wait(eng);
+class Gate {
+ public:
+  explicit Gate(std::string name = {}) : name_(std::move(name)) {}
+
+  /// Block the calling actor until the next notify_all(). The engine
+  /// reports a deadlock if every live actor ends up gate-blocked.
+  void wait(Engine& eng);
+
+  /// Make all actors currently waiting on this gate runnable at now().
+  void notify_all(Engine& eng);
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Engine;
+  std::string name_;
+  std::vector<Engine::Actor*> waiters_;
+};
+
+}  // namespace stencil::sim

@@ -1,0 +1,30 @@
+#include "simtime/time.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace stencil::sim {
+
+Duration transfer_time(std::uint64_t bytes, double gib_per_s) noexcept {
+  if (gib_per_s <= 0.0) return 0;
+  const double seconds = static_cast<double>(bytes) / (gib_per_s * 1024.0 * 1024.0 * 1024.0);
+  return from_seconds(seconds);
+}
+
+std::string format_duration(Duration d) {
+  std::array<char, 64> buf{};
+  const double abs = std::abs(static_cast<double>(d));
+  if (abs >= static_cast<double>(kSecond)) {
+    std::snprintf(buf.data(), buf.size(), "%.3f s", to_seconds(d));
+  } else if (abs >= static_cast<double>(kMillisecond)) {
+    std::snprintf(buf.data(), buf.size(), "%.3f ms", to_millis(d));
+  } else if (abs >= static_cast<double>(kMicrosecond)) {
+    std::snprintf(buf.data(), buf.size(), "%.3f us", to_micros(d));
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%lld ns", static_cast<long long>(d));
+  }
+  return std::string(buf.data());
+}
+
+}  // namespace stencil::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace stencil::sim {
+
+/// Virtual time in integer nanoseconds since simulation start.
+///
+/// Integer nanoseconds (rather than floating-point seconds) keep the engine
+/// bit-deterministic: scheduling decisions compare and add Time values, and
+/// integer arithmetic has no rounding sensitivity to operation order.
+using Time = std::int64_t;
+
+/// A span of virtual time, also in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// Convert a duration to fractional seconds (for reporting only; the engine
+/// itself never leaves integer arithmetic).
+constexpr double to_seconds(Duration d) noexcept { return static_cast<double>(d) * 1e-9; }
+constexpr double to_millis(Duration d) noexcept { return static_cast<double>(d) * 1e-6; }
+constexpr double to_micros(Duration d) noexcept { return static_cast<double>(d) * 1e-3; }
+
+/// Build a Duration from fractional seconds, rounding to the nearest ns.
+constexpr Duration from_seconds(double s) noexcept {
+  return static_cast<Duration>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Time a transfer of `bytes` takes on a link of `gib_per_s` GiB/s, with no
+/// latency term. Uses double math internally but rounds once, so the result
+/// is a plain integer duration.
+Duration transfer_time(std::uint64_t bytes, double gib_per_s) noexcept;
+
+/// Render a duration like "1.234 ms" for logs and benchmark tables.
+std::string format_duration(Duration d);
+
+}  // namespace stencil::sim

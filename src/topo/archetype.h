@@ -1,0 +1,102 @@
+#pragma once
+
+#include <string>
+
+#include "simtime/time.h"
+
+namespace stencil::topo {
+
+/// Kinds of physical link a transfer can traverse. Mirrors what
+/// nvidia-ml-style topology discovery reports on real nodes.
+enum class LinkType {
+  kSame,      // i == j: within one GPU's memory
+  kNVLink,    // direct GPU-GPU NVLink (same triad/socket)
+  kXBus,      // crosses the inter-socket SMP bus
+  kPCIe,      // PCIe hop (archetypes without NVLink)
+  kNIC,       // leaves the node
+};
+
+const char* to_string(LinkType t);
+
+/// Static description of one node design: component counts, link
+/// bandwidths/latencies, and communication *capabilities* (peer access,
+/// CUDA-aware MPI). All bandwidths are theoretical GiB/s; the `eff_*`
+/// factors convert them to achievable rates in the cost model.
+///
+/// The default-constructed archetype is not meaningful; use the presets
+/// (summit(), dgx_like(), pcie_box()) or fill every field.
+struct NodeArchetype {
+  std::string name;
+
+  int sockets = 0;
+  int gpus_per_socket = 0;
+
+  // --- theoretical link bandwidths, GiB/s ---
+  double bw_nvlink_gpu_gpu = 0;  // per directed GPU pair within a socket
+  double bw_nvlink_cpu_gpu = 0;  // per GPU, to its socket's CPU, per direction
+  double bw_xbus = 0;            // socket <-> socket, per direction
+  double bw_nic = 0;             // node injection/ejection, per direction
+  double bw_gpu_mem = 0;         // device memory (bounds pack/unpack kernels)
+  double bw_host_mem = 0;        // one CPU core's copy rate (bounds host MPI copies)
+
+  // --- achieved fraction of theoretical bandwidth ---
+  double eff_nvlink = 1.0;
+  double eff_xbus = 1.0;
+  double eff_nic = 1.0;
+  double eff_pack = 1.0;  // strided pack kernels reach this fraction of bw_gpu_mem
+
+  /// Per-row cost of a strided (cudaMemcpy3D-style) DMA transfer, expressed
+  /// as equivalent extra bytes per row: effective bandwidth scales by
+  /// row_bytes / (row_bytes + strided_row_overhead). Long contiguous rows
+  /// approach link speed; radius-thin x-face rows collapse — the reason
+  /// pack kernels exist.
+  double strided_row_overhead = 256.0;
+
+  // --- fixed overheads ---
+  sim::Duration lat_gpu_copy = 0;    // cudaMemcpy*Async wire latency
+  sim::Duration lat_kernel = 0;      // kernel launch-to-start
+  sim::Duration lat_mpi_intra = 0;   // same-node MPI message
+  sim::Duration lat_mpi_inter = 0;   // cross-node MPI message
+  sim::Duration cpu_issue = 0;       // CPU time to issue one async op
+  sim::Duration lat_ipc_setup = 0;   // one-time cudaIpc* handle open
+
+  // --- capabilities ---
+  bool peer_within_socket = false;  // cudaDeviceCanAccessPeer within a triad
+  bool peer_across_socket = false;  // ... across the X-Bus
+  bool cuda_aware_mpi = false;      // MPI accepts device pointers
+
+  int gpus_per_node() const { return sockets * gpus_per_socket; }
+  int socket_of(int local_gpu) const { return local_gpu / gpus_per_socket; }
+
+  /// Link type between two GPUs local to one node.
+  LinkType gpu_link(int local_i, int local_j) const;
+
+  /// Theoretical bandwidth (GiB/s) between two same-node GPUs, as a
+  /// topology-discovery API (nvml-like) would report it. This is what the
+  /// placement phase consumes as the QAP distance (reciprocal).
+  double theoretical_gpu_bw(int local_i, int local_j) const;
+
+  /// Whether peer (P2P) access can be enabled between two same-node GPUs.
+  bool peer_capable(int local_i, int local_j) const;
+
+  /// Bandwidth (GiB/s) a large transfer actually achieves between two
+  /// same-node GPUs under the best available method — what an empirical
+  /// probing pass (paper §VI) would measure: the peer link at its achieved
+  /// efficiency, or the store-and-forward staged path when no peer access
+  /// exists (1 / sum of per-hop inverse rates).
+  double achieved_gpu_bw(int local_i, int local_j) const;
+};
+
+/// ORNL Summit node per the paper's Fig. 10 / Table I: 2 POWER9 sockets,
+/// 3 V100s per socket, NVLink 50 GiB/s GPU-GPU and CPU-GPU within a triad,
+/// 64 GiB/s X-Bus between sockets, dual EDR InfiniBand (2 x 12.5 GiB/s),
+/// peer access only within a triad, CUDA-aware Spectrum MPI available.
+NodeArchetype summit();
+
+/// A DGX-like single-socket node: all GPUs are NVLink peers of each other.
+NodeArchetype dgx_like(int gpus = 4);
+
+/// A commodity PCIe box: no peer access, no CUDA-aware MPI, one socket.
+NodeArchetype pcie_box(int gpus = 2);
+
+}  // namespace stencil::topo

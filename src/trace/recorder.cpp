@@ -1,0 +1,108 @@
+#include "trace/recorder.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+
+namespace stencil::trace {
+
+void Recorder::record(std::string lane, std::string label, sim::Time start, sim::Time end) {
+  records_.push_back(OpRecord{std::move(lane), std::move(label), start, end});
+}
+
+void Recorder::write_csv(std::ostream& os) const {
+  std::vector<const OpRecord*> sorted;
+  sorted.reserve(records_.size());
+  for (const auto& r : records_) sorted.push_back(&r);
+  std::stable_sort(sorted.begin(), sorted.end(), [](const OpRecord* a, const OpRecord* b) {
+    if (a->lane != b->lane) return a->lane < b->lane;
+    return a->start < b->start;
+  });
+  os << "lane,label,start_us,end_us,duration_us\n";
+  for (const OpRecord* r : sorted) {
+    os << r->lane << ',' << r->label << ',' << sim::to_micros(r->start) << ','
+       << sim::to_micros(r->end) << ',' << sim::to_micros(r->end - r->start) << '\n';
+  }
+}
+
+void Recorder::write_gantt(std::ostream& os, sim::Time t0, sim::Time t1, int width) const {
+  if (records_.empty()) {
+    os << "(no operations recorded)\n";
+    return;
+  }
+  if (t1 <= t0) {
+    t0 = records_.front().start;
+    t1 = records_.front().end;
+    for (const auto& r : records_) {
+      t0 = std::min(t0, r.start);
+      t1 = std::max(t1, r.end);
+    }
+  }
+  if (t1 <= t0) t1 = t0 + 1;
+  width = std::max(width, 10);
+
+  // Group by lane, preserving first-appearance order.
+  std::vector<std::string> lane_order;
+  std::map<std::string, std::vector<const OpRecord*>> lanes;
+  for (const auto& r : records_) {
+    auto [it, inserted] = lanes.try_emplace(r.lane);
+    if (inserted) lane_order.push_back(r.lane);
+    it->second.push_back(&r);
+  }
+  std::size_t lane_w = 4;
+  for (const auto& l : lane_order) lane_w = std::max(lane_w, l.size());
+
+  const double scale = static_cast<double>(width) / static_cast<double>(t1 - t0);
+  os << "timeline: " << sim::format_duration(t1 - t0) << " total, '" << '#'
+     << "' = " << sim::format_duration(static_cast<sim::Duration>((t1 - t0) / width)) << "\n";
+  for (const auto& lane : lane_order) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const OpRecord* r : lanes[lane]) {
+      const auto clamp_col = [&](sim::Time t) {
+        double c = static_cast<double>(t - t0) * scale;
+        return std::min<std::size_t>(static_cast<std::size_t>(std::max(c, 0.0)),
+                                     static_cast<std::size_t>(width - 1));
+      };
+      const std::size_t b = clamp_col(r->start);
+      const std::size_t e = clamp_col(r->end > r->start ? r->end - 1 : r->start);
+      for (std::size_t c = b; c <= e; ++c) row[c] = '#';
+    }
+    os << std::left << std::setw(static_cast<int>(lane_w)) << lane << " |" << row << "|\n";
+  }
+}
+
+void Recorder::write_chrome_trace(std::ostream& os) const {
+  // Stable lane -> tid mapping in first-appearance order.
+  std::map<std::string, int> tids;
+  std::vector<const std::string*> names;
+  for (const auto& r : records_) {
+    auto [it, inserted] = tids.try_emplace(r.lane, static_cast<int>(tids.size()));
+    if (inserted) names.push_back(&it->first);
+  }
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << i
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << escape(*names[i]) << "\"}}";
+  }
+  for (const auto& r : records_) {
+    os << ",{\"ph\":\"X\",\"pid\":1,\"tid\":" << tids[r.lane] << ",\"name\":\""
+       << escape(r.label) << "\",\"ts\":" << sim::to_micros(r.start)
+       << ",\"dur\":" << sim::to_micros(r.end - r.start) << "}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace stencil::trace

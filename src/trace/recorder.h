@@ -1,0 +1,47 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "simtime/time.h"
+
+namespace stencil::trace {
+
+/// One recorded operation span: `lane` identifies the resource or executor
+/// (e.g. "gpu0.kernel", "gpu0->gpu1", "rank2.cpu", "nic0.out"), `label` the
+/// operation (e.g. "pack +x", "MPI_Isend").
+struct OpRecord {
+  std::string lane;
+  std::string label;
+  sim::Time start = 0;
+  sim::Time end = 0;
+};
+
+/// Collects operation spans during a simulation and renders them as CSV or
+/// an ASCII Gantt chart (the reproduction of the paper's Fig. 9 timeline).
+/// Recording order is deterministic because the engine is token-scheduled.
+class Recorder {
+ public:
+  void record(std::string lane, std::string label, sim::Time start, sim::Time end);
+
+  const std::vector<OpRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  void clear() { records_.clear(); }
+
+  /// `lane,label,start_us,end_us,duration_us` rows, sorted by (lane, start).
+  void write_csv(std::ostream& os) const;
+
+  /// One row per lane; spans rendered as blocks over [t0, t1] scaled to
+  /// `width` columns. t1 <= t0 means auto-fit to the recorded range.
+  void write_gantt(std::ostream& os, sim::Time t0 = 0, sim::Time t1 = 0, int width = 100) const;
+
+  /// Chrome tracing format (chrome://tracing, Perfetto): one complete ("X")
+  /// event per span, lanes mapped to thread ids of a single process.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  std::vector<OpRecord> records_;
+};
+
+}  // namespace stencil::trace

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace stencil::vgpu {
+
+/// Which simulated memory a buffer lives in.
+enum class MemSpace {
+  kDevice,      // GPU HBM, owned by one (virtual) device
+  kPinnedHost,  // page-locked host memory on one node
+};
+
+/// Whether a buffer carries real bytes.
+///
+/// kMaterialized buffers are backed by host allocation, and every simulated
+/// copy really moves their bytes (so halo exchanges are bit-checkable).
+/// kPhantom buffers have no storage: copies between phantoms cost the same
+/// simulated time but move nothing, which lets benchmarks simulate 1536
+/// GPUs x 16 GB without the RAM. Touching a phantom's data() throws.
+enum class MemMode {
+  kMaterialized,
+  kPhantom,
+};
+
+/// A chunk of simulated GPU or pinned-host memory. Move-only RAII.
+/// Instances are created by Runtime::alloc_device / alloc_pinned_host,
+/// which record the owning device/node for the cost model.
+class Buffer {
+ public:
+  Buffer() = default;
+  Buffer(MemSpace space, MemMode mode, int owner, std::size_t size, std::uint64_t id)
+      : space_(space), mode_(mode), owner_(owner), size_(size), id_(id) {
+    if (mode_ == MemMode::kMaterialized && size_ > 0) {
+      data_ = std::make_unique<std::byte[]>(size_);
+    }
+  }
+
+  Buffer(Buffer&&) noexcept = default;
+  Buffer& operator=(Buffer&&) noexcept = default;
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  MemSpace space() const { return space_; }
+  MemMode mode() const { return mode_; }
+
+  /// Owning global GPU id for device buffers; owning node for host buffers.
+  int owner() const { return owner_; }
+
+  std::size_t size() const { return size_; }
+  bool valid() const { return size_ > 0 || data_ != nullptr || id_ != 0; }
+
+  /// Process-wide unique id; the basis of IPC handles.
+  std::uint64_t id() const { return id_; }
+
+  std::byte* data() {
+    require_materialized();
+    return data_.get();
+  }
+  const std::byte* data() const {
+    require_materialized();
+    return data_.get();
+  }
+
+  /// Typed view helpers for materialized buffers.
+  template <typename T>
+  T* as() {
+    return reinterpret_cast<T*>(data());
+  }
+  template <typename T>
+  const T* as() const {
+    return reinterpret_cast<const T*>(data());
+  }
+
+ private:
+  void require_materialized() const {
+    if (mode_ != MemMode::kMaterialized) {
+      throw std::logic_error("Buffer: data() on a phantom buffer (timing-only allocation)");
+    }
+  }
+
+  MemSpace space_ = MemSpace::kDevice;
+  MemMode mode_ = MemMode::kPhantom;
+  int owner_ = -1;
+  std::size_t size_ = 0;
+  std::uint64_t id_ = 0;
+  std::unique_ptr<std::byte[]> data_;
+};
+
+}  // namespace stencil::vgpu

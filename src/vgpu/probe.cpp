@@ -1,0 +1,41 @@
+#include "vgpu/probe.h"
+
+#include "simtime/engine.h"
+#include "topo/machine.h"
+#include "vgpu/runtime.h"
+
+namespace stencil::vgpu {
+
+ProbeResult probe_gpu_bandwidth(const topo::NodeArchetype& arch, std::uint64_t bytes) {
+  topo::Machine machine(arch, 1);
+  sim::Engine eng;
+  Runtime rt(eng, machine);
+  rt.set_mem_mode(MemMode::kPhantom);
+
+  const int g = arch.gpus_per_node();
+  ProbeResult result;
+  result.gpus = g;
+  result.gib_per_s.assign(static_cast<std::size_t>(g) * static_cast<std::size_t>(g), 0.0);
+
+  eng.run({[&] {
+    for (int i = 0; i < g; ++i) {
+      for (int j = 0; j < g; ++j) {
+        if (i == j) continue;
+        if (rt.can_access_peer(i, j)) rt.enable_peer_access(i, j);
+        machine.reset_resources();
+        auto src = rt.alloc_device(i, bytes);
+        auto dst = rt.alloc_device(j, bytes);
+        auto s = rt.create_stream(i);
+        const sim::Time t0 = eng.now();
+        rt.memcpy_peer_async(dst, 0, src, 0, bytes, s);
+        rt.stream_synchronize(s);
+        const double seconds = sim::to_seconds(eng.now() - t0);
+        result.gib_per_s[static_cast<std::size_t>(i) * g + static_cast<std::size_t>(j)] =
+            static_cast<double>(bytes) / (seconds * 1024.0 * 1024.0 * 1024.0);
+      }
+    }
+  }});
+  return result;
+}
+
+}  // namespace stencil::vgpu

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/archetype.h"
+
+namespace stencil::vgpu {
+
+/// Result of an empirical GPU-pair bandwidth probe on one node.
+struct ProbeResult {
+  int gpus = 0;
+  std::vector<double> gib_per_s;  // row-major [src * gpus + dst]; diag = 0
+
+  double at(int src, int dst) const {
+    return gib_per_s[static_cast<std::size_t>(src) * static_cast<std::size_t>(gpus) +
+                     static_cast<std::size_t>(dst)];
+  }
+};
+
+/// The paper's §VI "empirical measurement" pass: time a large transfer
+/// between every ordered GPU pair of one node through the full runtime
+/// (peer access enabled where capable, the driver's staged path otherwise)
+/// and report achieved GiB/s. Runs an isolated single-actor simulation;
+/// deterministic like everything else.
+ProbeResult probe_gpu_bandwidth(const topo::NodeArchetype& arch,
+                                std::uint64_t bytes = 256ull << 20);
+
+}  // namespace stencil::vgpu

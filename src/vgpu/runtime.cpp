@@ -1,0 +1,256 @@
+#include "vgpu/runtime.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace stencil::vgpu {
+
+namespace {
+std::string gpu_lane(int ggpu, const char* what) {
+  return "gpu" + std::to_string(ggpu) + "." + what;
+}
+std::string pair_lane(int src, int dst) {
+  return "gpu" + std::to_string(src) + "->gpu" + std::to_string(dst);
+}
+}  // namespace
+
+Runtime::Runtime(sim::Engine& eng, topo::Machine& machine) : eng_(eng), machine_(machine) {
+  devices_.resize(static_cast<std::size_t>(machine_.total_gpus()));
+  peer_enabled_.assign(
+      static_cast<std::size_t>(machine_.total_gpus()) * static_cast<std::size_t>(machine_.total_gpus()),
+      false);
+}
+
+Buffer Runtime::alloc_device(int ggpu, std::size_t bytes) {
+  if (ggpu < 0 || ggpu >= machine_.total_gpus()) {
+    throw std::out_of_range("alloc_device: bad GPU id");
+  }
+  return Buffer(MemSpace::kDevice, mem_mode_, ggpu, bytes, next_buffer_id_++);
+}
+
+Buffer Runtime::alloc_pinned_host(int node, std::size_t bytes) {
+  if (node < 0 || node >= machine_.num_nodes()) {
+    throw std::out_of_range("alloc_pinned_host: bad node id");
+  }
+  return Buffer(MemSpace::kPinnedHost, mem_mode_, node, bytes, next_buffer_id_++);
+}
+
+Stream Runtime::create_stream(int ggpu) {
+  Stream s;
+  s.device = ggpu;
+  s.id = next_stream_id_++;
+  s.last_end = eng_.now();
+  return s;
+}
+
+Stream Runtime::default_stream(int ggpu) {
+  Stream s;
+  s.device = ggpu;
+  s.id = 0;
+  s.last_end = dev(ggpu).default_last_end;
+  return s;
+}
+
+void Runtime::record_event(Event& ev, const Stream& s) {
+  ev.completed_at = std::max(s.last_end, eng_.now());
+  ev.recorded = true;
+}
+
+void Runtime::stream_wait_event(Stream& s, const Event& ev) {
+  if (!ev.recorded) return;  // CUDA: waiting on an unrecorded event is a no-op
+  s.last_end = std::max(s.last_end, ev.completed_at);
+}
+
+bool Runtime::event_query(const Event& ev) const {
+  return !ev.recorded || ev.completed_at <= eng_.now();
+}
+
+void Runtime::event_synchronize(const Event& ev) {
+  if (ev.recorded) eng_.sleep_until(ev.completed_at);
+}
+
+void Runtime::stream_synchronize(const Stream& s) { eng_.sleep_until(s.last_end); }
+
+void Runtime::device_synchronize(int ggpu) { eng_.sleep_until(dev(ggpu).all_streams_last_end); }
+
+bool Runtime::can_access_peer(int ggpu, int peer_ggpu) const {
+  return machine_.peer_capable(ggpu, peer_ggpu);
+}
+
+void Runtime::enable_peer_access(int ggpu, int peer_ggpu) {
+  if (!can_access_peer(ggpu, peer_ggpu)) {
+    throw std::runtime_error("enable_peer_access: peer access not supported between gpu" +
+                             std::to_string(ggpu) + " and gpu" + std::to_string(peer_ggpu));
+  }
+  peer_enabled_[static_cast<std::size_t>(ggpu) * machine_.total_gpus() +
+                static_cast<std::size_t>(peer_ggpu)] = true;
+}
+
+bool Runtime::peer_enabled(int ggpu, int peer_ggpu) const {
+  if (ggpu == peer_ggpu) return true;
+  return peer_enabled_[static_cast<std::size_t>(ggpu) * machine_.total_gpus() +
+                       static_cast<std::size_t>(peer_ggpu)];
+}
+
+sim::Time Runtime::issue(Stream& s) {
+  const sim::Time t0 = eng_.now();
+  eng_.sleep_for(machine_.arch().cpu_issue);
+  if (recorder_ != nullptr) {
+    const std::string& who = eng_.actor_name();
+    recorder_->record((who.empty() ? std::string("cpu") : who) + ".cpu", "issue", t0, eng_.now());
+  }
+  ++ops_issued_;
+  DeviceState& d = dev(s.device);
+  sim::Time ready = std::max(eng_.now(), s.last_end);
+  if (s.id == 0) {
+    // Legacy default stream: serializes behind every stream on the device.
+    ready = std::max(ready, d.all_streams_last_end);
+  } else {
+    // Non-default streams serialize behind prior default-stream work.
+    ready = std::max(ready, d.default_last_end);
+  }
+  return ready;
+}
+
+void Runtime::commit(Stream& s, const sim::Span& span) {
+  s.last_end = std::max(s.last_end, span.end);
+  DeviceState& d = dev(s.device);
+  d.all_streams_last_end = std::max(d.all_streams_last_end, span.end);
+  if (s.id == 0) d.default_last_end = std::max(d.default_last_end, span.end);
+}
+
+void Runtime::trace_op(const std::string& lane, const std::string& label, const sim::Span& span) {
+  if (recorder_ != nullptr) recorder_->record(lane, label, span.start, span.end);
+}
+
+void Runtime::check_same_size_copy(const Buffer& dst, std::size_t dst_off, const Buffer& src,
+                                   std::size_t src_off, std::size_t bytes) const {
+  if (dst_off + bytes > dst.size() || src_off + bytes > src.size()) {
+    throw std::out_of_range("memcpy: range exceeds buffer size");
+  }
+}
+
+void Runtime::move_bytes(Buffer& dst, std::size_t dst_off, const Buffer& src, std::size_t src_off,
+                         std::size_t bytes) {
+  if (bytes == 0) return;
+  if (dst.mode() == MemMode::kMaterialized && src.mode() == MemMode::kMaterialized) {
+    std::memcpy(dst.data() + dst_off, src.data() + src_off, bytes);
+  }
+}
+
+void Runtime::memcpy_async(Buffer& dst, std::size_t dst_off, const Buffer& src, std::size_t src_off,
+                           std::size_t bytes, Stream& s) {
+  check_same_size_copy(dst, dst_off, src, src_off, bytes);
+  const sim::Time ready = issue(s);
+  sim::Span span;
+  std::string lane;
+  if (src.space() == MemSpace::kDevice && dst.space() == MemSpace::kDevice) {
+    if (src.owner() != dst.owner()) {
+      throw std::logic_error("memcpy_async: cross-device copy requires memcpy_peer_async");
+    }
+    span = machine_.schedule_d2d(src.owner(), dst.owner(), bytes, ready);
+    lane = gpu_lane(src.owner(), "kernel");
+  } else if (src.space() == MemSpace::kDevice) {  // D2H
+    span = machine_.schedule_d2h(src.owner(), bytes, ready);
+    lane = gpu_lane(src.owner(), "d2h");
+  } else if (dst.space() == MemSpace::kDevice) {  // H2D
+    span = machine_.schedule_h2d(dst.owner(), bytes, ready);
+    lane = gpu_lane(dst.owner(), "h2d");
+  } else {
+    throw std::logic_error("memcpy_async: host-to-host copies do not belong on a stream");
+  }
+  move_bytes(dst, dst_off, src, src_off, bytes);
+  commit(s, span);
+  trace_op(lane, "memcpy " + std::to_string(bytes) + "B", span);
+}
+
+void Runtime::memcpy_peer_async(Buffer& dst, std::size_t dst_off, const Buffer& src,
+                                std::size_t src_off, std::size_t bytes, Stream& s) {
+  check_same_size_copy(dst, dst_off, src, src_off, bytes);
+  if (src.space() != MemSpace::kDevice || dst.space() != MemSpace::kDevice) {
+    throw std::logic_error("memcpy_peer_async: both buffers must be device memory");
+  }
+  const sim::Time ready = issue(s);
+  const bool use_peer = peer_enabled(src.owner(), dst.owner());
+  const sim::Span span = machine_.schedule_d2d(src.owner(), dst.owner(), bytes, ready, use_peer);
+  move_bytes(dst, dst_off, src, src_off, bytes);
+  commit(s, span);
+  trace_op(pair_lane(src.owner(), dst.owner()),
+           (use_peer ? "peer " : "staged-peer ") + std::to_string(bytes) + "B", span);
+}
+
+void Runtime::memcpy_to_ipc_async(const IpcMappedPtr& dst, std::size_t dst_off, const Buffer& src,
+                                  std::size_t src_off, std::size_t bytes, Stream& s) {
+  if (!dst.valid()) throw std::logic_error("memcpy_to_ipc_async: invalid IPC mapping");
+  Buffer& target = *dst.target;
+  check_same_size_copy(target, dst_off, src, src_off, bytes);
+  const sim::Time ready = issue(s);
+  const bool use_peer = peer_enabled(src.owner(), dst.device);
+  const sim::Span span = machine_.schedule_d2d(src.owner(), dst.device, bytes, ready, use_peer);
+  move_bytes(target, dst_off, src, src_off, bytes);
+  commit(s, span);
+  trace_op(pair_lane(src.owner(), dst.device), "ipc-copy " + std::to_string(bytes) + "B", span);
+}
+
+void Runtime::memcpy3d_peer_async(int dst_ggpu, int src_ggpu, std::uint64_t bytes,
+                                  std::uint64_t row_bytes, Stream& s, const std::string& label,
+                                  const std::function<void()>& body) {
+  const sim::Time ready = issue(s);
+  const bool use_peer = peer_enabled(src_ggpu, dst_ggpu);
+  const sim::Span span =
+      machine_.schedule_d2d_strided(src_ggpu, dst_ggpu, bytes, row_bytes, ready, use_peer);
+  if (body) body();
+  commit(s, span);
+  trace_op(pair_lane(src_ggpu, dst_ggpu), label + " " + std::to_string(bytes) + "B/3d", span);
+}
+
+void Runtime::launch_kernel(Stream& s, std::uint64_t bytes_moved, const std::string& label,
+                            const std::function<void()>& body) {
+  const sim::Time ready = issue(s);
+  const sim::Span span = machine_.schedule_kernel(s.device, bytes_moved, ready);
+  if (body) body();
+  commit(s, span);
+  trace_op(gpu_lane(s.device, "kernel"), label, span);
+}
+
+void Runtime::launch_zero_copy_kernel(Stream& s, std::uint64_t bytes, const std::string& label,
+                                      const std::function<void()>& body) {
+  const auto& arch = machine_.arch();
+  const sim::Time ready = issue(s);
+  // The kernel streams strided reads from HBM and writes over the host
+  // link; the slower of the two paces it, and both are busy throughout.
+  const sim::Duration dur =
+      std::max(sim::transfer_time(bytes, arch.bw_gpu_mem * arch.eff_pack),
+               sim::transfer_time(bytes, arch.bw_nvlink_cpu_gpu * arch.eff_nvlink));
+  const sim::Span span = machine_.kernel_queue(s.device).acquire_span(ready + arch.lat_kernel, dur);
+  machine_.host_link_out(s.device).acquire(span.start, dur);
+  if (body) body();
+  commit(s, span);
+  trace_op(gpu_lane(s.device, "kernel"), label + " (zero-copy)", span);
+}
+
+IpcMemHandle Runtime::ipc_get_mem_handle(Buffer& buf) {
+  if (buf.space() != MemSpace::kDevice) {
+    throw std::logic_error("ipc_get_mem_handle: only device memory is exportable");
+  }
+  auto it = std::find_if(ipc_exports_.begin(), ipc_exports_.end(),
+                         [&](const auto& p) { return p.first == buf.id(); });
+  if (it == ipc_exports_.end()) ipc_exports_.emplace_back(buf.id(), &buf);
+  return IpcMemHandle{buf.id(), buf.owner()};
+}
+
+IpcMappedPtr Runtime::ipc_open_mem_handle(const IpcMemHandle& h, int opener_ggpu) {
+  if (machine_.node_of(h.device) != machine_.node_of(opener_ggpu)) {
+    throw std::runtime_error("ipc_open_mem_handle: handle exported on a different node");
+  }
+  auto it = std::find_if(ipc_exports_.begin(), ipc_exports_.end(),
+                         [&](const auto& p) { return p.first == h.buffer_id; });
+  if (it == ipc_exports_.end()) {
+    throw std::runtime_error("ipc_open_mem_handle: unknown or stale handle");
+  }
+  eng_.sleep_for(machine_.arch().lat_ipc_setup);
+  return IpcMappedPtr{it->second, h.device};
+}
+
+}  // namespace stencil::vgpu

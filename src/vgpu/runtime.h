@@ -1,0 +1,199 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simtime/engine.h"
+#include "simtime/resource.h"
+#include "topo/machine.h"
+#include "trace/recorder.h"
+#include "vgpu/buffer.h"
+
+namespace stencil::vgpu {
+
+/// An asynchronous execution queue on one virtual device. CUDA semantics:
+/// operations enqueued on the same stream execute in order; operations on
+/// different streams may overlap; the *legacy default stream* (id 0 per
+/// device) serializes with every other stream on its device.
+///
+/// Completion times are fully determined at enqueue (the engine's global
+/// virtual time is monotonic, so FIFO resource claims in enqueue order are
+/// exact), which makes a Stream just a handle plus a frontier time.
+struct Stream {
+  int device = -1;
+  std::uint64_t id = 0;  // 0 = the device's legacy default stream
+  sim::Time last_end = 0;
+  bool valid() const { return device >= 0; }
+};
+
+/// A CUDA-event-like marker. Recording captures the stream's frontier;
+/// waiting/synchronizing consumes it. An unrecorded event is complete.
+struct Event {
+  sim::Time completed_at = 0;
+  bool recorded = false;
+};
+
+/// An opaque token that lets another rank on the same node map a device
+/// buffer into its address space (mirrors cudaIpcMemHandle_t).
+struct IpcMemHandle {
+  std::uint64_t buffer_id = 0;
+  int device = -1;  // global GPU id owning the memory
+};
+
+/// A device pointer obtained from an IpcMemHandle. Copies targeting it reach
+/// the exporting rank's buffer directly, bypassing any message layer.
+struct IpcMappedPtr {
+  Buffer* target = nullptr;
+  int device = -1;
+  bool valid() const { return target != nullptr; }
+};
+
+/// The virtual CUDA runtime: allocation, streams, events, async copies,
+/// pack/unpack "kernels", peer access, and IPC — all costed on a
+/// topo::Machine and ordered by a sim::Engine.
+///
+/// Semantics notes (mirroring CUDA where it matters to the paper):
+///  * All *_async calls charge the calling actor `cpu_issue` virtual time,
+///    so a single rank driving many GPUs serializes op issue — the effect
+///    behind Fig. 12a's rank sensitivity.
+///  * Data movement between materialized buffers happens eagerly at enqueue
+///    (the library never mutates a buffer that an in-flight op reads, so
+///    eager movement is observationally equivalent and keeps the engine
+///    simple). Simulated completion respects the cost model.
+///  * Phantom buffers move no bytes but cost identical virtual time.
+class Runtime {
+ public:
+  Runtime(sim::Engine& eng, topo::Machine& machine);
+
+  sim::Engine& engine() { return eng_; }
+  topo::Machine& machine() { return machine_; }
+
+  /// Optional timeline sink; when set, every scheduled op is recorded.
+  void set_recorder(trace::Recorder* rec) { recorder_ = rec; }
+  trace::Recorder* recorder() const { return recorder_; }
+
+  /// Default mode for new allocations (benchmarks flip this to kPhantom).
+  void set_mem_mode(MemMode m) { mem_mode_ = m; }
+  MemMode mem_mode() const { return mem_mode_; }
+
+  // --- memory -----------------------------------------------------------
+  Buffer alloc_device(int ggpu, std::size_t bytes);
+  Buffer alloc_pinned_host(int node, std::size_t bytes);
+
+  // --- streams & events ---------------------------------------------------
+  Stream create_stream(int ggpu);
+  Stream default_stream(int ggpu);
+  void record_event(Event& ev, const Stream& s);
+  void stream_wait_event(Stream& s, const Event& ev);
+  bool event_query(const Event& ev) const;
+  void event_synchronize(const Event& ev);
+  void stream_synchronize(const Stream& s);
+  void device_synchronize(int ggpu);
+
+  /// Completion frontier of a stream without blocking (for state machines).
+  sim::Time stream_frontier(const Stream& s) const { return s.last_end; }
+
+  // --- peer access --------------------------------------------------------
+  bool can_access_peer(int ggpu, int peer_ggpu) const;
+  /// Enable peer access; throws if the hardware cannot (as CUDA errors).
+  void enable_peer_access(int ggpu, int peer_ggpu);
+  bool peer_enabled(int ggpu, int peer_ggpu) const;
+
+  // --- async copies -------------------------------------------------------
+  /// cudaMemcpyAsync equivalent: direction inferred from the buffer spaces
+  /// and owners. Supports H2D, D2H, D2D (same device), and host-to-host.
+  void memcpy_async(Buffer& dst, std::size_t dst_off, const Buffer& src, std::size_t src_off,
+                    std::size_t bytes, Stream& s);
+
+  /// cudaMemcpyPeerAsync equivalent: device-to-device between any two GPUs
+  /// on one node. Uses the direct peer link only when peer access is
+  /// enabled; otherwise the driver's staged path (slower), like CUDA.
+  void memcpy_peer_async(Buffer& dst, std::size_t dst_off, const Buffer& src, std::size_t src_off,
+                         std::size_t bytes, Stream& s);
+
+  /// Copy into memory mapped from another rank via IPC (same node).
+  void memcpy_to_ipc_async(const IpcMappedPtr& dst, std::size_t dst_off, const Buffer& src,
+                           std::size_t src_off, std::size_t bytes, Stream& s);
+
+  /// cudaMemcpy3DPeerAsync-style strided copy: moves `bytes` organized in
+  /// rows of `row_bytes` directly between two same-node devices, without a
+  /// pack kernel. `body` performs the real (row-by-row) data movement;
+  /// time is the d2d path derated by the per-row DMA overhead.
+  void memcpy3d_peer_async(int dst_ggpu, int src_ggpu, std::uint64_t bytes,
+                           std::uint64_t row_bytes, Stream& s, const std::string& label,
+                           const std::function<void()>& body);
+
+  // --- kernels ------------------------------------------------------------
+  /// Launch a "kernel" on `s` that moves `bytes_moved` through device
+  /// memory (pack/unpack/compute). `body` runs eagerly against real data
+  /// (no-op for phantom work); `label` feeds the trace.
+  void launch_kernel(Stream& s, std::uint64_t bytes_moved, const std::string& label,
+                     const std::function<void()>& body);
+
+  /// A kernel whose stores land in *pinned host memory* (zero-copy, the
+  /// Physis-style pack of §VI/[18]): one launch replaces pack + D2H, but
+  /// the kernel runs at host-link speed, occupying both the GPU and the
+  /// outbound host link for the duration.
+  void launch_zero_copy_kernel(Stream& s, std::uint64_t bytes, const std::string& label,
+                               const std::function<void()>& body);
+
+  // --- IPC ----------------------------------------------------------------
+  /// Export a device buffer; registers its address so a same-node rank can
+  /// map it. The buffer must outlive all mappings.
+  IpcMemHandle ipc_get_mem_handle(Buffer& buf);
+  /// Open a handle exported by a same-node rank. Charges the one-time
+  /// cudaIpcOpenMemHandle setup cost. Throws if the nodes differ.
+  IpcMappedPtr ipc_open_mem_handle(const IpcMemHandle& h, int opener_ggpu);
+
+  /// Number of async ops issued so far (diagnostics).
+  std::uint64_t ops_issued() const { return ops_issued_; }
+
+  // --- hooks for the (simulated) MPI library ------------------------------
+  /// Completion frontier across all streams of a device — what a
+  /// cudaDeviceSynchronize inside the MPI library would wait for.
+  sim::Time device_frontier(int ggpu) { return dev(ggpu).all_streams_last_end; }
+
+  /// Report that an external library (CUDA-aware MPI) ran work on the
+  /// device's legacy default stream until `until`. Subsequent application
+  /// ops on *any* stream of that device serialize behind it — the
+  /// overlap-killing behaviour the paper profiled in Spectrum MPI.
+  void occupy_default_stream(int ggpu, sim::Time until) {
+    DeviceState& d = dev(ggpu);
+    d.default_last_end = std::max(d.default_last_end, until);
+    d.all_streams_last_end = std::max(d.all_streams_last_end, until);
+  }
+
+ private:
+  struct DeviceState {
+    sim::Time all_streams_last_end = 0;  // frontier across every stream
+    sim::Time default_last_end = 0;      // frontier of the legacy default stream
+  };
+
+  /// Charge CPU issue overhead to the calling actor and return the ready
+  /// time for the new op, honoring stream order + default-stream rules.
+  sim::Time issue(Stream& s);
+  /// Commit an op completing at `span` onto stream `s`.
+  void commit(Stream& s, const sim::Span& span);
+  void trace_op(const std::string& lane, const std::string& label, const sim::Span& span);
+  DeviceState& dev(int ggpu) { return devices_[static_cast<std::size_t>(ggpu)]; }
+  void check_same_size_copy(const Buffer& dst, std::size_t dst_off, const Buffer& src,
+                            std::size_t src_off, std::size_t bytes) const;
+  static void move_bytes(Buffer& dst, std::size_t dst_off, const Buffer& src, std::size_t src_off,
+                         std::size_t bytes);
+
+  sim::Engine& eng_;
+  topo::Machine& machine_;
+  trace::Recorder* recorder_ = nullptr;
+  MemMode mem_mode_ = MemMode::kMaterialized;
+  std::vector<DeviceState> devices_;
+  std::vector<bool> peer_enabled_;  // [src * total_gpus + dst]
+  std::uint64_t next_buffer_id_ = 1;
+  std::uint64_t next_stream_id_ = 1;
+  std::uint64_t ops_issued_ = 0;
+  // IPC export registry: buffer id -> live buffer (registered on handle get).
+  std::vector<std::pair<std::uint64_t, Buffer*>> ipc_exports_;
+};
+
+}  // namespace stencil::vgpu

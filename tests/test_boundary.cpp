@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/distributed_domain.h"
+#include "core/exchange.h"
+#include "topo/archetype.h"
+
+using stencil::Boundary;
+using stencil::Cluster;
+using stencil::Dim3;
+using stencil::DistributedDomain;
+using stencil::ExchangePlan;
+using stencil::HierarchicalPartition;
+using stencil::MethodFlags;
+using stencil::Neighborhood;
+using stencil::Placement;
+using stencil::PlacementStrategy;
+using stencil::RankCtx;
+
+TEST(Boundary, NeighborIndexRules) {
+  const Dim3 ext{4, 3, 1};
+  EXPECT_EQ(stencil::neighbor_index({0, 0, 0}, {-1, 0, 0}, ext, Boundary::kPeriodic),
+            (Dim3{3, 0, 0}));
+  EXPECT_EQ(stencil::neighbor_index({0, 0, 0}, {-1, 0, 0}, ext, Boundary::kFixed), std::nullopt);
+  EXPECT_EQ(stencil::neighbor_index({1, 1, 0}, {1, 1, 0}, ext, Boundary::kFixed), (Dim3{2, 2, 0}));
+  EXPECT_EQ(stencil::neighbor_index({3, 2, 0}, {1, 1, 0}, ext, Boundary::kFixed), std::nullopt);
+  // z-extent 1 wraps onto itself under periodic, has no z-neighbor fixed.
+  EXPECT_EQ(stencil::neighbor_index({0, 0, 0}, {0, 0, 1}, ext, Boundary::kPeriodic),
+            (Dim3{0, 0, 0}));
+  EXPECT_EQ(stencil::neighbor_index({0, 0, 0}, {0, 0, 1}, ext, Boundary::kFixed), std::nullopt);
+}
+
+TEST(Boundary, FixedPlanHasFewerTransfers) {
+  HierarchicalPartition hp({120, 120, 120}, 2, 6);
+  Placement p(hp, stencil::topo::summit(), 1, 4, Neighborhood::kFull,
+              PlacementStrategy::kTrivial);
+  const auto periodic =
+      ExchangePlan::full(p, 6, MethodFlags::kAll, Neighborhood::kFull, Boundary::kPeriodic);
+  const auto fixed =
+      ExchangePlan::full(p, 6, MethodFlags::kAll, Neighborhood::kFull, Boundary::kFixed);
+  EXPECT_LT(fixed.transfers().size(), periodic.transfers().size());
+  // No fixed-boundary transfer may wrap: dst must be src + dir exactly.
+  for (const auto& t : fixed.transfers()) {
+    EXPECT_EQ(t.dst_idx, t.src_idx + t.dir);
+  }
+  // And fixed plans have no self-exchanges at all.
+  for (const auto& t : fixed.transfers()) EXPECT_FALSE(t.self());
+}
+
+namespace {
+
+float coord_value(Dim3 g) { return static_cast<float>(g.x + 131 * g.y + 131 * 131 * g.z); }
+constexpr float kBoundarySentinel = -7777.0f;
+
+}  // namespace
+
+TEST(Boundary, FixedExchangeFillsInteriorHalosOnly) {
+  Cluster cluster(stencil::topo::summit(), 1, 2);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {24, 18, 12});
+    dd.set_radius(1);
+    dd.add_data<float>("q");
+    dd.set_methods(MethodFlags::kAll);
+    dd.set_boundary(Boundary::kFixed);
+    dd.realize();
+
+    // Fill interiors with coordinates and ALL halos with a sentinel.
+    dd.for_each_subdomain([&](stencil::LocalDomain& ld) {
+      auto v = ld.view<float>(0);
+      const Dim3 o = ld.origin();
+      const Dim3 s = ld.size();
+      for (std::int64_t z = -1; z < s.z + 1; ++z)
+        for (std::int64_t y = -1; y < s.y + 1; ++y)
+          for (std::int64_t x = -1; x < s.x + 1; ++x) {
+            const bool interior = Dim3{x, y, z}.inside(s);
+            v(x, y, z) = interior ? coord_value({o.x + x, o.y + y, o.z + z}) : kBoundarySentinel;
+          }
+    });
+
+    ctx.comm.barrier();
+    dd.exchange();
+    ctx.comm.barrier();
+
+    dd.for_each_subdomain([&](stencil::LocalDomain& ld) {
+      auto v = ld.view<float>(0);
+      const Dim3 o = ld.origin();
+      const Dim3 s = ld.size();
+      for (std::int64_t z = -1; z < s.z + 1; ++z)
+        for (std::int64_t y = -1; y < s.y + 1; ++y)
+          for (std::int64_t x = -1; x < s.x + 1; ++x) {
+            if (Dim3{x, y, z}.inside(s)) continue;
+            const Dim3 g{o.x + x, o.y + y, o.z + z};
+            if (g.inside(dd.domain())) {
+              // Interior halo: must hold the neighbor's value.
+              EXPECT_EQ(v(x, y, z), coord_value(g))
+                  << "halo [" << x << "," << y << "," << z << "] of " << ld.index().str();
+            } else {
+              // Physical boundary: untouched by the exchange.
+              EXPECT_EQ(v(x, y, z), kBoundarySentinel)
+                  << "boundary halo [" << x << "," << y << "," << z << "] of "
+                  << ld.index().str() << " was overwritten";
+            }
+          }
+    });
+  });
+}
+
+TEST(Boundary, FixedExchangeCheaperThanPeriodic) {
+  auto run = [](Boundary b) {
+    Cluster cluster(stencil::topo::summit(), 2, 6);
+    cluster.set_mem_mode(stencil::vgpu::MemMode::kPhantom);
+    std::vector<double> t(12, 0.0);
+    cluster.run([&](RankCtx& ctx) {
+      DistributedDomain dd(ctx, {300, 300, 300});
+      dd.add_data<float>("q");
+      dd.set_methods(MethodFlags::kAll);
+      dd.set_boundary(b);
+      dd.realize();
+      ctx.comm.barrier();
+      const double t0 = ctx.comm.wtime();
+      dd.exchange();
+      ctx.comm.barrier();
+      t[static_cast<std::size_t>(ctx.rank())] = ctx.comm.wtime() - t0;
+    });
+    return *std::max_element(t.begin(), t.end());
+  };
+  EXPECT_LT(run(Boundary::kFixed), run(Boundary::kPeriodic));
+}
+
+TEST(Overlap, SplitPhaseMatchesMonolithic) {
+  Cluster cluster(stencil::topo::summit(), 1, 2);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {24, 18, 12});
+    dd.set_radius(1);
+    dd.add_data<float>("q");
+    dd.set_methods(MethodFlags::kAll);
+    dd.realize();
+    dd.for_each_subdomain([&](stencil::LocalDomain& ld) {
+      auto v = ld.view<float>(0);
+      const Dim3 o = ld.origin();
+      for (std::int64_t z = 0; z < ld.size().z; ++z)
+        for (std::int64_t y = 0; y < ld.size().y; ++y)
+          for (std::int64_t x = 0; x < ld.size().x; ++x)
+            v(x, y, z) = coord_value({o.x + x, o.y + y, o.z + z});
+    });
+    ctx.comm.barrier();
+    dd.exchange_start();
+    // "Interior compute" between the phases.
+    int computed = 0;
+    dd.for_each_subdomain([&](stencil::LocalDomain& ld) {
+      dd.launch_compute(ld, "interior", 1 << 20, [&] { ++computed; });
+    });
+    dd.exchange_finish();
+    ctx.comm.barrier();
+    EXPECT_EQ(computed, static_cast<int>(dd.num_subdomains()));
+
+    // Halos are as correct as with the monolithic exchange().
+    dd.for_each_subdomain([&](stencil::LocalDomain& ld) {
+      auto v = ld.view<float>(0);
+      const Dim3 o = ld.origin();
+      const Dim3 s = ld.size();
+      EXPECT_EQ(v(-1, 0, 0), coord_value(Dim3{o.x - 1, o.y, o.z}.wrap(dd.domain())));
+      EXPECT_EQ(v(s.x, 0, 0), coord_value(Dim3{o.x + s.x, o.y, o.z}.wrap(dd.domain())));
+    });
+  });
+}
+
+TEST(Overlap, MisuseDetected) {
+  Cluster cluster(stencil::topo::summit(), 1, 1);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {24, 24, 24});
+    dd.add_data<float>("q");
+    dd.realize();
+    EXPECT_THROW(dd.exchange_finish(), std::logic_error);
+    dd.exchange_start();
+    EXPECT_THROW(dd.exchange_start(), std::logic_error);
+    dd.exchange_finish();
+    EXPECT_NO_THROW(dd.exchange());
+  });
+}
+
+TEST(Overlap, OverlapHidesComputeTime) {
+  // With compute issued between start and finish, the total step time must
+  // be less than the sum of a full exchange plus the compute alone.
+  auto step_time = [](bool overlapped) {
+    Cluster cluster(stencil::topo::summit(), 1, 6);
+    cluster.set_mem_mode(stencil::vgpu::MemMode::kPhantom);
+    std::vector<double> t(6, 0.0);
+    cluster.run([&](RankCtx& ctx) {
+      DistributedDomain dd(ctx, {512, 512, 512});
+      dd.set_radius(2);
+      dd.add_data<float>("q");
+      dd.set_methods(MethodFlags::kAll);
+      dd.realize();
+      const std::uint64_t compute_bytes = 512ull * 512 * 512 * 4 / 6;
+      ctx.comm.barrier();
+      const double t0 = ctx.comm.wtime();
+      if (overlapped) {
+        dd.exchange_start();
+        dd.for_each_subdomain(
+            [&](stencil::LocalDomain& ld) { dd.launch_compute(ld, "interior", compute_bytes, {}); });
+        dd.exchange_finish();
+      } else {
+        dd.exchange();
+        dd.for_each_subdomain(
+            [&](stencil::LocalDomain& ld) { dd.launch_compute(ld, "interior", compute_bytes, {}); });
+      }
+      dd.compute_synchronize();
+      ctx.comm.barrier();
+      t[static_cast<std::size_t>(ctx.rank())] = ctx.comm.wtime() - t0;
+    });
+    return *std::max_element(t.begin(), t.end());
+  };
+  EXPECT_LT(step_time(true), step_time(false));
+}

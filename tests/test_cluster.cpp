@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/distributed_domain.h"
+#include "topo/archetype.h"
+
+using stencil::Cluster;
+using stencil::Dim3;
+using stencil::PlacementStrategy;
+using stencil::RankCtx;
+
+TEST(Cluster, GpuOwnershipBlocksWithinNode) {
+  Cluster cluster(stencil::topo::summit(), 2, 3);
+  std::vector<std::vector<int>> owned(6);
+  cluster.run([&](RankCtx& ctx) {
+    owned[static_cast<std::size_t>(ctx.rank())] = ctx.gpus;
+    EXPECT_EQ(ctx.gpus_per_rank, 2);
+  });
+  EXPECT_EQ(owned[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(owned[1], (std::vector<int>{2, 3}));
+  EXPECT_EQ(owned[2], (std::vector<int>{4, 5}));
+  EXPECT_EQ(owned[3], (std::vector<int>{6, 7}));
+  EXPECT_EQ(owned[5], (std::vector<int>{10, 11}));
+}
+
+TEST(Cluster, SingleRankOwnsWholeNode) {
+  Cluster cluster(stencil::topo::summit(), 1, 1);
+  cluster.run([&](RankCtx& ctx) {
+    EXPECT_EQ(ctx.gpus, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+    EXPECT_EQ(ctx.node(), 0);
+  });
+}
+
+TEST(Cluster, PlacementCacheSharedAcrossRanks) {
+  Cluster cluster(stencil::topo::summit(), 1, 6);
+  std::vector<const stencil::Placement*> seen(6, nullptr);
+  cluster.run([&](RankCtx& ctx) {
+    auto p = ctx.cluster.placement_cached({120, 120, 120}, 2, 8, stencil::Neighborhood::kFull,
+                                          PlacementStrategy::kNodeAware);
+    seen[static_cast<std::size_t>(ctx.rank())] = p.get();
+  });
+  for (int r = 1; r < 6; ++r) {
+    EXPECT_EQ(seen[0], seen[static_cast<std::size_t>(r)]) << "rank " << r << " recomputed";
+  }
+}
+
+TEST(Cluster, PlacementCacheKeyedByParameters) {
+  Cluster cluster(stencil::topo::summit(), 1, 1);
+  cluster.run([&](RankCtx& ctx) {
+    auto a = ctx.cluster.placement_cached({64, 64, 64}, 1, 4, stencil::Neighborhood::kFull,
+                                          PlacementStrategy::kNodeAware);
+    auto b = ctx.cluster.placement_cached({64, 64, 64}, 2, 4, stencil::Neighborhood::kFull,
+                                          PlacementStrategy::kNodeAware);
+    auto c = ctx.cluster.placement_cached({64, 64, 64}, 1, 4, stencil::Neighborhood::kFull,
+                                          PlacementStrategy::kTrivial);
+    auto a2 = ctx.cluster.placement_cached({64, 64, 64}, 1, 4, stencil::Neighborhood::kFull,
+                                           PlacementStrategy::kNodeAware);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(a.get(), a2.get());
+  });
+}
+
+TEST(Cluster, RunIsRepeatable) {
+  Cluster cluster(stencil::topo::summit(), 1, 2);
+  int runs = 0;
+  cluster.run([&](RankCtx&) { ++runs; });
+  cluster.run([&](RankCtx&) { ++runs; });
+  EXPECT_EQ(runs, 4);
+  // Virtual time persists across run() calls.
+  EXPECT_GE(cluster.engine().now(), 0);
+}
+
+TEST(Cluster, ExceptionInOneRankPropagates) {
+  Cluster cluster(stencil::topo::summit(), 1, 3);
+  EXPECT_THROW(cluster.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 1) throw std::runtime_error("rank 1 died");
+    ctx.comm.barrier();  // the others park here and get unwound
+  }),
+               std::runtime_error);
+}

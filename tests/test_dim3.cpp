@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/dim3.h"
+
+using stencil::Dim3;
+
+TEST(Dim3, Arithmetic) {
+  const Dim3 a{1, 2, 3}, b{10, 20, 30};
+  EXPECT_EQ(a + b, (Dim3{11, 22, 33}));
+  EXPECT_EQ(b - a, (Dim3{9, 18, 27}));
+  EXPECT_EQ(a * b, (Dim3{10, 40, 90}));
+  EXPECT_EQ(a.volume(), 6);
+  EXPECT_EQ((Dim3{0, 5, 5}).volume(), 0);
+}
+
+TEST(Dim3, WrapIsAlwaysNonNegative) {
+  const Dim3 ext{4, 3, 2};
+  EXPECT_EQ((Dim3{-1, -1, -1}).wrap(ext), (Dim3{3, 2, 1}));
+  EXPECT_EQ((Dim3{4, 3, 2}).wrap(ext), (Dim3{0, 0, 0}));
+  EXPECT_EQ((Dim3{-5, 7, 2}).wrap(ext), (Dim3{3, 1, 0}));
+  EXPECT_EQ((Dim3{2, 1, 0}).wrap(ext), (Dim3{2, 1, 0}));  // identity inside
+}
+
+TEST(Dim3, Inside) {
+  const Dim3 ext{4, 3, 2};
+  EXPECT_TRUE((Dim3{0, 0, 0}).inside(ext));
+  EXPECT_TRUE((Dim3{3, 2, 1}).inside(ext));
+  EXPECT_FALSE((Dim3{4, 0, 0}).inside(ext));
+  EXPECT_FALSE((Dim3{0, -1, 0}).inside(ext));
+  EXPECT_FALSE((Dim3{0, 0, 2}).inside(ext));
+}
+
+TEST(Dim3, LinearizeRoundTrip) {
+  const Dim3 ext{5, 7, 3};
+  for (std::int64_t i = 0; i < ext.volume(); ++i) {
+    const Dim3 idx = Dim3::from_linear(i, ext);
+    EXPECT_TRUE(idx.inside(ext));
+    EXPECT_EQ(idx.linearize(ext), i);
+  }
+}
+
+TEST(Dim3, LinearizeXFastest) {
+  const Dim3 ext{4, 3, 2};
+  EXPECT_EQ((Dim3{1, 0, 0}).linearize(ext), 1);
+  EXPECT_EQ((Dim3{0, 1, 0}).linearize(ext), 4);
+  EXPECT_EQ((Dim3{0, 0, 1}).linearize(ext), 12);
+}
+
+TEST(Dim3, StringForm) {
+  EXPECT_EQ((Dim3{1, -2, 3}).str(), "[1,-2,3]");
+  std::ostringstream os;
+  os << Dim3{7, 8, 9};
+  EXPECT_EQ(os.str(), "[7,8,9]");
+}

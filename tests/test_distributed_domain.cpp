@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/distributed_domain.h"
+#include "topo/archetype.h"
+
+using stencil::Cluster;
+using stencil::Dim3;
+using stencil::DistributedDomain;
+using stencil::Method;
+using stencil::MethodFlags;
+using stencil::PlacementStrategy;
+using stencil::RankCtx;
+
+TEST(DistributedDomain, ConfigValidation) {
+  Cluster cluster(stencil::topo::summit(), 1, 1);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {32, 32, 32});
+    EXPECT_THROW(dd.set_radius(0), std::invalid_argument);
+    EXPECT_THROW(dd.set_methods(MethodFlags::kPeer), std::invalid_argument);  // no remote method
+    EXPECT_THROW(dd.realize(), std::logic_error);  // no quantities
+    dd.add_data<float>("q");
+    dd.realize();
+    EXPECT_THROW(dd.realize(), std::logic_error);
+    EXPECT_THROW(dd.set_radius(2), std::logic_error);  // after realize
+  });
+  EXPECT_THROW(Cluster(stencil::topo::summit(), 1, 1)
+                   .run([](RankCtx& ctx) { DistributedDomain dd(ctx, {0, 1, 1}); }),
+               std::invalid_argument);
+}
+
+TEST(DistributedDomain, CudaAwareRejectedOnNonCudaAwarePlatform) {
+  Cluster cluster(stencil::topo::pcie_box(2), 1, 1);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {32, 32, 32});
+    EXPECT_THROW(dd.set_methods(MethodFlags::kAllCudaAware), std::invalid_argument);
+  });
+}
+
+TEST(DistributedDomain, SubdomainOwnershipCoversAllGpus) {
+  Cluster cluster(stencil::topo::summit(), 2, 3);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {48, 48, 48});
+    dd.add_data<float>("q");
+    dd.realize();
+    ASSERT_EQ(dd.num_subdomains(), 2u);  // 6 GPUs / 3 ranks
+    for (std::size_t i = 0; i < dd.num_subdomains(); ++i) {
+      EXPECT_EQ(dd.subdomain(i).gpu(), ctx.gpus[i]);
+      EXPECT_EQ(dd.placement().global_gpu_of(dd.subdomain(i).index()), ctx.gpus[i]);
+    }
+  });
+}
+
+TEST(DistributedDomain, ExchangeAdvancesVirtualTime) {
+  Cluster cluster(stencil::topo::summit(), 1, 1);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {96, 96, 96});
+    dd.set_radius(2);
+    dd.add_data<float>("q");
+    dd.realize();
+    const double t0 = ctx.comm.wtime();
+    dd.exchange();
+    const double ms = (ctx.comm.wtime() - t0) * 1e3;
+    EXPECT_GT(ms, 0.01);  // something was actually transferred
+    EXPECT_LT(ms, 1e4);
+    EXPECT_EQ(dd.exchanges_done(), 1u);
+  });
+}
+
+TEST(DistributedDomain, MoreCapabilitiesNeverSlower) {
+  // On a single node the specialization tiers must be monotone: each added
+  // capability can only remove work from the MPI path.
+  auto time_with = [&](MethodFlags flags) {
+    Cluster cluster(stencil::topo::summit(), 1, 6);
+    std::vector<double> per_rank(6, 0.0);
+    cluster.run([&](RankCtx& ctx) {
+      DistributedDomain dd(ctx, {240, 240, 240});
+      dd.add_data<float>("a");
+      dd.add_data<float>("b");
+      dd.set_methods(flags);
+      dd.realize();
+      ctx.comm.barrier();
+      const double t0 = ctx.comm.wtime();
+      dd.exchange();
+      ctx.comm.barrier();
+      per_rank[static_cast<std::size_t>(ctx.rank())] = ctx.comm.wtime() - t0;
+    });
+    return *std::max_element(per_rank.begin(), per_rank.end());
+  };
+  const double staged = time_with(MethodFlags::kStaged);
+  const double colo = time_with(MethodFlags::kStaged | MethodFlags::kColocated);
+  const double all = time_with(MethodFlags::kAll);
+  EXPECT_LE(colo, staged * 1.05);
+  EXPECT_LE(all, colo * 1.05);
+  EXPECT_LT(all, staged);  // specialization must actually win on-node
+}
+
+TEST(DistributedDomain, LocalHistogramMatchesMethods) {
+  Cluster cluster(stencil::topo::summit(), 1, 6);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {60, 60, 60});
+    dd.add_data<float>("q");
+    dd.set_methods(MethodFlags::kAll);
+    dd.realize();
+    const auto h = dd.local_method_histogram();
+    EXPECT_EQ(h.count(Method::kCudaAwareMpi), 0u);
+    EXPECT_GT(h.count(Method::kColocated), 0u);  // 6 ranks: everything colocated
+  });
+}
+
+TEST(DistributedDomain, ComputeLaunchAndSync) {
+  Cluster cluster(stencil::topo::summit(), 1, 1);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {48, 48, 48});
+    dd.add_data<float>("q");
+    dd.realize();
+    int ran = 0;
+    dd.for_each_subdomain([&](stencil::LocalDomain& ld) {
+      dd.launch_compute(ld, "jacobi", 1 << 20, [&] { ++ran; });
+    });
+    dd.compute_synchronize();
+    EXPECT_EQ(ran, 6);
+  });
+}
+
+TEST(DistributedDomain, PhantomModeRunsWithoutData) {
+  Cluster cluster(stencil::topo::summit(), 2, 6);
+  cluster.set_mem_mode(stencil::vgpu::MemMode::kPhantom);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {512, 512, 512});
+    dd.set_radius(3);
+    dd.add_data<float>("a");
+    dd.add_data<float>("b");
+    dd.add_data<float>("c");
+    dd.add_data<float>("d");
+    dd.set_methods(MethodFlags::kAll);
+    dd.realize();
+    ctx.comm.barrier();
+    const double t0 = ctx.comm.wtime();
+    dd.exchange();
+    ctx.comm.barrier();
+    EXPECT_GT(ctx.comm.wtime() - t0, 0.0);
+  });
+}
+
+TEST(DistributedDomain, DeterministicExchangeTimes) {
+  auto run_once = [] {
+    Cluster cluster(stencil::topo::summit(), 2, 6);
+    cluster.set_mem_mode(stencil::vgpu::MemMode::kPhantom);
+    std::vector<double> times(12, 0.0);
+    cluster.run([&](RankCtx& ctx) {
+      DistributedDomain dd(ctx, {300, 300, 300});
+      dd.add_data<float>("q");
+      dd.set_methods(MethodFlags::kAll);
+      dd.realize();
+      for (int i = 0; i < 2; ++i) {
+        ctx.comm.barrier();
+        dd.exchange();
+      }
+      ctx.comm.barrier();
+      times[static_cast<std::size_t>(ctx.rank())] = ctx.comm.wtime();
+    });
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/local_domain.h"
+#include "core/region.h"
+#include "simtime/engine.h"
+#include "topo/machine.h"
+#include "vgpu/runtime.h"
+
+using stencil::Dim3;
+using stencil::LocalDomain;
+using stencil::Quantity;
+using stencil::Region3;
+
+namespace {
+
+struct Fixture {
+  stencil::sim::Engine eng;
+  stencil::topo::Machine machine{stencil::topo::summit(), 1};
+  stencil::vgpu::Runtime rt{eng, machine};
+};
+
+std::vector<Quantity> two_floats() { return {{"a", 4}, {"b", 4}}; }
+
+void fill_coords(LocalDomain& ld, std::size_t q) {
+  auto v = ld.view<float>(q);
+  for (std::int64_t z = 0; z < ld.size().z; ++z)
+    for (std::int64_t y = 0; y < ld.size().y; ++y)
+      for (std::int64_t x = 0; x < ld.size().x; ++x)
+        v(x, y, z) = static_cast<float>(x + 100 * y + 10000 * z + 1000000 * q);
+}
+
+}  // namespace
+
+TEST(Region, InteriorSlabGeometry) {
+  const Dim3 sz{10, 20, 30};
+  const Region3 px = stencil::interior_slab(sz, {1, 0, 0}, 2);
+  EXPECT_EQ(px.origin, (Dim3{8, 0, 0}));
+  EXPECT_EQ(px.extent, (Dim3{2, 20, 30}));
+  const Region3 mz = stencil::interior_slab(sz, {0, 0, -1}, 3);
+  EXPECT_EQ(mz.origin, (Dim3{0, 0, 0}));
+  EXPECT_EQ(mz.extent, (Dim3{10, 20, 3}));
+  const Region3 edge = stencil::interior_slab(sz, {1, -1, 0}, 1);
+  EXPECT_EQ(edge.origin, (Dim3{9, 0, 0}));
+  EXPECT_EQ(edge.extent, (Dim3{1, 1, 30}));
+}
+
+TEST(Region, HaloSlabGeometry) {
+  const Dim3 sz{10, 20, 30};
+  // Data sent toward +x lands in the receiver's [-r, 0) x-halo.
+  const Region3 px = stencil::halo_slab(sz, {1, 0, 0}, 2);
+  EXPECT_EQ(px.origin, (Dim3{-2, 0, 0}));
+  EXPECT_EQ(px.extent, (Dim3{2, 20, 30}));
+  // Data sent toward -z lands in the receiver's [sz, sz + r) z-halo.
+  const Region3 mz = stencil::halo_slab(sz, {0, 0, -1}, 3);
+  EXPECT_EQ(mz.origin, (Dim3{0, 0, 30}));
+  EXPECT_EQ(mz.extent, (Dim3{10, 20, 3}));
+}
+
+TEST(Region, SlabShapesMatchForUniformSizes) {
+  const Dim3 sz{7, 9, 11};
+  for (int dz = -1; dz <= 1; ++dz)
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const Dim3 dir{dx, dy, dz};
+        EXPECT_EQ(stencil::interior_slab(sz, dir, 2).extent,
+                  stencil::halo_slab(sz, dir, 2).extent);
+      }
+}
+
+TEST(LocalDomain, StorageIncludesHalo) {
+  Fixture f;
+  f.eng.run({[&] {
+    LocalDomain ld(f.rt, 0, {0, 0, 0}, {0, 0, 0}, {8, 9, 10}, 2, two_floats());
+    EXPECT_EQ(ld.storage(), (Dim3{12, 13, 14}));
+    EXPECT_EQ(ld.data(0).size(), 12u * 13 * 14 * 4);
+    EXPECT_EQ(ld.bytes_per_point(), 8u);
+    EXPECT_EQ(ld.num_quantities(), 2u);
+  }});
+}
+
+TEST(LocalDomain, RejectsBadConstruction) {
+  Fixture f;
+  f.eng.run({[&] {
+    EXPECT_THROW(LocalDomain(f.rt, 0, {}, {}, {0, 4, 4}, 1, two_floats()), std::invalid_argument);
+    EXPECT_THROW(LocalDomain(f.rt, 0, {}, {}, {4, 4, 4}, -1, two_floats()), std::invalid_argument);
+  }});
+}
+
+TEST(LocalDomain, ViewTypeChecked) {
+  Fixture f;
+  f.eng.run({[&] {
+    LocalDomain ld(f.rt, 0, {}, {}, {4, 4, 4}, 1, two_floats());
+    EXPECT_NO_THROW(ld.view<float>(0));
+    EXPECT_THROW(ld.view<double>(0), std::logic_error);
+  }});
+}
+
+TEST(LocalDomain, ViewHaloCoordinates) {
+  Fixture f;
+  f.eng.run({[&] {
+    LocalDomain ld(f.rt, 0, {}, {}, {4, 4, 4}, 2, two_floats());
+    auto v = ld.view<float>(0);
+    v(-2, -2, -2) = 1.5f;  // first storage element
+    v(5, 5, 5) = 2.5f;     // last storage element
+    EXPECT_EQ(ld.data(0).as<float>()[0], 1.5f);
+    EXPECT_EQ(ld.data(0).as<float>()[8 * 8 * 8 - 1], 2.5f);
+  }});
+}
+
+TEST(LocalDomain, PackUnpackRoundTrip) {
+  Fixture f;
+  f.eng.run({[&] {
+    LocalDomain src(f.rt, 0, {}, {}, {6, 7, 8}, 2, two_floats());
+    LocalDomain dst(f.rt, 1, {}, {}, {6, 7, 8}, 2, two_floats());
+    fill_coords(src, 0);
+    fill_coords(src, 1);
+
+    for (const Dim3 dir : {Dim3{1, 0, 0}, Dim3{0, -1, 0}, Dim3{1, 1, 0}, Dim3{-1, 1, -1}}) {
+      const Region3 s = stencil::interior_slab(src.size(), dir, 2);
+      const Region3 d = stencil::halo_slab(dst.size(), dir, 2);
+      auto buf = f.rt.alloc_device(0, src.region_bytes(s));
+      src.pack_region(buf, s);
+      dst.unpack_region(buf, d);
+      // Every packed cell must land at the matching halo offset.
+      auto sv = src.view<float>(1);
+      auto dv = dst.view<float>(1);
+      for (std::int64_t z = 0; z < s.extent.z; ++z)
+        for (std::int64_t y = 0; y < s.extent.y; ++y)
+          for (std::int64_t x = 0; x < s.extent.x; ++x) {
+            EXPECT_EQ(dv(d.origin.x + x, d.origin.y + y, d.origin.z + z),
+                      sv(s.origin.x + x, s.origin.y + y, s.origin.z + z))
+                << "dir " << dir.str();
+          }
+    }
+  }});
+}
+
+TEST(LocalDomain, PackBufferTooSmallRejected) {
+  Fixture f;
+  f.eng.run({[&] {
+    LocalDomain ld(f.rt, 0, {}, {}, {6, 6, 6}, 1, two_floats());
+    fill_coords(ld, 0);
+    const Region3 face = stencil::interior_slab(ld.size(), {1, 0, 0}, 1);
+    auto buf = f.rt.alloc_device(0, ld.region_bytes(face) - 4);
+    EXPECT_THROW(ld.pack_region(buf, face), std::out_of_range);
+  }});
+}
+
+TEST(LocalDomain, SelfExchangeWrapsInteriorToHalo) {
+  Fixture f;
+  f.eng.run({[&] {
+    LocalDomain ld(f.rt, 0, {}, {}, {6, 6, 6}, 2, two_floats());
+    fill_coords(ld, 0);
+    ld.self_exchange({1, 0, 0});
+    auto v = ld.view<float>(0);
+    // The +x-most interior slab must now appear in the [-r,0) x-halo.
+    for (std::int64_t z = 0; z < 6; ++z)
+      for (std::int64_t y = 0; y < 6; ++y)
+        for (std::int64_t r = 0; r < 2; ++r) {
+          EXPECT_EQ(v(-2 + r, y, z), v(4 + r, y, z));
+        }
+  }});
+}
+
+TEST(LocalDomain, PhantomPackIsNoop) {
+  Fixture f;
+  f.eng.run({[&] {
+    f.rt.set_mem_mode(stencil::vgpu::MemMode::kPhantom);
+    LocalDomain ld(f.rt, 0, {}, {}, {6, 6, 6}, 1, two_floats());
+    const Region3 face = stencil::interior_slab(ld.size(), {1, 0, 0}, 1);
+    auto buf = f.rt.alloc_device(0, ld.region_bytes(face));
+    EXPECT_NO_THROW(ld.pack_region(buf, face));    // timing-only: no data touched
+    EXPECT_NO_THROW(ld.unpack_region(buf, face));
+    EXPECT_NO_THROW(ld.self_exchange({0, 1, 0}));
+  }});
+}
+
+TEST(LocalDomain, SwapData) {
+  Fixture f;
+  f.eng.run({[&] {
+    LocalDomain ld(f.rt, 0, {}, {}, {4, 4, 4}, 1, two_floats());
+    ld.view<float>(0)(0, 0, 0) = 1.0f;
+    ld.view<float>(1)(0, 0, 0) = 2.0f;
+    ld.swap_data(0, 1);
+    EXPECT_EQ(ld.view<float>(0)(0, 0, 0), 2.0f);
+    EXPECT_EQ(ld.view<float>(1)(0, 0, 0), 1.0f);
+  }});
+}
+
+TEST(LocalDomain, RegionBytesCountsAllQuantities) {
+  Fixture f;
+  f.eng.run({[&] {
+    std::vector<Quantity> qs{{"f", 4}, {"d", 8}};
+    LocalDomain ld(f.rt, 0, {}, {}, {10, 10, 10}, 1, qs);
+    const Region3 face = stencil::interior_slab(ld.size(), {0, 0, 1}, 1);
+    EXPECT_EQ(ld.region_bytes(face), 10u * 10 * 1 * (4 + 8));
+  }});
+}

@@ -1,0 +1,120 @@
+// Integration tests pinning the paper's qualitative results (the shapes the
+// benchmarks print) at small scale, so CI catches any regression of a
+// headline claim without running the full sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cluster.h"
+#include "core/distributed_domain.h"
+#include "topo/archetype.h"
+
+using stencil::Cluster;
+using stencil::Dim3;
+using stencil::DistributedDomain;
+using stencil::MethodFlags;
+using stencil::PlacementStrategy;
+using stencil::RankCtx;
+
+namespace {
+
+double exchange_ms(int nodes, int rpn, Dim3 domain, MethodFlags flags,
+                   PlacementStrategy strategy = PlacementStrategy::kNodeAware) {
+  Cluster cluster(stencil::topo::summit(), nodes, rpn);
+  cluster.set_mem_mode(stencil::vgpu::MemMode::kPhantom);
+  std::vector<double> t(static_cast<std::size_t>(nodes) * rpn, 0.0);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, domain);
+    dd.set_radius(3);
+    for (int q = 0; q < 4; ++q) dd.add_data<float>("q" + std::to_string(q));
+    dd.set_methods(flags);
+    dd.set_placement(strategy);
+    dd.realize();
+    ctx.comm.barrier();
+    dd.exchange();
+    ctx.comm.barrier();
+    const double t0 = ctx.comm.wtime();
+    dd.exchange();
+    t[static_cast<std::size_t>(ctx.rank())] = ctx.comm.wtime() - t0;
+  });
+  return *std::max_element(t.begin(), t.end()) * 1e3;
+}
+
+Dim3 weak_domain(int gpus) {
+  const auto e = static_cast<std::int64_t>(
+      std::llround(750.0 * std::cbrt(static_cast<double>(gpus))));
+  return {e, e, e};
+}
+
+}  // namespace
+
+TEST(PaperShapes, Fig12aSpecializationRatiosAtSixRanks) {
+  const Dim3 dom = weak_domain(6);
+  const double staged = exchange_ms(1, 6, dom, MethodFlags::kStaged);
+  const double ca = exchange_ms(1, 6, dom, MethodFlags::kStaged | MethodFlags::kCudaAwareMpi);
+  const double best = exchange_ms(1, 6, dom, MethodFlags::kAll);
+  // Paper: ~6x over STAGED, ~2x over CUDA-aware, CA ~3x faster than STAGED.
+  EXPECT_GT(staged / best, 4.0);
+  EXPECT_LT(staged / best, 9.0);
+  EXPECT_GT(ca / best, 1.3);
+  EXPECT_LT(ca / best, 3.0);
+  EXPECT_GT(staged / ca, 2.0);
+}
+
+TEST(PaperShapes, Fig12aMoreRanksHelpStaged) {
+  const Dim3 dom = weak_domain(6);
+  const double r1 = exchange_ms(1, 1, dom, MethodFlags::kStaged);
+  const double r2 = exchange_ms(1, 2, dom, MethodFlags::kStaged);
+  const double r6 = exchange_ms(1, 6, dom, MethodFlags::kStaged);
+  EXPECT_GT(r1, r2);
+  EXPECT_GT(r2, r6);
+}
+
+TEST(PaperShapes, Fig12bWeakScalingFlattens) {
+  // Once off-node traffic dominates, doubling nodes (at constant per-GPU
+  // volume) must not blow the exchange up: ratio close to 1.
+  const double n2 = exchange_ms(2, 6, weak_domain(12), MethodFlags::kAll);
+  const double n4 = exchange_ms(4, 6, weak_domain(24), MethodFlags::kAll);
+  const double n8 = exchange_ms(8, 6, weak_domain(48), MethodFlags::kAll);
+  EXPECT_LT(n8 / n4, 1.5);
+  EXPECT_LT(n4 / n2, 2.0);
+}
+
+TEST(PaperShapes, Fig12cCudaAwareDegradesWithScale) {
+  // Once most nodes have their full neighbor set, the non-CA exchange
+  // flattens under weak scaling while the CUDA-aware one keeps climbing
+  // (default-stream serialization + per-message device sync).
+  const MethodFlags ca = MethodFlags::kStaged | MethodFlags::kCudaAwareMpi;
+  const double ca8 = exchange_ms(8, 6, weak_domain(48), ca);
+  const double ca16 = exchange_ms(16, 6, weak_domain(96), ca);
+  const double plain8 = exchange_ms(8, 6, weak_domain(48), MethodFlags::kAll);
+  const double plain16 = exchange_ms(16, 6, weak_domain(96), MethodFlags::kAll);
+  EXPECT_LT(plain16 / plain8, 1.2);  // flat without CA
+  EXPECT_GT(ca16 / ca8, 1.2);        // degrading with CA
+  EXPECT_GT(ca16, plain16);          // and strictly worse at scale
+}
+
+TEST(PaperShapes, Fig13StrongScalingDropsThenSpecializationStopsMattering) {
+  const Dim3 dom{1363, 1363, 1363};
+  const double n1_best = exchange_ms(1, 6, dom, MethodFlags::kAll);
+  const double n1_remote = exchange_ms(1, 6, dom, MethodFlags::kStaged);
+  const double n8_remote = exchange_ms(8, 6, dom, MethodFlags::kStaged);
+  const double n8_best = exchange_ms(8, 6, dom, MethodFlags::kAll);
+  const double n16_best = exchange_ms(16, 6, dom, MethodFlags::kAll);
+  EXPECT_LT(n8_remote, n1_remote);       // strong scaling works for STAGED...
+  EXPECT_LT(n16_best, n1_best);          // ...and for the specialized path by 16 nodes
+  EXPECT_GT(n1_remote / n1_best, 3.0);   // specialization matters at 1 node
+  EXPECT_LT(n8_remote / n8_best, 1.3);   // ...but not at 8 nodes
+}
+
+TEST(PaperShapes, Fig11PlacementOnlyMattersOffCube) {
+  const Dim3 skew{1440, 1452, 700};
+  const Dim3 cube{1364, 1364, 1364};
+  const double aware = exchange_ms(1, 6, skew, MethodFlags::kAll, PlacementStrategy::kNodeAware);
+  const double trivial = exchange_ms(1, 6, skew, MethodFlags::kAll, PlacementStrategy::kTrivial);
+  EXPECT_GT(trivial / aware, 1.1);  // paper: ~1.2x
+  EXPECT_LT(trivial / aware, 1.6);
+  const double c_aware = exchange_ms(1, 6, cube, MethodFlags::kAll, PlacementStrategy::kNodeAware);
+  const double c_triv = exchange_ms(1, 6, cube, MethodFlags::kAll, PlacementStrategy::kTrivial);
+  EXPECT_NEAR(c_triv / c_aware, 1.0, 0.02);  // no effect on cubes
+}

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "core/exchange.h"
+#include "core/placement.h"
+#include "topo/archetype.h"
+
+using stencil::Dim3;
+using stencil::ExchangePlan;
+using stencil::HierarchicalPartition;
+using stencil::Method;
+using stencil::MethodFlags;
+using stencil::Neighborhood;
+using stencil::Placement;
+using stencil::PlacementStrategy;
+
+namespace {
+Placement make_placement(Dim3 dom, int nodes, PlacementStrategy s,
+                         Neighborhood n = Neighborhood::kFull, int radius = 2) {
+  HierarchicalPartition hp(dom, nodes, 6);
+  return Placement(hp, stencil::topo::summit(), radius, 16, n, s);
+}
+}  // namespace
+
+TEST(Directions, CountsPerNeighborhood) {
+  EXPECT_EQ(stencil::neighbor_directions(Neighborhood::kFaces).size(), 6u);
+  EXPECT_EQ(stencil::neighbor_directions(Neighborhood::kFacesEdges).size(), 18u);
+  EXPECT_EQ(stencil::neighbor_directions(Neighborhood::kFull).size(), 26u);
+}
+
+TEST(Directions, IndexIsStableAndUnique) {
+  std::vector<bool> seen(26, false);
+  for (const Dim3& d : stencil::neighbor_directions(Neighborhood::kFull)) {
+    const int i = stencil::direction_index(d);
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, 26);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(i)]);
+    seen[static_cast<std::size_t>(i)] = true;
+  }
+  EXPECT_EQ(stencil::direction_index({0, 0, 0}), -1);
+  EXPECT_EQ(stencil::direction_index({2, 0, 0}), -1);
+}
+
+TEST(Placement, TrivialIsIdentity) {
+  const auto p = make_placement({720, 720, 720}, 2, PlacementStrategy::kTrivial);
+  const Dim3 gext = p.partition().gpu_extent();
+  for (std::int64_t s = 0; s < gext.volume(); ++s) {
+    const Dim3 gpu_idx = Dim3::from_linear(s, gext);
+    const Dim3 g = p.partition().global_index({0, 0, 0}, gpu_idx);
+    EXPECT_EQ(p.local_gpu_of(g), static_cast<int>(s));
+  }
+}
+
+TEST(Placement, MapsAreInverse) {
+  for (auto strat : {PlacementStrategy::kNodeAware, PlacementStrategy::kTrivial,
+                     PlacementStrategy::kWorst}) {
+    const auto p = make_placement({1440, 1452, 700}, 4, strat);
+    for (int n = 0; n < 4; ++n) {
+      for (int g = 0; g < 6; ++g) {
+        const Dim3 idx = p.subdomain_at(n, g);
+        EXPECT_EQ(p.node_linear_of(idx), n);
+        EXPECT_EQ(p.local_gpu_of(idx), g);
+        EXPECT_EQ(p.global_gpu_of(idx), n * 6 + g);
+      }
+    }
+  }
+}
+
+TEST(Placement, NodeAwareNeverWorseThanTrivialOrWorst) {
+  // The QAP objective orders the strategies by construction; this pins the
+  // wiring (flow/distance assembly) rather than the solver.
+  for (Dim3 dom : {Dim3{1440, 1452, 700}, Dim3{720, 720, 720}, Dim3{2000, 300, 300}}) {
+    const double aware = make_placement(dom, 2, PlacementStrategy::kNodeAware).total_cost();
+    const double trivial = make_placement(dom, 2, PlacementStrategy::kTrivial).total_cost();
+    const double worst = make_placement(dom, 2, PlacementStrategy::kWorst).total_cost();
+    EXPECT_LE(aware, trivial + 1e-9) << dom.str();
+    EXPECT_LE(trivial, worst + 1e-9) << dom.str();
+  }
+}
+
+TEST(Placement, MeasuredStrategyIsValidAndNoWorseUnderItsOwnMetric) {
+  // kMeasured solves the QAP against achieved-bandwidth distances. Its
+  // assignment must be a valid placement, and on Summit-like nodes (where
+  // theoretical and achieved bandwidths order GPU pairs the same way) it
+  // should agree with kNodeAware on which pairs to co-locate.
+  const auto measured = make_placement({1440, 1452, 700}, 2, PlacementStrategy::kMeasured);
+  const auto aware = make_placement({1440, 1452, 700}, 2, PlacementStrategy::kNodeAware);
+  for (int n = 0; n < 2; ++n) {
+    for (int g = 0; g < 6; ++g) {
+      const Dim3 idx = measured.subdomain_at(n, g);
+      EXPECT_EQ(measured.local_gpu_of(idx), g);
+    }
+  }
+  // Same co-location structure: subdomains sharing a socket under one
+  // strategy share a socket under the other.
+  const auto& arch = stencil::topo::summit();
+  const Dim3 gext = aware.partition().gpu_extent();
+  for (std::int64_t a = 0; a < gext.volume(); ++a) {
+    for (std::int64_t b = 0; b < gext.volume(); ++b) {
+      const Dim3 ia = aware.partition().global_index({0, 0, 0}, Dim3::from_linear(a, gext));
+      const Dim3 ib = aware.partition().global_index({0, 0, 0}, Dim3::from_linear(b, gext));
+      const bool same_socket_aware =
+          arch.socket_of(aware.local_gpu_of(ia)) == arch.socket_of(aware.local_gpu_of(ib));
+      const bool same_socket_measured =
+          arch.socket_of(measured.local_gpu_of(ia)) == arch.socket_of(measured.local_gpu_of(ib));
+      EXPECT_EQ(same_socket_aware, same_socket_measured);
+    }
+  }
+}
+
+TEST(Placement, HighAspectDomainBenefitsFromNodeAware) {
+  // Fig. 11's setting: 1440x1452x700 across one 6-GPU node gives 720x484x700
+  // subdomains whose exchange volumes differ enough that placement matters.
+  const auto aware = make_placement({1440, 1452, 700}, 1, PlacementStrategy::kNodeAware);
+  const auto worst = make_placement({1440, 1452, 700}, 1, PlacementStrategy::kWorst);
+  EXPECT_LT(aware.total_cost(), worst.total_cost() * 0.95);
+}
+
+TEST(Placement, FlowMatrixSymmetricForUniformSubdomains) {
+  const auto p = make_placement({720, 720, 720}, 1, PlacementStrategy::kNodeAware);
+  const auto w = p.node_flow(0);
+  for (int i = 0; i < w.n(); ++i) {
+    EXPECT_DOUBLE_EQ(w.at(i, i), 0.0);
+    for (int j = 0; j < w.n(); ++j) {
+      EXPECT_DOUBLE_EQ(w.at(i, j), w.at(j, i));
+    }
+  }
+}
+
+TEST(Placement, FlowExcludesOffNodeAndSelf) {
+  // With a single subdomain column per node, every neighbor in x is
+  // off-node; flow should only contain intra-node pairs.
+  HierarchicalPartition hp({600, 100, 100}, 4, 6);
+  Placement p(hp, stencil::topo::summit(), 1, 4, Neighborhood::kFull,
+              PlacementStrategy::kNodeAware);
+  const auto w = p.node_flow(0);
+  double total = 0;
+  for (int i = 0; i < w.n(); ++i)
+    for (int j = 0; j < w.n(); ++j) total += w.at(i, j);
+  EXPECT_GT(total, 0.0);  // there is still intra-node flow among the 6 GPUs
+}
+
+TEST(ExchangePlan, MethodSelectionTiers) {
+  const auto p = make_placement({720, 720, 720}, 2, PlacementStrategy::kTrivial);
+  // All methods on, 2 ranks/node (3 GPUs per rank).
+  const auto plan = ExchangePlan::full(p, 2, MethodFlags::kAll, Neighborhood::kFull);
+  const auto h = plan.method_histogram();
+  EXPECT_GT(h.count(Method::kPeer), 0u);
+  EXPECT_GT(h.count(Method::kColocated), 0u);
+  EXPECT_GT(h.count(Method::kStaged), 0u);
+  EXPECT_EQ(h.count(Method::kCudaAwareMpi), 0u);
+  for (const auto& t : plan.transfers()) {
+    switch (t.method) {
+      case Method::kKernel:
+        EXPECT_TRUE(t.self());
+        break;
+      case Method::kPeer:
+        EXPECT_EQ(t.src_rank, t.dst_rank);
+        break;
+      case Method::kColocated:
+        EXPECT_NE(t.src_rank, t.dst_rank);
+        EXPECT_EQ(t.src_gpu / 6, t.dst_gpu / 6);
+        break;
+      case Method::kStaged:
+      case Method::kCudaAwareMpi:
+        EXPECT_NE(t.src_gpu / 6, t.dst_gpu / 6);
+        break;
+    }
+  }
+}
+
+TEST(ExchangePlan, StagedOnlyUsesMpiForEverything) {
+  const auto p = make_placement({720, 720, 720}, 1, PlacementStrategy::kTrivial);
+  const auto plan = ExchangePlan::full(p, 1, MethodFlags::kStaged, Neighborhood::kFull);
+  for (const auto& t : plan.transfers()) EXPECT_EQ(t.method, Method::kStaged);
+}
+
+TEST(ExchangePlan, CudaAwarePreferredWhenEnabled) {
+  const auto p = make_placement({720, 720, 720}, 2, PlacementStrategy::kTrivial);
+  const auto plan = ExchangePlan::full(
+      p, 6, MethodFlags::kStaged | MethodFlags::kCudaAwareMpi, Neighborhood::kFull);
+  for (const auto& t : plan.transfers()) EXPECT_EQ(t.method, Method::kCudaAwareMpi);
+}
+
+TEST(ExchangePlan, KernelOnlyForSelfExchange) {
+  // A domain one subdomain wide in z self-exchanges in z with wrap.
+  HierarchicalPartition hp({400, 400, 40}, 1, 6);
+  Placement p(hp, stencil::topo::summit(), 1, 4, Neighborhood::kFull,
+              PlacementStrategy::kTrivial);
+  ASSERT_EQ(hp.global_extent().z, 1);
+  const auto plan = ExchangePlan::full(p, 1, MethodFlags::kAll, Neighborhood::kFull);
+  int kernels = 0;
+  for (const auto& t : plan.transfers()) {
+    if (t.method == Method::kKernel) {
+      EXPECT_TRUE(t.self());
+      ++kernels;
+    }
+  }
+  EXPECT_GT(kernels, 0);
+}
+
+TEST(ExchangePlan, ForRankCoversExactlyItsTransfers) {
+  const auto p = make_placement({720, 720, 720}, 2, PlacementStrategy::kNodeAware);
+  const auto full = ExchangePlan::full(p, 6, MethodFlags::kAll, Neighborhood::kFull);
+  for (int rank = 0; rank < 12; ++rank) {
+    const auto mine = ExchangePlan::for_rank(p, rank, 6, MethodFlags::kAll, Neighborhood::kFull);
+    std::size_t expected = 0;
+    for (const auto& t : full.transfers()) {
+      if (t.src_rank == rank || t.dst_rank == rank) ++expected;
+    }
+    EXPECT_EQ(mine.transfers().size(), expected) << "rank " << rank;
+    for (const auto& t : mine.transfers()) {
+      EXPECT_TRUE(t.src_rank == rank || t.dst_rank == rank);
+    }
+  }
+}
+
+TEST(ExchangePlan, TagsUniquePerSourceAndDirection) {
+  const auto p = make_placement({720, 720, 720}, 2, PlacementStrategy::kNodeAware);
+  const auto full = ExchangePlan::full(p, 6, MethodFlags::kAll, Neighborhood::kFull);
+  std::set<int> tags;
+  for (const auto& t : full.transfers()) {
+    EXPECT_TRUE(tags.insert(t.tag).second) << "duplicate tag " << t.tag;
+  }
+}

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "qap/qap.h"
+
+namespace qap = stencil::qap;
+
+namespace {
+
+qap::SquareMatrix random_matrix(int n, unsigned seed, bool symmetric) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(0.0, 10.0);
+  qap::SquareMatrix m(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (symmetric && j < i) {
+        m.at(i, j) = m.at(j, i);
+      } else {
+        m.at(i, j) = dist(rng);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+TEST(Qap, CostOfIdentity) {
+  qap::SquareMatrix w(2), d(2);
+  w.at(0, 1) = 3;
+  w.at(1, 0) = 3;
+  d.at(0, 1) = 2;
+  d.at(1, 0) = 2;
+  EXPECT_DOUBLE_EQ(qap::cost(w, d, {0, 1}), 12.0);
+  EXPECT_DOUBLE_EQ(qap::cost(w, d, {1, 0}), 12.0);  // symmetric 2x2: same
+}
+
+TEST(Qap, IsPermutation) {
+  EXPECT_TRUE(qap::is_permutation({2, 0, 1}, 3));
+  EXPECT_FALSE(qap::is_permutation({0, 0, 1}, 3));
+  EXPECT_FALSE(qap::is_permutation({0, 1}, 3));
+  EXPECT_FALSE(qap::is_permutation({0, 1, 3}, 3));
+}
+
+TEST(Qap, ExhaustiveFindsKnownOptimum) {
+  // Facilities 0-1 exchange heavily; locations 0-1 are close. Any optimal
+  // assignment must co-locate the heavy pair on the close pair.
+  qap::SquareMatrix w(4), d(4);
+  w.at(0, 1) = w.at(1, 0) = 100;
+  w.at(2, 3) = w.at(3, 2) = 1;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i != j) d.at(i, j) = 10;
+    }
+  }
+  d.at(0, 1) = d.at(1, 0) = 1;
+  const auto f = qap::solve_exhaustive(w, d);
+  ASSERT_TRUE(qap::is_permutation(f, 4));
+  const bool heavy_on_close = (f[0] == 0 && f[1] == 1) || (f[0] == 1 && f[1] == 0);
+  EXPECT_TRUE(heavy_on_close) << f[0] << f[1] << f[2] << f[3];
+}
+
+TEST(Qap, WorstIsAtLeastBest) {
+  const auto w = random_matrix(5, 7, true);
+  const auto d = random_matrix(5, 11, true);
+  const auto best = qap::solve_exhaustive(w, d);
+  const auto worst = qap::solve_worst(w, d);
+  EXPECT_LE(qap::cost(w, d, best), qap::cost(w, d, worst));
+}
+
+TEST(Qap, ExhaustiveCapGuards) {
+  qap::SquareMatrix big(11);
+  EXPECT_THROW(qap::solve_exhaustive(big, big), std::invalid_argument);
+}
+
+TEST(Qap, MismatchedSizesRejected) {
+  qap::SquareMatrix w(3), d(4);
+  EXPECT_THROW(qap::solve_exhaustive(w, d), std::invalid_argument);
+  EXPECT_THROW(qap::solve_greedy_2swap(w, d), std::invalid_argument);
+}
+
+// Property sweep: on random instances, greedy+2swap yields a valid
+// permutation no better than impossible (>= exhaustive optimum) and never
+// worse than the worst assignment.
+class QapProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(QapProperty, GreedyBoundedByExhaustive) {
+  const unsigned seed = GetParam();
+  const int n = 3 + static_cast<int>(seed % 5);  // 3..7 facilities
+  const auto w = random_matrix(n, seed, true);
+  const auto d = random_matrix(n, seed + 1000, true);
+  const auto best = qap::solve_exhaustive(w, d);
+  const auto worst = qap::solve_worst(w, d);
+  const auto greedy = qap::solve_greedy_2swap(w, d);
+  ASSERT_TRUE(qap::is_permutation(greedy, n));
+  EXPECT_GE(qap::cost(w, d, greedy) + 1e-9, qap::cost(w, d, best));
+  EXPECT_LE(qap::cost(w, d, greedy) - 1e-9, qap::cost(w, d, worst));
+}
+
+TEST_P(QapProperty, GreedyIsTwoSwapLocalOptimum) {
+  const unsigned seed = GetParam();
+  const int n = 3 + static_cast<int>(seed % 5);
+  const auto w = random_matrix(n, seed * 3 + 1, false);
+  const auto d = random_matrix(n, seed * 5 + 2, false);
+  auto f = qap::solve_greedy_2swap(w, d);
+  const double c = qap::cost(w, d, f);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      std::swap(f[static_cast<std::size_t>(i)], f[static_cast<std::size_t>(j)]);
+      EXPECT_GE(qap::cost(w, d, f) + 1e-9, c) << "swap " << i << "," << j << " improves";
+      std::swap(f[static_cast<std::size_t>(i)], f[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QapProperty, ::testing::Range(0u, 20u));

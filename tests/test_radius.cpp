@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/distributed_domain.h"
+#include "core/radius.h"
+#include "core/region.h"
+#include "topo/archetype.h"
+
+using stencil::Boundary;
+using stencil::Cluster;
+using stencil::Dim3;
+using stencil::DistributedDomain;
+using stencil::MethodFlags;
+using stencil::Neighborhood;
+using stencil::Radius;
+using stencil::RankCtx;
+using stencil::Region3;
+
+TEST(Radius, UniformConstruction) {
+  const Radius r = 3;  // implicit from int
+  EXPECT_TRUE(r.is_uniform());
+  EXPECT_EQ(r.max(), 3);
+  EXPECT_EQ(r.min(), 3);
+  EXPECT_EQ(r.neg(0), 3);
+  EXPECT_EQ(r.pos(2), 3);
+  EXPECT_EQ(r.padding(), (Dim3{6, 6, 6}));
+  EXPECT_EQ(r.offsets(), (Dim3{3, 3, 3}));
+  EXPECT_EQ(Radius::uniform(3), r);
+}
+
+TEST(Radius, AsymmetricConstruction) {
+  const Radius r = Radius::faces(2, 0, 1, 1, 0, 3);
+  EXPECT_FALSE(r.is_uniform());
+  EXPECT_EQ(r.neg(0), 2);
+  EXPECT_EQ(r.pos(0), 0);
+  EXPECT_EQ(r.neg(1), 1);
+  EXPECT_EQ(r.pos(2), 3);
+  EXPECT_EQ(r.max(), 3);
+  EXPECT_EQ(r.min(), 0);
+  EXPECT_EQ(r.padding(), (Dim3{2, 2, 3}));
+  EXPECT_EQ(r.offsets(), (Dim3{2, 1, 0}));
+}
+
+TEST(Radius, SlabWidthFollowsReceiverSide) {
+  const Radius r = Radius::faces(2, 1, 0, 0, 0, 0);
+  // Data moving in +x fills the receiver's negative-face halo: width 2.
+  EXPECT_EQ(r.slab_width(0, 1), 2);
+  // Data moving in -x fills the receiver's positive-face halo: width 1.
+  EXPECT_EQ(r.slab_width(0, -1), 1);
+  EXPECT_EQ(r.slab_width(1, 1), 0);
+}
+
+TEST(Radius, AsymmetricSlabGeometry) {
+  const Radius r = Radius::faces(2, 1, 3, 3, 0, 0);
+  const Dim3 sz{10, 10, 10};
+  // +x transfer: receiver's xm = 2 cells; sender sends its top 2 x-layers.
+  const Region3 s = stencil::interior_slab(sz, {1, 0, 0}, r);
+  EXPECT_EQ(s.origin, (Dim3{8, 0, 0}));
+  EXPECT_EQ(s.extent, (Dim3{2, 10, 10}));
+  const Region3 h = stencil::halo_slab(sz, {1, 0, 0}, r);
+  EXPECT_EQ(h.origin, (Dim3{-2, 0, 0}));
+  // -x transfer: receiver's xp = 1.
+  EXPECT_EQ(stencil::interior_slab(sz, {-1, 0, 0}, r).extent, (Dim3{1, 10, 10}));
+  EXPECT_EQ(stencil::halo_slab(sz, {-1, 0, 0}, r).origin, (Dim3{10, 0, 0}));
+  // z transfers carry nothing.
+  EXPECT_EQ(stencil::halo_volume(sz, {0, 0, 1}, r), 0);
+  // Diagonal: width per non-zero axis.
+  EXPECT_EQ(stencil::halo_volume(sz, {1, -1, 0}, r), 2 * 3 * 10);
+}
+
+TEST(Radius, ValidationInDomain) {
+  Cluster cluster(stencil::topo::summit(), 1, 1);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {32, 32, 32});
+    EXPECT_THROW(dd.set_radius(Radius::faces(-1, 1, 1, 1, 1, 1)), std::invalid_argument);
+    EXPECT_THROW(dd.set_radius(Radius::faces(0, 0, 0, 0, 0, 0)), std::invalid_argument);
+    EXPECT_NO_THROW(dd.set_radius(Radius::faces(2, 0, 0, 0, 0, 0)));  // upwind-x only
+  });
+}
+
+namespace {
+float coord_value(Dim3 g) { return static_cast<float>(g.x + 131 * g.y + 131 * 131 * g.z); }
+constexpr float kSentinel = -4444.0f;
+}  // namespace
+
+TEST(Radius, AsymmetricExchangeFillsExactlyTheRequestedHalos) {
+  // Upwind-style: read 2 cells of the -x neighbor and 1 cell of +y; no z
+  // halo at all. Only the matching transfers may move data.
+  const Radius r = Radius::faces(/*xm=*/2, /*xp=*/0, /*ym=*/0, /*yp=*/1, /*zm=*/0, /*zp=*/0);
+  Cluster cluster(stencil::topo::summit(), 1, 3);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {24, 18, 12});
+    dd.set_radius(r);
+    dd.add_data<float>("q");
+    dd.set_methods(MethodFlags::kAll);
+    dd.realize();
+
+    dd.for_each_subdomain([&](stencil::LocalDomain& ld) {
+      auto v = ld.view<float>(0);
+      const Dim3 o = ld.origin();
+      const Dim3 s = ld.size();
+      for (std::int64_t z = -r.neg(2); z < s.z + r.pos(2); ++z)
+        for (std::int64_t y = -r.neg(1); y < s.y + r.pos(1); ++y)
+          for (std::int64_t x = -r.neg(0); x < s.x + r.pos(0); ++x) {
+            v(x, y, z) = Dim3{x, y, z}.inside(s) ? coord_value({o.x + x, o.y + y, o.z + z})
+                                                 : kSentinel;
+          }
+    });
+
+    ctx.comm.barrier();
+    dd.exchange();
+    ctx.comm.barrier();
+
+    dd.for_each_subdomain([&](stencil::LocalDomain& ld) {
+      auto v = ld.view<float>(0);
+      const Dim3 o = ld.origin();
+      const Dim3 s = ld.size();
+      for (std::int64_t z = -r.neg(2); z < s.z + r.pos(2); ++z)
+        for (std::int64_t y = -r.neg(1); y < s.y + r.pos(1); ++y)
+          for (std::int64_t x = -r.neg(0); x < s.x + r.pos(0); ++x) {
+            if (Dim3{x, y, z}.inside(s)) continue;
+            const Dim3 g = Dim3{o.x + x, o.y + y, o.z + z}.wrap(dd.domain());
+            EXPECT_EQ(v(x, y, z), coord_value(g))
+                << "halo [" << x << "," << y << "," << z << "] of subdomain "
+                << ld.index().str();
+          }
+    });
+  });
+}
+
+TEST(Radius, AsymmetricMovesLessDataThanUniform) {
+  auto run = [](Radius r) {
+    Cluster cluster(stencil::topo::summit(), 2, 6);
+    cluster.set_mem_mode(stencil::vgpu::MemMode::kPhantom);
+    std::vector<double> t(12, 0.0);
+    cluster.run([&](RankCtx& ctx) {
+      DistributedDomain dd(ctx, {300, 300, 300});
+      dd.set_radius(r);
+      dd.add_data<float>("q");
+      dd.set_methods(MethodFlags::kAll);
+      dd.realize();
+      ctx.comm.barrier();
+      const double t0 = ctx.comm.wtime();
+      dd.exchange();
+      ctx.comm.barrier();
+      t[static_cast<std::size_t>(ctx.rank())] = ctx.comm.wtime() - t0;
+    });
+    return *std::max_element(t.begin(), t.end());
+  };
+  EXPECT_LT(run(Radius::faces(2, 0, 2, 0, 2, 0)), run(Radius::uniform(2)));
+}
+
+TEST(Radius, StorageMatchesPadding) {
+  Cluster cluster(stencil::topo::summit(), 1, 6);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {30, 30, 30});
+    dd.set_radius(Radius::faces(2, 1, 0, 3, 1, 0));
+    dd.add_data<float>("q");
+    dd.realize();
+    dd.for_each_subdomain([&](stencil::LocalDomain& ld) {
+      EXPECT_EQ(ld.storage(), ld.size() + (Dim3{3, 3, 1}));
+    });
+  });
+}

@@ -1,0 +1,153 @@
+// Selective-quantity exchange: only the listed quantities move; the rest
+// keep whatever was in their halos, and the traffic shrinks accordingly.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/distributed_domain.h"
+#include "topo/archetype.h"
+
+using stencil::Cluster;
+using stencil::Dim3;
+using stencil::DistributedDomain;
+using stencil::MethodFlags;
+using stencil::RankCtx;
+
+namespace {
+
+float coord_value(Dim3 g, std::size_t q) {
+  return static_cast<float>(g.x + 131 * g.y + 131 * 131 * g.z) + 4.0e6f * static_cast<float>(q);
+}
+constexpr float kSentinel = -1234.5f;
+
+void fill_with_sentinel_halos(DistributedDomain& dd, std::size_t nq) {
+  const int r = dd.radius().max();
+  dd.for_each_subdomain([&](stencil::LocalDomain& ld) {
+    for (std::size_t q = 0; q < nq; ++q) {
+      auto v = ld.view<float>(q);
+      const Dim3 o = ld.origin();
+      const Dim3 s = ld.size();
+      for (std::int64_t z = -r; z < s.z + r; ++z)
+        for (std::int64_t y = -r; y < s.y + r; ++y)
+          for (std::int64_t x = -r; x < s.x + r; ++x) {
+            v(x, y, z) = Dim3{x, y, z}.inside(s) ? coord_value({o.x + x, o.y + y, o.z + z}, q)
+                                                 : kSentinel;
+          }
+    }
+  });
+}
+
+void check_halo_state(DistributedDomain& dd, std::size_t q, bool expect_exchanged) {
+  const int r = dd.radius().max();
+  dd.for_each_subdomain([&](stencil::LocalDomain& ld) {
+    auto v = ld.view<float>(q);
+    const Dim3 o = ld.origin();
+    const Dim3 s = ld.size();
+    for (std::int64_t z = -r; z < s.z + r; ++z)
+      for (std::int64_t y = -r; y < s.y + r; ++y)
+        for (std::int64_t x = -r; x < s.x + r; ++x) {
+          if (Dim3{x, y, z}.inside(s)) continue;
+          const float got = v(x, y, z);
+          if (expect_exchanged) {
+            const Dim3 g = Dim3{o.x + x, o.y + y, o.z + z}.wrap(dd.domain());
+            ASSERT_EQ(got, coord_value(g, q)) << "q" << q << " [" << x << "," << y << "," << z
+                                              << "] of " << ld.index().str();
+          } else {
+            ASSERT_EQ(got, kSentinel) << "q" << q << " halo was touched at [" << x << "," << y
+                                      << "," << z << "]";
+          }
+        }
+  });
+}
+
+}  // namespace
+
+TEST(SelectiveExchange, OnlyListedQuantitiesMove) {
+  for (const bool aggregated : {false, true}) {
+    Cluster cluster(stencil::topo::summit(), 2, 3);
+    cluster.run([&](RankCtx& ctx) {
+      DistributedDomain dd(ctx, {23, 17, 11});
+      dd.set_radius(1);
+      dd.add_data<float>("a");  // 0: exchanged
+      dd.add_data<float>("b");  // 1: not exchanged
+      dd.add_data<float>("c");  // 2: exchanged
+      dd.set_methods(MethodFlags::kAll);
+      dd.set_remote_aggregation(aggregated);
+      dd.realize();
+      fill_with_sentinel_halos(dd, 3);
+      ctx.comm.barrier();
+      dd.exchange({0, 2});
+      ctx.comm.barrier();
+      check_halo_state(dd, 0, true);
+      check_halo_state(dd, 1, false);
+      check_halo_state(dd, 2, true);
+    });
+  }
+}
+
+TEST(SelectiveExchange, ValidatesIndices) {
+  Cluster cluster(stencil::topo::summit(), 1, 1);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {24, 24, 24});
+    dd.add_data<float>("a");
+    dd.add_data<float>("b");
+    dd.realize();
+    EXPECT_THROW(dd.exchange({}), std::invalid_argument);
+    EXPECT_THROW(dd.exchange({2}), std::invalid_argument);
+    EXPECT_THROW(dd.exchange({1, 0}), std::invalid_argument);  // must be increasing
+    EXPECT_THROW(dd.exchange({0, 0}), std::invalid_argument);  // must be unique
+    EXPECT_NO_THROW(dd.exchange({1}));
+  });
+}
+
+TEST(SelectiveExchange, SubsetIsProportionallyCheaper) {
+  auto timed = [](const std::vector<std::size_t>& qs) {
+    Cluster cluster(stencil::topo::summit(), 1, 6);
+    cluster.set_mem_mode(stencil::vgpu::MemMode::kPhantom);
+    double t = 0.0;
+    cluster.run([&](RankCtx& ctx) {
+      DistributedDomain dd(ctx, {720, 720, 720});
+      dd.set_radius(3);
+      for (int q = 0; q < 4; ++q) dd.add_data<float>("q" + std::to_string(q));
+      dd.set_methods(MethodFlags::kAll);
+      dd.realize();
+      ctx.comm.barrier();
+      const double t0 = ctx.comm.wtime();
+      dd.exchange(qs);
+      ctx.comm.barrier();
+      if (ctx.rank() == 0) t = ctx.comm.wtime() - t0;
+    });
+    return t;
+  };
+  const double one = timed({0});
+  const double all = timed({0, 1, 2, 3});
+  EXPECT_LT(one, all);
+  EXPECT_GT(one, all / 8.0);  // latency floor keeps it above a strict 1/4
+}
+
+TEST(SelectiveExchange, AlternatingSubsetsStayCorrect) {
+  Cluster cluster(stencil::topo::summit(), 1, 2);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {20, 16, 12});
+    dd.set_radius(1);
+    dd.add_data<float>("a");
+    dd.add_data<float>("b");
+    dd.set_methods(MethodFlags::kAll);
+    dd.realize();
+    for (int it = 0; it < 3; ++it) {
+      fill_with_sentinel_halos(dd, 2);
+      ctx.comm.barrier();
+      const std::size_t q = static_cast<std::size_t>(it % 2);
+      dd.exchange({q});
+      ctx.comm.barrier();
+      check_halo_state(dd, q, true);
+      check_halo_state(dd, 1 - q, false);
+    }
+    // And a final full exchange restores both.
+    fill_with_sentinel_halos(dd, 2);
+    ctx.comm.barrier();
+    dd.exchange();
+    ctx.comm.barrier();
+    check_halo_state(dd, 0, true);
+    check_halo_state(dd, 1, true);
+  });
+}

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "simpi/mpi.h"
+
+namespace sim = stencil::sim;
+namespace topo = stencil::topo;
+namespace vgpu = stencil::vgpu;
+namespace simpi = stencil::simpi;
+
+namespace {
+
+struct World {
+  sim::Engine eng;
+  topo::Machine machine;
+  vgpu::Runtime runtime;
+  simpi::Job job;
+  World(int nodes, int ranks_per_node, topo::NodeArchetype arch = topo::summit())
+      : machine(std::move(arch), nodes), runtime(eng, machine), job(eng, machine, runtime, ranks_per_node) {}
+};
+
+}  // namespace
+
+TEST(Simpi, WorldShape) {
+  World w(4, 6);
+  EXPECT_EQ(w.job.world_size(), 24);
+  EXPECT_EQ(w.job.node_of_rank(0), 0);
+  EXPECT_EQ(w.job.node_of_rank(7), 1);
+  EXPECT_EQ(w.job.node_of_rank(23), 3);
+}
+
+TEST(Simpi, RanksMustDivideGpus) {
+  sim::Engine eng;
+  topo::Machine m(topo::summit(), 1);
+  vgpu::Runtime rt(eng, m);
+  EXPECT_THROW(simpi::Job(eng, m, rt, 4), std::invalid_argument);  // 6 % 4 != 0
+  EXPECT_THROW(simpi::Job(eng, m, rt, 0), std::invalid_argument);
+}
+
+TEST(Simpi, SendRecvMovesHostData) {
+  World w(1, 2);
+  w.job.run([](simpi::Comm& comm) {
+    int value = -1;
+    if (comm.rank() == 0) {
+      int payload = 42;
+      comm.send(simpi::Payload::of_values(&payload, 1), 1, 7);
+    } else {
+      comm.recv(simpi::Payload::of_values(&value, 1), 0, 7);
+      EXPECT_EQ(value, 42);
+    }
+  });
+}
+
+TEST(Simpi, NonBlockingOverlap) {
+  World w(1, 2);
+  w.job.run([](simpi::Comm& comm) {
+    std::vector<int> data(1024);
+    if (comm.rank() == 0) {
+      std::iota(data.begin(), data.end(), 0);
+      auto r1 = comm.isend(simpi::Payload::of_values(data.data(), 512), 1, 1);
+      auto r2 = comm.isend(simpi::Payload::of_values(data.data() + 512, 512), 1, 2);
+      comm.wait(r1);
+      comm.wait(r2);
+    } else {
+      std::vector<int> a(512), b(512);
+      auto r2 = comm.irecv(simpi::Payload::of_values(b.data(), 512), 0, 2);
+      auto r1 = comm.irecv(simpi::Payload::of_values(a.data(), 512), 0, 1);
+      comm.wait(r1);
+      comm.wait(r2);
+      EXPECT_EQ(a[0], 0);
+      EXPECT_EQ(a[511], 511);
+      EXPECT_EQ(b[0], 512);
+      EXPECT_EQ(b[511], 1023);
+    }
+  });
+}
+
+TEST(Simpi, TagMatchingIsExact) {
+  World w(1, 2);
+  w.job.run([](simpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      int x = 1, y = 2;
+      // Send in the "wrong" order relative to the recv posts.
+      comm.send(simpi::Payload::of_values(&y, 1), 1, 20);
+      comm.send(simpi::Payload::of_values(&x, 1), 1, 10);
+    } else {
+      int a = 0, b = 0;
+      comm.recv(simpi::Payload::of_values(&a, 1), 0, 10);
+      comm.recv(simpi::Payload::of_values(&b, 1), 0, 20);
+      EXPECT_EQ(a, 1);
+      EXPECT_EQ(b, 2);
+    }
+  });
+}
+
+TEST(Simpi, PerTagOrderingPreserved) {
+  // Messages with the same (src, tag) arrive in post order.
+  World w(1, 2);
+  w.job.run([](simpi::Comm& comm) {
+    constexpr int kN = 16;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kN; ++i) {
+        int v = i;
+        comm.send(simpi::Payload::of_values(&v, 1), 1, 5);
+      }
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        int v = -1;
+        comm.recv(simpi::Payload::of_values(&v, 1), 0, 5);
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(Simpi, TruncationDetected) {
+  World w(1, 2);
+  EXPECT_THROW(w.job.run([](simpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> big(8);
+      comm.send(simpi::Payload::of_values(big.data(), 8), 1, 0);
+    } else {
+      int small = 0;
+      comm.recv(simpi::Payload::of_values(&small, 1), 0, 0);
+    }
+  }),
+               std::runtime_error);
+}
+
+TEST(Simpi, MismatchedTagsDeadlock) {
+  World w(1, 2);
+  EXPECT_THROW(w.job.run([](simpi::Comm& comm) {
+    int v = 0;
+    if (comm.rank() == 0) {
+      comm.recv(simpi::Payload::of_values(&v, 1), 1, 1);
+    } else {
+      comm.recv(simpi::Payload::of_values(&v, 1), 0, 2);
+    }
+  }),
+               sim::DeadlockError);
+}
+
+TEST(Simpi, IntraNodeFasterThanInterNode) {
+  // The same message size takes longer across nodes than within a node.
+  sim::Duration intra = 0, inter = 0;
+  {
+    World w(1, 2);
+    w.job.run([&](simpi::Comm& comm) {
+      std::vector<char> buf(8 << 20);
+      const double t0 = comm.wtime();
+      if (comm.rank() == 0) {
+        comm.send(simpi::Payload::of_values(buf.data(), buf.size()), 1, 0);
+      } else {
+        comm.recv(simpi::Payload::of_values(buf.data(), buf.size()), 0, 0);
+      }
+      if (comm.rank() == 1) intra = sim::from_seconds(comm.wtime() - t0);
+    });
+  }
+  {
+    World w(2, 1);
+    w.job.run([&](simpi::Comm& comm) {
+      std::vector<char> buf(8 << 20);
+      const double t0 = comm.wtime();
+      if (comm.rank() == 0) {
+        comm.send(simpi::Payload::of_values(buf.data(), buf.size()), 1, 0);
+      } else {
+        comm.recv(simpi::Payload::of_values(buf.data(), buf.size()), 0, 0);
+      }
+      if (comm.rank() == 1) inter = sim::from_seconds(comm.wtime() - t0);
+    });
+  }
+  EXPECT_GT(intra, 0);
+  EXPECT_GT(inter, 0);
+  // Summit model: shared-memory copy at 10 GiB/s vs NIC at 22 GiB/s, but the
+  // NIC path pays two hops + higher latency; with these sizes intra is
+  // slower per-copy but inter contends with nothing here. Just require both
+  // are sane and different.
+  EXPECT_NE(intra, inter);
+}
+
+TEST(Simpi, BarrierSynchronizesAllRanks) {
+  World w(2, 3);
+  w.job.run([](simpi::Comm& comm) {
+    auto* eng = sim::Engine::current();
+    // Stagger arrivals; everyone leaves at (or after) the latest arrival.
+    eng->sleep_for(comm.rank() * 100 * sim::kMicrosecond);
+    comm.barrier();
+    EXPECT_GE(eng->now(), 5 * 100 * sim::kMicrosecond);
+  });
+}
+
+TEST(Simpi, BarrierReusable) {
+  World w(1, 6);
+  w.job.run([](simpi::Comm& comm) {
+    for (int i = 0; i < 5; ++i) {
+      comm.barrier();
+    }
+    SUCCEED();
+  });
+}
+
+TEST(Simpi, AllgatherCollectsRankMajor) {
+  World w(2, 2);
+  w.job.run([](simpi::Comm& comm) {
+    const int mine = comm.rank() * 11;
+    std::vector<int> all(static_cast<std::size_t>(comm.size()), -1);
+    comm.allgather(&mine, all.data(), sizeof(int));
+    for (int r = 0; r < comm.size(); ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 11);
+  });
+}
+
+TEST(Simpi, SplitByNode) {
+  World w(2, 3);
+  w.job.run([](simpi::Comm& comm) {
+    simpi::Comm local = comm.split(comm.node(), comm.rank());
+    EXPECT_EQ(local.size(), 3);
+    EXPECT_EQ(local.world_rank(), comm.world_rank());
+    EXPECT_EQ(local.rank(), comm.rank() % 3);
+  });
+}
+
+TEST(Simpi, DevicePayloadRequiresCudaAware) {
+  World w(1, 2, topo::pcie_box(2));
+  EXPECT_THROW(w.job.run([&w](simpi::Comm& comm) {
+    auto buf = w.runtime.alloc_device(comm.rank(), 64);
+    if (comm.rank() == 0) {
+      comm.send(simpi::Payload::of(buf, 0, 64), 1, 0);
+    } else {
+      comm.recv(simpi::Payload::of(buf, 0, 64), 0, 0);
+    }
+  }),
+               std::runtime_error);
+}
+
+TEST(Simpi, CudaAwareDeviceToDeviceMovesBytes) {
+  World w(1, 2);
+  w.job.run([&w](simpi::Comm& comm) {
+    auto buf = w.runtime.alloc_device(comm.rank() * 3, 4096);  // GPUs 0 and 3
+    if (comm.rank() == 0) {
+      std::memset(buf.data(), 0x3C, buf.size());
+      comm.send(simpi::Payload::of(buf, 0, 4096), 1, 0);
+    } else {
+      std::memset(buf.data(), 0, buf.size());
+      comm.recv(simpi::Payload::of(buf, 0, 4096), 0, 0);
+      EXPECT_EQ(buf.as<std::uint8_t>()[4095], 0x3C);
+    }
+  });
+}
+
+TEST(Simpi, CudaAwarePoisonsDefaultStream) {
+  // After a CUDA-aware message involving a device, application streams on
+  // that device serialize behind the MPI library's default-stream work.
+  World w(1, 2);
+  w.job.run([&w](simpi::Comm& comm) {
+    auto buf = w.runtime.alloc_device(comm.rank() * 3, 32 << 20);
+    if (comm.rank() == 0) {
+      comm.send(simpi::Payload::of(buf, 0, buf.size()), 1, 0);
+      auto s = w.runtime.create_stream(0);
+      const sim::Time before = sim::Engine::current()->now();
+      w.runtime.launch_kernel(s, 0, "after-mpi", nullptr);
+      EXPECT_GE(w.runtime.stream_frontier(s), before);
+      EXPECT_GE(w.runtime.stream_frontier(s), w.runtime.device_frontier(0));
+    } else {
+      comm.recv(simpi::Payload::of(buf, 0, buf.size()), 0, 0);
+    }
+  });
+}
+
+TEST(Simpi, WtimeMonotonic) {
+  World w(1, 1);
+  w.job.run([](simpi::Comm& comm) {
+    const double a = comm.wtime();
+    sim::Engine::current()->sleep_for(sim::kMillisecond);
+    const double b = comm.wtime();
+    EXPECT_NEAR(b - a, 1e-3, 1e-9);
+  });
+}
+
+TEST(Simpi, ManyRanksStressDeterminism) {
+  auto run_once = [] {
+    World w(4, 6);  // 24 ranks
+    std::vector<double> times(24, 0.0);
+    w.job.run([&](simpi::Comm& comm) {
+      // Ring exchange: send to the right, receive from the left.
+      const int right = (comm.rank() + 1) % comm.size();
+      const int left = (comm.rank() + comm.size() - 1) % comm.size();
+      std::vector<char> out(1 << 20, static_cast<char>(comm.rank()));
+      std::vector<char> in(1 << 20);
+      for (int iter = 0; iter < 3; ++iter) {
+        auto r = comm.irecv(simpi::Payload::of_values(in.data(), in.size()), left, iter);
+        auto s = comm.isend(simpi::Payload::of_values(out.data(), out.size()), right, iter);
+        comm.wait(r);
+        comm.wait(s);
+        EXPECT_EQ(in[0], static_cast<char>(left));
+      }
+      times[static_cast<std::size_t>(comm.rank())] = comm.wtime();
+    });
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}

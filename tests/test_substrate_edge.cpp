@@ -1,0 +1,253 @@
+// Edge cases across the simulation substrate: engine gates, MPI protocol
+// boundaries, vgpu event/stream interactions, and machine model quirks
+// that the main suites don't reach.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "simpi/mpi.h"
+#include "simtime/engine.h"
+#include "topo/machine.h"
+#include "vgpu/runtime.h"
+
+namespace sim = stencil::sim;
+namespace topo = stencil::topo;
+namespace vgpu = stencil::vgpu;
+namespace simpi = stencil::simpi;
+
+TEST(EngineEdge, NotifyWithoutWaitersIsNoop) {
+  sim::Engine eng;
+  sim::Gate gate("empty");
+  eng.run({[&] {
+    gate.notify_all(eng);  // nothing to wake
+    sim::Engine::current()->sleep_for(10);
+    SUCCEED();
+  }});
+}
+
+TEST(EngineEdge, MultipleGatesIndependent) {
+  sim::Engine eng;
+  sim::Gate a("a"), b("b");
+  int phase = 0;
+  std::vector<int> log;
+  eng.run({[&] {
+             while (phase < 1) a.wait(eng);
+             log.push_back(1);
+             phase = 2;
+             b.notify_all(eng);
+           },
+           [&] {
+             sim::Engine::current()->sleep_for(100);
+             phase = 1;
+             a.notify_all(eng);
+             while (phase < 2) b.wait(eng);
+             log.push_back(2);
+           }});
+  EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(EngineEdge, GateWaiterRewaitsAfterSpuriousNotify) {
+  sim::Engine eng;
+  sim::Gate gate("pred");
+  bool ready = false;
+  int wakes = 0;
+  eng.run({[&] {
+             while (!ready) {
+               gate.wait(eng);
+               ++wakes;
+             }
+             EXPECT_GE(wakes, 2);  // first notify was "spurious"
+           },
+           [&] {
+             auto* e = sim::Engine::current();
+             e->sleep_for(10);
+             gate.notify_all(eng);  // predicate still false
+             e->sleep_for(10);
+             ready = true;
+             gate.notify_all(eng);
+           }});
+}
+
+TEST(EngineEdge, RunAgainAfterError) {
+  sim::Engine eng;
+  EXPECT_THROW(eng.run({[] { throw std::runtime_error("first"); }}), std::runtime_error);
+  // The engine must be reusable after a failed cohort.
+  bool ran = false;
+  eng.run({[&] {
+    sim::Engine::current()->sleep_for(5);
+    ran = true;
+  }});
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimpiEdge, EagerLimitBoundary) {
+  // A send exactly at the eager limit completes immediately; one byte over
+  // requires a matching receive (rendezvous).
+  sim::Engine eng;
+  topo::Machine machine(topo::summit(), 1);
+  vgpu::Runtime rt(eng, machine);
+  simpi::Job job(eng, machine, rt, 2);
+  std::vector<char> at_limit(simpi::Job::kEagerLimit, 1);
+  std::vector<char> over(simpi::Job::kEagerLimit + 1, 2);
+  job.run([&](simpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      auto r1 = comm.isend(simpi::Payload::of_values(at_limit.data(), at_limit.size()), 1, 1);
+      EXPECT_TRUE(comm.test(r1));  // buffered: complete at post time
+      auto r2 = comm.isend(simpi::Payload::of_values(over.data(), over.size()), 1, 2);
+      EXPECT_FALSE(comm.test(r2));  // rendezvous: not matched yet
+      comm.wait(r2);
+    } else {
+      std::vector<char> a(at_limit.size()), b(over.size());
+      sim::Engine::current()->sleep_for(sim::kMillisecond);  // force the sender to wait
+      comm.recv(simpi::Payload::of_values(a.data(), a.size()), 0, 1);
+      comm.recv(simpi::Payload::of_values(b.data(), b.size()), 0, 2);
+      EXPECT_EQ(a[0], 1);
+      EXPECT_EQ(b.back(), 2);
+    }
+  });
+}
+
+TEST(SimpiEdge, SelfMessage) {
+  sim::Engine eng;
+  topo::Machine machine(topo::summit(), 1);
+  vgpu::Runtime rt(eng, machine);
+  simpi::Job job(eng, machine, rt, 1);
+  job.run([&](simpi::Comm& comm) {
+    double out = 3.25, in = 0.0;
+    auto r = comm.irecv(simpi::Payload::of_values(&in, 1), 0, 9);
+    comm.send(simpi::Payload::of_values(&out, 1), 0, 9);
+    comm.wait(r);
+    EXPECT_EQ(in, 3.25);
+  });
+}
+
+TEST(SimpiEdge, WaitAnyReturnsEachOnceThenMinusOne) {
+  sim::Engine eng;
+  topo::Machine machine(topo::summit(), 1);
+  vgpu::Runtime rt(eng, machine);
+  simpi::Job job(eng, machine, rt, 2);
+  job.run([&](simpi::Comm& comm) {
+    constexpr int kN = 4;
+    if (comm.rank() == 0) {
+      std::vector<std::vector<char>> bufs(kN, std::vector<char>(128 << 10));
+      std::vector<simpi::Request> reqs;
+      for (int i = 0; i < kN; ++i) {
+        reqs.push_back(
+            comm.irecv(simpi::Payload::of_values(bufs[static_cast<std::size_t>(i)].data(),
+                                                 bufs[static_cast<std::size_t>(i)].size()),
+                       1, i));
+      }
+      std::set<int> seen;
+      for (int k = 0; k < kN; ++k) {
+        const int i = comm.wait_any(reqs);
+        ASSERT_GE(i, 0);
+        EXPECT_TRUE(seen.insert(i).second) << "wait_any returned " << i << " twice";
+        EXPECT_FALSE(reqs[static_cast<std::size_t>(i)].valid());  // REQUEST_NULL semantics
+      }
+      EXPECT_EQ(comm.wait_any(reqs), -1);
+    } else {
+      std::vector<char> buf(128 << 10, 'x');
+      for (int i = kN - 1; i >= 0; --i) {  // reverse order: matching is by tag
+        comm.send(simpi::Payload::of_values(buf.data(), buf.size()), 0, i);
+      }
+    }
+  });
+}
+
+TEST(SimpiEdge, WaitAllToleratesInvalidEntries) {
+  sim::Engine eng;
+  topo::Machine machine(topo::summit(), 1);
+  vgpu::Runtime rt(eng, machine);
+  simpi::Job job(eng, machine, rt, 1);
+  job.run([&](simpi::Comm& comm) {
+    std::vector<simpi::Request> reqs(3);  // all invalid
+    EXPECT_NO_THROW(comm.waitall(reqs));
+    (void)comm;
+  });
+}
+
+TEST(VgpuEdge, EventAcrossDevicesOrdersStreams) {
+  sim::Engine eng;
+  topo::Machine machine(topo::summit(), 1);
+  vgpu::Runtime rt(eng, machine);
+  eng.run({[&] {
+    auto s0 = rt.create_stream(0);
+    auto s5 = rt.create_stream(5);  // other socket
+    rt.launch_kernel(s0, 128 << 20, "producer", nullptr);
+    vgpu::Event ev;
+    rt.record_event(ev, s0);
+    rt.stream_wait_event(s5, ev);  // cross-device waits are legal in CUDA
+    rt.launch_kernel(s5, 1 << 10, "consumer", nullptr);
+    EXPECT_GE(rt.stream_frontier(s5), ev.completed_at);
+  }});
+}
+
+TEST(VgpuEdge, ZeroByteCopyCostsOnlyLatency) {
+  sim::Engine eng;
+  topo::Machine machine(topo::summit(), 1);
+  vgpu::Runtime rt(eng, machine);
+  eng.run({[&] {
+    auto h = rt.alloc_pinned_host(0, 16);
+    auto d = rt.alloc_device(0, 16);
+    auto s = rt.create_stream(0);
+    rt.memcpy_async(d, 0, h, 0, 0, s);
+    rt.stream_synchronize(s);
+    EXPECT_LE(eng.now(), sim::kMillisecond);
+  }});
+}
+
+TEST(VgpuEdge, RecordEventTwiceTakesLatest) {
+  sim::Engine eng;
+  topo::Machine machine(topo::summit(), 1);
+  vgpu::Runtime rt(eng, machine);
+  eng.run({[&] {
+    auto s = rt.create_stream(0);
+    vgpu::Event ev;
+    rt.launch_kernel(s, 1 << 20, "a", nullptr);
+    rt.record_event(ev, s);
+    const sim::Time first = ev.completed_at;
+    rt.launch_kernel(s, 64 << 20, "b", nullptr);
+    rt.record_event(ev, s);
+    EXPECT_GT(ev.completed_at, first);
+  }});
+}
+
+TEST(MachineEdge, XbusDirectionsIndependent) {
+  topo::Machine m(topo::summit(), 1);
+  const std::uint64_t bytes = 256ull << 20;
+  // 0 -> 3 crosses sockets forward, 3 -> 0 backward; independent queues.
+  const auto fwd = m.schedule_d2d(0, 3, bytes, 0);
+  const auto rev = m.schedule_d2d(3, 0, bytes, 0);
+  EXPECT_EQ(fwd.start, rev.start);
+  // A second forward transfer queues behind the first on shared hops.
+  const auto fwd2 = m.schedule_d2d(1, 4, bytes, 0);
+  EXPECT_GT(fwd2.end, fwd.end);
+}
+
+TEST(MachineEdge, StridedEfficiencyAppliesOnlyToRows) {
+  topo::Machine m(topo::summit(), 1);
+  const std::uint64_t bytes = 64ull << 20;
+  const auto long_rows = m.schedule_d2d_strided(0, 1, bytes, 1 << 20, 0);
+  m.reset_resources();
+  const auto dense = m.schedule_d2d(0, 1, bytes, 0);
+  // MiB-long rows are effectively dense.
+  EXPECT_NEAR(static_cast<double>(long_rows.duration()),
+              static_cast<double>(dense.duration()), 0.01 * static_cast<double>(dense.duration()));
+}
+
+TEST(ArchetypeEdge, DgxAllPairsPeer) {
+  const auto a = topo::dgx_like(8);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_TRUE(a.peer_capable(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(ArchetypeEdge, PcieBoxHasNoFastPaths) {
+  const auto a = topo::pcie_box(2);
+  EXPECT_FALSE(a.peer_capable(0, 1));
+  EXPECT_FALSE(a.cuda_aware_mpi);
+  EXPECT_EQ(a.gpu_link(0, 1), topo::LinkType::kPCIe);
+  EXPECT_LT(a.achieved_gpu_bw(0, 1), 10.0);  // staged through PCIe twice
+}

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "topo/archetype.h"
+#include "topo/machine.h"
+
+namespace topo = stencil::topo;
+namespace sim = stencil::sim;
+
+TEST(Archetype, SummitShape) {
+  const auto a = topo::summit();
+  EXPECT_EQ(a.sockets, 2);
+  EXPECT_EQ(a.gpus_per_socket, 3);
+  EXPECT_EQ(a.gpus_per_node(), 6);
+  EXPECT_TRUE(a.cuda_aware_mpi);
+  EXPECT_TRUE(a.peer_within_socket);
+  EXPECT_FALSE(a.peer_across_socket);
+}
+
+TEST(Archetype, SummitLinkTypes) {
+  const auto a = topo::summit();
+  EXPECT_EQ(a.gpu_link(0, 0), topo::LinkType::kSame);
+  EXPECT_EQ(a.gpu_link(0, 1), topo::LinkType::kNVLink);  // same triad
+  EXPECT_EQ(a.gpu_link(0, 2), topo::LinkType::kNVLink);
+  EXPECT_EQ(a.gpu_link(0, 3), topo::LinkType::kXBus);  // across sockets
+  EXPECT_EQ(a.gpu_link(2, 5), topo::LinkType::kXBus);
+  EXPECT_EQ(a.gpu_link(4, 5), topo::LinkType::kNVLink);
+}
+
+TEST(Archetype, SummitBandwidthMatrixMatchesFig10) {
+  const auto a = topo::summit();
+  // In-triad NVLink: 50 GiB/s; cross-socket bottlenecked by CPU links/X-Bus.
+  EXPECT_DOUBLE_EQ(a.theoretical_gpu_bw(0, 1), 50.0);
+  EXPECT_DOUBLE_EQ(a.theoretical_gpu_bw(3, 5), 50.0);
+  EXPECT_LE(a.theoretical_gpu_bw(0, 3), 50.0);
+  EXPECT_GT(a.theoretical_gpu_bw(0, 3), 0.0);
+  // Placement cares that cross-socket < in-triad:
+  EXPECT_GT(a.theoretical_gpu_bw(0, 1), a.theoretical_gpu_bw(0, 3) - 1e-9);
+}
+
+TEST(Archetype, PeerCapability) {
+  const auto a = topo::summit();
+  EXPECT_TRUE(a.peer_capable(0, 1));
+  EXPECT_TRUE(a.peer_capable(1, 2));
+  EXPECT_FALSE(a.peer_capable(0, 3));  // X-Bus: no P2P on Summit
+  EXPECT_TRUE(a.peer_capable(2, 2));
+  const auto d = topo::dgx_like(4);
+  EXPECT_TRUE(d.peer_capable(0, 3));
+  const auto p = topo::pcie_box(2);
+  EXPECT_FALSE(p.peer_capable(0, 1));
+}
+
+TEST(Archetype, AchievedBandwidthBelowTheoretical) {
+  const auto a = topo::summit();
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      if (i == j) continue;
+      EXPECT_LE(a.achieved_gpu_bw(i, j), a.theoretical_gpu_bw(i, j) + 1e-9) << i << "," << j;
+      EXPECT_GT(a.achieved_gpu_bw(i, j), 0.0);
+    }
+  }
+  // Non-peer (cross-socket) pairs lose the most: three store-and-forward
+  // hops instead of one streaming link.
+  EXPECT_LT(a.achieved_gpu_bw(0, 3), 0.5 * a.achieved_gpu_bw(0, 1));
+}
+
+TEST(Archetype, LinkIndexValidation) {
+  const auto a = topo::summit();
+  EXPECT_THROW(a.gpu_link(0, 6), std::out_of_range);
+  EXPECT_THROW(a.gpu_link(-1, 0), std::out_of_range);
+}
+
+TEST(Machine, GlobalGpuNumbering) {
+  topo::Machine m(topo::summit(), 4);
+  EXPECT_EQ(m.total_gpus(), 24);
+  EXPECT_EQ(m.node_of(13), 2);
+  EXPECT_EQ(m.local_of(13), 1);
+  EXPECT_EQ(m.global_gpu(2, 1), 13);
+  EXPECT_TRUE(m.peer_capable(0, 1));
+  EXPECT_FALSE(m.peer_capable(0, 3));   // cross-socket
+  EXPECT_FALSE(m.peer_capable(0, 6));   // cross-node
+}
+
+TEST(Machine, RejectsBadConstruction) {
+  EXPECT_THROW(topo::Machine(topo::summit(), 0), std::invalid_argument);
+  topo::NodeArchetype empty;
+  EXPECT_THROW(topo::Machine(empty, 1), std::invalid_argument);
+}
+
+TEST(Machine, PeerCopyFasterThanCrossSocket) {
+  topo::Machine m(topo::summit(), 1);
+  const std::uint64_t mb64 = 64ull << 20;
+  const auto peer = m.schedule_d2d(0, 1, mb64, 0);
+  const auto cross = m.schedule_d2d(0, 3, mb64, 0);
+  EXPECT_LT(peer.duration(), cross.duration());
+}
+
+TEST(Machine, PeerDisabledFallsBackToStagedPath) {
+  topo::Machine m(topo::summit(), 1);
+  const std::uint64_t mb64 = 64ull << 20;
+  const auto direct = m.schedule_d2d(0, 1, mb64, 0, /*use_peer=*/true);
+  m.reset_resources();
+  const auto staged = m.schedule_d2d(0, 1, mb64, 0, /*use_peer=*/false);
+  EXPECT_LT(direct.duration(), staged.duration());
+}
+
+TEST(Machine, D2dRequiresSameNode) {
+  topo::Machine m(topo::summit(), 2);
+  EXPECT_THROW(m.schedule_d2d(0, 6, 1024, 0), std::logic_error);
+  EXPECT_THROW(m.schedule_internode(0, 0, 1024, 0), std::logic_error);
+}
+
+TEST(Machine, InternodeCutThrough) {
+  topo::Machine m(topo::summit(), 2);
+  const std::uint64_t bytes = 1ull << 30;  // 1 GiB
+  const auto span = m.schedule_internode(0, 1, bytes, 0);
+  const double eff_bw = m.arch().bw_nic * m.arch().eff_nic;
+  const sim::Duration wire = sim::transfer_time(bytes, eff_bw);
+  // Cut-through: close to one wire time, certainly less than two.
+  EXPECT_GE(span.duration(), wire);
+  EXPECT_LT(span.duration(), 2 * wire);
+}
+
+TEST(Machine, NicContentionSerializes) {
+  topo::Machine m(topo::summit(), 3);
+  const std::uint64_t bytes = 1ull << 28;
+  // Two messages leaving node 0 at once contend on its NIC...
+  const auto first = m.schedule_internode(0, 1, bytes, 0);
+  const auto second = m.schedule_internode(0, 2, bytes, 0);
+  EXPECT_GE(second.start, first.start + (first.end - first.start) / 2);
+  m.reset_resources();
+  // ...but messages leaving two different nodes overlap fully.
+  const auto a = m.schedule_internode(0, 2, bytes, 0);
+  const auto b = m.schedule_internode(1, 2, bytes, 0);
+  (void)a;
+  EXPECT_GT(b.end, a.end);  // they do share the destination NIC
+  m.reset_resources();
+  const auto c = m.schedule_internode(0, 1, bytes, 0);
+  const auto d = m.schedule_internode(2, 1, bytes, 0);
+  EXPECT_EQ(c.start, d.start);  // distinct source NICs start together
+}
+
+TEST(Machine, KernelQueueSerializesPerGpu) {
+  topo::Machine m(topo::summit(), 1);
+  const auto k1 = m.schedule_kernel(0, 1 << 20, 0);
+  const auto k2 = m.schedule_kernel(0, 1 << 20, 0);
+  EXPECT_GE(k2.start, k1.end);
+  const auto other = m.schedule_kernel(1, 1 << 20, 0);
+  EXPECT_LT(other.start, k2.end);  // different GPU: no serialization
+}
+
+TEST(Machine, HostLinkDirectionsIndependent) {
+  topo::Machine m(topo::summit(), 1);
+  const std::uint64_t bytes = 1ull << 28;
+  const auto down = m.schedule_h2d(0, bytes, 0);
+  const auto up = m.schedule_d2h(0, bytes, 0);
+  // Full-duplex: both directions stream concurrently.
+  EXPECT_EQ(down.start, up.start);
+}
+
+TEST(Machine, ResetResources) {
+  topo::Machine m(topo::summit(), 1);
+  m.schedule_kernel(0, 1 << 30, 0);
+  EXPECT_GT(m.kernel_queue(0).busy_until(), 0);
+  m.reset_resources();
+  EXPECT_EQ(m.kernel_queue(0).busy_until(), 0);
+}
+
+TEST(Machine, SelfCopyUsesDeviceMemory) {
+  topo::Machine m(topo::summit(), 1);
+  const auto self = m.schedule_d2d(2, 2, 1ull << 30, 0);
+  const auto peer = m.schedule_d2d(0, 1, 1ull << 30, 0);
+  EXPECT_LT(self.duration(), peer.duration());  // HBM is far faster than NVLink
+}

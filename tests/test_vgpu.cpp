@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "simtime/engine.h"
+#include "topo/machine.h"
+#include "vgpu/runtime.h"
+
+namespace sim = stencil::sim;
+namespace topo = stencil::topo;
+namespace vgpu = stencil::vgpu;
+
+namespace {
+
+/// Run `body` as a single simulation actor with a fresh Summit machine.
+template <typename F>
+void with_runtime(F&& body, int nodes = 1) {
+  sim::Engine eng;
+  topo::Machine machine(topo::summit(), nodes);
+  vgpu::Runtime rt(eng, machine);
+  eng.run({[&] { body(rt); }});
+}
+
+}  // namespace
+
+TEST(Buffer, MaterializedHasData) {
+  vgpu::Buffer b(vgpu::MemSpace::kDevice, vgpu::MemMode::kMaterialized, 0, 64, 1);
+  ASSERT_NE(b.data(), nullptr);
+  b.as<std::uint8_t>()[63] = 7;
+  EXPECT_EQ(b.as<std::uint8_t>()[63], 7);
+}
+
+TEST(Buffer, PhantomDataThrows) {
+  vgpu::Buffer b(vgpu::MemSpace::kDevice, vgpu::MemMode::kPhantom, 0, 64, 1);
+  EXPECT_EQ(b.size(), 64u);
+  EXPECT_THROW(b.data(), std::logic_error);
+}
+
+TEST(Runtime, H2DAndD2HMoveRealBytes) {
+  with_runtime([](vgpu::Runtime& rt) {
+    auto host = rt.alloc_pinned_host(0, 256);
+    auto dev = rt.alloc_device(0, 256);
+    auto back = rt.alloc_pinned_host(0, 256);
+    std::iota(host.as<std::uint8_t>(), host.as<std::uint8_t>() + 256, 0);
+    auto s = rt.create_stream(0);
+    rt.memcpy_async(dev, 0, host, 0, 256, s);
+    rt.memcpy_async(back, 0, dev, 0, 256, s);
+    rt.stream_synchronize(s);
+    EXPECT_EQ(std::memcmp(host.data(), back.data(), 256), 0);
+  });
+}
+
+TEST(Runtime, CopyAdvancesVirtualTime) {
+  with_runtime([](vgpu::Runtime& rt) {
+    auto* eng = sim::Engine::current();
+    auto host = rt.alloc_pinned_host(0, 64 << 20);
+    auto dev = rt.alloc_device(0, 64 << 20);
+    auto s = rt.create_stream(0);
+    const sim::Time t0 = eng->now();
+    rt.memcpy_async(dev, 0, host, 0, 64 << 20, s);
+    // Async: only the CPU issue cost has elapsed so far.
+    EXPECT_LT(eng->now() - t0, 100 * sim::kMicrosecond);
+    rt.stream_synchronize(s);
+    // 64 MiB over ~39 GiB/s is ~1.6 ms.
+    EXPECT_GT(eng->now() - t0, sim::kMillisecond);
+  });
+}
+
+TEST(Runtime, StreamOrderIsSequential) {
+  with_runtime([](vgpu::Runtime& rt) {
+    auto s = rt.create_stream(0);
+    std::vector<int> order;
+    rt.launch_kernel(s, 1 << 20, "first", [&] { order.push_back(1); });
+    rt.launch_kernel(s, 1 << 20, "second", [&] { order.push_back(2); });
+    const sim::Time f1 = rt.stream_frontier(s);
+    rt.launch_kernel(s, 1 << 20, "third", [&] { order.push_back(3); });
+    EXPECT_GT(rt.stream_frontier(s), f1);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  });
+}
+
+TEST(Runtime, DistinctStreamsOverlap) {
+  with_runtime([](vgpu::Runtime& rt) {
+    // Two big copies on different devices via different streams overlap:
+    // total elapsed ~ one copy, not two.
+    auto* eng = sim::Engine::current();
+    auto h0 = rt.alloc_pinned_host(0, 64 << 20);
+    auto d0 = rt.alloc_device(0, 64 << 20);
+    auto h1 = rt.alloc_pinned_host(0, 64 << 20);
+    auto d1 = rt.alloc_device(1, 64 << 20);
+    auto s0 = rt.create_stream(0);
+    auto s1 = rt.create_stream(1);
+    const sim::Time t0 = eng->now();
+    rt.memcpy_async(d0, 0, h0, 0, 64 << 20, s0);
+    rt.memcpy_async(d1, 0, h1, 0, 64 << 20, s1);
+    rt.stream_synchronize(s0);
+    rt.stream_synchronize(s1);
+    const sim::Duration both = eng->now() - t0;
+
+    const sim::Time t1 = eng->now();
+    rt.memcpy_async(d0, 0, h0, 0, 64 << 20, s0);
+    rt.stream_synchronize(s0);
+    const sim::Duration one = eng->now() - t1;
+    EXPECT_LT(both, 2 * one);  // overlapped, with only issue-serialization
+  });
+}
+
+TEST(Runtime, DefaultStreamSerializesDevice) {
+  with_runtime([](vgpu::Runtime& rt) {
+    auto s = rt.create_stream(0);
+    auto def = rt.default_stream(0);
+    rt.launch_kernel(s, 32 << 20, "app", nullptr);
+    const sim::Time app_end = rt.stream_frontier(s);
+    // Work on the legacy default stream cannot start before the app kernel
+    // finishes...
+    rt.launch_kernel(def, 1 << 10, "lib", nullptr);
+    EXPECT_GE(rt.stream_frontier(def), app_end);
+    // ...and subsequent work on other streams waits for the default stream.
+    auto s2 = rt.create_stream(0);
+    rt.launch_kernel(s2, 1 << 10, "app2", nullptr);
+    EXPECT_GE(rt.stream_frontier(s2), rt.stream_frontier(def));
+  });
+}
+
+TEST(Runtime, EventsOrderStreams) {
+  with_runtime([](vgpu::Runtime& rt) {
+    auto s0 = rt.create_stream(0);
+    auto s1 = rt.create_stream(1);
+    rt.launch_kernel(s0, 64 << 20, "producer", nullptr);
+    vgpu::Event ev;
+    rt.record_event(ev, s0);
+    rt.stream_wait_event(s1, ev);
+    rt.launch_kernel(s1, 1 << 10, "consumer", nullptr);
+    EXPECT_GE(rt.stream_frontier(s1), ev.completed_at);
+    // Unrecorded events are no-ops.
+    vgpu::Event empty;
+    auto s2 = rt.create_stream(1);
+    rt.stream_wait_event(s2, empty);
+    EXPECT_TRUE(rt.event_query(empty));
+  });
+}
+
+TEST(Runtime, EventQueryAndSynchronize) {
+  with_runtime([](vgpu::Runtime& rt) {
+    auto* eng = sim::Engine::current();
+    auto s = rt.create_stream(0);
+    rt.launch_kernel(s, 64 << 20, "slow", nullptr);
+    vgpu::Event ev;
+    rt.record_event(ev, s);
+    EXPECT_FALSE(rt.event_query(ev));
+    rt.event_synchronize(ev);
+    EXPECT_TRUE(rt.event_query(ev));
+    EXPECT_GE(eng->now(), ev.completed_at);
+  });
+}
+
+TEST(Runtime, PeerAccessRules) {
+  with_runtime([](vgpu::Runtime& rt) {
+    EXPECT_TRUE(rt.can_access_peer(0, 1));
+    EXPECT_FALSE(rt.can_access_peer(0, 3));
+    EXPECT_FALSE(rt.peer_enabled(0, 1));
+    rt.enable_peer_access(0, 1);
+    EXPECT_TRUE(rt.peer_enabled(0, 1));
+    EXPECT_FALSE(rt.peer_enabled(1, 0));  // directional, like CUDA
+    EXPECT_THROW(rt.enable_peer_access(0, 3), std::runtime_error);
+  });
+}
+
+TEST(Runtime, PeerCopyMovesBytesAndIsFasterWhenEnabled) {
+  with_runtime([](vgpu::Runtime& rt) {
+    auto* eng = sim::Engine::current();
+    auto a = rt.alloc_device(0, 32 << 20);
+    auto b = rt.alloc_device(1, 32 << 20);
+    std::memset(a.data(), 0x5A, a.size());
+    auto s = rt.create_stream(0);
+
+    const sim::Time t0 = eng->now();
+    rt.memcpy_peer_async(b, 0, a, 0, 32 << 20, s);  // peer NOT enabled: staged
+    rt.stream_synchronize(s);
+    const sim::Duration staged = eng->now() - t0;
+    EXPECT_EQ(b.as<std::uint8_t>()[123], 0x5A);
+
+    rt.enable_peer_access(0, 1);
+    const sim::Time t1 = eng->now();
+    rt.memcpy_peer_async(b, 0, a, 0, 32 << 20, s);
+    rt.stream_synchronize(s);
+    const sim::Duration direct = eng->now() - t1;
+    EXPECT_LT(direct, staged);
+  });
+}
+
+TEST(Runtime, IpcHandleRoundTrip) {
+  with_runtime([](vgpu::Runtime& rt) {
+    auto target = rt.alloc_device(2, 4096);
+    std::memset(target.data(), 0, 4096);
+    const auto handle = rt.ipc_get_mem_handle(target);
+    auto mapped = rt.ipc_open_mem_handle(handle, 0);  // same node
+    ASSERT_TRUE(mapped.valid());
+    auto src = rt.alloc_device(0, 4096);
+    std::memset(src.data(), 0x77, 4096);
+    auto s = rt.create_stream(0);
+    rt.enable_peer_access(0, 2);
+    rt.memcpy_to_ipc_async(mapped, 0, src, 0, 4096, s);
+    rt.stream_synchronize(s);
+    EXPECT_EQ(target.as<std::uint8_t>()[4095], 0x77);
+  });
+}
+
+TEST(Runtime, IpcAcrossNodesRejected) {
+  with_runtime(
+      [](vgpu::Runtime& rt) {
+        auto buf = rt.alloc_device(0, 64);
+        const auto handle = rt.ipc_get_mem_handle(buf);
+        EXPECT_THROW(rt.ipc_open_mem_handle(handle, 6), std::runtime_error);  // node 1
+      },
+      /*nodes=*/2);
+}
+
+TEST(Runtime, PhantomCopiesCostTimeMoveNothing) {
+  with_runtime([](vgpu::Runtime& rt) {
+    auto* eng = sim::Engine::current();
+    rt.set_mem_mode(vgpu::MemMode::kPhantom);
+    auto h = rt.alloc_pinned_host(0, 1ull << 30);
+    auto d = rt.alloc_device(0, 1ull << 30);
+    auto s = rt.create_stream(0);
+    const sim::Time t0 = eng->now();
+    rt.memcpy_async(d, 0, h, 0, 1ull << 30, s);
+    rt.stream_synchronize(s);
+    EXPECT_GT(eng->now() - t0, 10 * sim::kMillisecond);  // 1 GiB at ~39 GiB/s
+  });
+}
+
+TEST(Runtime, OutOfRangeCopyRejected) {
+  with_runtime([](vgpu::Runtime& rt) {
+    auto h = rt.alloc_pinned_host(0, 64);
+    auto d = rt.alloc_device(0, 64);
+    auto s = rt.create_stream(0);
+    EXPECT_THROW(rt.memcpy_async(d, 32, h, 0, 64, s), std::out_of_range);
+    EXPECT_THROW(rt.memcpy_async(d, 0, h, 1, 64, s), std::out_of_range);
+  });
+}
+
+TEST(Runtime, CrossDeviceMemcpyAsyncRejected) {
+  with_runtime([](vgpu::Runtime& rt) {
+    auto a = rt.alloc_device(0, 64);
+    auto b = rt.alloc_device(1, 64);
+    auto s = rt.create_stream(0);
+    EXPECT_THROW(rt.memcpy_async(b, 0, a, 0, 64, s), std::logic_error);
+  });
+}
+
+TEST(Runtime, IssueOverheadSerializesOnCpu) {
+  with_runtime([](vgpu::Runtime& rt) {
+    // Issuing N async ops costs N * cpu_issue on the calling actor even
+    // though the ops themselves overlap — the mechanism that rewards more
+    // ranks per node in the STAGED regime.
+    auto* eng = sim::Engine::current();
+    auto s = rt.create_stream(0);
+    const sim::Time t0 = eng->now();
+    for (int i = 0; i < 10; ++i) rt.launch_kernel(s, 0, "k", nullptr);
+    EXPECT_EQ(eng->now() - t0, 10 * rt.machine().arch().cpu_issue);
+  });
+}
