@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_pack.cpp" "bench/CMakeFiles/bench_ablation_pack.dir/bench_ablation_pack.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_pack.dir/bench_ablation_pack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/stencil_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stencil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpi/CMakeFiles/stencil_simpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/stencil_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/stencil_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/stencil_simtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/qap/CMakeFiles/stencil_qap.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/stencil_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_qap.dir/bench_ablation_qap.cpp.o"
+  "CMakeFiles/bench_ablation_qap.dir/bench_ablation_qap.cpp.o.d"
+  "bench_ablation_qap"
+  "bench_ablation_qap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wide_halo.dir/bench_ablation_wide_halo.cpp.o"
+  "CMakeFiles/bench_ablation_wide_halo.dir/bench_ablation_wide_halo.cpp.o.d"
+  "bench_ablation_wide_halo"
+  "bench_ablation_wide_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wide_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_specialization.dir/bench_specialization.cpp.o"
+  "CMakeFiles/bench_specialization.dir/bench_specialization.cpp.o.d"
+  "bench_specialization"
+  "bench_specialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_specialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_bench_common.dir/common.cpp.o"
+  "CMakeFiles/stencil_bench_common.dir/common.cpp.o.d"
+  "libstencil_bench_common.a"
+  "libstencil_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capability_tour.dir/capability_tour.cpp.o"
+  "CMakeFiles/capability_tour.dir/capability_tour.cpp.o.d"
+  "capability_tour"
+  "capability_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capability_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

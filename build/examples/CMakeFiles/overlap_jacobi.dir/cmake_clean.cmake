@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_jacobi.dir/overlap_jacobi.cpp.o"
+  "CMakeFiles/overlap_jacobi.dir/overlap_jacobi.cpp.o.d"
+  "overlap_jacobi"
+  "overlap_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

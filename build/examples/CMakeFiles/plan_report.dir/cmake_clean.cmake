@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_report.dir/plan_report.cpp.o"
+  "CMakeFiles/plan_report.dir/plan_report.cpp.o.d"
+  "plan_report"
+  "plan_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

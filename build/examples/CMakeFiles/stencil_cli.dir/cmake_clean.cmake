@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_cli.dir/common_cli.cpp.o"
+  "CMakeFiles/stencil_cli.dir/common_cli.cpp.o.d"
+  "libstencil_cli.a"
+  "libstencil_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave3d.dir/wave3d.cpp.o"
+  "CMakeFiles/wave3d.dir/wave3d.cpp.o.d"
+  "wave3d"
+  "wave3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat3d "/root/repo/build/examples/heat3d")
+set_tests_properties(example_heat3d PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_wave3d "/root/repo/build/examples/wave3d")
+set_tests_properties(example_wave3d PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_capability_tour "/root/repo/build/examples/capability_tour")
+set_tests_properties(example_capability_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_overlap_jacobi "/root/repo/build/examples/overlap_jacobi")
+set_tests_properties(example_overlap_jacobi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_explorer_cli "/root/repo/build/examples/exchange_explorer" "--nodes" "2" "--rpn" "2" "--domain" "256" "--methods" "all" "--iters" "1" "--csv")
+set_tests_properties(example_explorer_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_explorer_bad_flag "/root/repo/build/examples/exchange_explorer" "--bogus")
+set_tests_properties(example_explorer_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_plan_report "/root/repo/build/examples/plan_report" "--domain" "1440,1452,700" "--nodes" "2" "--rpn" "6")
+set_tests_properties(example_plan_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/stencil_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/stencil_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/distributed_domain.cpp" "src/core/CMakeFiles/stencil_core.dir/distributed_domain.cpp.o" "gcc" "src/core/CMakeFiles/stencil_core.dir/distributed_domain.cpp.o.d"
+  "/root/repo/src/core/exchange.cpp" "src/core/CMakeFiles/stencil_core.dir/exchange.cpp.o" "gcc" "src/core/CMakeFiles/stencil_core.dir/exchange.cpp.o.d"
+  "/root/repo/src/core/local_domain.cpp" "src/core/CMakeFiles/stencil_core.dir/local_domain.cpp.o" "gcc" "src/core/CMakeFiles/stencil_core.dir/local_domain.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/stencil_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/stencil_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/stencil_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/stencil_core.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simtime/CMakeFiles/stencil_simtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/stencil_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/stencil_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpi/CMakeFiles/stencil_simpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/qap/CMakeFiles/stencil_qap.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/stencil_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

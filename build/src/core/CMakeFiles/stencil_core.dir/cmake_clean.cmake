@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_core.dir/cluster.cpp.o"
+  "CMakeFiles/stencil_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/stencil_core.dir/distributed_domain.cpp.o"
+  "CMakeFiles/stencil_core.dir/distributed_domain.cpp.o.d"
+  "CMakeFiles/stencil_core.dir/exchange.cpp.o"
+  "CMakeFiles/stencil_core.dir/exchange.cpp.o.d"
+  "CMakeFiles/stencil_core.dir/local_domain.cpp.o"
+  "CMakeFiles/stencil_core.dir/local_domain.cpp.o.d"
+  "CMakeFiles/stencil_core.dir/partition.cpp.o"
+  "CMakeFiles/stencil_core.dir/partition.cpp.o.d"
+  "CMakeFiles/stencil_core.dir/placement.cpp.o"
+  "CMakeFiles/stencil_core.dir/placement.cpp.o.d"
+  "libstencil_core.a"
+  "libstencil_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_qap.dir/qap.cpp.o"
+  "CMakeFiles/stencil_qap.dir/qap.cpp.o.d"
+  "libstencil_qap.a"
+  "libstencil_qap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_qap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_simpi.dir/mpi.cpp.o"
+  "CMakeFiles/stencil_simpi.dir/mpi.cpp.o.d"
+  "libstencil_simpi.a"
+  "libstencil_simpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_simpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstencil_simpi.a"
+)

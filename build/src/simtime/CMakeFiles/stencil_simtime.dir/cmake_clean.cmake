@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_simtime.dir/engine.cpp.o"
+  "CMakeFiles/stencil_simtime.dir/engine.cpp.o.d"
+  "CMakeFiles/stencil_simtime.dir/time.cpp.o"
+  "CMakeFiles/stencil_simtime.dir/time.cpp.o.d"
+  "libstencil_simtime.a"
+  "libstencil_simtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_simtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

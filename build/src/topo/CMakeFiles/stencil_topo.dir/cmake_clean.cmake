@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_topo.dir/archetype.cpp.o"
+  "CMakeFiles/stencil_topo.dir/archetype.cpp.o.d"
+  "CMakeFiles/stencil_topo.dir/machine.cpp.o"
+  "CMakeFiles/stencil_topo.dir/machine.cpp.o.d"
+  "libstencil_topo.a"
+  "libstencil_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

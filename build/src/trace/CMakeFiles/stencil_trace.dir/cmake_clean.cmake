@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_trace.dir/recorder.cpp.o"
+  "CMakeFiles/stencil_trace.dir/recorder.cpp.o.d"
+  "libstencil_trace.a"
+  "libstencil_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_vgpu.dir/probe.cpp.o"
+  "CMakeFiles/stencil_vgpu.dir/probe.cpp.o.d"
+  "CMakeFiles/stencil_vgpu.dir/runtime.cpp.o"
+  "CMakeFiles/stencil_vgpu.dir/runtime.cpp.o.d"
+  "libstencil_vgpu.a"
+  "libstencil_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

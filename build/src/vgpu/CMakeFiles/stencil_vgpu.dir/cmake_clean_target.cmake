@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstencil_vgpu.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dim3.dir/test_dim3.cpp.o"
+  "CMakeFiles/test_dim3.dir/test_dim3.cpp.o.d"
+  "test_dim3"
+  "test_dim3.pdb"
+  "test_dim3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dim3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_domain.dir/test_distributed_domain.cpp.o"
+  "CMakeFiles/test_distributed_domain.dir/test_distributed_domain.cpp.o.d"
+  "test_distributed_domain"
+  "test_distributed_domain.pdb"
+  "test_distributed_domain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exchange_archetypes.dir/test_exchange_archetypes.cpp.o"
+  "CMakeFiles/test_exchange_archetypes.dir/test_exchange_archetypes.cpp.o.d"
+  "test_exchange_archetypes"
+  "test_exchange_archetypes.pdb"
+  "test_exchange_archetypes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exchange_archetypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_domain.dir/test_local_domain.cpp.o"
+  "CMakeFiles/test_local_domain.dir/test_local_domain.cpp.o.d"
+  "test_local_domain"
+  "test_local_domain.pdb"
+  "test_local_domain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packmode.dir/test_packmode.cpp.o"
+  "CMakeFiles/test_packmode.dir/test_packmode.cpp.o.d"
+  "test_packmode"
+  "test_packmode.pdb"
+  "test_packmode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packmode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

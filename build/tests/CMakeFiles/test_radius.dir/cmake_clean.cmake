@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radius.dir/test_radius.cpp.o"
+  "CMakeFiles/test_radius.dir/test_radius.cpp.o.d"
+  "test_radius"
+  "test_radius.pdb"
+  "test_radius[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

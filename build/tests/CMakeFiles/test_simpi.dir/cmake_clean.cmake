@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simpi.dir/test_simpi.cpp.o"
+  "CMakeFiles/test_simpi.dir/test_simpi.cpp.o.d"
+  "test_simpi"
+  "test_simpi.pdb"
+  "test_simpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_substrate_edge.dir/test_substrate_edge.cpp.o"
+  "CMakeFiles/test_substrate_edge.dir/test_substrate_edge.cpp.o.d"
+  "test_substrate_edge"
+  "test_substrate_edge.pdb"
+  "test_substrate_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_substrate_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

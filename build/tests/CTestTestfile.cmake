@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_resource[1]_include.cmake")
+include("/root/repo/build/tests/test_topo[1]_include.cmake")
+include("/root/repo/build/tests/test_vgpu[1]_include.cmake")
+include("/root/repo/build/tests/test_simpi[1]_include.cmake")
+include("/root/repo/build/tests/test_qap[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_placement[1]_include.cmake")
+include("/root/repo/build/tests/test_exchange[1]_include.cmake")
+include("/root/repo/build/tests/test_distributed_domain[1]_include.cmake")
+include("/root/repo/build/tests/test_local_domain[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_boundary[1]_include.cmake")
+include("/root/repo/build/tests/test_radius[1]_include.cmake")
+include("/root/repo/build/tests/test_packmode[1]_include.cmake")
+include("/root/repo/build/tests/test_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_substrate_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_exchange_archetypes[1]_include.cmake")
+include("/root/repo/build/tests/test_selective[1]_include.cmake")
+include("/root/repo/build/tests/test_dim3[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_shapes[1]_include.cmake")
