@@ -1,0 +1,109 @@
+// Exchange cost under runtime capability degradation (stencil::fault).
+//
+// A fully specialized single-node job loses peer access and its IPC
+// mappings mid-run; every PEER/COLOCATED transfer demotes to STAGED at the
+// next exchange boundary (§III-C fail-down). The degraded regime should
+// approach the natively STAGED-only plan -- the fault path adds resilience,
+// not a new performance class. A second table shows a 2-node job riding
+// out a 4x NIC bandwidth loss.
+#include <cstdio>
+
+#include "common.h"
+#include "fault/fault.h"
+
+using namespace stencil::bench;
+namespace fault = stencil::fault;
+namespace sim = stencil::sim;
+
+namespace {
+
+struct DrillResult {
+  double healthy_ms = 0.0;
+  double degraded_ms = 0.0;
+};
+
+// One run, two measured epochs: `iters` exchanges before the fault instant
+// and `iters` after it (the plan fires while the job sleeps in between).
+DrillResult measure_across_fault(const ExchangeConfig& cfg, const fault::FaultPlan& plan,
+                                 sim::Time t_fault) {
+  fault::Injector inj(plan);
+  stencil::Cluster cluster(cfg.arch, cfg.nodes, cfg.ranks_per_node);
+  cluster.set_mem_mode(stencil::vgpu::MemMode::kPhantom);
+  cluster.set_fault_injector(&inj);
+  const auto ranks = static_cast<std::size_t>(cfg.nodes) * cfg.ranks_per_node;
+  std::vector<double> healthy(ranks, 0.0), degraded(ranks, 0.0);
+
+  cluster.run([&](stencil::RankCtx& ctx) {
+    stencil::DistributedDomain dd(ctx, cfg.domain);
+    dd.set_radius(cfg.radius);
+    for (int q = 0; q < cfg.quantities; ++q) dd.add_data<float>("q" + std::to_string(q));
+    dd.set_methods(cfg.flags);
+    dd.set_placement(cfg.strategy);
+    dd.realize();
+    ctx.comm.barrier();
+    dd.exchange();  // warm-up
+
+    auto epoch = [&](std::vector<double>& out) {
+      double total = 0.0;
+      for (int it = 0; it < cfg.iterations; ++it) {
+        ctx.comm.barrier();
+        const double t0 = ctx.comm.wtime();
+        dd.exchange();
+        total += ctx.comm.wtime() - t0;
+      }
+      out[static_cast<std::size_t>(ctx.rank())] = total / cfg.iterations * 1e3;
+    };
+    epoch(healthy);
+    ctx.engine().sleep_until(t_fault + sim::kMicrosecond);
+    ctx.comm.barrier();
+    dd.exchange();  // the demoting exchange: pays the one-time rebuild
+    epoch(degraded);
+  });
+
+  DrillResult r;
+  r.healthy_ms = *std::max_element(healthy.begin(), healthy.end());
+  r.degraded_ms = *std::max_element(degraded.begin(), degraded.end());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const stencil::Dim3 domain = weak_scaling_domain(6);
+  const sim::Time t_fault = sim::from_seconds(30.0);  // past any healthy epoch
+  std::printf("Fault degradation drill: %s, radius 3, 4 SP quantities\n\n", domain.str().c_str());
+
+  std::printf("peer + IPC loss mid-run (1 node, full specialization -> STAGED):\n");
+  for (const int rpn : {2, 6}) {
+    ExchangeConfig cfg;
+    cfg.nodes = 1;
+    cfg.ranks_per_node = rpn;
+    cfg.domain = domain;
+
+    fault::FaultPlan plan;
+    plan.revoke_peer(t_fault, -1, -1).invalidate_ipc(t_fault);
+    const DrillResult r = measure_across_fault(cfg, plan, t_fault);
+
+    ExchangeConfig staged = cfg;
+    staged.flags = stencil::MethodFlags::kStaged;
+    const double staged_ms = measure_exchange_ms(staged);
+
+    print_row(cfg.label(), {{"healthy", r.healthy_ms},
+                            {"degraded", r.degraded_ms},
+                            {"staged-ref", staged_ms}});
+  }
+
+  std::printf("\nNIC bandwidth loss (2 nodes, STAGED remote, link x0.25):\n");
+  {
+    ExchangeConfig cfg;
+    cfg.nodes = 2;
+    cfg.ranks_per_node = 6;
+    cfg.domain = weak_scaling_domain(12);
+
+    fault::FaultPlan plan;
+    plan.degrade_link(t_fault, fault::LinkClass::kNic, -1, -1, 0.25);
+    const DrillResult r = measure_across_fault(cfg, plan, t_fault);
+    print_row(cfg.label(), {{"healthy", r.healthy_ms}, {"degraded", r.degraded_ms}});
+  }
+  return 0;
+}

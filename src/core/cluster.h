@@ -59,6 +59,12 @@ class Cluster {
   }
   void set_mem_mode(vgpu::MemMode m) { rt_.set_mem_mode(m); }
 
+  /// Attach a fault injector for this cluster's runs (nullptr detaches).
+  /// The Machine holds the single authoritative pointer; the runtime, MPI
+  /// job, and exchange layer all read it from there. The injector must
+  /// outlive every run() that uses it.
+  void set_fault_injector(const fault::Injector* inj) { machine_.set_fault_injector(inj); }
+
   /// Shared placement cache (see Placement: identical on every rank).
   std::shared_ptr<const Placement> placement_cached(
       Dim3 domain, Radius radius, std::size_t bytes_per_point, Neighborhood nbhd,

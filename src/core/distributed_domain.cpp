@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fault/fault.h"
+
 namespace stencil {
 
 /// The stand-in for a cudaIpcEventHandle pair: a shared channel through
@@ -17,6 +19,9 @@ struct DistributedDomain::IpcEventChannel {
   vgpu::Event done_ev;
   std::uint64_t done_gen = 0;
   sim::Gate gate{"colocated-channel"};
+  // Set by the sender when its IPC mapping went stale and it rerouted this
+  // generation over MPI; tells a receiver parked on data_gen to fall back.
+  bool demoted = false;
 };
 
 /// Per-transfer runtime state: streams, packed buffers, staging buffers,
@@ -47,6 +52,15 @@ struct DistributedDomain::TransferState {
   vgpu::Event ready_ev;  // sender: packed (+staged) data ready for MPI
   simpi::Request send_req;
   simpi::Request recv_req;
+
+  // Runtime demotion bookkeeping. `aggregated` marks membership in an
+  // AggGroup fixed at realize(); a transfer demoted to STAGED later is not
+  // a member, so the staged phases must handle it individually even when
+  // aggregation is on. `handled_seq` marks that the COLOCATED fallback
+  // already packed and queued this generation's send, so Phase 3 (which now
+  // sees method == kStaged) must not send it twice.
+  bool aggregated = false;
+  std::uint64_t handled_seq = 0;
 };
 
 /// One aggregated STAGED message: every staged transfer between this rank
@@ -228,6 +242,7 @@ void DistributedDomain::build_aggregation_groups() {
       std::sort(members.begin(), members.end(),
                 [](const TransferState* a, const TransferState* b) { return a->t.tag < b->t.tag; });
       for (TransferState* x : members) {
+        x->aggregated = true;
         g->members.emplace_back(x, g->bytes);
         g->bytes += x->bytes;
       }
@@ -331,6 +346,70 @@ void DistributedDomain::colocated_setup() {
   }
 }
 
+void DistributedDomain::demote_transfer(TransferState& x, Method target) {
+  if (auto* rec = ctx_.rt.recorder()) {
+    const sim::Time now = ctx_.engine().now();
+    rec->record("fault",
+                "demote tag=" + std::to_string(x.t.tag) + " " + to_string(x.t.method) + "->" +
+                    to_string(target),
+                now, now);
+  }
+  x.t.method = target;
+  plan_.set_method(x.t.tag, target);
+}
+
+void DistributedDomain::ensure_staged_buffers(TransferState& x) {
+  auto& rt = ctx_.rt;
+  if (x.i_send) {
+    if (!x.src_stream.valid()) x.src_stream = rt.create_stream(x.t.src_gpu);
+    if (!x.src_pack.valid()) x.src_pack = rt.alloc_device(x.t.src_gpu, x.bytes);
+    if (!x.src_host.valid()) {
+      x.src_host = rt.alloc_pinned_host(ctx_.machine.node_of(x.t.src_gpu), x.bytes);
+    }
+  }
+  if (x.i_recv) {
+    if (!x.dst_stream.valid()) x.dst_stream = rt.create_stream(x.t.dst_gpu);
+    if (!x.dst_pack.valid()) x.dst_pack = rt.alloc_device(x.t.dst_gpu, x.bytes);
+    if (!x.dst_host.valid()) {
+      x.dst_host = rt.alloc_pinned_host(ctx_.machine.node_of(x.t.dst_gpu), x.bytes);
+    }
+  }
+}
+
+void DistributedDomain::maybe_respecialize() {
+  const fault::Injector* inj = ctx_.machine.fault_injector();
+  if (inj == nullptr || !inj->active()) return;
+  const sim::Time now = ctx_.engine().now();
+  for (auto& xp : xfers_) {
+    TransferState& x = *xp;
+    Method target = x.t.method;
+    switch (x.t.method) {
+      case Method::kPeer:
+        // Peer access between distinct GPUs revoked: the direct copy path
+        // is gone. COLOCATED does not apply within one rank, so fall all
+        // the way down to STAGED (MPI to self over shared memory).
+        if (x.t.src_gpu != x.t.dst_gpu && !ctx_.rt.peer_enabled(x.t.src_gpu, x.t.dst_gpu)) {
+          target = Method::kStaged;
+        }
+        break;
+      case Method::kCudaAwareMpi:
+        // The MPI library lost its CUDA-awareness (e.g. transport fallback
+        // after a fault): stop handing it device pointers.
+        if (inj->cuda_aware_disabled(now)) target = Method::kStaged;
+        break;
+      default:
+        // KERNEL and STAGED have no capability to lose; COLOCATED staleness
+        // is detected by the sender at copy time (Phase 2) because only the
+        // mapping's owner knows when it was opened.
+        break;
+    }
+    if (target != x.t.method) {
+      demote_transfer(x, target);
+      ensure_staged_buffers(x);
+    }
+  }
+}
+
 void DistributedDomain::exchange() {
   exchange_start();
   exchange_finish();
@@ -374,6 +453,10 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
       }
     }
   }
+  // Fault degradation: re-check capabilities at every exchange boundary and
+  // demote transfers whose method can no longer run (§III-C, downward only).
+  maybe_respecialize();
+
   inflight_.active = true;
   ++seq_;
   auto& comm = ctx_.comm;
@@ -392,7 +475,7 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
   for (auto& xp : xfers_) {
     TransferState& x = *xp;
     if (!x.i_recv) continue;
-    if (x.t.method == Method::kStaged && !aggregate_remote_) {
+    if (x.t.method == Method::kStaged && !x.aggregated) {
       x.recv_req =
           comm.irecv(simpi::Payload::of(x.dst_host, 0, x.active_bytes), x.t.src_rank, x.t.tag);
       recv_reqs.push_back(x.recv_req);
@@ -460,16 +543,44 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
   for (auto& xp : xfers_) {
     TransferState& x = *xp;
     if (x.t.method != Method::kColocated || !x.i_send) continue;
-    // Flow control: the receiver must have unpacked the previous
-    // generation before we overwrite its buffer.
-    while (x.peer_channel->done_gen + 1 < seq_) x.peer_channel->gate.wait(eng);
-    rt.stream_wait_event(x.src_stream, x.peer_channel->done_ev);
-    rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
-                     [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); });
-    rt.memcpy_to_ipc_async(x.mapped, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
-    rt.record_event(x.peer_channel->data_ev, x.src_stream);
-    x.peer_channel->data_gen = seq_;
-    x.peer_channel->gate.notify_all(eng);
+    bool fell_back = false;
+    if (!rt.ipc_mapping_valid(x.mapped)) {
+      fell_back = true;
+    } else {
+      // Flow control: the receiver must have unpacked the previous
+      // generation before we overwrite its buffer.
+      while (x.peer_channel->done_gen + 1 < seq_) {
+        x.peer_channel->gate.wait(eng, "colocated flow-control tag=" + std::to_string(x.t.tag));
+      }
+      try {
+        rt.stream_wait_event(x.src_stream, x.peer_channel->done_ev);
+        rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
+                         [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); });
+        rt.memcpy_to_ipc_async(x.mapped, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
+        rt.record_event(x.peer_channel->data_ev, x.src_stream);
+        x.peer_channel->data_gen = seq_;
+        x.peer_channel->gate.notify_all(eng);
+      } catch (const vgpu::CapabilityError&) {
+        // Mapping went stale between the check and the copy (virtual time
+        // advanced while we blocked): reroute this generation over MPI.
+        fell_back = true;
+      }
+    }
+    if (fell_back) {
+      // Demote to STAGED: tell the receiver (it owns no timeline of our
+      // mapping), then pack into the staging buffer and queue the send so
+      // Phase 4 posts it alongside the ordinary staged traffic.
+      demote_transfer(x, Method::kStaged);
+      ensure_staged_buffers(x);
+      x.peer_channel->demoted = true;
+      x.peer_channel->gate.notify_all(eng);
+      rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
+                       [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); });
+      rt.memcpy_async(x.src_host, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
+      rt.record_event(x.ready_ev, x.src_stream);
+      inflight_.pending_sends.emplace_back(x.ready_ev.completed_at, &x);
+      x.handled_seq = seq_;
+    }
   }
 
   // --- Phase 3: STAGED / CUDA-aware senders enqueue pack (+ D2H). --------
@@ -477,7 +588,8 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
   for (auto& xp : xfers_) {
     TransferState& x = *xp;
     if (!x.i_send) continue;
-    if (x.t.method == Method::kStaged && !aggregate_remote_) {
+    if (x.handled_seq == seq_) continue;  // COLOCATED fallback already queued it
+    if (x.t.method == Method::kStaged && !x.aggregated) {
       if (staged_zero_copy_) {
         // Zero-copy pack (§VI/[18]): the kernel's stores land directly in
         // the pinned staging buffer — no separate D2H step.
@@ -588,7 +700,22 @@ void DistributedDomain::exchange_finish() {
   for (auto& xp : xfers_) {
     TransferState& x = *xp;
     if (x.t.method != Method::kColocated || !x.i_recv) continue;
-    while (x.channel->data_gen < seq_) x.channel->gate.wait(eng);
+    while (x.channel->data_gen < seq_ && !x.channel->demoted) {
+      x.channel->gate.wait(eng, "colocated data tag=" + std::to_string(x.t.tag));
+    }
+    if (x.channel->demoted) {
+      // The sender lost its IPC mapping and rerouted this generation over
+      // MPI. Adopt STAGED on this side too (no irecv was posted in Phase 0
+      // for a COLOCATED transfer, so receive blocking here) and unpack.
+      demote_transfer(x, Method::kStaged);
+      ensure_staged_buffers(x);
+      comm.recv(simpi::Payload::of(x.dst_host, 0, x.active_bytes), x.t.src_rank, x.t.tag);
+      rt.memcpy_async(x.dst_pack, 0, x.dst_host, 0, x.active_bytes, x.dst_stream);
+      rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
+                       [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); });
+      x.channel->done_gen = seq_;
+      continue;
+    }
     rt.stream_wait_event(x.dst_stream, x.channel->data_ev);
     rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
                      [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); });

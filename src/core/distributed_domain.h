@@ -136,6 +136,19 @@ class DistributedDomain {
   void colocated_setup();
   LocalDomain* local_by_gpu(int ggpu);
 
+  // --- runtime re-specialization (fault degradation, §III-C fail-down) ----
+  // At each exchange boundary, demote any transfer whose capability was
+  // revoked by fault injection (PEER access lost, CUDA-aware MPI disabled)
+  // down the specialization chain to STAGED. Demotions are permanent: a
+  // capability that comes back is not re-promoted.
+  void maybe_respecialize();
+  // Rewrite one transfer's method (state + plan, so method_histogram()
+  // reflects it) and record the decision on the trace's "fault" lane.
+  void demote_transfer(TransferState& x, Method target);
+  // Lazily allocate the streams/buffers the STAGED path needs on whichever
+  // sides of the transfer this rank owns.
+  void ensure_staged_buffers(TransferState& x);
+
   RankCtx& ctx_;
   Dim3 domain_;
   Radius radius_{1};

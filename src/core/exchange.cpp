@@ -114,4 +114,10 @@ std::map<Method, int> ExchangePlan::method_histogram() const {
   return h;
 }
 
+void ExchangePlan::set_method(int tag, Method m) {
+  for (auto& t : transfers_) {
+    if (t.tag == tag) t.method = m;
+  }
+}
+
 }  // namespace stencil

@@ -49,6 +49,10 @@ class ExchangePlan {
 
   std::map<Method, int> method_histogram() const;
 
+  /// Rewrite the method of the transfer with this tag (runtime demotion:
+  /// the exchange layer downgrades a transfer whose capability was lost).
+  void set_method(int tag, Method m);
+
   /// Rank owning a subdomain under this ownership layout.
   static int rank_of(const Placement& placement, Dim3 global_idx, int ranks_per_node);
 

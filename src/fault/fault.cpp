@@ -1,0 +1,286 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stencil::fault {
+
+namespace {
+
+// splitmix64: a fixed, well-mixed hash so drop decisions depend only on the
+// identifying tuple and the plan seed — never on call order or wall clock.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double unit_interval(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool id_match(int pattern, int id) { return pattern < 0 || pattern == id; }
+
+bool window_active(const Event& e, sim::Time t) { return e.at <= t && t < e.until; }
+
+std::string id_str(int v) { return v < 0 ? std::string("*") : std::to_string(v); }
+
+}  // namespace
+
+const char* to_string(LinkClass c) {
+  switch (c) {
+    case LinkClass::kP2P: return "p2p";
+    case LinkClass::kHostLink: return "host-link";
+    case LinkClass::kXBus: return "xbus";
+    case LinkClass::kNic: return "nic";
+  }
+  return "?";
+}
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kLinkDegrade: return "link-degrade";
+    case EventKind::kLinkFail: return "link-fail";
+    case EventKind::kPeerRevoke: return "peer-revoke";
+    case EventKind::kIpcInvalidate: return "ipc-invalidate";
+    case EventKind::kCudaAwareDisable: return "cuda-aware-disable";
+    case EventKind::kDeviceSlow: return "device-slow";
+    case EventKind::kMsgDrop: return "msg-drop";
+    case EventKind::kMsgDelay: return "msg-delay";
+  }
+  return "?";
+}
+
+std::string Event::str() const {
+  std::string s = to_string(kind);
+  switch (kind) {
+    case EventKind::kLinkDegrade:
+    case EventKind::kLinkFail:
+      s += std::string(" ") + to_string(link) + " " + id_str(a) + "->" + id_str(b);
+      if (kind == EventKind::kLinkDegrade) s += " x" + std::to_string(factor);
+      break;
+    case EventKind::kPeerRevoke:
+      s += " gpu" + id_str(a) + "<->gpu" + id_str(b);
+      break;
+    case EventKind::kIpcInvalidate:
+      s += " node " + id_str(a);
+      break;
+    case EventKind::kCudaAwareDisable:
+      break;
+    case EventKind::kDeviceSlow:
+      s += " gpu" + id_str(a) + " x" + std::to_string(factor);
+      break;
+    case EventKind::kMsgDrop:
+      s += " node " + id_str(a) + "->" + id_str(b) + " p=" + std::to_string(factor);
+      break;
+    case EventKind::kMsgDelay:
+      s += " node " + id_str(a) + "->" + id_str(b) + " +" + sim::format_duration(delay);
+      break;
+  }
+  return s;
+}
+
+FaultPlan& FaultPlan::push(Event e) {
+  if (e.until < e.at) {
+    throw std::invalid_argument("FaultPlan: event window ends before it starts");
+  }
+  events_.push_back(e);
+  // Keep history sorted by start time (stable: same-time events keep
+  // insertion order) so queries fold a canonical sequence.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& x, const Event& y) { return x.at < y.at; });
+  return *this;
+}
+
+FaultPlan& FaultPlan::degrade_link(sim::Time at, LinkClass c, int a, int b, double factor,
+                                   sim::Time until) {
+  if (factor < 0.0) throw std::invalid_argument("degrade_link: negative factor");
+  Event e;
+  e.at = at;
+  e.until = until;
+  e.kind = EventKind::kLinkDegrade;
+  e.link = c;
+  e.a = a;
+  e.b = b;
+  e.factor = factor;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::fail_link(sim::Time at, LinkClass c, int a, int b, sim::Time until) {
+  Event e;
+  e.at = at;
+  e.until = until;
+  e.kind = EventKind::kLinkFail;
+  e.link = c;
+  e.a = a;
+  e.b = b;
+  e.factor = 0.0;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::revoke_peer(sim::Time at, int ggpu_a, int ggpu_b) {
+  Event e;
+  e.at = at;
+  e.kind = EventKind::kPeerRevoke;
+  e.a = ggpu_a;
+  e.b = ggpu_b;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::invalidate_ipc(sim::Time at, int node) {
+  Event e;
+  e.at = at;
+  e.until = at;  // instantaneous
+  e.kind = EventKind::kIpcInvalidate;
+  e.a = node;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::disable_cuda_aware(sim::Time at, sim::Time until) {
+  Event e;
+  e.at = at;
+  e.until = until;
+  e.kind = EventKind::kCudaAwareDisable;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::slow_device(sim::Time at, int ggpu, double factor, sim::Time until) {
+  if (factor <= 0.0) throw std::invalid_argument("slow_device: factor must be positive");
+  Event e;
+  e.at = at;
+  e.until = until;
+  e.kind = EventKind::kDeviceSlow;
+  e.a = ggpu;
+  e.factor = factor;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::drop_messages(sim::Time at, sim::Time until, int src_node, int dst_node,
+                                    double probability) {
+  if (probability < 0.0) throw std::invalid_argument("drop_messages: negative probability");
+  Event e;
+  e.at = at;
+  e.until = until;
+  e.kind = EventKind::kMsgDrop;
+  e.a = src_node;
+  e.b = dst_node;
+  e.factor = probability;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::delay_messages(sim::Time at, sim::Time until, int src_node, int dst_node,
+                                     sim::Duration extra) {
+  if (extra < 0) throw std::invalid_argument("delay_messages: negative delay");
+  Event e;
+  e.at = at;
+  e.until = until;
+  e.kind = EventKind::kMsgDelay;
+  e.a = src_node;
+  e.b = dst_node;
+  e.delay = extra;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::set_seed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+FaultPlan& FaultPlan::set_retry_policy(RetryPolicy p) {
+  if (p.max_retries < 0 || p.timeout < 0 || p.backoff_base < 0) {
+    throw std::invalid_argument("set_retry_policy: negative field");
+  }
+  retry_ = p;
+  return *this;
+}
+
+Injector::Injector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+void Injector::set_recorder(trace::Recorder* rec) {
+  if (rec == nullptr) return;
+  for (const Event& e : plan_.events()) {
+    rec->record("fault", e.str(), e.at, e.until == kForever ? e.at : e.until);
+  }
+}
+
+double Injector::link_scale(LinkClass c, int a, int b, sim::Time t) const {
+  double scale = 1.0;
+  for (const Event& e : plan_.events()) {
+    if (e.link != c || !id_match(e.a, a) || !id_match(e.b, b)) continue;
+    if (e.kind == EventKind::kLinkFail && window_active(e, t)) return 0.0;
+    if (e.kind == EventKind::kLinkDegrade && window_active(e, t)) {
+      scale = std::min(scale, e.factor);
+    }
+  }
+  return scale;
+}
+
+bool Injector::link_down(LinkClass c, int a, int b, sim::Time t) const {
+  return link_scale(c, a, b, t) <= 0.0;
+}
+
+double Injector::device_scale(int ggpu, sim::Time t) const {
+  double scale = 1.0;
+  for (const Event& e : plan_.events()) {
+    if (e.kind != EventKind::kDeviceSlow || !id_match(e.a, ggpu)) continue;
+    if (window_active(e, t)) scale = std::min(scale, e.factor);
+  }
+  return scale;
+}
+
+bool Injector::peer_revoked(int ggpu_a, int ggpu_b, sim::Time t) const {
+  for (const Event& e : plan_.events()) {
+    if (e.kind != EventKind::kPeerRevoke || e.at > t) continue;
+    const bool fwd = id_match(e.a, ggpu_a) && id_match(e.b, ggpu_b);
+    const bool rev = id_match(e.a, ggpu_b) && id_match(e.b, ggpu_a);
+    if (fwd || rev) return true;
+  }
+  return false;
+}
+
+bool Injector::ipc_stale(int node, sim::Time opened_at, sim::Time t) const {
+  for (const Event& e : plan_.events()) {
+    if (e.kind != EventKind::kIpcInvalidate || !id_match(e.a, node)) continue;
+    if (e.at >= opened_at && e.at <= t) return true;
+  }
+  return false;
+}
+
+bool Injector::cuda_aware_disabled(sim::Time t) const {
+  for (const Event& e : plan_.events()) {
+    if (e.kind == EventKind::kCudaAwareDisable && window_active(e, t)) return true;
+  }
+  return false;
+}
+
+bool Injector::message_dropped(int src_node, int dst_node, int src_rank, int dst_rank, int tag,
+                               int attempt, sim::Time t) const {
+  // A failed NIC on the path loses every attempt while it is down.
+  if (src_node != dst_node && link_down(LinkClass::kNic, src_node, dst_node, t)) return true;
+  for (const Event& e : plan_.events()) {
+    if (e.kind != EventKind::kMsgDrop || !window_active(e, t)) continue;
+    if (!id_match(e.a, src_node) || !id_match(e.b, dst_node)) continue;
+    if (e.factor >= 1.0) return true;
+    std::uint64_t h = plan_.seed();
+    h = mix(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_rank)) << 32 |
+                 static_cast<std::uint32_t>(dst_rank)));
+    h = mix(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) << 32 |
+                 static_cast<std::uint32_t>(attempt)));
+    h = mix(h ^ static_cast<std::uint64_t>(t));
+    if (unit_interval(h) < e.factor) return true;
+  }
+  return false;
+}
+
+sim::Duration Injector::message_delay(int src_node, int dst_node, sim::Time t) const {
+  sim::Duration d = 0;
+  for (const Event& e : plan_.events()) {
+    if (e.kind != EventKind::kMsgDelay || !window_active(e, t)) continue;
+    if (!id_match(e.a, src_node) || !id_match(e.b, dst_node)) continue;
+    d = std::max(d, e.delay);
+  }
+  return d;
+}
+
+}  // namespace stencil::fault

@@ -1,0 +1,180 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "simtime/time.h"
+#include "trace/recorder.h"
+
+namespace stencil::fault {
+
+/// Physical link families a fault can target. Ids are interpreted per
+/// class: kP2P takes (src global GPU, dst global GPU), kHostLink takes
+/// (global GPU, -1), kXBus takes (node, -1), kNic takes (src node,
+/// dst node). -1 is a wildcard matching any id.
+enum class LinkClass {
+  kP2P,
+  kHostLink,
+  kXBus,
+  kNic,
+};
+
+const char* to_string(LinkClass c);
+
+/// What happens at a scheduled virtual-time instant (or over a window).
+enum class EventKind {
+  kLinkDegrade,       // link bandwidth scaled by `factor` over [at, until)
+  kLinkFail,          // link down over [at, until): NIC messages drop,
+                      // other links crawl at the floor bandwidth
+  kPeerRevoke,        // peer access between a GPU pair lost from `at` on
+  kIpcInvalidate,     // IPC mappings opened at or before `at` become stale
+  kCudaAwareDisable,  // MPI stops moving device payloads over [at, until)
+                      // (observed by core at exchange boundaries)
+  kDeviceSlow,        // device kernel throughput scaled by `factor`
+  kMsgDrop,           // messages over (a -> b) dropped with prob `factor`
+  kMsgDelay,          // messages over (a -> b) delayed by `delay`
+};
+
+const char* to_string(EventKind k);
+
+/// Timestamps are virtual nanoseconds; kForever marks an open-ended window.
+inline constexpr sim::Time kForever = std::numeric_limits<sim::Time>::max();
+
+/// One scripted fault. Queries treat the event list as immutable history:
+/// the state of any capability at time t is a pure fold over the events
+/// with `at` <= t, so the same plan always yields the same degradation.
+struct Event {
+  sim::Time at = 0;
+  sim::Time until = kForever;
+  EventKind kind = EventKind::kLinkDegrade;
+  LinkClass link = LinkClass::kNic;
+  int a = -1;           // first id (see LinkClass); -1 = any
+  int b = -1;           // second id; -1 = any
+  double factor = 1.0;  // degrade/slow scale, or drop probability
+  sim::Duration delay = 0;
+
+  std::string str() const;
+};
+
+/// How simpi reacts to dropped messages and missing peers. Disabled by
+/// default (timeout == 0): a drop then fails immediately and an unmatched
+/// wait blocks forever (deadlock detection still fires). With a timeout,
+/// attempt k waits `timeout + backoff_base * 2^(k-1)` before retransmitting,
+/// up to max_retries retransmissions, then raises TransportError.
+struct RetryPolicy {
+  sim::Duration timeout = 0;
+  int max_retries = 0;
+  sim::Duration backoff_base = 0;
+
+  bool enabled() const { return timeout > 0; }
+};
+
+/// A deterministic schedule of faults, all in virtual time (never wall
+/// clock). Build with the fluent methods, hand to an Injector, and wire the
+/// Injector into a Cluster (or directly into Machine):
+///
+///   fault::FaultPlan plan;
+///   plan.revoke_peer(sim::from_seconds(0.5), 0, 1)
+///       .degrade_link(sim::from_seconds(1.0), fault::LinkClass::kNic,
+///                     -1, -1, 0.25);
+///   fault::Injector inj(plan);
+///   cluster.set_fault_injector(&inj);
+class FaultPlan {
+ public:
+  /// Scale a link's bandwidth by `factor` (< 1 slows it) over [at, until).
+  FaultPlan& degrade_link(sim::Time at, LinkClass c, int a, int b, double factor,
+                          sim::Time until = kForever);
+
+  /// Take a link down over [at, until). NIC failure manifests as message
+  /// loss (retried/errored by simpi); other links crawl at the model floor.
+  FaultPlan& fail_link(sim::Time at, LinkClass c, int a, int b, sim::Time until = kForever);
+
+  /// Permanently revoke peer access between two global GPUs (symmetric).
+  FaultPlan& revoke_peer(sim::Time at, int ggpu_a, int ggpu_b);
+
+  /// Invalidate every IPC mapping on `node` (-1: all nodes) opened at or
+  /// before `at`. Mappings opened later are unaffected.
+  FaultPlan& invalidate_ipc(sim::Time at, int node = -1);
+
+  /// Stop the MPI library accepting device payloads over [at, until).
+  FaultPlan& disable_cuda_aware(sim::Time at, sim::Time until = kForever);
+
+  /// Scale one device's kernel throughput (-1: every device).
+  FaultPlan& slow_device(sim::Time at, int ggpu, double factor, sim::Time until = kForever);
+
+  /// Drop messages from node a to node b (-1 wildcards) with the given
+  /// probability over [at, until). probability >= 1 drops every attempt.
+  FaultPlan& drop_messages(sim::Time at, sim::Time until, int src_node, int dst_node,
+                           double probability = 1.0);
+
+  /// Add `extra` latency to messages from node a to node b over [at, until).
+  FaultPlan& delay_messages(sim::Time at, sim::Time until, int src_node, int dst_node,
+                            sim::Duration extra);
+
+  /// Seed for probabilistic drops. Decisions hash (seed, src, dst, tag,
+  /// attempt, time) — fixed seed means bit-identical fault sequences.
+  FaultPlan& set_seed(std::uint64_t seed);
+
+  /// Retry/timeout behaviour simpi applies while this plan is installed.
+  FaultPlan& set_retry_policy(RetryPolicy p);
+
+  const std::vector<Event>& events() const { return events_; }
+  std::uint64_t seed() const { return seed_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+ private:
+  FaultPlan& push(Event e);
+  std::vector<Event> events_;
+  std::uint64_t seed_ = 0x5eed;
+  RetryPolicy retry_;
+};
+
+/// Read-only oracle the stack consults while running. All queries are pure
+/// functions of (plan, t): no hidden state, no wall clock, no RNG stream —
+/// so a simulation under a fixed plan is exactly as deterministic as one
+/// without faults.
+class Injector {
+ public:
+  explicit Injector(FaultPlan plan);
+
+  /// Record every scripted event on the "fault" lane so timelines show the
+  /// injected degradation alongside its effects.
+  void set_recorder(trace::Recorder* rec);
+
+  bool active() const { return !plan_.events().empty() || plan_.retry_policy().enabled(); }
+  const RetryPolicy& retry_policy() const { return plan_.retry_policy(); }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Bandwidth multiplier for a link at time t: min over active degrade
+  /// windows, 0 while the link is failed, 1 when healthy.
+  double link_scale(LinkClass c, int a, int b, sim::Time t) const;
+  bool link_down(LinkClass c, int a, int b, sim::Time t) const;
+
+  /// Kernel-throughput multiplier for a device at time t.
+  double device_scale(int ggpu, sim::Time t) const;
+
+  /// Has peer access between these GPUs been revoked by time t?
+  bool peer_revoked(int ggpu_a, int ggpu_b, sim::Time t) const;
+
+  /// Is a mapping on `node` opened at `opened_at` stale by time t?
+  bool ipc_stale(int node, sim::Time opened_at, sim::Time t) const;
+
+  bool cuda_aware_disabled(sim::Time t) const;
+
+  /// Does attempt `attempt` of the message (src_rank -> dst_rank, tag),
+  /// crossing src_node -> dst_node at time t, get lost? Deterministic:
+  /// scripted windows always drop; probabilistic windows hash the
+  /// identifying tuple against the plan seed.
+  bool message_dropped(int src_node, int dst_node, int src_rank, int dst_rank, int tag,
+                       int attempt, sim::Time t) const;
+
+  /// Extra latency injected on the (src_node -> dst_node) path at time t.
+  sim::Duration message_delay(int src_node, int dst_node, sim::Time t) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace stencil::fault

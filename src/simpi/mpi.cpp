@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "fault/fault.h"
+
 namespace stencil::simpi {
 
 namespace {
@@ -30,6 +32,23 @@ std::byte* payload_ptr(const Payload& p) {
     return p.buf->data() + p.offset;
   }
   return nullptr;  // phantom: timing only
+}
+
+// What a pending operation is waiting for, for the deadlock diagnostic.
+std::string wait_detail(bool is_send, int src, int dst, int tag) {
+  return (is_send ? "send dst=" + std::to_string(dst) : "recv src=" + std::to_string(src)) +
+         " tag=" + std::to_string(tag);
+}
+
+// Virtual time the full retry schedule of rp can take: the initial timeout
+// plus one timeout + backoff per retry. A waiter that outlives this budget
+// knows no matching peer will ever arrive in time.
+sim::Duration retry_budget(const fault::RetryPolicy& rp) {
+  sim::Duration budget = rp.timeout * (rp.max_retries + 1);
+  for (int i = 0; i < rp.max_retries; ++i) {
+    budget += rp.backoff_base << i;
+  }
+  return budget;
 }
 
 }  // namespace
@@ -156,6 +175,56 @@ void Job::complete_match(Request::Record& send, Request::Record& recv) {
   sim::Time ready = std::max(send.post_time, recv.post_time) +
                     (same_node ? arch.lat_mpi_intra : arch.lat_mpi_inter);
 
+  // Fault injection: extra path delay, plus drop-and-retry. The schedule is
+  // resolved analytically here (the engine is deterministic, so the retry
+  // timeline is a pure function of the plan) rather than by re-posting.
+  if (const fault::Injector* inj = machine_.fault_injector(); inj != nullptr && inj->active()) {
+    ready += inj->message_delay(node_s, node_r, ready);
+    const fault::RetryPolicy& rp = inj->retry_policy();
+    int attempt = 0;
+    bool delivered = true;
+    while (inj->message_dropped(node_s, node_r, send.src, recv.dst, send.tag, attempt, ready)) {
+      if (!rp.enabled() || attempt >= rp.max_retries) {
+        delivered = false;
+        break;
+      }
+      const sim::Time retry_at = ready + rp.timeout + (rp.backoff_base << attempt);
+      if (recorder_ != nullptr) {
+        recorder_->record("mpi.r" + std::to_string(send.src) + "->r" + std::to_string(recv.dst),
+                          "drop tag=" + std::to_string(send.tag) + " retry#" +
+                              std::to_string(attempt + 1),
+                          ready, retry_at);
+      }
+      ready = retry_at;
+      ++attempt;
+    }
+    send.attempts = recv.attempts = attempt + 1;
+    if (!delivered) {
+      // Every transmission was lost. The sender's last timeout expires and
+      // both sides fail; wait() turns this into a TransportError. An eager
+      // (buffered) send already completed at post time, like real MPI — only
+      // the receiver observes the loss.
+      const sim::Time fail_at = ready + (rp.enabled() ? rp.timeout : 0);
+      if (!send.buffered) {
+        send.matched = true;
+        send.failed = true;
+        send.complete_at = fail_at;
+      }
+      recv.matched = true;
+      recv.failed = true;
+      recv.complete_at = fail_at;
+      if (recorder_ != nullptr) {
+        recorder_->record("mpi.r" + std::to_string(send.src) + "->r" + std::to_string(recv.dst),
+                          "LOST tag=" + std::to_string(send.tag) + " after " +
+                              std::to_string(recv.attempts) + " attempts",
+                          ready, fail_at);
+      }
+      rank_gates_[static_cast<std::size_t>(send.src)]->notify_all(eng_);
+      rank_gates_[static_cast<std::size_t>(recv.dst)]->notify_all(eng_);
+      return;
+    }
+  }
+
   const bool dev_s = send.payload.is_device();
   const bool dev_r = recv.payload.is_device();
   sim::Span span;
@@ -252,11 +321,46 @@ void Job::complete_match(Request::Record& send, Request::Record& recv) {
   rank_gates_[static_cast<std::size_t>(recv.dst)]->notify_all(eng_);
 }
 
+void Job::cancel_unmatched(Request::Record& rec) {
+  auto& queue = rec.is_send ? unmatched_sends_[static_cast<std::size_t>(rec.dst)]
+                            : unmatched_recvs_[static_cast<std::size_t>(rec.dst)];
+  queue.erase(std::remove_if(queue.begin(), queue.end(),
+                             [&](const auto& q) { return q.get() == &rec; }),
+              queue.end());
+  rec.cancelled = true;
+}
+
 void Job::wait(Request& r, int me) {
   if (!r.valid()) throw std::logic_error("simpi: wait on an invalid Request");
   auto& rec = *r.rec_;
-  while (!rec.matched) rank_gates_[static_cast<std::size_t>(me)]->wait(eng_);
+  const fault::Injector* inj = machine_.fault_injector();
+  const bool timed = !rec.matched && inj != nullptr && inj->retry_policy().enabled();
+  if (timed) {
+    // With a retry policy active, an unmatched wait is bounded: if a match
+    // could succeed, it would complete within the peer's full retry budget.
+    const sim::Time deadline =
+        std::max(eng_.now(), rec.post_time) + retry_budget(inj->retry_policy());
+    while (!rec.matched) {
+      const bool notified =
+          rank_gates_[static_cast<std::size_t>(me)]->wait_until(eng_, deadline, wait_detail(rec.is_send, rec.src, rec.dst, rec.tag));
+      if (!notified && !rec.matched) {
+        cancel_unmatched(rec);
+        throw TransportError(TransportError::Code::kTimeout, rec.is_send ? rec.dst : rec.src,
+                             rec.tag,
+                             "simpi: " + wait_detail(rec.is_send, rec.src, rec.dst, rec.tag) + " timed out at t=" +
+                                 sim::format_duration(eng_.now()) + " (no matching peer)");
+      }
+    }
+  } else {
+    while (!rec.matched) rank_gates_[static_cast<std::size_t>(me)]->wait(eng_, wait_detail(rec.is_send, rec.src, rec.dst, rec.tag));
+  }
   eng_.sleep_until(rec.complete_at);
+  if (rec.failed) {
+    throw TransportError(TransportError::Code::kRetriesExhausted,
+                         rec.is_send ? rec.dst : rec.src, rec.tag,
+                         "simpi: " + wait_detail(rec.is_send, rec.src, rec.dst, rec.tag) + " lost after " +
+                             std::to_string(rec.attempts) + " attempts (retries exhausted)");
+  }
 }
 
 bool Job::test(Request& r) {
@@ -281,11 +385,18 @@ int Job::wait_any(std::vector<Request>& rs, int me) {
     }
     if (!any_valid) return -1;
     if (best >= 0) {
+      auto rec = rs[static_cast<std::size_t>(best)].rec_;
       eng_.sleep_until(best_t);
       rs[static_cast<std::size_t>(best)].rec_.reset();
+      if (rec->failed) {
+        throw TransportError(TransportError::Code::kRetriesExhausted,
+                             rec->is_send ? rec->dst : rec->src, rec->tag,
+                             "simpi: " + wait_detail(rec->is_send, rec->src, rec->dst, rec->tag) + " lost after " +
+                                 std::to_string(rec->attempts) + " attempts (retries exhausted)");
+      }
       return best;
     }
-    rank_gates_[static_cast<std::size_t>(me)]->wait(eng_);
+    rank_gates_[static_cast<std::size_t>(me)]->wait(eng_, "waitany");
   }
 }
 
@@ -304,7 +415,7 @@ void Job::barrier(int me) {
     barrier_gate_->notify_all(eng_);
     eng_.sleep_until(barrier_release_);
   } else {
-    while (barrier_generation_ == gen) barrier_gate_->wait(eng_);
+    while (barrier_generation_ == gen) barrier_gate_->wait(eng_, "barrier");
     eng_.sleep_until(barrier_release_);
   }
 }

@@ -39,6 +39,27 @@ struct Payload {
   bool is_device() const { return buf != nullptr && buf->space() == vgpu::MemSpace::kDevice; }
 };
 
+/// Thrown from wait/wait_any instead of hanging when fault injection is
+/// active: either the peer never produced a matching message within the
+/// retry budget (kTimeout), or the message was lost and every retry was
+/// dropped too (kRetriesExhausted). Without a retry policy the library
+/// keeps its MPI-faithful behaviour (block forever; the engine's deadlock
+/// detector fires if nothing else can run).
+class TransportError : public std::runtime_error {
+ public:
+  enum class Code { kTimeout, kRetriesExhausted };
+  TransportError(Code code, int peer, int tag, const std::string& what)
+      : std::runtime_error(what), code_(code), peer_(peer), tag_(tag) {}
+  Code code() const { return code_; }
+  int peer() const { return peer_; }
+  int tag() const { return tag_; }
+
+ private:
+  Code code_;
+  int peer_;
+  int tag_;
+};
+
 /// Handle to a pending nonblocking operation. Copyable; all copies refer to
 /// the same operation.
 class Request {
@@ -87,6 +108,8 @@ class Job {
   std::shared_ptr<Request::Record> post(bool is_send, int me, int peer, int tag, const Payload& p);
   void try_match(int dst_rank);
   void complete_match(Request::Record& send, Request::Record& recv);
+  // Drop this still-unmatched record from its queue (wait timeout path).
+  void cancel_unmatched(Request::Record& rec);
   void wait(Request& r, int me);
   bool test(Request& r);
   int wait_any(std::vector<Request>& rs, int me);
@@ -125,6 +148,11 @@ struct Request::Record {
   bool matched = false;
   sim::Time complete_at = 0;
   bool cancelled = false;
+  // Fault injection: the match was resolved but delivery failed (message
+  // dropped and the retry budget exhausted). wait() throws TransportError
+  // at complete_at instead of returning. `attempts` counts transmissions.
+  bool failed = false;
+  int attempts = 1;
   // Eager protocol: small host-memory sends are buffered inside the library
   // and complete immediately (like real MPI's eager path), so a blocking
   // small send never deadlocks against an out-of-order receiver.

@@ -14,6 +14,21 @@ struct TlsBinding {
 thread_local TlsBinding tls;
 }  // namespace
 
+std::string DeadlockReport::to_string() const {
+  std::ostringstream oss;
+  oss << "simulation deadlock at t=" << format_duration(at) << ":";
+  for (const auto& b : actors) {
+    oss << " [" << (b.actor.empty() ? "actor" : b.actor) << " <- gate '" << b.resource << "'";
+    if (!b.detail.empty()) oss << " (" << b.detail << ")";
+    oss << " since t=" << format_duration(b.blocked_at) << "]";
+  }
+  return oss.str();
+}
+
+DeadlockError::DeadlockError(DeadlockReport rep)
+    : std::runtime_error(rep.to_string()),
+      report_(std::make_shared<const DeadlockReport>(std::move(rep))) {}
+
 Engine* Engine::current() { return tls.engine; }
 
 int Engine::actor_id() const {
@@ -117,15 +132,7 @@ void Engine::actor_main(int id) {
       wake_locked(*next);
     } else if (!shutdown_) {
       // Every remaining actor is gate-blocked: they can never wake.
-      std::ostringstream oss;
-      oss << "simulation deadlock at t=" << format_duration(now_) << ": ";
-      for (const auto& a : actors_) {
-        if (a->state == State::kGateBlocked) {
-          oss << "[" << (a->name.empty() ? "actor" : a->name) << " blocked on gate '"
-              << (a->gate != nullptr ? a->gate->name() : "?") << "'] ";
-        }
-      }
-      begin_shutdown_locked(std::make_exception_ptr(DeadlockError(oss.str())));
+      report_deadlock_locked();
     }
   }
   tls.engine = nullptr;
@@ -170,16 +177,7 @@ void Engine::block_and_reschedule(std::unique_lock<std::mutex>& lk, Actor& self,
   if (next != nullptr) {
     wake_locked(*next);
   } else if (!shutdown_) {
-    std::ostringstream oss;
-    oss << "simulation deadlock at t=" << format_duration(now_)
-        << ": all live actors blocked on gates:";
-    for (const auto& a : actors_) {
-      if (a->state == State::kGateBlocked || a.get() == &self) {
-        oss << " [" << (a->name.empty() ? "actor" : a->name) << " <- gate '"
-            << (a->gate != nullptr ? a->gate->name() : "timed") << "']";
-      }
-    }
-    begin_shutdown_locked(std::make_exception_ptr(DeadlockError(oss.str())));
+    report_deadlock_locked();
   }
   self.cv.wait(lk, [&] { return self.token; });
   self.token = false;
@@ -206,6 +204,19 @@ void Engine::wake_locked(Actor& a) {
   a.cv.notify_one();
 }
 
+void Engine::report_deadlock_locked() {
+  DeadlockReport rep;
+  rep.at = now_;
+  for (const auto& a : actors_) {
+    if (a->state != State::kGateBlocked) continue;
+    rep.actors.push_back(BlockedActorInfo{a->name.empty() ? "actor" : a->name,
+                                          a->gate != nullptr ? a->gate->name() : "?",
+                                          a->block_detail, a->blocked_at});
+  }
+  if (watchdog_) watchdog_(rep);
+  begin_shutdown_locked(std::make_exception_ptr(DeadlockError(std::move(rep))));
+}
+
 void Engine::begin_shutdown_locked(std::exception_ptr err) {
   if (!first_error_) first_error_ = err;
   if (shutdown_) return;
@@ -219,12 +230,20 @@ void Engine::begin_shutdown_locked(std::exception_ptr err) {
   }
 }
 
-void Gate::wait(Engine& eng) {
+void Engine::set_block_detail(std::string detail) {
+  check_in_actor();
+  std::unique_lock<std::mutex> lk(mu_);
+  actors_[static_cast<std::size_t>(tls.actor_id)]->block_detail = std::move(detail);
+}
+
+void Gate::wait(Engine& eng, std::string detail) {
   eng.check_in_actor();
   std::unique_lock<std::mutex> lk(eng.mu_);
   if (eng.shutdown_) throw SimulationAborted("simulation aborted during gate wait");
   Engine::Actor& self = *eng.actors_[static_cast<std::size_t>(tls.actor_id)];
   self.gate = this;
+  if (!detail.empty()) self.block_detail = std::move(detail);
+  self.blocked_at = eng.now_;
   waiters_.push_back(&self);
   eng.block_and_reschedule(lk, self, Engine::State::kGateBlocked);
   self.gate = nullptr;
@@ -232,14 +251,39 @@ void Gate::wait(Engine& eng) {
   // shutdown we may still be registered, which is harmless.
 }
 
+bool Gate::wait_until(Engine& eng, Time deadline, std::string detail) {
+  eng.check_in_actor();
+  std::unique_lock<std::mutex> lk(eng.mu_);
+  if (eng.shutdown_) throw SimulationAborted("simulation aborted during gate wait");
+  if (deadline <= eng.now_) return false;  // already expired; caller re-checks
+  Engine::Actor& self = *eng.actors_[static_cast<std::size_t>(tls.actor_id)];
+  self.gate = this;
+  if (!detail.empty()) self.block_detail = std::move(detail);
+  self.blocked_at = eng.now_;
+  self.gate_notified = false;
+  self.wake_time = deadline;
+  self.seq = eng.next_seq_++;
+  waiters_.push_back(&self);
+  // Timed, not gate-blocked: the deadline guarantees a wakeup, so this
+  // waiter never participates in a deadlock.
+  eng.block_and_reschedule(lk, self, Engine::State::kTimed);
+  const bool notified = self.gate_notified;
+  if (!notified) {
+    waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), &self), waiters_.end());
+  }
+  self.gate = nullptr;
+  return notified;
+}
+
 void Gate::notify_all(Engine& eng) {
   eng.check_in_actor();
   std::unique_lock<std::mutex> lk(eng.mu_);
   for (Engine::Actor* a : waiters_) {
-    if (a->state == Engine::State::kGateBlocked) {
+    if (a->state == Engine::State::kGateBlocked || a->state == Engine::State::kTimed) {
       a->state = Engine::State::kTimed;
       a->wake_time = eng.now_;
       a->seq = eng.next_seq_++;
+      a->gate_notified = true;
     }
   }
   waiters_.clear();

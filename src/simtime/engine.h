@@ -25,11 +25,34 @@ class SimulationAborted : public std::runtime_error {
   explicit SimulationAborted(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// One actor stuck in a deadlock: which gate it is parked on, the
+/// caller-supplied reason (e.g. "recv src=1 tag=7"), and when it blocked.
+struct BlockedActorInfo {
+  std::string actor;
+  std::string resource;  // gate name
+  std::string detail;    // what the actor was waiting for, if it said
+  Time blocked_at = 0;
+};
+
+/// Structured diagnostic built when every live actor is gate-blocked and no
+/// timed wakeup exists. Carried by DeadlockError and handed to the watchdog.
+struct DeadlockReport {
+  Time at = 0;
+  std::vector<BlockedActorInfo> actors;
+  std::string to_string() const;
+};
+
 /// Thrown (from the scheduling actor) when every live actor is blocked on a
 /// Gate and no timed wakeup exists: virtual time can never advance again.
+/// report() identifies each blocked actor, the gate it waits on, and the
+/// per-actor detail string (simpi fills in the peer rank and tag).
 class DeadlockError : public std::runtime_error {
  public:
-  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+  explicit DeadlockError(DeadlockReport rep);
+  const DeadlockReport& report() const { return *report_; }
+
+ private:
+  std::shared_ptr<const DeadlockReport> report_;  // shared: exceptions copy
 };
 
 /// Deterministic discrete-event virtual-time engine.
@@ -89,6 +112,19 @@ class Engine {
   /// Number of token handoffs performed so far (scheduling cost metric).
   std::uint64_t context_switches() const { return context_switches_; }
 
+  /// Annotate the calling actor's next block for deadlock diagnostics
+  /// (what it is about to wait for). Gate::wait also accepts the detail
+  /// directly; this entry point serves multi-step wait loops.
+  void set_block_detail(std::string detail);
+
+  /// Observer invoked with the diagnostic just before a detected deadlock
+  /// aborts the simulation. Runs under the engine lock on the detecting
+  /// actor's thread: it must only inspect/copy the report, never call back
+  /// into the engine.
+  void set_watchdog(std::function<void(const DeadlockReport&)> cb) {
+    watchdog_ = std::move(cb);
+  }
+
  private:
   friend class Gate;
 
@@ -110,6 +146,9 @@ class Engine {
     std::uint64_t seq = 0;  // admission order for same-time tie-breaks
     bool token = false;     // set by the scheduler; cleared on wakeup
     Gate* gate = nullptr;   // which gate, when kGateBlocked (diagnostics)
+    bool gate_notified = false;  // wait_until: woken by notify, not timeout
+    std::string block_detail;    // caller-supplied reason for the block
+    Time blocked_at = 0;
   };
 
   void actor_main(int id);
@@ -121,6 +160,9 @@ class Engine {
   Actor* pick_next_locked();
   void wake_locked(Actor& a);
   void begin_shutdown_locked(std::exception_ptr err);
+  // Build the diagnostic over gate-blocked actors, feed the watchdog, and
+  // begin shutdown with a DeadlockError.
+  void report_deadlock_locked();
   void check_in_actor() const;
 
   mutable std::mutex mu_;
@@ -132,6 +174,7 @@ class Engine {
   int live_actors_ = 0;
   bool shutdown_ = false;
   std::exception_ptr first_error_;
+  std::function<void(const DeadlockReport&)> watchdog_;
 };
 
 /// Condition-variable-like wakeup channel bound to an Engine.
@@ -147,8 +190,14 @@ class Gate {
   explicit Gate(std::string name = {}) : name_(std::move(name)) {}
 
   /// Block the calling actor until the next notify_all(). The engine
-  /// reports a deadlock if every live actor ends up gate-blocked.
-  void wait(Engine& eng);
+  /// reports a deadlock if every live actor ends up gate-blocked. `detail`
+  /// feeds the deadlock diagnostic (what this wait is for).
+  void wait(Engine& eng, std::string detail = {});
+
+  /// Block until notify_all() or virtual time `deadline`, whichever comes
+  /// first. Returns true when notified, false on timeout. A timed waiter
+  /// always has a scheduled wakeup, so it can never deadlock the engine.
+  bool wait_until(Engine& eng, Time deadline, std::string detail = {});
 
   /// Make all actors currently waiting on this gate runnable at now().
   void notify_all(Engine& eng);

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "fault/fault.h"
+
 namespace stencil::topo {
 
 namespace {
@@ -72,18 +74,41 @@ sim::Time Machine::cut_through_ready(const sim::Span& prev, sim::Duration dur) {
   return std::max(prev.start, prev.end - dur);
 }
 
+double Machine::link_scale(int cls, int a, int b, sim::Time t) const {
+  if (fault_ == nullptr) return 1.0;
+  const double s = fault_->link_scale(static_cast<fault::LinkClass>(cls), a, b, t);
+  return std::max(s, 1e-3);
+}
+
+double Machine::device_scale(int ggpu, sim::Time t) const {
+  if (fault_ == nullptr) return 1.0;
+  return std::max(fault_->device_scale(ggpu, t), 1e-3);
+}
+
+namespace {
+constexpr int kFaultP2P = static_cast<int>(fault::LinkClass::kP2P);
+constexpr int kFaultHostLink = static_cast<int>(fault::LinkClass::kHostLink);
+constexpr int kFaultXBus = static_cast<int>(fault::LinkClass::kXBus);
+constexpr int kFaultNic = static_cast<int>(fault::LinkClass::kNic);
+}  // namespace
+
 sim::Span Machine::schedule_kernel(int ggpu, std::uint64_t bytes_moved, sim::Time ready) {
-  const sim::Duration dur = sim::transfer_time(bytes_moved, arch_.bw_gpu_mem * arch_.eff_pack);
+  const double bw = arch_.bw_gpu_mem * arch_.eff_pack * device_scale(ggpu, ready);
+  const sim::Duration dur = sim::transfer_time(bytes_moved, bw);
   return kernel_queue(ggpu).acquire_span(ready + arch_.lat_kernel, dur);
 }
 
 sim::Span Machine::schedule_h2d(int ggpu, std::uint64_t bytes, sim::Time ready) {
-  const sim::Duration dur = sim::transfer_time(bytes, arch_.bw_nvlink_cpu_gpu * arch_.eff_nvlink);
+  const double bw = arch_.bw_nvlink_cpu_gpu * arch_.eff_nvlink *
+                    link_scale(kFaultHostLink, ggpu, -1, ready);
+  const sim::Duration dur = sim::transfer_time(bytes, bw);
   return h2d_[static_cast<std::size_t>(ggpu)].acquire_span(ready + arch_.lat_gpu_copy, dur);
 }
 
 sim::Span Machine::schedule_d2h(int ggpu, std::uint64_t bytes, sim::Time ready) {
-  const sim::Duration dur = sim::transfer_time(bytes, arch_.bw_nvlink_cpu_gpu * arch_.eff_nvlink);
+  const double bw = arch_.bw_nvlink_cpu_gpu * arch_.eff_nvlink *
+                    link_scale(kFaultHostLink, ggpu, -1, ready);
+  const sim::Duration dur = sim::transfer_time(bytes, bw);
   return d2h_[static_cast<std::size_t>(ggpu)].acquire_span(ready + arch_.lat_gpu_copy, dur);
 }
 
@@ -94,13 +119,15 @@ sim::Span Machine::schedule_d2d(int src_ggpu, int dst_ggpu, std::uint64_t bytes,
   }
   if (src_ggpu == dst_ggpu) {
     // Local device copy: read + write through device memory.
-    const sim::Duration dur = sim::transfer_time(2 * bytes, arch_.bw_gpu_mem);
+    const double bw = arch_.bw_gpu_mem * device_scale(src_ggpu, ready);
+    const sim::Duration dur = sim::transfer_time(2 * bytes, bw);
     return kernel_queue(src_ggpu).acquire_span(ready + arch_.lat_gpu_copy, dur);
   }
   const int li = local_of(src_ggpu);
   const int lj = local_of(dst_ggpu);
   if (use_peer && arch_.peer_capable(li, lj)) {
-    const double bw = arch_.theoretical_gpu_bw(li, lj) * arch_.eff_nvlink;
+    const double bw = arch_.theoretical_gpu_bw(li, lj) * arch_.eff_nvlink *
+                      link_scale(kFaultP2P, src_ggpu, dst_ggpu, ready);
     return p2p(src_ggpu, dst_ggpu).acquire_span(ready + arch_.lat_gpu_copy, sim::transfer_time(bytes, bw));
   }
   // Non-peer path: the driver stages GPU -> host -> (X-Bus) -> host -> GPU
@@ -108,15 +135,19 @@ sim::Span Machine::schedule_d2d(int src_ggpu, int dst_ggpu, std::uint64_t bytes,
   // disabling peer access (or crossing the X-Bus on Summit) costs 2-3x.
   const int node = node_of(src_ggpu);
   const double host_link_bw = arch_.bw_nvlink_cpu_gpu * arch_.eff_nvlink;
-  const sim::Duration d_host = sim::transfer_time(bytes, host_link_bw);
+  const sim::Duration d_out = sim::transfer_time(
+      bytes, host_link_bw * link_scale(kFaultHostLink, src_ggpu, -1, ready));
   const sim::Span first =
-      d2h_[static_cast<std::size_t>(src_ggpu)].acquire_span(ready + arch_.lat_gpu_copy, d_host);
+      d2h_[static_cast<std::size_t>(src_ggpu)].acquire_span(ready + arch_.lat_gpu_copy, d_out);
   sim::Span span = first;
   if (arch_.socket_of(li) != arch_.socket_of(lj)) {
-    const sim::Duration d_xbus = sim::transfer_time(bytes, arch_.bw_xbus * arch_.eff_xbus);
+    const sim::Duration d_xbus = sim::transfer_time(
+        bytes, arch_.bw_xbus * arch_.eff_xbus * link_scale(kFaultXBus, node, -1, span.end));
     span = xbus(node, arch_.socket_of(li) < arch_.socket_of(lj)).acquire_span(span.end, d_xbus);
   }
-  span = h2d_[static_cast<std::size_t>(dst_ggpu)].acquire_span(span.end, d_host);
+  const sim::Duration d_in = sim::transfer_time(
+      bytes, host_link_bw * link_scale(kFaultHostLink, dst_ggpu, -1, span.end));
+  span = h2d_[static_cast<std::size_t>(dst_ggpu)].acquire_span(span.end, d_in);
   return {first.start, span.end};
 }
 
@@ -139,7 +170,9 @@ sim::Span Machine::schedule_internode(int src_node, int dst_node, std::uint64_t 
   if (src_node == dst_node) {
     throw std::logic_error("Machine::schedule_internode: same node");
   }
-  const sim::Duration dur = sim::transfer_time(bytes, arch_.bw_nic * arch_.eff_nic);
+  const double bw =
+      arch_.bw_nic * arch_.eff_nic * link_scale(kFaultNic, src_node, dst_node, ready);
+  const sim::Duration dur = sim::transfer_time(bytes, bw);
   const sim::Span out = nic_out(src_node).acquire_span(ready, dur);
   const sim::Span in = nic_in(dst_node).acquire_span(cut_through_ready(out, dur), dur);
   return {out.start, in.end};

@@ -6,6 +6,10 @@
 #include "simtime/resource.h"
 #include "topo/archetype.h"
 
+namespace stencil::fault {
+class Injector;
+}  // namespace stencil::fault
+
 namespace stencil::topo {
 
 /// A cluster: `num_nodes` identical nodes of one NodeArchetype, plus the
@@ -36,6 +40,14 @@ class Machine {
 
   /// Can peer access be enabled between these two *global* GPUs?
   bool peer_capable(int ggpu_i, int ggpu_j) const;
+
+  /// Attach (or detach with nullptr) a fault injector. Every schedule_*
+  /// call then derates its link/device bandwidth by the injector's scale at
+  /// the ready time. The Machine is the single owner of this pointer; the
+  /// vgpu runtime and simpi job read it from here so all layers see one
+  /// consistent fault view. Not owned; must outlive the runs that use it.
+  void set_fault_injector(const fault::Injector* inj) { fault_ = inj; }
+  const fault::Injector* fault_injector() const { return fault_; }
 
   // --- cost model -------------------------------------------------------
 
@@ -87,12 +99,17 @@ class Machine {
  private:
   sim::Resource& p2p(int src_ggpu, int dst_ggpu);
   sim::Resource& xbus(int node, bool forward);
+  // Fault-adjusted bandwidth multipliers, clamped away from zero so a dead
+  // link is glacial rather than free (transfer_time(bytes, 0) == 0).
+  double link_scale(int cls, int a, int b, sim::Time t) const;
+  double device_scale(int ggpu, sim::Time t) const;
   // Pipelined hop: may start once `prev` has streamed enough to keep a hop
   // of length `dur` fed, and may not start before prev itself started.
   static sim::Time cut_through_ready(const sim::Span& prev, sim::Duration dur);
 
   NodeArchetype arch_;
   int num_nodes_;
+  const fault::Injector* fault_ = nullptr;
   std::vector<sim::Resource> kernel_;   // per global GPU
   std::vector<sim::Resource> h2d_;      // per global GPU, host->device direction
   std::vector<sim::Resource> d2h_;      // per global GPU, device->host direction

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "fault/fault.h"
+
 namespace stencil::vgpu {
 
 namespace {
@@ -89,8 +91,19 @@ void Runtime::enable_peer_access(int ggpu, int peer_ggpu) {
 
 bool Runtime::peer_enabled(int ggpu, int peer_ggpu) const {
   if (ggpu == peer_ggpu) return true;
-  return peer_enabled_[static_cast<std::size_t>(ggpu) * machine_.total_gpus() +
-                       static_cast<std::size_t>(peer_ggpu)];
+  if (!peer_enabled_[static_cast<std::size_t>(ggpu) * machine_.total_gpus() +
+                     static_cast<std::size_t>(peer_ggpu)]) {
+    return false;
+  }
+  const fault::Injector* inj = machine_.fault_injector();
+  return inj == nullptr || !inj->peer_revoked(ggpu, peer_ggpu, eng_.now());
+}
+
+bool Runtime::ipc_mapping_valid(const IpcMappedPtr& p) const {
+  if (!p.valid()) return false;
+  const fault::Injector* inj = machine_.fault_injector();
+  if (inj == nullptr) return true;
+  return !inj->ipc_stale(machine_.node_of(p.device), p.opened_at, eng_.now());
 }
 
 sim::Time Runtime::issue(Stream& s) {
@@ -183,6 +196,11 @@ void Runtime::memcpy_peer_async(Buffer& dst, std::size_t dst_off, const Buffer& 
 void Runtime::memcpy_to_ipc_async(const IpcMappedPtr& dst, std::size_t dst_off, const Buffer& src,
                                   std::size_t src_off, std::size_t bytes, Stream& s) {
   if (!dst.valid()) throw std::logic_error("memcpy_to_ipc_async: invalid IPC mapping");
+  if (!ipc_mapping_valid(dst)) {
+    throw CapabilityError(CapabilityError::Kind::kIpcMappingStale,
+                          "memcpy_to_ipc_async: IPC mapping to gpu" + std::to_string(dst.device) +
+                              " invalidated at t=" + sim::format_duration(eng_.now()));
+  }
   Buffer& target = *dst.target;
   check_same_size_copy(target, dst_off, src, src_off, bytes);
   const sim::Time ready = issue(s);
@@ -250,7 +268,7 @@ IpcMappedPtr Runtime::ipc_open_mem_handle(const IpcMemHandle& h, int opener_ggpu
     throw std::runtime_error("ipc_open_mem_handle: unknown or stale handle");
   }
   eng_.sleep_for(machine_.arch().lat_ipc_setup);
-  return IpcMappedPtr{it->second, h.device};
+  return IpcMappedPtr{it->second, h.device, eng_.now()};
 }
 
 }  // namespace stencil::vgpu

@@ -47,7 +47,23 @@ struct IpcMemHandle {
 struct IpcMappedPtr {
   Buffer* target = nullptr;
   int device = -1;
+  sim::Time opened_at = 0;  // when the mapping was established (staleness)
   bool valid() const { return target != nullptr; }
+};
+
+/// Thrown when a device capability the caller relied on has been lost at
+/// runtime (fault injection): peer access revoked, or an IPC mapping
+/// invalidated after it was opened. The exchange layer catches this and
+/// re-specializes the affected transfer down the capability chain.
+class CapabilityError : public std::runtime_error {
+ public:
+  enum class Kind { kPeerAccessLost, kIpcMappingStale };
+  CapabilityError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
 };
 
 /// The virtual CUDA runtime: allocation, streams, events, async copies,
@@ -99,7 +115,14 @@ class Runtime {
   bool can_access_peer(int ggpu, int peer_ggpu) const;
   /// Enable peer access; throws if the hardware cannot (as CUDA errors).
   void enable_peer_access(int ggpu, int peer_ggpu);
+  /// True when the pair has peer access *now*: enabled by the caller and not
+  /// revoked by an injected fault at the current virtual time.
   bool peer_enabled(int ggpu, int peer_ggpu) const;
+
+  /// True when an IPC mapping is still usable: valid and not invalidated by
+  /// a fault event since it was opened. The exchange layer polls this at
+  /// iteration boundaries to decide whether to demote a COLOCATED transfer.
+  bool ipc_mapping_valid(const IpcMappedPtr& p) const;
 
   // --- async copies -------------------------------------------------------
   /// cudaMemcpyAsync equivalent: direction inferred from the buffer spaces

@@ -6,6 +6,7 @@
 
 #include "core/cluster.h"
 #include "core/distributed_domain.h"
+#include "core/exchange.h"
 #include "topo/archetype.h"
 
 using stencil::Cluster;
@@ -227,6 +228,70 @@ TEST(ExchangeAggregated, FewerMessagesAtScale) {
     return *std::max_element(t.begin(), t.end());
   };
   EXPECT_LT(time_with(true), time_with(false));
+}
+
+// Capability specialization (§III-C): enabling methods one at a time must
+// promote exactly the transfer classes each tier covers, in the paper's
+// order, with everything else still falling through to the tier below.
+TEST(Exchange, SpecializationFallsThroughDisabledMethods) {
+  // 240x16x16 over 2 nodes x 6 GPUs partitions as a 12x1x1 chain, so the
+  // plan has self-exchanges (wrap onto self in y/z), same-rank pairs (with
+  // 2 ranks per node), same-node cross-rank pairs, and cross-node pairs.
+  stencil::HierarchicalPartition hp({240, 16, 16}, 2, 6);
+  stencil::Placement p(hp, stencil::topo::summit(), 1, 4, Neighborhood::kFull,
+                       PlacementStrategy::kTrivial);
+  const int rpn = 2;  // 3 GPUs per rank: same-rank distinct-GPU transfers exist
+  auto hist = [&](MethodFlags f) {
+    return stencil::ExchangePlan::full(p, rpn, f, Neighborhood::kFull).method_histogram();
+  };
+  auto count = [](const std::map<stencil::Method, int>& h, stencil::Method m) {
+    auto it = h.find(m);
+    return it == h.end() ? 0 : it->second;
+  };
+  using stencil::Method;
+
+  // STAGED only: the universal fallback carries every transfer.
+  const auto h_staged = hist(MethodFlags::kStaged);
+  ASSERT_EQ(h_staged.size(), 1u);
+  const int total = count(h_staged, Method::kStaged);
+  EXPECT_GT(total, 0);
+
+  // +remote: every transfer (even self) promotes to CUDA-aware MPI when
+  // nothing closer to the silicon is allowed.
+  const auto h_remote = hist(MethodFlags::kStaged | MethodFlags::kCudaAwareMpi);
+  EXPECT_EQ(count(h_remote, Method::kCudaAwareMpi), total);
+  EXPECT_EQ(count(h_remote, Method::kStaged), 0);
+
+  // +colo: same-node cross-rank pairs peel off onto COLOCATED.
+  const auto h_colo =
+      hist(MethodFlags::kStaged | MethodFlags::kCudaAwareMpi | MethodFlags::kColocated);
+  EXPECT_GT(count(h_colo, Method::kColocated), 0);
+  EXPECT_GT(count(h_colo, Method::kCudaAwareMpi), 0);  // cross-node remainder
+  EXPECT_EQ(count(h_colo, Method::kPeer), 0);
+  EXPECT_EQ(count(h_colo, Method::kKernel), 0);
+
+  // +peer: same-rank pairs (self included, with KERNEL still off) take
+  // PEER_MEMCPY; colocated and remote counts cannot grow.
+  const auto h_peer = hist(MethodFlags::kStaged | MethodFlags::kCudaAwareMpi |
+                           MethodFlags::kColocated | MethodFlags::kPeer);
+  EXPECT_GT(count(h_peer, Method::kPeer), 0);
+  EXPECT_EQ(count(h_peer, Method::kColocated), count(h_colo, Method::kColocated));
+  EXPECT_LT(count(h_peer, Method::kCudaAwareMpi), count(h_colo, Method::kCudaAwareMpi));
+
+  // +kernel: only self-exchanges move again, from PEER to KERNEL.
+  const auto h_all = hist(MethodFlags::kAllCudaAware | MethodFlags::kStaged);
+  EXPECT_GT(count(h_all, Method::kKernel), 0);
+  EXPECT_EQ(count(h_all, Method::kKernel) + count(h_all, Method::kPeer),
+            count(h_peer, Method::kPeer));
+  EXPECT_EQ(count(h_all, Method::kColocated), count(h_peer, Method::kColocated));
+  EXPECT_EQ(count(h_all, Method::kCudaAwareMpi), count(h_peer, Method::kCudaAwareMpi));
+
+  // Every tier change conserves the transfer count.
+  for (const auto& h : {h_remote, h_colo, h_peer, h_all}) {
+    int sum = 0;
+    for (const auto& [m, n] : h) sum += n;
+    EXPECT_EQ(sum, total);
+  }
 }
 
 // Property sweep: correctness must hold for every method set x layout x

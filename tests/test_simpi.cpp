@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "simpi/mpi.h"
@@ -141,6 +143,49 @@ TEST(Simpi, MismatchedTagsDeadlock) {
     }
   }),
                sim::DeadlockError);
+}
+
+TEST(Simpi, DeadlockDiagnosticNamesActorsAndTags) {
+  // Mismatched tags hang both ranks; the structured report must say who is
+  // blocked, on which gate, and which (peer, tag) each wait is for.
+  World w(1, 2);
+  bool watchdog_fired = false;
+  sim::DeadlockReport observed;
+  w.eng.set_watchdog([&](const sim::DeadlockReport& r) {
+    watchdog_fired = true;
+    observed = r;
+  });
+  try {
+    w.job.run([](simpi::Comm& comm) {
+      int v = 0;
+      if (comm.rank() == 0) {
+        comm.recv(simpi::Payload::of_values(&v, 1), 1, 31);
+      } else {
+        comm.recv(simpi::Payload::of_values(&v, 1), 0, 32);
+      }
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const sim::DeadlockError& e) {
+    const sim::DeadlockReport& rep = e.report();
+    ASSERT_EQ(rep.actors.size(), 2u);
+    auto find = [&](const std::string& name) {
+      auto it = std::find_if(rep.actors.begin(), rep.actors.end(),
+                             [&](const sim::BlockedActorInfo& a) { return a.actor == name; });
+      EXPECT_NE(it, rep.actors.end()) << "missing actor " << name;
+      return it;
+    };
+    auto r0 = find("rank0");
+    EXPECT_EQ(r0->resource, "rank0.mpi");
+    EXPECT_EQ(r0->detail, "recv src=1 tag=31");
+    auto r1 = find("rank1");
+    EXPECT_EQ(r1->resource, "rank1.mpi");
+    EXPECT_EQ(r1->detail, "recv src=0 tag=32");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank0"), std::string::npos);
+    EXPECT_NE(what.find("recv src=0 tag=32"), std::string::npos);
+  }
+  EXPECT_TRUE(watchdog_fired);
+  EXPECT_EQ(observed.actors.size(), 2u);
 }
 
 TEST(Simpi, IntraNodeFasterThanInterNode) {
