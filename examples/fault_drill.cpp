@@ -44,7 +44,7 @@ void fill(DistributedDomain& dd, std::size_t nq) {
   });
 }
 
-std::int64_t check(DistributedDomain& dd, Dim3 domain, std::size_t nq) {
+std::int64_t check_halos(DistributedDomain& dd, Dim3 domain, std::size_t nq) {
   std::int64_t bad = 0;
   const int r = dd.radius().max();
   dd.for_each_subdomain([&](LocalDomain& ld) {
@@ -164,7 +164,7 @@ int main(int argc, char** argv) {
         const double t0 = ctx.comm.wtime();
         dd.exchange();
         ctx.comm.barrier();
-        const std::int64_t bad = check(dd, domain, kQuantities);
+        const std::int64_t bad = check_halos(dd, domain, kQuantities);
         failures += bad;
         if (ctx.rank() == 0) {
           std::printf("  %s exchange %d: %.3f ms, halo errors: %lld\n", tag, it,

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/report.h"
+#include "check/vclock.h"
+#include "simpi/observer.h"
+#include "simtime/engine.h"
+#include "vgpu/observer.h"
+
+namespace stencil::check {
+
+/// Vector-clock happens-before analyzer for the virtual CUDA/MPI substrate.
+///
+/// The simulation executes every op on one OS thread, so host sanitizers see
+/// nothing; what can race is *virtual* concurrency — streams, events, and
+/// MPI requests. The Checker rebuilds the happens-before partial order from
+/// the ordering operations alone (stream FIFO, default-stream serialization,
+/// event record/wait, stream/device synchronize, request post/completion,
+/// barriers — never from virtual-time comparison, which would declare every
+/// deterministic schedule race-free) and keeps per-byte-range access history
+/// on every vgpu::Buffer it sees. Unordered write/write or read/write pairs
+/// become findings naming both ops and the missing edge. On the same feed it
+/// lints API misuse: copies through closed IPC mappings, waits on unrecorded
+/// events, message truncation, tag-mismatched pairs, unwaited requests, and
+/// streams destroyed with unsynchronized work.
+///
+/// Install with Cluster::set_checker (or Runtime::set_checker +
+/// Job::set_checker directly); read `report()` after the run.
+class Checker : public vgpu::RuntimeObserver, public simpi::JobObserver {
+ public:
+  explicit Checker(sim::Engine& eng) : eng_(eng) {}
+
+  CheckReport& report() { return report_; }
+  const CheckReport& report() const { return report_; }
+
+  /// Run teardown lints (unwaited requests, tag-mismatched pairs, streams
+  /// with unsynchronized work). Called automatically at Job end; call
+  /// directly when driving the Runtime without a Job.
+  void finish();
+
+  // --- vgpu::RuntimeObserver ---------------------------------------------
+  void on_op(const vgpu::OpInfo& op) override;
+  void on_stream_create(const vgpu::Stream& s) override;
+  void on_record_event(const vgpu::Event& ev, const vgpu::Stream& s) override;
+  void on_stream_wait_event(const vgpu::Stream& s, const vgpu::Event& ev) override;
+  void on_event_synchronize(const vgpu::Event& ev) override;
+  void on_event_query(const vgpu::Event& ev, bool complete) override;
+  void on_stream_synchronize(const vgpu::Stream& s) override;
+  void on_device_synchronize(int ggpu) override;
+  void on_stream_destroy(const vgpu::Stream& s) override;
+  void on_ipc_misuse(const vgpu::IpcMappedPtr& p, const std::string& what) override;
+
+  // --- simpi::JobObserver -------------------------------------------------
+  void on_job_start(int world_size) override;
+  void on_job_end() override;
+  void on_post(const simpi::MsgInfo& m) override;
+  void on_match(const simpi::MsgInfo& send, const simpi::MsgInfo& recv, bool delivered,
+                bool same_node) override;
+  void on_truncation(const simpi::MsgInfo& send, const simpi::MsgInfo& recv) override;
+  void on_request_done(std::uint64_t serial) override;
+  void on_request_cancel(std::uint64_t serial) override;
+  void on_barrier_arrive(std::uint64_t generation) override;
+  void on_barrier_release(std::uint64_t generation) override;
+
+ private:
+  /// One recorded access: performed at `at.tid`'s epoch `at.epoch`, with
+  /// happens-before knowledge `clock`. A later access with clock C is
+  /// ordered after it iff at.epoch <= C[at.tid].
+  struct AccessRec {
+    Epoch at;
+    VClock clock;
+    std::string label;  // trace label of the op, plus its logical thread
+    sim::Time when = 0;
+  };
+
+  /// Access history of one byte range of one buffer. Segments are disjoint
+  /// and keyed by start offset in the per-buffer map; they split whenever a
+  /// new access covers them partially.
+  struct Segment {
+    std::size_t end = 0;
+    bool has_write = false;
+    AccessRec write;
+    std::vector<AccessRec> reads;
+  };
+
+  struct StreamState {
+    Tid tid = 0;
+    VClock clock;            // knowledge of the last op enqueued on the stream
+    std::string last_label;  // for the destroy-with-pending-work lint
+  };
+
+  struct DeviceClocks {
+    VClock all;   // join of every op on the device (any stream)
+    VClock dflt;  // join of default-stream ops + CUDA-aware MPI occupation
+  };
+
+  struct EventState {
+    VClock clock;  // stream knowledge captured at record time
+  };
+
+  struct ReqState {
+    Tid tid = 0;
+    VClock completion;  // what wait/test joins into the waiter
+    bool resolved = false;
+    bool done = false;
+    bool cancelled = false;
+    bool is_send = false;
+    int src = -1, dst = -1, tag = 0;
+    std::string desc;
+  };
+
+  VClock& host_clock();
+  StreamState& stream_state(const vgpu::Stream& s);
+  const std::string& tid_desc(Tid t) const;
+  Tid new_tid(std::string desc);
+  void record_access(const vgpu::MemAccess& a, const Epoch& at, const VClock& clock,
+                     const std::string& label, sim::Time when);
+  void check_pair(const AccessRec& prior, bool prior_is_write, const AccessRec& cur,
+                  bool cur_is_write);
+  void apply_access(Segment& seg, const AccessRec& rec, bool write);
+  void add_race(FindingKind kind, const AccessRec& prior, const AccessRec& cur);
+  std::string edge_hint(Tid from, Tid to) const;
+
+  sim::Engine& eng_;
+  CheckReport report_;
+  Tid next_tid_ = 1;
+  std::unordered_map<Tid, std::string> tid_descs_;
+  std::unordered_map<int, Tid> host_tids_;  // engine actor id -> tid
+  std::unordered_map<Tid, VClock> host_clocks_;
+  std::map<std::pair<int, std::uint64_t>, StreamState> streams_;  // (device, id)
+  std::unordered_map<int, DeviceClocks> devices_;
+  std::unordered_map<const vgpu::Event*, EventState> events_;
+  std::unordered_map<std::uint64_t, ReqState> requests_;  // by serial
+  std::unordered_map<std::uint64_t, VClock> barriers_;    // by generation
+  // Shadow memory: buffer id -> disjoint segments keyed by start offset.
+  std::unordered_map<std::uint64_t, std::map<std::size_t, Segment>> shadow_;
+  // Race dedup: (kind, first label, second label) already reported.
+  std::set<std::string> reported_;
+};
+
+}  // namespace stencil::check

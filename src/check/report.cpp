@@ -1,0 +1,52 @@
+#include "check/report.h"
+
+#include <map>
+
+namespace stencil::check {
+
+const char* to_string(FindingKind k) {
+  switch (k) {
+    case FindingKind::kWriteWriteRace: return "write-write-race";
+    case FindingKind::kReadWriteRace: return "read-write-race";
+    case FindingKind::kStaleIpcMapping: return "stale-ipc-mapping";
+    case FindingKind::kWaitUnrecordedEvent: return "wait-unrecorded-event";
+    case FindingKind::kSizeMismatch: return "size-mismatch";
+    case FindingKind::kTagMismatch: return "tag-mismatch";
+    case FindingKind::kRequestNeverWaited: return "request-never-waited";
+    case FindingKind::kStreamDestroyedPending: return "stream-destroyed-pending";
+  }
+  return "unknown";
+}
+
+std::size_t CheckReport::count(FindingKind k) const {
+  std::size_t n = 0;
+  for (const auto& f : findings_) n += f.kind == k ? 1 : 0;
+  return n;
+}
+
+void CheckReport::write(std::ostream& os) const {
+  if (findings_.empty()) {
+    os << "check: clean (no findings)\n";
+    return;
+  }
+  for (std::size_t i = 0; i < findings_.size(); ++i) {
+    const Finding& f = findings_[i];
+    os << "[" << i + 1 << "] " << to_string(f.kind) << " at t=" << sim::format_duration(f.at)
+       << "\n      first:  " << f.first << "\n";
+    if (!f.second.empty()) os << "      second: " << f.second << "\n";
+    if (!f.missing_edge.empty()) os << "      missing edge: " << f.missing_edge << "\n";
+  }
+}
+
+std::string CheckReport::summary() const {
+  if (findings_.empty()) return "clean";
+  std::map<FindingKind, std::size_t> by_kind;
+  for (const auto& f : findings_) ++by_kind[f.kind];
+  std::string s = std::to_string(findings_.size()) + " finding(s):";
+  for (const auto& [k, n] : by_kind) {
+    s += std::string(" ") + to_string(k) + "=" + std::to_string(n);
+  }
+  return s;
+}
+
+}  // namespace stencil::check

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stencil::check {
+
+/// Logical thread id inside the checker's happens-before graph. Host actors,
+/// streams, MPI requests, and barrier generations each get their own id.
+using Tid = std::uint32_t;
+
+/// A sparse vector clock over checker Tids. Components default to 0;
+/// entries are kept sorted by tid so join/leq are linear merges. Clocks stay
+/// tiny in practice (an op's clock names the few threads it descends from),
+/// which is why sparse beats a dense vector indexed by every stream ever
+/// created.
+class VClock {
+ public:
+  std::uint64_t get(Tid t) const {
+    for (const auto& [tid, v] : c_) {
+      if (tid == t) return v;
+      if (tid > t) break;
+    }
+    return 0;
+  }
+
+  void set(Tid t, std::uint64_t v) {
+    auto it = lower_bound(t);
+    if (it != c_.end() && it->first == t) {
+      it->second = v;
+    } else {
+      c_.insert(it, {t, v});
+    }
+  }
+
+  /// Advance this thread's own component and return the new epoch.
+  std::uint64_t bump(Tid t) {
+    auto it = lower_bound(t);
+    if (it != c_.end() && it->first == t) return ++it->second;
+    c_.insert(it, {t, 1});
+    return 1;
+  }
+
+  /// Pointwise maximum: *this |= other.
+  void join(const VClock& other) {
+    if (other.c_.empty()) return;
+    std::vector<std::pair<Tid, std::uint64_t>> merged;
+    merged.reserve(c_.size() + other.c_.size());
+    auto a = c_.begin();
+    auto b = other.c_.begin();
+    while (a != c_.end() && b != other.c_.end()) {
+      if (a->first < b->first) {
+        merged.push_back(*a++);
+      } else if (b->first < a->first) {
+        merged.push_back(*b++);
+      } else {
+        merged.push_back({a->first, std::max(a->second, b->second)});
+        ++a;
+        ++b;
+      }
+    }
+    merged.insert(merged.end(), a, c_.end());
+    merged.insert(merged.end(), b, other.c_.end());
+    c_ = std::move(merged);
+  }
+
+  /// True when *this <= other pointwise (this clock's knowledge is contained
+  /// in other's: everything ordered before *this is ordered before other).
+  bool leq(const VClock& other) const {
+    auto b = other.c_.begin();
+    for (const auto& [tid, v] : c_) {
+      while (b != other.c_.end() && b->first < tid) ++b;
+      if (b == other.c_.end() || b->first != tid || b->second < v) return false;
+    }
+    return true;
+  }
+
+  bool empty() const { return c_.empty(); }
+
+  std::string str() const {
+    std::string s = "{";
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (i != 0) s += ", ";
+      s += std::to_string(c_[i].first) + ":" + std::to_string(c_[i].second);
+    }
+    return s + "}";
+  }
+
+ private:
+  std::vector<std::pair<Tid, std::uint64_t>>::iterator lower_bound(Tid t) {
+    auto it = c_.begin();
+    while (it != c_.end() && it->first < t) ++it;
+    return it;
+  }
+
+  std::vector<std::pair<Tid, std::uint64_t>> c_;
+};
+
+/// One recorded access for the FastTrack-style ordering test: the access was
+/// performed "at" epoch `epoch` of thread `tid`, with knowledge `clock`.
+/// A later access B happens-after access A iff B's clock contains A's epoch:
+/// A.epoch <= B.clock[A.tid].
+struct Epoch {
+  Tid tid = 0;
+  std::uint64_t epoch = 0;
+
+  bool ordered_before(const VClock& later) const { return epoch <= later.get(tid); }
+};
+
+}  // namespace stencil::check

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/checker.h"
 #include "core/placement.h"
 #include "simpi/mpi.h"
 #include "simtime/engine.h"
@@ -58,6 +59,14 @@ class Cluster {
     job_.set_recorder(rec);
   }
   void set_mem_mode(vgpu::MemMode m) { rt_.set_mem_mode(m); }
+
+  /// Attach a happens-before checker (nullptr detaches): every runtime op,
+  /// event edge, and MPI post/match/wait feeds it, and the exchange layer
+  /// annotates its kernels with byte-range access lists when one is set.
+  void set_checker(check::Checker* c) {
+    rt_.set_checker(c);
+    job_.set_checker(c);
+  }
 
   /// Attach a fault injector for this cluster's runs (nullptr detaches).
   /// The Machine holds the single authoritative pointer; the runtime, MPI

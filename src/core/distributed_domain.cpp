@@ -463,6 +463,44 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
   auto& rt = ctx_.rt;
   auto& eng = ctx_.engine();
 
+  // Checker annotations: kernel bodies are opaque closures, so when a
+  // happens-before checker is attached each launch declares the byte ranges
+  // it touches. Built only on demand — the unchecked path pays nothing.
+  const bool chk = rt.checker() != nullptr;
+  auto pack_acc = [&](const TransferState& x, const vgpu::Buffer& dst) {
+    vgpu::AccessList a;
+    if (chk) {
+      x.src_ld->append_region_accesses(x.src_region, active_qs_, false, a);
+      a.push_back({&dst, 0, x.active_bytes, true});
+    }
+    return a;
+  };
+  auto unpack_acc = [&](const TransferState& x, const vgpu::Buffer& src) {
+    vgpu::AccessList a;
+    if (chk) {
+      a.push_back({&src, 0, x.active_bytes, false});
+      x.dst_ld->append_region_accesses(x.dst_region, active_qs_, true, a);
+    }
+    return a;
+  };
+  auto self_acc = [&](const TransferState& x) {
+    vgpu::AccessList a;
+    if (chk) {
+      x.src_ld->append_region_accesses(x.src_region, active_qs_, false, a);
+      x.src_ld->append_region_accesses(x.dst_region, active_qs_, true, a);
+    }
+    return a;
+  };
+  auto copy3d_acc = [&](const TransferState& x, std::size_t q) {
+    vgpu::AccessList a;
+    if (chk) {
+      const std::vector<std::size_t> one{q};
+      x.src_ld->append_region_accesses(x.src_region, one, false, a);
+      x.dst_ld->append_region_accesses(x.dst_region, one, true, a);
+    }
+    return a;
+  };
+
   // --- Phase 0: post every MPI receive up front (maximizes matching). ----
   std::vector<simpi::Request>& recv_reqs = inflight_.recv_reqs;
   auto& recv_map = inflight_.recv_map;
@@ -493,7 +531,7 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
     TransferState& x = *xp;
     if (x.t.method == Method::kKernel && x.i_send) {
       rt.launch_kernel(x.src_stream, x.active_bytes, "self " + dir_str(x.t.dir),
-                       [&x, this] { x.src_ld->self_exchange(x.t.dir, active_qs_); });
+                       [&x, this] { x.src_ld->self_exchange(x.t.dir, active_qs_); }, self_acc(x));
     } else if (x.t.method == Method::kPeer) {
       // Pack-free path (§VI): a strided copy straight into the neighbor's
       // halo, when configured — and under kAuto, whenever the modeled
@@ -519,22 +557,26 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
                                      quantities_[q].elem_size;
           rt.memcpy3d_peer_async(
               x.t.dst_gpu, x.t.src_gpu, qbytes, x.src_ld->row_bytes(x.src_region, q),
-              x.src_stream, "3d " + dir_str(x.t.dir), [&x, q] {
+              x.src_stream, "3d " + dir_str(x.t.dir),
+              [&x, q] {
                 LocalDomain::copy_region(*x.src_ld, x.src_region, *x.dst_ld, x.dst_region, q);
-              });
+              },
+              copy3d_acc(x, q));
         }
         vgpu::Event copied;
         rt.record_event(copied, x.src_stream);
         rt.stream_wait_event(x.dst_stream, copied);
       } else {
         rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
-                         [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); });
+                         [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); },
+                         pack_acc(x, x.src_pack));
         rt.memcpy_peer_async(x.dst_pack, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
         vgpu::Event copied;
         rt.record_event(copied, x.src_stream);
         rt.stream_wait_event(x.dst_stream, copied);
         rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
-                         [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); });
+                         [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); },
+                         unpack_acc(x, x.dst_pack));
       }
     }
   }
@@ -553,9 +595,16 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
         x.peer_channel->gate.wait(eng, "colocated flow-control tag=" + std::to_string(x.t.tag));
       }
       try {
-        rt.stream_wait_event(x.src_stream, x.peer_channel->done_ev);
+        // The receiver records done_ev after each unpack; before the first
+        // generation lands (done_gen == 0) nothing has been recorded and
+        // there is nothing to wait for — waiting on an unrecorded event is
+        // API misuse the checker flags.
+        if (x.peer_channel->done_gen > 0) {
+          rt.stream_wait_event(x.src_stream, x.peer_channel->done_ev);
+        }
         rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
-                         [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); });
+                         [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); },
+                         pack_acc(x, x.src_pack));
         rt.memcpy_to_ipc_async(x.mapped, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
         rt.record_event(x.peer_channel->data_ev, x.src_stream);
         x.peer_channel->data_gen = seq_;
@@ -575,7 +624,8 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
       x.peer_channel->demoted = true;
       x.peer_channel->gate.notify_all(eng);
       rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
-                       [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); });
+                       [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); },
+                       pack_acc(x, x.src_pack));
       rt.memcpy_async(x.src_host, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
       rt.record_event(x.ready_ev, x.src_stream);
       inflight_.pending_sends.emplace_back(x.ready_ev.completed_at, &x);
@@ -595,17 +645,20 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
         // the pinned staging buffer — no separate D2H step.
         rt.launch_zero_copy_kernel(
             x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
-            [&x, this] { x.src_ld->pack_region(x.src_host, x.src_region, active_qs_); });
+            [&x, this] { x.src_ld->pack_region(x.src_host, x.src_region, active_qs_); },
+            pack_acc(x, x.src_host));
       } else {
         rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
-                         [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); });
+                         [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); },
+                         pack_acc(x, x.src_pack));
         rt.memcpy_async(x.src_host, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
       }
       rt.record_event(x.ready_ev, x.src_stream);
       pending.emplace_back(x.ready_ev.completed_at, &x);
     } else if (x.t.method == Method::kCudaAwareMpi) {
       rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
-                       [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); });
+                       [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); },
+                       pack_acc(x, x.src_pack));
       rt.record_event(x.ready_ev, x.src_stream);
       pending.emplace_back(x.ready_ev.completed_at, &x);
     }
@@ -617,7 +670,8 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
     for (std::size_t m = 0; m < gp->members.size(); ++m) {
       TransferState* x = gp->members[m].first;
       rt.launch_kernel(x->src_stream, x->active_bytes, "pack " + dir_str(x->t.dir),
-                       [x, this] { x->src_ld->pack_region(x->src_pack, x->src_region, active_qs_); });
+                       [x, this] { x->src_ld->pack_region(x->src_pack, x->src_region, active_qs_); },
+                       pack_acc(*x, x->src_pack));
       rt.memcpy_async(gp->host, gp->active_offsets[m], x->src_pack, 0, x->active_bytes,
                       x->src_stream);
       rt.record_event(x->ready_ev, x->src_stream);
@@ -640,8 +694,21 @@ void DistributedDomain::exchange_finish() {
   std::vector<simpi::Request>& recv_reqs = inflight_.recv_reqs;
   auto& recv_map = inflight_.recv_map;
 
+  const bool chk = rt.checker() != nullptr;
+  auto unpack_acc = [&](const TransferState& x, const vgpu::Buffer& src) {
+    vgpu::AccessList a;
+    if (chk) {
+      a.push_back({&src, 0, x.active_bytes, false});
+      x.dst_ld->append_region_accesses(x.dst_region, active_qs_, true, a);
+    }
+    return a;
+  };
+
   // --- Phase 4: post Isends in data-ready order (the Sender state
-  // machines' "advance when your CUDA phase completes" loop). -------------
+  // machines' "advance when your CUDA phase completes" loop). Each send is
+  // gated on its ready_ev with an event synchronize — not a virtual-time
+  // sleep to the same instant — so the isend's read of the staging buffer
+  // has a happens-before edge from the pack/D2H writes it consumes.
   std::vector<simpi::Request> send_reqs;
   {
     auto xi = inflight_.pending_sends.begin();
@@ -650,15 +717,18 @@ void DistributedDomain::exchange_finish() {
       const bool take_group = xi == inflight_.pending_sends.end() ||
                               (gi != inflight_.pending_group_sends.end() && gi->first < xi->first);
       if (take_group) {
-        eng.sleep_until(gi->first);
         AggGroup& g = *gi->second;
+        for (auto& [mx, off] : g.members) {
+          (void)off;
+          rt.event_synchronize(mx->ready_ev);
+        }
         g.req = comm.isend(simpi::Payload::of(g.host, 0, g.active_bytes), g.peer_rank,
                            agg_tag(comm.rank()));
         send_reqs.push_back(g.req);
         ++gi;
       } else {
-        eng.sleep_until(xi->first);
         TransferState& x = *xi->second;
+        rt.event_synchronize(x.ready_ev);
         if (x.t.method == Method::kStaged) {
           x.send_req = comm.isend(simpi::Payload::of(x.src_host, 0, x.active_bytes), x.t.dst_rank,
                                   x.t.tag);
@@ -684,7 +754,8 @@ void DistributedDomain::exchange_finish() {
         rt.memcpy_async(x->dst_pack, 0, gp->host, gp->active_offsets[m], x->active_bytes,
                         x->dst_stream);
         rt.launch_kernel(x->dst_stream, x->active_bytes, "unpack " + dir_str(x->t.dir),
-                         [x, this] { x->dst_ld->unpack_region(x->dst_pack, x->dst_region, active_qs_); });
+                         [x, this] { x->dst_ld->unpack_region(x->dst_pack, x->dst_region, active_qs_); },
+                         unpack_acc(*x, x->dst_pack));
       }
       continue;
     }
@@ -693,7 +764,8 @@ void DistributedDomain::exchange_finish() {
       rt.memcpy_async(x.dst_pack, 0, x.dst_host, 0, x.active_bytes, x.dst_stream);
     }
     rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
-                     [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); });
+                     [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); },
+                     unpack_acc(x, x.dst_pack));
   }
 
   // --- Phase 6: COLOCATED receivers unpack and acknowledge. ---------------
@@ -712,13 +784,15 @@ void DistributedDomain::exchange_finish() {
       comm.recv(simpi::Payload::of(x.dst_host, 0, x.active_bytes), x.t.src_rank, x.t.tag);
       rt.memcpy_async(x.dst_pack, 0, x.dst_host, 0, x.active_bytes, x.dst_stream);
       rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
-                       [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); });
+                       [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); },
+                       unpack_acc(x, x.dst_pack));
       x.channel->done_gen = seq_;
       continue;
     }
     rt.stream_wait_event(x.dst_stream, x.channel->data_ev);
     rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
-                     [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); });
+                     [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); },
+                     unpack_acc(x, x.dst_pack));
     rt.record_event(x.channel->done_ev, x.dst_stream);
     x.channel->done_gen = seq_;
     x.channel->gate.notify_all(eng);

@@ -96,6 +96,26 @@ void LocalDomain::unpack_region(const vgpu::Buffer& src, const Region3& region,
   }
 }
 
+void LocalDomain::append_region_accesses(const Region3& region, const std::vector<std::size_t>& qs,
+                                         bool write, vgpu::AccessList& out) const {
+  for (std::size_t q : qs) {
+    const vgpu::Buffer& b = data_[q];
+    for_each_row(region, q, [&](std::size_t off, std::size_t row_bytes) {
+      if (!out.empty() && out.back().buf == &b && out.back().write == write &&
+          out.back().offset + out.back().bytes == off) {
+        out.back().bytes += row_bytes;
+      } else {
+        out.push_back({&b, off, row_bytes, write});
+      }
+    });
+  }
+}
+
+void LocalDomain::append_region_accesses(const Region3& region, bool write,
+                                         vgpu::AccessList& out) const {
+  append_region_accesses(region, all_indices(quantities_.size()), write, out);
+}
+
 void LocalDomain::copy_region(const LocalDomain& src, const Region3& src_region, LocalDomain& dst,
                               const Region3& dst_region, std::size_t q) {
   if (src_region.extent != dst_region.extent) {

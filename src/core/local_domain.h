@@ -121,6 +121,16 @@ class LocalDomain {
     return static_cast<std::size_t>(region.extent.x) * quantities_[q].elem_size;
   }
 
+  /// Append the exact byte ranges a pack/unpack/3d-copy of `region` touches
+  /// on the listed quantities' buffers to `out` (checker annotations for
+  /// the otherwise-opaque kernel bodies). Adjacent rows merge into single
+  /// ranges, so a full-width slab collapses to one range per quantity.
+  /// Ranges are emitted for phantom storage too: phantom ops still occupy
+  /// virtual time and can race.
+  void append_region_accesses(const Region3& region, const std::vector<std::size_t>& qs,
+                              bool write, vgpu::AccessList& out) const;
+  void append_region_accesses(const Region3& region, bool write, vgpu::AccessList& out) const;
+
   /// In-GPU self-exchange for direction `dir` (the KERNEL method's body):
   /// copies the interior slab facing `dir` into the halo slab that receives
   /// dir-traffic on this same subdomain (periodic wrap onto itself).

@@ -51,6 +51,19 @@ sim::Duration retry_budget(const fault::RetryPolicy& rp) {
   return budget;
 }
 
+MsgInfo msg_info(const Request::Record& rec) {
+  MsgInfo m;
+  m.serial = rec.serial;
+  m.is_send = rec.is_send;
+  m.src = rec.src;
+  m.dst = rec.dst;
+  m.tag = rec.tag;
+  m.payload = &rec.payload;
+  m.buffered = rec.buffered;
+  m.post_time = rec.post_time;
+  return m;
+}
+
 }  // namespace
 
 Job::Job(sim::Engine& eng, topo::Machine& machine, vgpu::Runtime& runtime, int ranks_per_node)
@@ -85,7 +98,9 @@ void Job::run(const std::function<void(Comm&)>& body) {
     });
     names.push_back("rank" + std::to_string(r));
   }
+  if (checker_ != nullptr) checker_->on_job_start(world_size_);
   eng_.run(std::move(bodies), std::move(names));
+  if (checker_ != nullptr) checker_->on_job_end();
 }
 
 std::shared_ptr<Request::Record> Job::post(bool is_send, int me, int peer, int tag,
@@ -98,6 +113,7 @@ std::shared_ptr<Request::Record> Job::post(bool is_send, int me, int peer, int t
   eng_.sleep_for(machine_.arch().cpu_issue);  // CPU cost of the MPI call
 
   auto rec = std::make_shared<Request::Record>();
+  rec->serial = next_request_serial_++;
   rec->is_send = is_send;
   rec->src = is_send ? me : peer;
   rec->dst = is_send ? peer : me;
@@ -115,6 +131,8 @@ std::shared_ptr<Request::Record> Job::post(bool is_send, int me, int peer, int t
       rec->staged.assign(sp, sp + p.bytes);
     }
   }
+
+  if (checker_ != nullptr) checker_->on_post(msg_info(*rec));
 
   auto& queue = is_send ? unmatched_sends_[static_cast<std::size_t>(rec->dst)]
                         : unmatched_recvs_[static_cast<std::size_t>(rec->dst)];
@@ -165,6 +183,7 @@ sim::Time Job::device_ready_barrier(const Request::Record& send, const Request::
 void Job::complete_match(Request::Record& send, Request::Record& recv) {
   const std::size_t bytes = send.payload.bytes;
   if (recv.payload.bytes < bytes) {
+    if (checker_ != nullptr) checker_->on_truncation(msg_info(send), msg_info(recv));
     throw std::runtime_error("simpi: message truncation (recv buffer smaller than message)");
   }
   const int node_s = node_of_rank(send.src);
@@ -218,6 +237,9 @@ void Job::complete_match(Request::Record& send, Request::Record& recv) {
                           "LOST tag=" + std::to_string(send.tag) + " after " +
                               std::to_string(recv.attempts) + " attempts",
                           ready, fail_at);
+      }
+      if (checker_ != nullptr) {
+        checker_->on_match(msg_info(send), msg_info(recv), /*delivered=*/false, same_node);
       }
       rank_gates_[static_cast<std::size_t>(send.src)]->notify_all(eng_);
       rank_gates_[static_cast<std::size_t>(recv.dst)]->notify_all(eng_);
@@ -316,6 +338,9 @@ void Job::complete_match(Request::Record& send, Request::Record& recv) {
                       (dev_s || dev_r ? "ca-msg " : "msg ") + std::to_string(bytes) + "B", span.start,
                       span.end);
   }
+  if (checker_ != nullptr) {
+    checker_->on_match(msg_info(send), msg_info(recv), /*delivered=*/true, same_node);
+  }
 
   rank_gates_[static_cast<std::size_t>(send.src)]->notify_all(eng_);
   rank_gates_[static_cast<std::size_t>(recv.dst)]->notify_all(eng_);
@@ -328,6 +353,7 @@ void Job::cancel_unmatched(Request::Record& rec) {
                              [&](const auto& q) { return q.get() == &rec; }),
               queue.end());
   rec.cancelled = true;
+  if (checker_ != nullptr) checker_->on_request_cancel(rec.serial);
 }
 
 void Job::wait(Request& r, int me) {
@@ -355,6 +381,7 @@ void Job::wait(Request& r, int me) {
     while (!rec.matched) rank_gates_[static_cast<std::size_t>(me)]->wait(eng_, wait_detail(rec.is_send, rec.src, rec.dst, rec.tag));
   }
   eng_.sleep_until(rec.complete_at);
+  if (checker_ != nullptr) checker_->on_request_done(rec.serial);
   if (rec.failed) {
     throw TransportError(TransportError::Code::kRetriesExhausted,
                          rec.is_send ? rec.dst : rec.src, rec.tag,
@@ -366,7 +393,9 @@ void Job::wait(Request& r, int me) {
 bool Job::test(Request& r) {
   if (!r.valid()) throw std::logic_error("simpi: test on an invalid Request");
   const auto& rec = *r.rec_;
-  return rec.matched && rec.complete_at <= eng_.now();
+  const bool complete = rec.matched && rec.complete_at <= eng_.now();
+  if (complete && checker_ != nullptr) checker_->on_request_done(rec.serial);
+  return complete;
 }
 
 int Job::wait_any(std::vector<Request>& rs, int me) {
@@ -388,6 +417,7 @@ int Job::wait_any(std::vector<Request>& rs, int me) {
       auto rec = rs[static_cast<std::size_t>(best)].rec_;
       eng_.sleep_until(best_t);
       rs[static_cast<std::size_t>(best)].rec_.reset();
+      if (checker_ != nullptr) checker_->on_request_done(rec->serial);
       if (rec->failed) {
         throw TransportError(TransportError::Code::kRetriesExhausted,
                              rec->is_send ? rec->dst : rec->src, rec->tag,
@@ -403,6 +433,7 @@ int Job::wait_any(std::vector<Request>& rs, int me) {
 void Job::barrier(int me) {
   (void)me;
   const std::uint64_t gen = barrier_generation_;
+  if (checker_ != nullptr) checker_->on_barrier_arrive(gen);
   barrier_max_arrival_ = std::max(barrier_max_arrival_, eng_.now());
   if (++barrier_arrived_ == world_size_) {
     barrier_arrived_ = 0;
@@ -418,6 +449,7 @@ void Job::barrier(int me) {
     while (barrier_generation_ == gen) barrier_gate_->wait(eng_, "barrier");
     eng_.sleep_until(barrier_release_);
   }
+  if (checker_ != nullptr) checker_->on_barrier_release(gen);
 }
 
 // --- Comm ------------------------------------------------------------------

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "simpi/observer.h"
 #include "simtime/engine.h"
 #include "simtime/resource.h"
 #include "topo/machine.h"
@@ -67,10 +68,11 @@ class Request {
   Request() = default;
   bool valid() const { return rec_ != nullptr; }
 
+  struct Record;  // implementation detail, public only so helpers can name it
+
  private:
   friend class Job;
   friend class Comm;
-  struct Record;
   explicit Request(std::shared_ptr<Record> rec) : rec_(std::move(rec)) {}
   std::shared_ptr<Record> rec_;
 };
@@ -102,6 +104,11 @@ class Job {
 
   void set_recorder(trace::Recorder* rec) { recorder_ = rec; }
 
+  /// Optional correctness observer (stencil::check): when set, every post,
+  /// match, completion, cancellation, and barrier crossing is reported.
+  void set_checker(JobObserver* obs) { checker_ = obs; }
+  JobObserver* checker() const { return checker_; }
+
  private:
   friend class Comm;
 
@@ -121,8 +128,10 @@ class Job {
   topo::Machine& machine_;
   vgpu::Runtime& runtime_;
   trace::Recorder* recorder_ = nullptr;
+  JobObserver* checker_ = nullptr;
   int ranks_per_node_ = 0;
   int world_size_ = 0;
+  std::uint64_t next_request_serial_ = 1;
 
   std::vector<sim::Resource> cpu_;                       // per rank
   std::vector<std::unique_ptr<sim::Gate>> rank_gates_;   // per rank: wakes its waits
@@ -139,6 +148,7 @@ class Job {
 };
 
 struct Request::Record {
+  std::uint64_t serial = 0;  // job-unique identity (for observers)
   bool is_send = false;
   int src = -1;
   int dst = -1;

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "simtime/time.h"
+
+namespace stencil::simpi {
+
+struct Payload;
+
+/// Identity and metadata of one posted nonblocking operation, as reported to
+/// a JobObserver. `serial` is unique for the lifetime of the Job (request
+/// records are heap objects whose addresses can be reused). The Payload
+/// pointer is valid only for the duration of the callback.
+struct MsgInfo {
+  std::uint64_t serial = 0;
+  bool is_send = false;
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  const Payload* payload = nullptr;
+  bool buffered = false;  // eager protocol: completed at post time
+  sim::Time post_time = 0;
+};
+
+/// Observer of every ordering-relevant simpi event: request post, match
+/// resolution (delivery or loss), request completion (wait/test/wait_any),
+/// cancellation, barrier arrival/release, and job start/end.
+/// `stencil::check::Checker` implements this to extend the happens-before
+/// graph across ranks; install with Job::set_checker.
+///
+/// Callbacks run on the engine actor performing the triggering MPI call and
+/// must not call back into the Job.
+class JobObserver {
+ public:
+  virtual ~JobObserver() = default;
+
+  virtual void on_job_start(int world_size) = 0;
+  virtual void on_job_end() = 0;
+  virtual void on_post(const MsgInfo& m) = 0;
+  /// A send/recv pair was resolved. `delivered` is false when fault
+  /// injection dropped every transmission (both waits will throw);
+  /// `same_node` selects the intra-node path, which — like the profiled
+  /// MPI — does *not* synchronize with device streams, whereas the
+  /// inter-node device path brackets the copy with device synchronization
+  /// and occupies the default streams.
+  virtual void on_match(const MsgInfo& send, const MsgInfo& recv, bool delivered,
+                        bool same_node) = 0;
+  /// Recv buffer smaller than the matched message; thrown right after.
+  virtual void on_truncation(const MsgInfo& send, const MsgInfo& recv) = 0;
+  /// The calling actor observed completion of this request (wait returned,
+  /// test returned true, or wait_any selected it).
+  virtual void on_request_done(std::uint64_t serial) = 0;
+  /// The request was cancelled without completing (wait timeout path).
+  virtual void on_request_cancel(std::uint64_t serial) = 0;
+  virtual void on_barrier_arrive(std::uint64_t generation) = 0;
+  virtual void on_barrier_release(std::uint64_t generation) = 0;
+};
+
+}  // namespace stencil::simpi

@@ -43,7 +43,15 @@ Stream Runtime::create_stream(int ggpu) {
   s.device = ggpu;
   s.id = next_stream_id_++;
   s.last_end = eng_.now();
+  if (checker_ != nullptr) checker_->on_stream_create(s);
   return s;
+}
+
+void Runtime::destroy_stream(Stream& s) {
+  if (!s.valid()) return;
+  if (checker_ != nullptr) checker_->on_stream_destroy(s);
+  s.device = -1;
+  s.id = 0;
 }
 
 Stream Runtime::default_stream(int ggpu) {
@@ -57,24 +65,35 @@ Stream Runtime::default_stream(int ggpu) {
 void Runtime::record_event(Event& ev, const Stream& s) {
   ev.completed_at = std::max(s.last_end, eng_.now());
   ev.recorded = true;
+  if (checker_ != nullptr) checker_->on_record_event(ev, s);
 }
 
 void Runtime::stream_wait_event(Stream& s, const Event& ev) {
+  if (checker_ != nullptr) checker_->on_stream_wait_event(s, ev);
   if (!ev.recorded) return;  // CUDA: waiting on an unrecorded event is a no-op
   s.last_end = std::max(s.last_end, ev.completed_at);
 }
 
 bool Runtime::event_query(const Event& ev) const {
-  return !ev.recorded || ev.completed_at <= eng_.now();
+  const bool complete = !ev.recorded || ev.completed_at <= eng_.now();
+  if (checker_ != nullptr) checker_->on_event_query(ev, complete);
+  return complete;
 }
 
 void Runtime::event_synchronize(const Event& ev) {
   if (ev.recorded) eng_.sleep_until(ev.completed_at);
+  if (checker_ != nullptr) checker_->on_event_synchronize(ev);
 }
 
-void Runtime::stream_synchronize(const Stream& s) { eng_.sleep_until(s.last_end); }
+void Runtime::stream_synchronize(const Stream& s) {
+  eng_.sleep_until(s.last_end);
+  if (checker_ != nullptr) checker_->on_stream_synchronize(s);
+}
 
-void Runtime::device_synchronize(int ggpu) { eng_.sleep_until(dev(ggpu).all_streams_last_end); }
+void Runtime::device_synchronize(int ggpu) {
+  eng_.sleep_until(dev(ggpu).all_streams_last_end);
+  if (checker_ != nullptr) checker_->on_device_synchronize(ggpu);
+}
 
 bool Runtime::can_access_peer(int ggpu, int peer_ggpu) const {
   return machine_.peer_capable(ggpu, peer_ggpu);
@@ -137,6 +156,19 @@ void Runtime::trace_op(const std::string& lane, const std::string& label, const 
   if (recorder_ != nullptr) recorder_->record(lane, label, span.start, span.end);
 }
 
+void Runtime::observe_op(OpKind kind, const Stream& s, const std::string& label,
+                         const sim::Span& span, const AccessList& accesses) {
+  if (checker_ == nullptr) return;
+  OpInfo op;
+  op.kind = kind;
+  op.stream = &s;
+  op.label = &label;
+  op.accesses = &accesses;
+  op.start = span.start;
+  op.end = span.end;
+  checker_->on_op(op);
+}
+
 void Runtime::check_same_size_copy(const Buffer& dst, std::size_t dst_off, const Buffer& src,
                                    std::size_t src_off, std::size_t bytes) const {
   if (dst_off + bytes > dst.size() || src_off + bytes > src.size()) {
@@ -175,7 +207,12 @@ void Runtime::memcpy_async(Buffer& dst, std::size_t dst_off, const Buffer& src, 
   }
   move_bytes(dst, dst_off, src, src_off, bytes);
   commit(s, span);
-  trace_op(lane, "memcpy " + std::to_string(bytes) + "B", span);
+  const std::string label = "memcpy " + std::to_string(bytes) + "B";
+  trace_op(lane, label, span);
+  if (checker_ != nullptr) {
+    observe_op(OpKind::kMemcpy, s, label, span,
+               {{&src, src_off, bytes, false}, {&dst, dst_off, bytes, true}});
+  }
 }
 
 void Runtime::memcpy_peer_async(Buffer& dst, std::size_t dst_off, const Buffer& src,
@@ -189,13 +226,22 @@ void Runtime::memcpy_peer_async(Buffer& dst, std::size_t dst_off, const Buffer& 
   const sim::Span span = machine_.schedule_d2d(src.owner(), dst.owner(), bytes, ready, use_peer);
   move_bytes(dst, dst_off, src, src_off, bytes);
   commit(s, span);
-  trace_op(pair_lane(src.owner(), dst.owner()),
-           (use_peer ? "peer " : "staged-peer ") + std::to_string(bytes) + "B", span);
+  const std::string label = (use_peer ? "peer " : "staged-peer ") + std::to_string(bytes) + "B";
+  trace_op(pair_lane(src.owner(), dst.owner()), label, span);
+  if (checker_ != nullptr) {
+    observe_op(OpKind::kMemcpyPeer, s, label, span,
+               {{&src, src_off, bytes, false}, {&dst, dst_off, bytes, true}});
+  }
 }
 
 void Runtime::memcpy_to_ipc_async(const IpcMappedPtr& dst, std::size_t dst_off, const Buffer& src,
                                   std::size_t src_off, std::size_t bytes, Stream& s) {
-  if (!dst.valid()) throw std::logic_error("memcpy_to_ipc_async: invalid IPC mapping");
+  if (!dst.valid()) {
+    const std::string what = dst.closed ? "memcpy_to_ipc_async: mapping already closed"
+                                        : "memcpy_to_ipc_async: invalid IPC mapping";
+    if (checker_ != nullptr) checker_->on_ipc_misuse(dst, what);
+    throw std::logic_error(what);
+  }
   if (!ipc_mapping_valid(dst)) {
     throw CapabilityError(CapabilityError::Kind::kIpcMappingStale,
                           "memcpy_to_ipc_async: IPC mapping to gpu" + std::to_string(dst.device) +
@@ -208,12 +254,17 @@ void Runtime::memcpy_to_ipc_async(const IpcMappedPtr& dst, std::size_t dst_off, 
   const sim::Span span = machine_.schedule_d2d(src.owner(), dst.device, bytes, ready, use_peer);
   move_bytes(target, dst_off, src, src_off, bytes);
   commit(s, span);
-  trace_op(pair_lane(src.owner(), dst.device), "ipc-copy " + std::to_string(bytes) + "B", span);
+  const std::string label = "ipc-copy " + std::to_string(bytes) + "B";
+  trace_op(pair_lane(src.owner(), dst.device), label, span);
+  if (checker_ != nullptr) {
+    observe_op(OpKind::kMemcpyIpc, s, label, span,
+               {{&src, src_off, bytes, false}, {&target, dst_off, bytes, true}});
+  }
 }
 
 void Runtime::memcpy3d_peer_async(int dst_ggpu, int src_ggpu, std::uint64_t bytes,
                                   std::uint64_t row_bytes, Stream& s, const std::string& label,
-                                  const std::function<void()>& body) {
+                                  const std::function<void()>& body, const AccessList& accesses) {
   const sim::Time ready = issue(s);
   const bool use_peer = peer_enabled(src_ggpu, dst_ggpu);
   const sim::Span span =
@@ -221,19 +272,22 @@ void Runtime::memcpy3d_peer_async(int dst_ggpu, int src_ggpu, std::uint64_t byte
   if (body) body();
   commit(s, span);
   trace_op(pair_lane(src_ggpu, dst_ggpu), label + " " + std::to_string(bytes) + "B/3d", span);
+  observe_op(OpKind::kMemcpy3D, s, label, span, accesses);
 }
 
 void Runtime::launch_kernel(Stream& s, std::uint64_t bytes_moved, const std::string& label,
-                            const std::function<void()>& body) {
+                            const std::function<void()>& body, const AccessList& accesses) {
   const sim::Time ready = issue(s);
   const sim::Span span = machine_.schedule_kernel(s.device, bytes_moved, ready);
   if (body) body();
   commit(s, span);
   trace_op(gpu_lane(s.device, "kernel"), label, span);
+  observe_op(OpKind::kKernel, s, label, span, accesses);
 }
 
 void Runtime::launch_zero_copy_kernel(Stream& s, std::uint64_t bytes, const std::string& label,
-                                      const std::function<void()>& body) {
+                                      const std::function<void()>& body,
+                                      const AccessList& accesses) {
   const auto& arch = machine_.arch();
   const sim::Time ready = issue(s);
   // The kernel streams strided reads from HBM and writes over the host
@@ -246,6 +300,7 @@ void Runtime::launch_zero_copy_kernel(Stream& s, std::uint64_t bytes, const std:
   if (body) body();
   commit(s, span);
   trace_op(gpu_lane(s.device, "kernel"), label + " (zero-copy)", span);
+  observe_op(OpKind::kKernel, s, label, span, accesses);
 }
 
 IpcMemHandle Runtime::ipc_get_mem_handle(Buffer& buf) {
@@ -268,7 +323,15 @@ IpcMappedPtr Runtime::ipc_open_mem_handle(const IpcMemHandle& h, int opener_ggpu
     throw std::runtime_error("ipc_open_mem_handle: unknown or stale handle");
   }
   eng_.sleep_for(machine_.arch().lat_ipc_setup);
-  return IpcMappedPtr{it->second, h.device, eng_.now()};
+  IpcMappedPtr p{it->second, h.device, eng_.now(), false};
+  if (checker_ != nullptr) checker_->on_ipc_open(p, opener_ggpu);
+  return p;
+}
+
+void Runtime::ipc_close_mem_handle(IpcMappedPtr& p) {
+  if (p.target == nullptr || p.closed) return;  // closing nothing is benign
+  if (checker_ != nullptr) checker_->on_ipc_close(p);
+  p.closed = true;
 }
 
 }  // namespace stencil::vgpu

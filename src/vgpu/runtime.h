@@ -10,6 +10,7 @@
 #include "topo/machine.h"
 #include "trace/recorder.h"
 #include "vgpu/buffer.h"
+#include "vgpu/observer.h"
 
 namespace stencil::vgpu {
 
@@ -48,7 +49,8 @@ struct IpcMappedPtr {
   Buffer* target = nullptr;
   int device = -1;
   sim::Time opened_at = 0;  // when the mapping was established (staleness)
-  bool valid() const { return target != nullptr; }
+  bool closed = false;      // set by ipc_close_mem_handle; further use is misuse
+  bool valid() const { return target != nullptr && !closed; }
 };
 
 /// Thrown when a device capability the caller relied on has been lost at
@@ -90,6 +92,11 @@ class Runtime {
   void set_recorder(trace::Recorder* rec) { recorder_ = rec; }
   trace::Recorder* recorder() const { return recorder_; }
 
+  /// Optional correctness observer (stencil::check): when set, every op,
+  /// event edge, synchronize, and IPC lifecycle change is reported to it.
+  void set_checker(RuntimeObserver* obs) { checker_ = obs; }
+  RuntimeObserver* checker() const { return checker_; }
+
   /// Default mode for new allocations (benchmarks flip this to kPhantom).
   void set_mem_mode(MemMode m) { mem_mode_ = m; }
   MemMode mem_mode() const { return mem_mode_; }
@@ -101,6 +108,10 @@ class Runtime {
   // --- streams & events ---------------------------------------------------
   Stream create_stream(int ggpu);
   Stream default_stream(int ggpu);
+  /// Invalidate a stream handle. CUDA-like: destroying a stream does not wait
+  /// for its pending work, but enqueueing further work on it is an error —
+  /// the checker lints destruction while work is still unordered with the host.
+  void destroy_stream(Stream& s);
   void record_event(Event& ev, const Stream& s);
   void stream_wait_event(Stream& s, const Event& ev);
   bool event_query(const Event& ev) const;
@@ -146,21 +157,23 @@ class Runtime {
   /// time is the d2d path derated by the per-row DMA overhead.
   void memcpy3d_peer_async(int dst_ggpu, int src_ggpu, std::uint64_t bytes,
                            std::uint64_t row_bytes, Stream& s, const std::string& label,
-                           const std::function<void()>& body);
+                           const std::function<void()>& body, const AccessList& accesses = {});
 
   // --- kernels ------------------------------------------------------------
   /// Launch a "kernel" on `s` that moves `bytes_moved` through device
   /// memory (pack/unpack/compute). `body` runs eagerly against real data
   /// (no-op for phantom work); `label` feeds the trace.
+  /// `accesses` optionally declares the byte ranges the body reads/writes
+  /// (kernel bodies are opaque closures); only the checker consumes it.
   void launch_kernel(Stream& s, std::uint64_t bytes_moved, const std::string& label,
-                     const std::function<void()>& body);
+                     const std::function<void()>& body, const AccessList& accesses = {});
 
   /// A kernel whose stores land in *pinned host memory* (zero-copy, the
   /// Physis-style pack of §VI/[18]): one launch replaces pack + D2H, but
   /// the kernel runs at host-link speed, occupying both the GPU and the
   /// outbound host link for the duration.
   void launch_zero_copy_kernel(Stream& s, std::uint64_t bytes, const std::string& label,
-                               const std::function<void()>& body);
+                               const std::function<void()>& body, const AccessList& accesses = {});
 
   // --- IPC ----------------------------------------------------------------
   /// Export a device buffer; registers its address so a same-node rank can
@@ -169,6 +182,9 @@ class Runtime {
   /// Open a handle exported by a same-node rank. Charges the one-time
   /// cudaIpcOpenMemHandle setup cost. Throws if the nodes differ.
   IpcMappedPtr ipc_open_mem_handle(const IpcMemHandle& h, int opener_ggpu);
+  /// Close a mapping (cudaIpcCloseMemHandle). Any later copy through it is
+  /// misuse: reported to the checker, then thrown as std::logic_error.
+  void ipc_close_mem_handle(IpcMappedPtr& p);
 
   /// Number of async ops issued so far (diagnostics).
   std::uint64_t ops_issued() const { return ops_issued_; }
@@ -206,9 +222,15 @@ class Runtime {
   static void move_bytes(Buffer& dst, std::size_t dst_off, const Buffer& src, std::size_t src_off,
                          std::size_t bytes);
 
+  /// Report a committed async op (plus derived/declared accesses) to the
+  /// checker. No-op when no checker is installed.
+  void observe_op(OpKind kind, const Stream& s, const std::string& label, const sim::Span& span,
+                  const AccessList& accesses);
+
   sim::Engine& eng_;
   topo::Machine& machine_;
   trace::Recorder* recorder_ = nullptr;
+  RuntimeObserver* checker_ = nullptr;
   MemMode mem_mode_ = MemMode::kMaterialized;
   std::vector<DeviceState> devices_;
   std::vector<bool> peer_enabled_;  // [src * total_gpus + dst]
