@@ -1,0 +1,72 @@
+// Eager vs planned (persistent) exchanges. Plans pay off where per-message
+// *setup* cost — request posting, per-op kernel/copy issue — is a visible
+// fraction of the exchange: small messages. Two sweeps:
+//
+//  1. Strong scaling over a deliberately small fixed domain: as nodes are
+//     added the per-GPU halo messages shrink, so the planned speedup should
+//     grow with the node count.
+//  2. A message-size sweep at a fixed 2-node job: the advantage should fade
+//     as the domain edge (and with it every message) grows and bandwidth
+//     dominates issue cost.
+//
+// Planned runs compile their schedule during the untimed warm-up exchange,
+// so the timed iterations measure pure replay (persistent MPI_Start + graph
+// launches), exactly the steady state an iterative stencil solver lives in.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common.h"
+
+using namespace stencil::bench;
+using stencil::MethodFlags;
+
+namespace {
+
+double speedup(double eager_ms, double planned_ms) {
+  return planned_ms > 0.0 ? eager_ms / planned_ms : 0.0;
+}
+
+void run_pair(ExchangeConfig cfg, const std::string& label) {
+  cfg.persistent = false;
+  const double eager = measure_exchange_ms(cfg);
+  cfg.persistent = true;
+  const double planned = measure_exchange_ms(cfg);
+  std::printf("%-26s  eager=%9.3f ms  planned=%9.3f ms  speedup=%5.2fx\n", label.c_str(), eager,
+              planned, speedup(eager, planned));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_nodes = argc > 1 ? std::atoi(argv[1]) : 16;
+
+  std::printf("Exchange plans: eager vs planned (persistent) replay\n\n");
+
+  std::printf("strong scaling, fixed 254^3 domain (small messages), radius 1, 1 quantity\n");
+  for (int nodes = 1; nodes <= max_nodes; nodes *= 2) {
+    ExchangeConfig cfg;
+    cfg.nodes = nodes;
+    cfg.ranks_per_node = 6;
+    cfg.domain = {254, 254, 254};
+    cfg.radius = 1;
+    cfg.quantities = 1;
+    cfg.flags = MethodFlags::kAll;
+    cfg.iterations = 4;
+    run_pair(cfg, cfg.label());
+  }
+
+  std::printf("\nmessage-size sweep, 2 nodes x 6 ranks, radius 1, 1 quantity\n");
+  for (std::int64_t edge = 96; edge <= 768; edge *= 2) {
+    ExchangeConfig cfg;
+    cfg.nodes = 2;
+    cfg.ranks_per_node = 6;
+    cfg.domain = {edge, edge, edge};
+    cfg.radius = 1;
+    cfg.quantities = 1;
+    cfg.flags = MethodFlags::kAll;
+    cfg.iterations = 4;
+    run_pair(cfg, std::to_string(edge) + "^3");
+  }
+  return 0;
+}

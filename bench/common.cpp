@@ -26,6 +26,7 @@ double measure_exchange_ms(const ExchangeConfig& cfg) {
     dd.set_methods(cfg.flags);
     dd.set_placement(cfg.strategy);
     dd.set_neighborhood(cfg.nbhd);
+    dd.set_persistent(cfg.persistent);
     dd.realize();
 
     // One untimed warm-up exchange (populates nothing in the deterministic

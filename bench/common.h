@@ -24,6 +24,9 @@ struct ExchangeConfig {
   PlacementStrategy strategy = PlacementStrategy::kNodeAware;
   Neighborhood nbhd = Neighborhood::kFull;
   int iterations = 3;
+  // Planned (persistent) exchanges: the untimed warm-up compiles the plan,
+  // so the timed iterations measure pure replay.
+  bool persistent = false;
 
   int gpus_per_node() const { return arch.gpus_per_node(); }
   int total_gpus() const { return nodes * gpus_per_node(); }

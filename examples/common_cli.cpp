@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 
 namespace stencil::cli {
 
@@ -39,6 +40,7 @@ void print_usage(const char* tool) {
       "  --boundary periodic|fixed                             (default periodic)\n"
       "  --pack kernel|3d|auto                                 (default kernel)\n"
       "  --aggregate                 aggregate STAGED messages (default off)\n"
+      "  --persistent                planned exchanges: compile once, replay (default off)\n"
       "  --iters N                   measured exchanges        (default 3)\n"
       "  --csv                       machine-readable output\n",
       tool);
@@ -59,6 +61,10 @@ bool parse(int argc, char** argv, Options* opt, std::string* err) {
     }
     if (a == "--aggregate") {
       opt->aggregate = true;
+      continue;
+    }
+    if (a == "--persistent") {
+      opt->persistent = true;
       continue;
     }
     if (!need_value(i)) {
@@ -175,6 +181,7 @@ RunResult run_config(const Options& opt) {
     dd.set_boundary(opt.boundary);
     dd.set_pack_mode(opt.pack);
     dd.set_remote_aggregation(opt.aggregate);
+    dd.set_persistent(opt.persistent);
     dd.realize();
 
     if (ctx.rank() == 0) {
@@ -196,6 +203,16 @@ RunResult run_config(const Options& opt) {
       total += ctx.comm.wtime() - t0;
     }
     per_rank[static_cast<std::size_t>(ctx.rank())] = total / opt.iters;
+
+    if (ctx.rank() == 0) {
+      out.rank0_method_bytes = dd.method_bytes_histogram();
+      if (opt.persistent) {
+        std::ostringstream os;
+        for (const auto& p : dd.plan_cache().entries()) p->describe(os);
+        out.rank0_plan_dump = os.str();
+        out.rank0_plan_stats = dd.plan_stats().str();
+      }
+    }
   });
 
   out.exchange_ms = *std::max_element(per_rank.begin(), per_rank.end()) * 1e3;

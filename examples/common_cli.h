@@ -30,6 +30,7 @@ struct Options {
   Boundary boundary = Boundary::kPeriodic;
   PackMode pack = PackMode::kKernel;
   bool aggregate = false;
+  bool persistent = false;
   int iters = 3;
 };
 
@@ -37,6 +38,12 @@ struct RunResult {
   int gpus_per_node = 0;
   Dim3 node_extent, gpu_extent, global_extent, subdomain_size;
   std::map<Method, int> rank0_methods;
+  // Per-method (transfer count, payload bytes) over rank 0's realized
+  // transfer set — reflects runtime demotions, unlike the static plan.
+  std::map<Method, std::pair<int, std::size_t>> rank0_method_bytes;
+  // With --persistent: rank 0's compiled plans and cache counters.
+  std::string rank0_plan_dump;
+  std::string rank0_plan_stats;
   double exchange_ms = 0.0;
 };
 

@@ -15,6 +15,7 @@
 //     --boundary periodic|fixed                            (default periodic)
 //     --pack kernel|3d|auto                                (default kernel)
 //     --aggregate                aggregate STAGED messages (default off)
+//     --persistent               planned exchanges: compile once, replay (default off)
 //     --iters N                  measured exchanges        (default 3)
 //     --csv                      emit one CSV row instead of prose
 #include <cstdio>
@@ -40,22 +41,22 @@ int main(int argc, char** argv) {
 
   if (opt.csv) {
     std::printf("arch,nodes,rpn,domain,radius,quantities,methods,placement,boundary,pack,"
-                "aggregate,exchange_ms\n");
-    std::printf("%s,%d,%d,%lldx%lldx%lld,%d,%d,%s,%s,%s,%s,%d,%.6f\n", opt.arch_name.c_str(),
+                "aggregate,persistent,exchange_ms\n");
+    std::printf("%s,%d,%d,%lldx%lldx%lld,%d,%d,%s,%s,%s,%s,%d,%d,%.6f\n", opt.arch_name.c_str(),
                 opt.nodes, opt.rpn, static_cast<long long>(opt.domain.x),
                 static_cast<long long>(opt.domain.y), static_cast<long long>(opt.domain.z),
                 opt.radius, opt.quantities, opt.methods_name.c_str(), opt.placement_name.c_str(),
                 to_string(opt.boundary), to_string(opt.pack), opt.aggregate ? 1 : 0,
-                r.exchange_ms);
+                opt.persistent ? 1 : 0, r.exchange_ms);
     return 0;
   }
 
   std::printf("configuration: %s, %dn/%dr/%dg, domain %s, radius %d, %d quantities\n",
               opt.arch_name.c_str(), opt.nodes, opt.rpn, r.gpus_per_node,
               opt.domain.str().c_str(), opt.radius, opt.quantities);
-  std::printf("  methods=%s placement=%s boundary=%s pack=%s aggregate=%s\n",
+  std::printf("  methods=%s placement=%s boundary=%s pack=%s aggregate=%s persistent=%s\n",
               opt.methods_name.c_str(), opt.placement_name.c_str(), to_string(opt.boundary),
-              to_string(opt.pack), opt.aggregate ? "on" : "off");
+              to_string(opt.pack), opt.aggregate ? "on" : "off", opt.persistent ? "on" : "off");
   std::printf("partition: %s nodes x %s GPUs -> %s subdomains of ~%s\n",
               r.node_extent.str().c_str(), r.gpu_extent.str().c_str(),
               r.global_extent.str().c_str(), r.subdomain_size.str().c_str());

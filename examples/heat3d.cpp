@@ -10,6 +10,7 @@
 // Gaussian blob visibly diffuses (falling max, constant sum).
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "core/cluster.h"
@@ -40,7 +41,19 @@ double rank_sum_and_max(stencil::DistributedDomain& dd, std::size_t q, float* ma
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --persistent: compile the selective exchange into a plan on the first
+  // step and replay it every step after (the steady state of this solver).
+  bool persistent = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--persistent") == 0) {
+      persistent = true;
+    } else {
+      std::fprintf(stderr, "usage: heat3d [--persistent]\n");
+      return 2;
+    }
+  }
+
   stencil::Cluster cluster(stencil::topo::summit(), /*nodes=*/1, /*ranks_per_node=*/6);
 
   cluster.run([&](stencil::RankCtx& ctx) {
@@ -50,6 +63,7 @@ int main() {
     const auto cur = dd.add_data<float>("T");
     const auto nxt = dd.add_data<float>("T_next");
     dd.set_methods(stencil::MethodFlags::kAll);
+    dd.set_persistent(persistent);
     dd.realize();
 
     // Hot Gaussian blob at the domain center.

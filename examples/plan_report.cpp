@@ -1,9 +1,12 @@
 // plan_report: introspect the three-phase setup for a configuration —
 // what the partitioner decided, which subdomain landed on which GPU and
-// why (flow/distance matrices, QAP cost per strategy), and how every
-// transfer was specialized. The debugging companion to exchange_explorer.
+// why (flow/distance matrices, QAP cost per strategy), how every transfer
+// was specialized (counts and payload bytes from the *realized* plan,
+// after any runtime demotions), and — with --persistent — the compiled
+// exchange plans and their reuse/invalidation counters. The debugging
+// companion to exchange_explorer.
 //
-// Usage: same options as exchange_explorer (timing options ignored).
+// Usage: same options as exchange_explorer.
 #include <cstdio>
 
 #include "common_cli.h"
@@ -77,5 +80,17 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("  (%zu cross node boundaries)\n", internode);
+
+  // The static plan above is what realize() *chooses*; the realized transfer
+  // set is what rank 0 actually runs, with per-method payload bytes.
+  const auto r = stencil::cli::run_config(opt);
+  std::printf("\n== realized transfers (rank 0) ==\n");
+  for (const auto& [m, cb] : r.rank0_method_bytes) {
+    std::printf("  %-16s x%-3d %10zu B per exchange\n", to_string(m), cb.first, cb.second);
+  }
+  if (opt.persistent) {
+    std::printf("\n== compiled plans (rank 0) ==\n%s  %s\n", r.rank0_plan_dump.c_str(),
+                r.rank0_plan_stats.c_str());
+  }
   return 0;
 }

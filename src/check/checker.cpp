@@ -15,9 +15,9 @@ std::string stream_desc(const vgpu::Stream& s) {
 }
 
 std::string req_desc(const simpi::MsgInfo& m) {
-  return std::string(m.is_send ? "isend" : "irecv") + " r" + std::to_string(m.src) + "->r" +
-         std::to_string(m.dst) + " tag=" + std::to_string(m.tag) + " (req#" +
-         std::to_string(m.serial) + ")";
+  return std::string(m.persistent ? "persistent " : "") + (m.is_send ? "isend" : "irecv") + " r" +
+         std::to_string(m.src) + "->r" + std::to_string(m.dst) + " tag=" + std::to_string(m.tag) +
+         " (req#" + std::to_string(m.serial) + ")";
 }
 
 }  // namespace
@@ -382,6 +382,68 @@ void Checker::on_barrier_release(std::uint64_t generation) {
   host_clock().join(barriers_[generation]);
 }
 
+void Checker::on_persistent_init(const simpi::MsgInfo& m) {
+  // Like on_post, but nothing is in flight yet: no send-buffer read is
+  // recorded until the first start re-arms the request.
+  ReqState rs;
+  rs.desc = req_desc(m);
+  rs.tid = new_tid(rs.desc);
+  rs.is_send = m.is_send;
+  rs.persistent = true;
+  rs.src = m.src;
+  rs.dst = m.dst;
+  rs.tag = m.tag;
+  rs.completion = host_clock();
+  requests_.emplace(m.serial, std::move(rs));
+}
+
+void Checker::on_persistent_start(const simpi::MsgInfo& m) {
+  auto it = requests_.find(m.serial);
+  if (it == requests_.end()) return;
+  ReqState& rs = it->second;
+  if (rs.starts > 0 && !rs.done && !rs.cancelled) {
+    // Second start before the previous operation completed: MPI erroneous.
+    Finding f;
+    f.kind = FindingKind::kPersistentRestart;
+    f.first = rs.desc;
+    f.second = "start #" + std::to_string(rs.starts + 1) + " while start #" +
+               std::to_string(rs.starts) + " is still in flight";
+    f.missing_edge = "the previous start must complete (wait/test/wait_any) before the next";
+    f.at = eng_.now();
+    report_.add(std::move(f));
+    return;
+  }
+  // Re-arm: same tid (same reusable Record), fresh epoch. The send-buffer
+  // read is re-recorded per start — the bytes differ every iteration even
+  // though the envelope is frozen.
+  rs.done = false;
+  rs.resolved = false;
+  ++rs.starts;
+  VClock c = host_clock();
+  const std::uint64_t ep = c.bump(rs.tid);
+  if (m.is_send && m.payload->buf != nullptr) {
+    record_access(vgpu::MemAccess{m.payload->buf, m.payload->offset, m.payload->bytes, false},
+                  Epoch{rs.tid, ep}, c, rs.desc, eng_.now());
+  }
+  rs.completion = c;
+}
+
+void Checker::on_persistent_free(std::uint64_t serial, bool active) {
+  auto it = requests_.find(serial);
+  if (it == requests_.end()) return;
+  ReqState& rs = it->second;
+  rs.freed = true;
+  if (active) {
+    Finding f;
+    f.kind = FindingKind::kPersistentFreedActive;
+    f.first = rs.desc;
+    f.second = "freed while start #" + std::to_string(rs.starts) + " is still in flight";
+    f.missing_edge = "complete the active operation before request_free";
+    f.at = eng_.now();
+    report_.add(std::move(f));
+  }
+}
+
 // --- teardown lints ---------------------------------------------------------
 
 void Checker::finish() {
@@ -390,6 +452,13 @@ void Checker::finish() {
   // likelier root cause (tag mismatch) instead of two leak findings.
   std::vector<const ReqState*> leaked;
   for (const auto& [serial, rs] : requests_) {
+    if (rs.persistent) {
+      // Inactive persistent requests (never started, or completed since the
+      // last start) are a valid resting state, not leaks; only requests still
+      // in flight at teardown are reported.
+      if (rs.starts > 0 && !rs.done && !rs.cancelled) leaked.push_back(&rs);
+      continue;
+    }
     if (!rs.done && !rs.cancelled) leaked.push_back(&rs);
   }
   std::vector<bool> consumed(leaked.size(), false);

@@ -67,6 +67,9 @@ class Checker : public vgpu::RuntimeObserver, public simpi::JobObserver {
   void on_request_cancel(std::uint64_t serial) override;
   void on_barrier_arrive(std::uint64_t generation) override;
   void on_barrier_release(std::uint64_t generation) override;
+  void on_persistent_init(const simpi::MsgInfo& m) override;
+  void on_persistent_start(const simpi::MsgInfo& m) override;
+  void on_persistent_free(std::uint64_t serial, bool active) override;
 
  private:
   /// One recorded access: performed at `at.tid`'s epoch `at.epoch`, with
@@ -111,6 +114,11 @@ class Checker : public vgpu::RuntimeObserver, public simpi::JobObserver {
     bool done = false;
     bool cancelled = false;
     bool is_send = false;
+    // Persistent lifecycle: one ReqState per Record, re-armed on each start.
+    // Active (in flight) means started and not yet completed.
+    bool persistent = false;
+    bool freed = false;
+    std::uint64_t starts = 0;
     int src = -1, dst = -1, tag = 0;
     std::string desc;
   };

@@ -14,6 +14,8 @@ const char* to_string(FindingKind k) {
     case FindingKind::kTagMismatch: return "tag-mismatch";
     case FindingKind::kRequestNeverWaited: return "request-never-waited";
     case FindingKind::kStreamDestroyedPending: return "stream-destroyed-pending";
+    case FindingKind::kPersistentRestart: return "persistent-restart";
+    case FindingKind::kPersistentFreedActive: return "persistent-freed-active";
   }
   return "unknown";
 }

@@ -20,6 +20,8 @@ enum class FindingKind {
   kTagMismatch,             // complementary send/recv left unmatched by tags
   kRequestNeverWaited,      // request not waited before Job teardown
   kStreamDestroyedPending,  // stream destroyed/abandoned with unsynced work
+  kPersistentRestart,       // start() on a persistent request still in flight
+  kPersistentFreedActive,   // request_free() on an active persistent request
 };
 
 const char* to_string(FindingKind k);

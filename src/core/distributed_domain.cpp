@@ -161,6 +161,21 @@ void DistributedDomain::set_staged_zero_copy(bool on) {
   staged_zero_copy_ = on;
 }
 
+void DistributedDomain::set_persistent(bool on) {
+  if (inflight_.active) throw std::logic_error("set_persistent while an exchange is in flight");
+  persistent_ = on;
+}
+
+std::map<Method, std::pair<int, std::size_t>> DistributedDomain::method_bytes_histogram() const {
+  std::map<Method, std::pair<int, std::size_t>> h;
+  for (const auto& xp : xfers_) {
+    auto& e = h[xp->t.method];
+    ++e.first;
+    e.second += xp->bytes;
+  }
+  return h;
+}
+
 std::size_t DistributedDomain::add_data_bytes(const std::string& name, std::size_t elem_size) {
   require_unrealized("add_data");
   if (elem_size == 0) throw std::invalid_argument("add_data: zero element size");
@@ -356,6 +371,69 @@ void DistributedDomain::demote_transfer(TransferState& x, Method target) {
   }
   x.t.method = target;
   plan_.set_method(x.t.tag, target);
+  // The specialization table changed shape: version it and dirty the
+  // transfer's frozen programs in every cached plan. The next acquire
+  // rebuilds only those entries (partial invalidation, not a recompile).
+  ++topo_epoch_;
+  plan_cache_.invalidate_tag(x.t.tag);
+}
+
+vgpu::AccessList DistributedDomain::pack_access(const TransferState& x,
+                                                const vgpu::Buffer& dst) const {
+  vgpu::AccessList a;
+  if (ctx_.rt.checker() != nullptr) {
+    x.src_ld->append_region_accesses(x.src_region, active_qs_, false, a);
+    a.push_back({&dst, 0, x.active_bytes, true});
+  }
+  return a;
+}
+
+vgpu::AccessList DistributedDomain::unpack_access(const TransferState& x,
+                                                  const vgpu::Buffer& src) const {
+  vgpu::AccessList a;
+  if (ctx_.rt.checker() != nullptr) {
+    a.push_back({&src, 0, x.active_bytes, false});
+    x.dst_ld->append_region_accesses(x.dst_region, active_qs_, true, a);
+  }
+  return a;
+}
+
+vgpu::AccessList DistributedDomain::self_access(const TransferState& x) const {
+  vgpu::AccessList a;
+  if (ctx_.rt.checker() != nullptr) {
+    x.src_ld->append_region_accesses(x.src_region, active_qs_, false, a);
+    x.src_ld->append_region_accesses(x.dst_region, active_qs_, true, a);
+  }
+  return a;
+}
+
+vgpu::AccessList DistributedDomain::copy3d_access(const TransferState& x, std::size_t q) const {
+  vgpu::AccessList a;
+  if (ctx_.rt.checker() != nullptr) {
+    const std::vector<std::size_t> one{q};
+    x.src_ld->append_region_accesses(x.src_region, one, false, a);
+    x.dst_ld->append_region_accesses(x.dst_region, one, true, a);
+  }
+  return a;
+}
+
+bool DistributedDomain::peer_use_3d(const TransferState& x) const {
+  bool use_3d = pack_mode_ == PackMode::kMemcpy3D;
+  if (pack_mode_ == PackMode::kAuto) {
+    const auto& arch = ctx_.machine.arch();
+    const double link = arch.bw_nvlink_gpu_gpu * arch.eff_nvlink;  // peer-pair estimate
+    const double pack_bw = arch.bw_gpu_mem * arch.eff_pack;
+    const double b = static_cast<double>(x.active_bytes);
+    const double kernel_est =
+        2.0 * (sim::to_seconds(arch.lat_kernel) + b / (pack_bw * (1ull << 30))) +
+        sim::to_seconds(arch.lat_gpu_copy) + b / (link * (1ull << 30));
+    const double eff = ctx_.machine.strided_efficiency(x.src_ld->row_bytes(x.src_region, 0));
+    const double strided_est =
+        static_cast<double>(active_qs_.size()) * sim::to_seconds(arch.lat_gpu_copy) +
+        b / (link * eff * (1ull << 30));
+    use_3d = strided_est < kernel_est;
+  }
+  return use_3d;
 }
 
 void DistributedDomain::ensure_staged_buffers(TransferState& x) {
@@ -461,45 +539,13 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
   ++seq_;
   auto& comm = ctx_.comm;
   auto& rt = ctx_.rt;
-  auto& eng = ctx_.engine();
 
-  // Checker annotations: kernel bodies are opaque closures, so when a
-  // happens-before checker is attached each launch declares the byte ranges
-  // it touches. Built only on demand — the unchecked path pays nothing.
-  const bool chk = rt.checker() != nullptr;
-  auto pack_acc = [&](const TransferState& x, const vgpu::Buffer& dst) {
-    vgpu::AccessList a;
-    if (chk) {
-      x.src_ld->append_region_accesses(x.src_region, active_qs_, false, a);
-      a.push_back({&dst, 0, x.active_bytes, true});
-    }
-    return a;
-  };
-  auto unpack_acc = [&](const TransferState& x, const vgpu::Buffer& src) {
-    vgpu::AccessList a;
-    if (chk) {
-      a.push_back({&src, 0, x.active_bytes, false});
-      x.dst_ld->append_region_accesses(x.dst_region, active_qs_, true, a);
-    }
-    return a;
-  };
-  auto self_acc = [&](const TransferState& x) {
-    vgpu::AccessList a;
-    if (chk) {
-      x.src_ld->append_region_accesses(x.src_region, active_qs_, false, a);
-      x.src_ld->append_region_accesses(x.dst_region, active_qs_, true, a);
-    }
-    return a;
-  };
-  auto copy3d_acc = [&](const TransferState& x, std::size_t q) {
-    vgpu::AccessList a;
-    if (chk) {
-      const std::vector<std::size_t> one{q};
-      x.src_ld->append_region_accesses(x.src_region, one, false, a);
-      x.dst_ld->append_region_accesses(x.dst_region, one, true, a);
-    }
-    return a;
-  };
+  // Planned mode: replay (or first compile, then replay) the frozen
+  // schedule for this configuration instead of interpreting the phases.
+  if (persistent_) {
+    planned_start(acquire_plan());
+    return;
+  }
 
   // --- Phase 0: post every MPI receive up front (maximizes matching). ----
   std::vector<simpi::Request>& recv_reqs = inflight_.recv_reqs;
@@ -531,27 +577,13 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
     TransferState& x = *xp;
     if (x.t.method == Method::kKernel && x.i_send) {
       rt.launch_kernel(x.src_stream, x.active_bytes, "self " + dir_str(x.t.dir),
-                       [&x, this] { x.src_ld->self_exchange(x.t.dir, active_qs_); }, self_acc(x));
+                       [&x, this] { x.src_ld->self_exchange(x.t.dir, active_qs_); },
+                       self_access(x));
     } else if (x.t.method == Method::kPeer) {
       // Pack-free path (§VI): a strided copy straight into the neighbor's
       // halo, when configured — and under kAuto, whenever the modeled
       // strided time beats pack kernel + dense copy + unpack kernel.
-      bool use_3d = pack_mode_ == PackMode::kMemcpy3D;
-      if (pack_mode_ == PackMode::kAuto) {
-        const auto& arch = ctx_.machine.arch();
-        const double link = arch.bw_nvlink_gpu_gpu * arch.eff_nvlink;  // peer-pair estimate
-        const double pack_bw = arch.bw_gpu_mem * arch.eff_pack;
-        const double b = static_cast<double>(x.active_bytes);
-        const double kernel_est =
-            2.0 * (sim::to_seconds(arch.lat_kernel) + b / (pack_bw * (1ull << 30))) +
-            sim::to_seconds(arch.lat_gpu_copy) + b / (link * (1ull << 30));
-        const double eff = ctx_.machine.strided_efficiency(x.src_ld->row_bytes(x.src_region, 0));
-        const double strided_est =
-            static_cast<double>(active_qs_.size()) * sim::to_seconds(arch.lat_gpu_copy) +
-            b / (link * eff * (1ull << 30));
-        use_3d = strided_est < kernel_est;
-      }
-      if (use_3d) {
+      if (peer_use_3d(x)) {
         for (std::size_t q : active_qs_) {
           const std::size_t qbytes = static_cast<std::size_t>(x.src_region.volume()) *
                                      quantities_[q].elem_size;
@@ -561,7 +593,7 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
               [&x, q] {
                 LocalDomain::copy_region(*x.src_ld, x.src_region, *x.dst_ld, x.dst_region, q);
               },
-              copy3d_acc(x, q));
+              copy3d_access(x, q));
         }
         vgpu::Event copied;
         rt.record_event(copied, x.src_stream);
@@ -569,14 +601,14 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
       } else {
         rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
                          [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); },
-                         pack_acc(x, x.src_pack));
+                         pack_access(x, x.src_pack));
         rt.memcpy_peer_async(x.dst_pack, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
         vgpu::Event copied;
         rt.record_event(copied, x.src_stream);
         rt.stream_wait_event(x.dst_stream, copied);
         rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
                          [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); },
-                         unpack_acc(x, x.dst_pack));
+                         unpack_access(x, x.dst_pack));
       }
     }
   }
@@ -585,52 +617,7 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
   for (auto& xp : xfers_) {
     TransferState& x = *xp;
     if (x.t.method != Method::kColocated || !x.i_send) continue;
-    bool fell_back = false;
-    if (!rt.ipc_mapping_valid(x.mapped)) {
-      fell_back = true;
-    } else {
-      // Flow control: the receiver must have unpacked the previous
-      // generation before we overwrite its buffer.
-      while (x.peer_channel->done_gen + 1 < seq_) {
-        x.peer_channel->gate.wait(eng, "colocated flow-control tag=" + std::to_string(x.t.tag));
-      }
-      try {
-        // The receiver records done_ev after each unpack; before the first
-        // generation lands (done_gen == 0) nothing has been recorded and
-        // there is nothing to wait for — waiting on an unrecorded event is
-        // API misuse the checker flags.
-        if (x.peer_channel->done_gen > 0) {
-          rt.stream_wait_event(x.src_stream, x.peer_channel->done_ev);
-        }
-        rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
-                         [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); },
-                         pack_acc(x, x.src_pack));
-        rt.memcpy_to_ipc_async(x.mapped, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
-        rt.record_event(x.peer_channel->data_ev, x.src_stream);
-        x.peer_channel->data_gen = seq_;
-        x.peer_channel->gate.notify_all(eng);
-      } catch (const vgpu::CapabilityError&) {
-        // Mapping went stale between the check and the copy (virtual time
-        // advanced while we blocked): reroute this generation over MPI.
-        fell_back = true;
-      }
-    }
-    if (fell_back) {
-      // Demote to STAGED: tell the receiver (it owns no timeline of our
-      // mapping), then pack into the staging buffer and queue the send so
-      // Phase 4 posts it alongside the ordinary staged traffic.
-      demote_transfer(x, Method::kStaged);
-      ensure_staged_buffers(x);
-      x.peer_channel->demoted = true;
-      x.peer_channel->gate.notify_all(eng);
-      rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
-                       [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); },
-                       pack_acc(x, x.src_pack));
-      rt.memcpy_async(x.src_host, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
-      rt.record_event(x.ready_ev, x.src_stream);
-      inflight_.pending_sends.emplace_back(x.ready_ev.completed_at, &x);
-      x.handled_seq = seq_;
-    }
+    colocated_send(x);
   }
 
   // --- Phase 3: STAGED / CUDA-aware senders enqueue pack (+ D2H). --------
@@ -646,11 +633,11 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
         rt.launch_zero_copy_kernel(
             x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
             [&x, this] { x.src_ld->pack_region(x.src_host, x.src_region, active_qs_); },
-            pack_acc(x, x.src_host));
+            pack_access(x, x.src_host));
       } else {
         rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
                          [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); },
-                         pack_acc(x, x.src_pack));
+                         pack_access(x, x.src_pack));
         rt.memcpy_async(x.src_host, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
       }
       rt.record_event(x.ready_ev, x.src_stream);
@@ -658,7 +645,7 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
     } else if (x.t.method == Method::kCudaAwareMpi) {
       rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
                        [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); },
-                       pack_acc(x, x.src_pack));
+                       pack_access(x, x.src_pack));
       rt.record_event(x.ready_ev, x.src_stream);
       pending.emplace_back(x.ready_ev.completed_at, &x);
     }
@@ -671,7 +658,7 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
       TransferState* x = gp->members[m].first;
       rt.launch_kernel(x->src_stream, x->active_bytes, "pack " + dir_str(x->t.dir),
                        [x, this] { x->src_ld->pack_region(x->src_pack, x->src_region, active_qs_); },
-                       pack_acc(*x, x->src_pack));
+                       pack_access(*x, x->src_pack));
       rt.memcpy_async(gp->host, gp->active_offsets[m], x->src_pack, 0, x->active_bytes,
                       x->src_stream);
       rt.record_event(x->ready_ev, x->src_stream);
@@ -683,26 +670,98 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
                    [](const auto& a, const auto& b) { return a.first < b.first; });
   std::stable_sort(inflight_.pending_group_sends.begin(), inflight_.pending_group_sends.end(),
                    [](const auto& a, const auto& b) { return a.first < b.first; });
-  (void)eng;
+}
+
+void DistributedDomain::colocated_send(TransferState& x) {
+  auto& rt = ctx_.rt;
+  auto& eng = ctx_.engine();
+  bool fell_back = false;
+  if (!rt.ipc_mapping_valid(x.mapped)) {
+    fell_back = true;
+  } else {
+    // Flow control: the receiver must have unpacked the previous
+    // generation before we overwrite its buffer.
+    while (x.peer_channel->done_gen + 1 < seq_) {
+      x.peer_channel->gate.wait(eng, "colocated flow-control tag=" + std::to_string(x.t.tag));
+    }
+    try {
+      // The receiver records done_ev after each unpack; before the first
+      // generation lands (done_gen == 0) nothing has been recorded and
+      // there is nothing to wait for — waiting on an unrecorded event is
+      // API misuse the checker flags.
+      if (x.peer_channel->done_gen > 0) {
+        rt.stream_wait_event(x.src_stream, x.peer_channel->done_ev);
+      }
+      rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
+                       [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); },
+                       pack_access(x, x.src_pack));
+      rt.memcpy_to_ipc_async(x.mapped, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
+      rt.record_event(x.peer_channel->data_ev, x.src_stream);
+      x.peer_channel->data_gen = seq_;
+      x.peer_channel->gate.notify_all(eng);
+    } catch (const vgpu::CapabilityError&) {
+      // Mapping went stale between the check and the copy (virtual time
+      // advanced while we blocked): reroute this generation over MPI.
+      fell_back = true;
+    }
+  }
+  if (fell_back) {
+    // Demote to STAGED: tell the receiver (it owns no timeline of our
+    // mapping), then pack into the staging buffer and queue the send so
+    // Phase 4 posts it alongside the ordinary staged traffic.
+    demote_transfer(x, Method::kStaged);
+    ensure_staged_buffers(x);
+    x.peer_channel->demoted = true;
+    x.peer_channel->gate.notify_all(eng);
+    rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
+                     [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); },
+                     pack_access(x, x.src_pack));
+    rt.memcpy_async(x.src_host, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
+    rt.record_event(x.ready_ev, x.src_stream);
+    inflight_.pending_sends.emplace_back(x.ready_ev.completed_at, &x);
+    x.handled_seq = seq_;
+  }
+}
+
+void DistributedDomain::colocated_recv(TransferState& x) {
+  auto& rt = ctx_.rt;
+  auto& eng = ctx_.engine();
+  while (x.channel->data_gen < seq_ && !x.channel->demoted) {
+    x.channel->gate.wait(eng, "colocated data tag=" + std::to_string(x.t.tag));
+  }
+  if (x.channel->demoted) {
+    // The sender lost its IPC mapping and rerouted this generation over
+    // MPI. Adopt STAGED on this side too (no irecv was posted in Phase 0
+    // for a COLOCATED transfer, so receive blocking here) and unpack.
+    demote_transfer(x, Method::kStaged);
+    ensure_staged_buffers(x);
+    ctx_.comm.recv(simpi::Payload::of(x.dst_host, 0, x.active_bytes), x.t.src_rank, x.t.tag);
+    rt.memcpy_async(x.dst_pack, 0, x.dst_host, 0, x.active_bytes, x.dst_stream);
+    rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
+                     [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); },
+                     unpack_access(x, x.dst_pack));
+    x.channel->done_gen = seq_;
+    return;
+  }
+  rt.stream_wait_event(x.dst_stream, x.channel->data_ev);
+  rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
+                   [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); },
+                   unpack_access(x, x.dst_pack));
+  rt.record_event(x.channel->done_ev, x.dst_stream);
+  x.channel->done_gen = seq_;
+  x.channel->gate.notify_all(eng);
 }
 
 void DistributedDomain::exchange_finish() {
   if (!inflight_.active) throw std::logic_error("exchange_finish() without exchange_start()");
+  if (inflight_.planned) {
+    planned_finish(*cur_plan_);
+    return;
+  }
   auto& comm = ctx_.comm;
   auto& rt = ctx_.rt;
-  auto& eng = ctx_.engine();
   std::vector<simpi::Request>& recv_reqs = inflight_.recv_reqs;
   auto& recv_map = inflight_.recv_map;
-
-  const bool chk = rt.checker() != nullptr;
-  auto unpack_acc = [&](const TransferState& x, const vgpu::Buffer& src) {
-    vgpu::AccessList a;
-    if (chk) {
-      a.push_back({&src, 0, x.active_bytes, false});
-      x.dst_ld->append_region_accesses(x.dst_region, active_qs_, true, a);
-    }
-    return a;
-  };
 
   // --- Phase 4: post Isends in data-ready order (the Sender state
   // machines' "advance when your CUDA phase completes" loop). Each send is
@@ -755,7 +814,7 @@ void DistributedDomain::exchange_finish() {
                         x->dst_stream);
         rt.launch_kernel(x->dst_stream, x->active_bytes, "unpack " + dir_str(x->t.dir),
                          [x, this] { x->dst_ld->unpack_region(x->dst_pack, x->dst_region, active_qs_); },
-                         unpack_acc(*x, x->dst_pack));
+                         unpack_access(*x, x->dst_pack));
       }
       continue;
     }
@@ -765,37 +824,14 @@ void DistributedDomain::exchange_finish() {
     }
     rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
                      [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); },
-                     unpack_acc(x, x.dst_pack));
+                     unpack_access(x, x.dst_pack));
   }
 
   // --- Phase 6: COLOCATED receivers unpack and acknowledge. ---------------
   for (auto& xp : xfers_) {
     TransferState& x = *xp;
     if (x.t.method != Method::kColocated || !x.i_recv) continue;
-    while (x.channel->data_gen < seq_ && !x.channel->demoted) {
-      x.channel->gate.wait(eng, "colocated data tag=" + std::to_string(x.t.tag));
-    }
-    if (x.channel->demoted) {
-      // The sender lost its IPC mapping and rerouted this generation over
-      // MPI. Adopt STAGED on this side too (no irecv was posted in Phase 0
-      // for a COLOCATED transfer, so receive blocking here) and unpack.
-      demote_transfer(x, Method::kStaged);
-      ensure_staged_buffers(x);
-      comm.recv(simpi::Payload::of(x.dst_host, 0, x.active_bytes), x.t.src_rank, x.t.tag);
-      rt.memcpy_async(x.dst_pack, 0, x.dst_host, 0, x.active_bytes, x.dst_stream);
-      rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
-                       [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); },
-                       unpack_acc(x, x.dst_pack));
-      x.channel->done_gen = seq_;
-      continue;
-    }
-    rt.stream_wait_event(x.dst_stream, x.channel->data_ev);
-    rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
-                     [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); },
-                     unpack_acc(x, x.dst_pack));
-    rt.record_event(x.channel->done_ev, x.dst_stream);
-    x.channel->done_gen = seq_;
-    x.channel->gate.notify_all(eng);
+    colocated_recv(x);
   }
 
   // --- Phase 7: drain sends, then quiesce every stream we touched. --------
@@ -808,6 +844,352 @@ void DistributedDomain::exchange_finish() {
 
   inflight_.active = false;
   inflight_.recv_reqs.clear();
+  inflight_.recv_map.clear();
+  inflight_.pending_sends.clear();
+  inflight_.pending_group_sends.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Exchange plans (persistent mode): compile the specialized transfer set into
+// a frozen schedule — persistent MPI requests for the message phases and
+// instantiated vgpu graphs for the stream phases — then replay it with zero
+// per-iteration setup. Plans are compiled lazily, one per (method flags,
+// aggregation, quantity subset), and partially rebuilt after fault demotions.
+// ---------------------------------------------------------------------------
+
+plan::CompiledPlan& DistributedDomain::acquire_plan() {
+  plan::PlanStats& stats = plan_cache_.stats();
+  plan::CompiledPlan* p =
+      plan_cache_.find(static_cast<std::uint32_t>(flags_), aggregate_remote_, active_qs_);
+  if (p == nullptr) {
+    ++stats.compiles;
+    return compile_plan();
+  }
+  if (p->key.topo_epoch != topo_epoch_ || p->dirty_count() > 0) {
+    // Fault-epoch migration: a demotion dirtied some programs since this
+    // plan was compiled. Rebuild only those — requests are freed and
+    // re-initialized, graphs re-captured against the new method — and stamp
+    // the plan with the current epoch. Clean programs are untouched.
+    ++stats.invalidations;
+    for (plan::TransferProgram& prog : p->programs) {
+      if (!prog.dirty) continue;
+      compile_program(prog);
+      ++stats.rebuilt_programs;
+    }
+    p->key.topo_epoch = topo_epoch_;
+  } else {
+    ++stats.hits;
+  }
+  return *p;
+}
+
+plan::CompiledPlan& DistributedDomain::compile_plan() {
+  plan::PlanKey key;
+  key.topo_epoch = topo_epoch_;
+  key.method_flags = static_cast<std::uint32_t>(flags_);
+  key.aggregated = aggregate_remote_;
+  key.quantities = active_qs_;
+  plan::CompiledPlan& p = plan_cache_.emplace(std::move(key));
+  p.programs.reserve(xfers_.size());
+  for (std::size_t i = 0; i < xfers_.size(); ++i) {
+    plan::TransferProgram prog;
+    prog.xfer_index = i;
+    compile_program(prog);
+    p.programs.push_back(std::move(prog));
+  }
+  for (std::size_t i = 0; i < send_groups_.size(); ++i) {
+    plan::GroupProgram g;
+    g.group_index = i;
+    g.is_send = true;
+    compile_group_program(g);
+    p.send_groups.push_back(std::move(g));
+  }
+  for (std::size_t i = 0; i < recv_groups_.size(); ++i) {
+    plan::GroupProgram g;
+    g.group_index = i;
+    g.is_send = false;
+    compile_group_program(g);
+    p.recv_groups.push_back(std::move(g));
+  }
+  return p;
+}
+
+void DistributedDomain::compile_program(plan::TransferProgram& prog) {
+  TransferState& x = *xfers_[prog.xfer_index];
+  auto& rt = ctx_.rt;
+  auto& comm = ctx_.comm;
+  // Rebuild path: release the superseded persistent envelope. Plans are
+  // only (re)built between exchanges, so the requests are inactive and the
+  // free is clean (no lint).
+  if (prog.send_req.valid()) comm.request_free(prog.send_req);
+  if (prog.recv_req.valid()) comm.request_free(prog.recv_req);
+  prog.tag = x.t.tag;
+  prog.method = x.t.method;
+  prog.bytes = x.active_bytes;
+  prog.i_send = x.i_send;
+  prog.i_recv = x.i_recv;
+  prog.eager = x.t.method == Method::kColocated;
+  prog.dirty = false;
+  prog.send_req = {};
+  prog.recv_req = {};
+  prog.send_graph = {};
+  prog.recv_graph = {};
+  // COLOCATED stays interpreted: its IPC flow control depends on the
+  // generation counter, which a frozen node sequence cannot express.
+  if (prog.eager) return;
+
+  switch (x.t.method) {
+    case Method::kKernel:
+      if (x.i_send) {
+        rt.begin_capture();
+        rt.launch_kernel(x.src_stream, x.active_bytes, "self " + dir_str(x.t.dir),
+                         [&x, this] { x.src_ld->self_exchange(x.t.dir, active_qs_); },
+                         self_access(x));
+        prog.send_graph = rt.instantiate(rt.end_capture());
+      }
+      break;
+    case Method::kPeer: {
+      // Both halves are ours: the whole pack / copy / event-edge / unpack
+      // chain freezes into one graph. ready_ev carries the cross-stream
+      // edge (it has no MPI role for PEER), re-recorded at every launch.
+      rt.begin_capture();
+      if (peer_use_3d(x)) {
+        for (std::size_t q : active_qs_) {
+          const std::size_t qbytes =
+              static_cast<std::size_t>(x.src_region.volume()) * quantities_[q].elem_size;
+          rt.memcpy3d_peer_async(
+              x.t.dst_gpu, x.t.src_gpu, qbytes, x.src_ld->row_bytes(x.src_region, q),
+              x.src_stream, "3d " + dir_str(x.t.dir),
+              [&x, q] {
+                LocalDomain::copy_region(*x.src_ld, x.src_region, *x.dst_ld, x.dst_region, q);
+              },
+              copy3d_access(x, q));
+        }
+        rt.record_event(x.ready_ev, x.src_stream);
+        rt.stream_wait_event(x.dst_stream, x.ready_ev);
+      } else {
+        rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
+                         [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); },
+                         pack_access(x, x.src_pack));
+        rt.memcpy_peer_async(x.dst_pack, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
+        rt.record_event(x.ready_ev, x.src_stream);
+        rt.stream_wait_event(x.dst_stream, x.ready_ev);
+        rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
+                         [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); },
+                         unpack_access(x, x.dst_pack));
+      }
+      prog.send_graph = rt.instantiate(rt.end_capture());
+      break;
+    }
+    case Method::kCudaAwareMpi:
+      if (x.i_send) {
+        rt.begin_capture();
+        rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
+                         [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); },
+                         pack_access(x, x.src_pack));
+        rt.record_event(x.ready_ev, x.src_stream);
+        prog.send_graph = rt.instantiate(rt.end_capture());
+        prog.send_req = comm.send_init(simpi::Payload::of(x.src_pack, 0, x.active_bytes),
+                                       x.t.dst_rank, x.t.tag);
+      }
+      if (x.i_recv) {
+        rt.begin_capture();
+        rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
+                         [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); },
+                         unpack_access(x, x.dst_pack));
+        prog.recv_graph = rt.instantiate(rt.end_capture());
+        prog.recv_req = comm.recv_init(simpi::Payload::of(x.dst_pack, 0, x.active_bytes),
+                                       x.t.src_rank, x.t.tag);
+      }
+      break;
+    case Method::kStaged:
+      if (x.aggregated) break;  // frozen in a GroupProgram instead
+      if (x.i_send) {
+        rt.begin_capture();
+        if (staged_zero_copy_) {
+          rt.launch_zero_copy_kernel(
+              x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
+              [&x, this] { x.src_ld->pack_region(x.src_host, x.src_region, active_qs_); },
+              pack_access(x, x.src_host));
+        } else {
+          rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
+                           [&x, this] { x.src_ld->pack_region(x.src_pack, x.src_region, active_qs_); },
+                           pack_access(x, x.src_pack));
+          rt.memcpy_async(x.src_host, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
+        }
+        rt.record_event(x.ready_ev, x.src_stream);
+        prog.send_graph = rt.instantiate(rt.end_capture());
+        prog.send_req = comm.send_init(simpi::Payload::of(x.src_host, 0, x.active_bytes),
+                                       x.t.dst_rank, x.t.tag);
+      }
+      if (x.i_recv) {
+        rt.begin_capture();
+        rt.memcpy_async(x.dst_pack, 0, x.dst_host, 0, x.active_bytes, x.dst_stream);
+        rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
+                         [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); },
+                         unpack_access(x, x.dst_pack));
+        prog.recv_graph = rt.instantiate(rt.end_capture());
+        prog.recv_req = comm.recv_init(simpi::Payload::of(x.dst_host, 0, x.active_bytes),
+                                       x.t.src_rank, x.t.tag);
+      }
+      break;
+    case Method::kColocated:
+      break;  // unreachable: eager-flagged above
+  }
+}
+
+void DistributedDomain::compile_group_program(plan::GroupProgram& g) {
+  AggGroup& grp = *(g.is_send ? send_groups_ : recv_groups_)[g.group_index];
+  auto& rt = ctx_.rt;
+  auto& comm = ctx_.comm;
+  if (g.req.valid()) comm.request_free(g.req);
+  g.peer_rank = grp.peer_rank;
+  g.bytes = grp.active_bytes;
+  g.member_tags.clear();
+  rt.begin_capture();
+  for (std::size_t m = 0; m < grp.members.size(); ++m) {
+    TransferState* x = grp.members[m].first;
+    g.member_tags.push_back(x->t.tag);
+    if (g.is_send) {
+      rt.launch_kernel(x->src_stream, x->active_bytes, "pack " + dir_str(x->t.dir),
+                       [x, this] { x->src_ld->pack_region(x->src_pack, x->src_region, active_qs_); },
+                       pack_access(*x, x->src_pack));
+      rt.memcpy_async(grp.host, grp.active_offsets[m], x->src_pack, 0, x->active_bytes,
+                      x->src_stream);
+      rt.record_event(x->ready_ev, x->src_stream);
+    } else {
+      rt.memcpy_async(x->dst_pack, 0, grp.host, grp.active_offsets[m], x->active_bytes,
+                      x->dst_stream);
+      rt.launch_kernel(x->dst_stream, x->active_bytes, "unpack " + dir_str(x->t.dir),
+                       [x, this] { x->dst_ld->unpack_region(x->dst_pack, x->dst_region, active_qs_); },
+                       unpack_access(*x, x->dst_pack));
+    }
+  }
+  g.graph = rt.instantiate(rt.end_capture());
+  g.req = g.is_send
+              ? comm.send_init(simpi::Payload::of(grp.host, 0, grp.active_bytes), grp.peer_rank,
+                               agg_tag(comm.rank()))
+              : comm.recv_init(simpi::Payload::of(grp.host, 0, grp.active_bytes), grp.peer_rank,
+                               agg_tag(grp.peer_rank));
+}
+
+void DistributedDomain::planned_start(plan::CompiledPlan& p) {
+  auto& comm = ctx_.comm;
+  auto& rt = ctx_.rt;
+  cur_plan_ = &p;
+  inflight_.planned = true;
+  ++p.replays;
+  ++plan_cache_.stats().replays;
+
+  // Phase 0': re-arm every persistent receive (groups first, matching the
+  // eager post order) and remember each one's landing graph.
+  std::vector<simpi::Request>& recv_reqs = inflight_.recv_reqs;
+  for (plan::GroupProgram& g : p.recv_groups) {
+    comm.start(g.req);
+    recv_reqs.push_back(g.req);
+    inflight_.recv_graphs.push_back(&g.graph);
+  }
+  for (plan::TransferProgram& prog : p.programs) {
+    if (!prog.recv_req.valid()) continue;
+    comm.start(prog.recv_req);
+    recv_reqs.push_back(prog.recv_req);
+    inflight_.recv_graphs.push_back(&prog.recv_graph);
+  }
+
+  // Phase 1': local transfers (KERNEL, PEER) — one launch per frozen chain.
+  for (plan::TransferProgram& prog : p.programs) {
+    if ((prog.method == Method::kKernel || prog.method == Method::kPeer) &&
+        prog.send_graph.valid()) {
+      rt.launch_graph(prog.send_graph);
+    }
+  }
+
+  // Phase 2': COLOCATED senders stay interpreted (generation-dependent flow
+  // control). A stale mapping demotes the transfer, queues an eager
+  // fallback send, and — via demote_transfer — dirties this plan entry, so
+  // the next acquire rebuilds it as a persistent STAGED program.
+  for (plan::TransferProgram& prog : p.programs) {
+    if (!prog.eager) continue;
+    TransferState& x = *xfers_[prog.xfer_index];
+    if (x.i_send) colocated_send(x);
+  }
+
+  // Phase 3': sender pack graphs (STAGED, CUDA-aware, aggregation groups).
+  for (plan::TransferProgram& prog : p.programs) {
+    if ((prog.method == Method::kStaged || prog.method == Method::kCudaAwareMpi) &&
+        prog.send_graph.valid()) {
+      rt.launch_graph(prog.send_graph);
+    }
+  }
+  for (plan::GroupProgram& g : p.send_groups) rt.launch_graph(g.graph);
+}
+
+void DistributedDomain::planned_finish(plan::CompiledPlan& p) {
+  auto& comm = ctx_.comm;
+  auto& rt = ctx_.rt;
+
+  // Phase 4': the frozen send schedule. Plan order replaces the eager
+  // path's per-iteration ready-time sort; each start is still gated on the
+  // transfer's ready event, so the persistent request's read of the staging
+  // buffer keeps the same happens-before edge as the eager isend.
+  std::vector<simpi::Request> send_reqs;
+  for (plan::TransferProgram& prog : p.programs) {
+    if (!prog.send_req.valid()) continue;
+    TransferState& x = *xfers_[prog.xfer_index];
+    rt.event_synchronize(x.ready_ev);
+    comm.start(prog.send_req);
+    send_reqs.push_back(prog.send_req);
+  }
+  for (plan::GroupProgram& g : p.send_groups) {
+    AggGroup& grp = *send_groups_[g.group_index];
+    for (auto& [mx, off] : grp.members) {
+      (void)off;
+      rt.event_synchronize(mx->ready_ev);
+    }
+    comm.start(g.req);
+    send_reqs.push_back(g.req);
+  }
+  // COLOCATED fallback sends queued by Phase 2' ride as plain isends this
+  // generation; their rebuilt persistent programs take over next exchange.
+  std::stable_sort(inflight_.pending_sends.begin(), inflight_.pending_sends.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [ready, xp] : inflight_.pending_sends) {
+    (void)ready;
+    TransferState& x = *xp;
+    rt.event_synchronize(x.ready_ev);
+    x.send_req =
+        comm.isend(simpi::Payload::of(x.src_host, 0, x.active_bytes), x.t.dst_rank, x.t.tag);
+    send_reqs.push_back(x.send_req);
+  }
+
+  // Phase 5': as each persistent receive lands, launch its captured
+  // H2D+unpack (or group fan-out) graph.
+  for (;;) {
+    const int i = comm.wait_any(inflight_.recv_reqs);
+    if (i < 0) break;
+    rt.launch_graph(*inflight_.recv_graphs[static_cast<std::size_t>(i)]);
+  }
+
+  // Phase 6': COLOCATED receivers (interpreted, like the send side).
+  for (plan::TransferProgram& prog : p.programs) {
+    if (!prog.eager) continue;
+    TransferState& x = *xfers_[prog.xfer_index];
+    if (x.i_recv) colocated_recv(x);
+  }
+
+  // Phase 7': drain sends, then quiesce every stream we touched.
+  comm.waitall(send_reqs);
+  for (auto& xp : xfers_) {
+    TransferState& x = *xp;
+    if (x.src_stream.valid()) rt.stream_synchronize(x.src_stream);
+    if (x.dst_stream.valid()) rt.stream_synchronize(x.dst_stream);
+  }
+
+  cur_plan_ = nullptr;
+  inflight_.active = false;
+  inflight_.planned = false;
+  inflight_.recv_reqs.clear();
+  inflight_.recv_graphs.clear();
   inflight_.recv_map.clear();
   inflight_.pending_sends.clear();
   inflight_.pending_group_sends.clear();

@@ -10,6 +10,7 @@
 #include "core/local_domain.h"
 #include "core/method_flags.h"
 #include "core/placement.h"
+#include "plan/plan.h"
 
 namespace stencil {
 
@@ -65,6 +66,17 @@ class DistributedDomain {
   /// copy, at the cost of the GPU being busy for the host-link duration.
   void set_staged_zero_copy(bool on);
 
+  /// Planned (persistent) exchanges: the first exchange() per configuration
+  /// compiles the specialized transfer set into a reusable schedule —
+  /// persistent MPI requests (MPI_Send_init/Recv_init/Start) for the message
+  /// phases and instantiated vgpu graphs for the pack/copy/unpack phases —
+  /// and every later exchange replays it with zero setup work. May be
+  /// toggled at any exchange boundary (also after realize()); plans are
+  /// compiled lazily per (method flags, aggregation, quantity subset) and
+  /// partially rebuilt when fault injection demotes a transfer.
+  void set_persistent(bool on);
+  bool persistent() const { return persistent_; }
+
   /// Register a grid quantity; returns its index.
   template <typename T>
   std::size_t add_data(const std::string& name) {
@@ -110,7 +122,18 @@ class DistributedDomain {
   const Placement& placement() const;
   const std::vector<Transfer>& transfers() const { return plan_.transfers(); }
   std::map<Method, int> local_method_histogram() const { return plan_.method_histogram(); }
+  /// Per-method (transfer count, payload bytes) over the realized transfer
+  /// set — what plan_report prints. Reflects runtime demotions.
+  std::map<Method, std::pair<int, std::size_t>> method_bytes_histogram() const;
   std::uint64_t exchanges_done() const { return seq_; }
+
+  /// Compiled-plan introspection (plan_report, tests). The cache is empty
+  /// until the first persistent exchange compiles a schedule.
+  const plan::PlanCache& plan_cache() const { return plan_cache_; }
+  const plan::PlanStats& plan_stats() const { return plan_cache_.stats(); }
+  /// Bumped on every runtime demotion; cached plans whose epoch lags are
+  /// migrated (dirty programs rebuilt) on their next use.
+  std::uint64_t topology_epoch() const { return topo_epoch_; }
 
   template <typename F>
   void for_each_subdomain(F&& f) {
@@ -144,10 +167,42 @@ class DistributedDomain {
   void maybe_respecialize();
   // Rewrite one transfer's method (state + plan, so method_histogram()
   // reflects it) and record the decision on the trace's "fault" lane.
+  // Also bumps the topology epoch and dirties the transfer's programs in
+  // every cached plan.
   void demote_transfer(TransferState& x, Method target);
   // Lazily allocate the streams/buffers the STAGED path needs on whichever
   // sides of the transfer this rank owns.
   void ensure_staged_buffers(TransferState& x);
+
+  // --- checker annotations (byte ranges a kernel closure touches) ---------
+  vgpu::AccessList pack_access(const TransferState& x, const vgpu::Buffer& dst) const;
+  vgpu::AccessList unpack_access(const TransferState& x, const vgpu::Buffer& src) const;
+  vgpu::AccessList self_access(const TransferState& x) const;
+  vgpu::AccessList copy3d_access(const TransferState& x, std::size_t q) const;
+
+  // PEER pack avoidance (§VI): strided 3D copy instead of pack kernels,
+  // per configuration or the kAuto cost model.
+  bool peer_use_3d(const TransferState& x) const;
+
+  // COLOCATED state machines, shared by the eager and planned paths (their
+  // flow control is generation-dependent, so plans keep them interpreted).
+  void colocated_send(TransferState& x);
+  void colocated_recv(TransferState& x);
+
+  // --- exchange plans (persistent mode) -----------------------------------
+  // The plan for the active configuration: exact cache hit, stale-epoch
+  // migration (rebuild only dirty programs), or full compile on miss.
+  plan::CompiledPlan& acquire_plan();
+  plan::CompiledPlan& compile_plan();
+  // (Re)build one frozen transfer: capture its stream phases into graphs,
+  // create its persistent requests. Frees any superseded requests first.
+  void compile_program(plan::TransferProgram& prog);
+  void compile_group_program(plan::GroupProgram& g);
+  // Replay: planned_start re-arms receives and launches sender graphs;
+  // planned_finish starts sends in frozen order, fans out landed receives,
+  // and quiesces.
+  void planned_start(plan::CompiledPlan& p);
+  void planned_finish(plan::CompiledPlan& p);
 
   RankCtx& ctx_;
   Dim3 domain_;
@@ -174,12 +229,22 @@ class DistributedDomain {
   // Quantities moved by the exchange currently in flight.
   std::vector<std::size_t> active_qs_;
 
+  // Exchange-plan state (persistent mode).
+  bool persistent_ = false;
+  std::uint64_t topo_epoch_ = 0;
+  plan::PlanCache plan_cache_;
+  plan::CompiledPlan* cur_plan_ = nullptr;  // plan driving the in-flight exchange
+
   // Split-phase exchange state, valid between exchange_start/finish.
   struct InFlight {
     bool active = false;
+    bool planned = false;
     std::vector<simpi::Request> recv_reqs;
     // Exactly one of the pair is set: a plain transfer or a whole group.
     std::vector<std::pair<TransferState*, AggGroup*>> recv_map;
+    // Planned path: the captured H2D+unpack graph for each receive, indexed
+    // like recv_reqs.
+    std::vector<vgpu::GraphExec*> recv_graphs;
     std::vector<std::pair<sim::Time, TransferState*>> pending_sends;        // (data-ready, xfer)
     std::vector<std::pair<sim::Time, AggGroup*>> pending_group_sends;       // (all-ready, group)
   };

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/method_flags.h"
+#include "simpi/mpi.h"
+#include "vgpu/runtime.h"
+
+namespace stencil::plan {
+
+/// Identity of one compiled exchange schedule. Two exchanges reuse the same
+/// plan iff everything the schedule depends on matches: the method flags the
+/// domain was realized with, the remote-aggregation mode, and the exact
+/// quantity subset (selective exchange packs different bytes per transfer, so
+/// each subset compiles to its own plan). `topo_epoch` is *not* part of the
+/// lookup: it versions the specialization table, and a cached plan whose
+/// epoch lags the domain's is migrated in place — only the programs the
+/// fault injector dirtied are rebuilt.
+struct PlanKey {
+  std::uint64_t topo_epoch = 0;
+  std::uint32_t method_flags = 0;
+  bool aggregated = false;
+  std::vector<std::size_t> quantities;  // sorted, as validated by exchange()
+
+  /// Lookup equality: everything except the epoch.
+  bool same_config(std::uint32_t flags, bool agg, const std::vector<std::size_t>& qs) const {
+    return method_flags == flags && aggregated == agg && quantities == qs;
+  }
+
+  std::string str() const;
+};
+
+/// Counters the cache keeps across the run; plan_report and the zero-setup
+/// tests read them.
+struct PlanStats {
+  std::uint64_t compiles = 0;          // full plan compilations (cache misses)
+  std::uint64_t hits = 0;              // exact reuses (no rebuild at all)
+  std::uint64_t invalidations = 0;     // stale-epoch migrations (partial rebuild)
+  std::uint64_t rebuilt_programs = 0;  // programs recompiled across migrations
+  std::uint64_t replays = 0;           // planned exchanges executed
+
+  std::string str() const;
+};
+
+/// The frozen form of one TransferState: its MPI envelope as persistent
+/// requests and its stream-op phases as instantiated graphs. Which fields
+/// are populated depends on the method:
+///   kKernel        send_graph (self-exchange kernel), no MPI
+///   kPeer          send_graph (pack / 3D copy + event edge + unpack), no MPI
+///   kCudaAwareMpi  send_graph = pack + ready event, recv_graph = unpack,
+///                  persistent device-payload send/recv
+///   kStaged        send_graph = pack (+ D2H or zero-copy) + ready event,
+///                  recv_graph = H2D + unpack, persistent host-payload
+///                  send/recv (aggregated members live in a GroupProgram)
+///   kColocated     `eager = true`: the IPC state machine stays interpreted
+///                  (its flow control is generation-dependent, not freezable)
+/// `dirty` marks a program whose transfer was demoted after compilation; the
+/// next acquire rebuilds just this entry against the new method.
+struct TransferProgram {
+  std::size_t xfer_index = 0;  // index into the domain's transfer set
+  int tag = 0;
+  Method method = Method::kStaged;
+  std::size_t bytes = 0;  // payload bytes for this plan's quantity subset
+  bool i_send = false;
+  bool i_recv = false;
+  bool eager = false;  // colocated: replayed through the interpreted path
+  bool dirty = false;
+
+  simpi::Request send_req;
+  simpi::Request recv_req;
+  vgpu::GraphExec send_graph;
+  vgpu::GraphExec recv_graph;
+};
+
+/// The frozen form of one remote-aggregation group: one persistent request
+/// for the merged host payload and one graph covering every member's pack
+/// and staging copies (send side) or fan-out H2D + unpacks (recv side).
+struct GroupProgram {
+  std::size_t group_index = 0;  // index into the domain's send/recv group list
+  bool is_send = false;
+  int peer_rank = -1;
+  std::size_t bytes = 0;  // merged active bytes for this plan's subset
+  std::vector<int> member_tags;
+
+  simpi::Request req;
+  vgpu::GraphExec graph;
+};
+
+/// One realized schedule: everything exchange() needs per iteration, with
+/// all setup (request creation, graph instantiation, event-edge layout)
+/// hoisted to compile time. Replay walks flat vectors in a fixed order —
+/// no per-iteration state-machine dispatch.
+class CompiledPlan {
+ public:
+  PlanKey key;
+  std::vector<TransferProgram> programs;
+  std::vector<GroupProgram> send_groups;
+  std::vector<GroupProgram> recv_groups;
+  std::uint64_t replays = 0;
+
+  std::size_t dirty_count() const;
+  /// Mark every program of transfer `tag` dirty (fault demotion).
+  void mark_dirty(int tag);
+
+  /// Human-readable dump (plan_report).
+  void describe(std::ostream& os) const;
+};
+
+/// The per-domain plan cache. Owns every compiled plan; lookups match on
+/// configuration (flags, aggregation, quantity subset) and never on epoch —
+/// epoch mismatches are repaired by the domain via partial rebuild.
+class PlanCache {
+ public:
+  /// The plan for this configuration, or nullptr (caller compiles one).
+  CompiledPlan* find(std::uint32_t flags, bool agg, const std::vector<std::size_t>& qs);
+
+  /// Insert an empty plan for `key` and return it (stable address).
+  CompiledPlan& emplace(PlanKey key);
+
+  /// Fault path: mark the programs of transfer `tag` dirty in every plan.
+  void invalidate_tag(int tag);
+
+  std::size_t size() const { return plans_.size(); }
+  const std::vector<std::unique_ptr<CompiledPlan>>& entries() const { return plans_; }
+
+  PlanStats& stats() { return stats_; }
+  const PlanStats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::unique_ptr<CompiledPlan>> plans_;
+  PlanStats stats_;
+};
+
+}  // namespace stencil::plan

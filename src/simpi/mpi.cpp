@@ -60,6 +60,7 @@ MsgInfo msg_info(const Request::Record& rec) {
   m.tag = rec.tag;
   m.payload = &rec.payload;
   m.buffered = rec.buffered;
+  m.persistent = rec.persistent;
   m.post_time = rec.post_time;
   return m;
 }
@@ -139,6 +140,82 @@ std::shared_ptr<Request::Record> Job::post(bool is_send, int me, int peer, int t
   queue.push_back(rec);
   try_match(rec->dst);
   return rec;
+}
+
+std::shared_ptr<Request::Record> Job::init(bool is_send, int me, int peer, int tag,
+                                           const Payload& p) {
+  if (peer < 0 || peer >= world_size_) throw std::out_of_range("simpi: peer rank out of range");
+  if (p.is_device() && !machine_.arch().cuda_aware_mpi) {
+    throw std::runtime_error(
+        "simpi: device pointer passed to MPI, but this platform is not CUDA-aware");
+  }
+  eng_.sleep_for(machine_.arch().cpu_issue);  // local call, no data motion
+
+  auto rec = std::make_shared<Request::Record>();
+  rec->serial = next_request_serial_++;
+  rec->is_send = is_send;
+  rec->src = is_send ? me : peer;
+  rec->dst = is_send ? peer : me;
+  rec->tag = tag;
+  rec->payload = p;
+  rec->post_time = eng_.now();
+  rec->persistent = true;
+
+  if (checker_ != nullptr) checker_->on_persistent_init(msg_info(*rec));
+  return rec;  // nothing enters matching until start()
+}
+
+void Job::start(Request& r) {
+  if (!r.valid()) throw std::logic_error("simpi: start on an invalid Request");
+  auto rec_sp = r.rec_;
+  auto& rec = *rec_sp;
+  if (!rec.persistent) throw std::logic_error("simpi: start on a non-persistent request");
+  // Notify before rejecting, so the checker can lint the double start.
+  if (checker_ != nullptr) checker_->on_persistent_start(msg_info(rec));
+  if (rec.active) {
+    throw std::logic_error("simpi: start on an already-active persistent request");
+  }
+  eng_.sleep_for(machine_.arch().cpu_issue);
+
+  // Re-arm the same Record: identity (serial) is reused, per-iteration state
+  // resets. This is the whole point of the persistent path — no new Record
+  // allocation and no new observer identity per iteration.
+  rec.matched = false;
+  rec.complete_at = 0;
+  rec.cancelled = false;
+  rec.failed = false;
+  rec.attempts = 1;
+  rec.buffered = false;
+  rec.staged.clear();
+  rec.post_time = eng_.now();
+  rec.active = true;
+  ++rec.starts;
+
+  if (rec.is_send && !rec.payload.is_device() && rec.payload.bytes <= kEagerLimit) {
+    // Eager protocol, re-staged on every start: the buffer contents differ
+    // each iteration even though the envelope is frozen.
+    rec.buffered = true;
+    rec.matched = true;
+    rec.complete_at = rec.post_time;
+    if (const std::byte* sp = payload_ptr(rec.payload); sp != nullptr && rec.payload.bytes > 0) {
+      rec.staged.assign(sp, sp + rec.payload.bytes);
+    }
+  }
+
+  auto& queue = rec.is_send ? unmatched_sends_[static_cast<std::size_t>(rec.dst)]
+                            : unmatched_recvs_[static_cast<std::size_t>(rec.dst)];
+  queue.push_back(rec_sp);
+  try_match(rec.dst);
+}
+
+void Job::request_free(Request& r) {
+  if (!r.valid()) throw std::logic_error("simpi: request_free on an invalid Request");
+  auto& rec = *r.rec_;
+  const bool active = rec.persistent && rec.active;
+  if (checker_ != nullptr) checker_->on_persistent_free(rec.serial, active);
+  // Deferred-free semantics: an in-flight operation stays in the matching
+  // queues and still completes/delivers; only the caller's handle dies.
+  r.rec_.reset();
 }
 
 void Job::try_match(int dst_rank) {
@@ -359,6 +436,7 @@ void Job::cancel_unmatched(Request::Record& rec) {
 void Job::wait(Request& r, int me) {
   if (!r.valid()) throw std::logic_error("simpi: wait on an invalid Request");
   auto& rec = *r.rec_;
+  if (rec.persistent && !rec.active) return;  // MPI: wait on inactive is a no-op
   const fault::Injector* inj = machine_.fault_injector();
   const bool timed = !rec.matched && inj != nullptr && inj->retry_policy().enabled();
   if (timed) {
@@ -381,6 +459,7 @@ void Job::wait(Request& r, int me) {
     while (!rec.matched) rank_gates_[static_cast<std::size_t>(me)]->wait(eng_, wait_detail(rec.is_send, rec.src, rec.dst, rec.tag));
   }
   eng_.sleep_until(rec.complete_at);
+  rec.active = false;  // persistent: back to inactive; handle stays valid
   if (checker_ != nullptr) checker_->on_request_done(rec.serial);
   if (rec.failed) {
     throw TransportError(TransportError::Code::kRetriesExhausted,
@@ -392,9 +471,13 @@ void Job::wait(Request& r, int me) {
 
 bool Job::test(Request& r) {
   if (!r.valid()) throw std::logic_error("simpi: test on an invalid Request");
-  const auto& rec = *r.rec_;
+  auto& rec = *r.rec_;
+  if (rec.persistent && !rec.active) return true;  // inactive: trivially complete
   const bool complete = rec.matched && rec.complete_at <= eng_.now();
-  if (complete && checker_ != nullptr) checker_->on_request_done(rec.serial);
+  if (complete) {
+    rec.active = false;
+    if (checker_ != nullptr) checker_->on_request_done(rec.serial);
+  }
   return complete;
 }
 
@@ -405,6 +488,9 @@ int Job::wait_any(std::vector<Request>& rs, int me) {
     bool any_valid = false;
     for (std::size_t i = 0; i < rs.size(); ++i) {
       if (!rs[i].valid()) continue;
+      // Inactive persistent entries carry stale completion state from the
+      // previous iteration; treat them like REQUEST_NULL here.
+      if (rs[i].rec_->persistent && !rs[i].rec_->active) continue;
       any_valid = true;
       const auto& rec = *rs[i].rec_;
       if (rec.matched && (best < 0 || rec.complete_at < best_t)) {
@@ -416,6 +502,7 @@ int Job::wait_any(std::vector<Request>& rs, int me) {
     if (best >= 0) {
       auto rec = rs[static_cast<std::size_t>(best)].rec_;
       eng_.sleep_until(best_t);
+      rec->active = false;
       rs[static_cast<std::size_t>(best)].rec_.reset();
       if (checker_ != nullptr) checker_->on_request_done(rec->serial);
       if (rec->failed) {
@@ -471,6 +558,24 @@ void Comm::recv(const Payload& p, int src, int tag) {
   Request r = irecv(p, src, tag);
   wait(r);
 }
+
+Request Comm::send_init(const Payload& p, int dst, int tag) {
+  return Request(job_->init(true, world_rank(), members_[static_cast<std::size_t>(dst)], tag, p));
+}
+
+Request Comm::recv_init(const Payload& p, int src, int tag) {
+  return Request(job_->init(false, world_rank(), members_[static_cast<std::size_t>(src)], tag, p));
+}
+
+void Comm::start(Request& r) { job_->start(r); }
+
+void Comm::startall(std::vector<Request>& rs) {
+  for (auto& r : rs) {
+    if (r.valid()) job_->start(r);
+  }
+}
+
+void Comm::request_free(Request& r) { job_->request_free(r); }
 
 void Comm::wait(Request& r) { job_->wait(r, world_rank()); }
 

@@ -113,6 +113,9 @@ class Job {
   friend class Comm;
 
   std::shared_ptr<Request::Record> post(bool is_send, int me, int peer, int tag, const Payload& p);
+  std::shared_ptr<Request::Record> init(bool is_send, int me, int peer, int tag, const Payload& p);
+  void start(Request& r);
+  void request_free(Request& r);
   void try_match(int dst_rank);
   void complete_match(Request::Record& send, Request::Record& recv);
   // Drop this still-unmatched record from its queue (wait timeout path).
@@ -168,6 +171,13 @@ struct Request::Record {
   // small send never deadlocks against an out-of-order receiver.
   bool buffered = false;
   std::vector<std::byte> staged;
+  // Persistent requests (MPI_Send_init/MPI_Recv_init): the Record is created
+  // once, then re-armed by start(); `active` tracks started-but-not-completed
+  // and `starts` counts the re-arms. Identity (serial) never changes, so
+  // observers see one reusable record across thousands of iterations.
+  bool persistent = false;
+  bool active = false;
+  std::uint64_t starts = 0;
 };
 
 /// The per-rank communicator handle (the world communicator; split() yields
@@ -186,6 +196,22 @@ class Comm {
   Request irecv(const Payload& p, int src, int tag);
   void send(const Payload& p, int dst, int tag);
   void recv(const Payload& p, int src, int tag);
+
+  /// Persistent operations (MPI_Send_init / MPI_Recv_init / MPI_Start /
+  /// MPI_Startall / MPI_Request_free). *_init creates a reusable Record but
+  /// moves no data; each start() re-arms the same Record (same serial) and
+  /// enters it into matching; wait()/wait_any() return it to the inactive
+  /// state without invalidating the handle. wait() on an inactive persistent
+  /// request returns immediately; start() on an active one throws (after
+  /// notifying the checker, which lints it).
+  Request send_init(const Payload& p, int dst, int tag);
+  Request recv_init(const Payload& p, int src, int tag);
+  void start(Request& r);
+  void startall(std::vector<Request>& rs);
+  /// Free a persistent handle. Freeing while active is linted by the checker;
+  /// the in-flight operation still completes (deferred-free semantics).
+  void request_free(Request& r);
+
   void wait(Request& r);
   bool test(Request& r);
   void waitall(std::vector<Request>& rs);

@@ -19,7 +19,8 @@ struct MsgInfo {
   int dst = -1;
   int tag = 0;
   const Payload* payload = nullptr;
-  bool buffered = false;  // eager protocol: completed at post time
+  bool buffered = false;    // eager protocol: completed at post time
+  bool persistent = false;  // created by send_init/recv_init; reusable Record
   sim::Time post_time = 0;
 };
 
@@ -55,6 +56,22 @@ class JobObserver {
   virtual void on_request_cancel(std::uint64_t serial) = 0;
   virtual void on_barrier_arrive(std::uint64_t generation) = 0;
   virtual void on_barrier_release(std::uint64_t generation) = 0;
+
+  /// Persistent-request lifecycle (MPI_Send_init / MPI_Start / MPI_Request_free).
+  /// A persistent Record is created once by *_init (no data moves, nothing is
+  /// queued for matching) and then re-armed by each start; completion is still
+  /// reported through on_match/on_request_done with the same serial. Default
+  /// no-op implementations keep pre-existing observers source-compatible.
+  virtual void on_persistent_init(const MsgInfo& m) { (void)m; }
+  /// Fired on every start, *before* the library rejects a double start, so an
+  /// observer can lint "start while still active".
+  virtual void on_persistent_start(const MsgInfo& m) { (void)m; }
+  /// The handle was freed. `active` is true when the operation had been
+  /// started and not yet completed (MPI defers the free; we lint it).
+  virtual void on_persistent_free(std::uint64_t serial, bool active) {
+    (void)serial;
+    (void)active;
+  }
 };
 
 }  // namespace stencil::simpi

@@ -17,6 +17,13 @@ std::string pair_lane(int src, int dst) {
 }
 }  // namespace
 
+std::vector<std::string> Graph::labels() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n.label);
+  return out;
+}
+
 Runtime::Runtime(sim::Engine& eng, topo::Machine& machine) : eng_(eng), machine_(machine) {
   devices_.resize(static_cast<std::size_t>(machine_.total_gpus()));
   peer_enabled_.assign(
@@ -63,12 +70,22 @@ Stream Runtime::default_stream(int ggpu) {
 }
 
 void Runtime::record_event(Event& ev, const Stream& s) {
+  if (capture_target() != nullptr) {
+    capture_node("record_event",
+                 [&ev, &s](Runtime& rt) { rt.record_event(ev, s); });
+    return;
+  }
   ev.completed_at = std::max(s.last_end, eng_.now());
   ev.recorded = true;
   if (checker_ != nullptr) checker_->on_record_event(ev, s);
 }
 
 void Runtime::stream_wait_event(Stream& s, const Event& ev) {
+  if (capture_target() != nullptr) {
+    capture_node("wait_event",
+                 [&s, &ev](Runtime& rt) { rt.stream_wait_event(s, ev); });
+    return;
+  }
   if (checker_ != nullptr) checker_->on_stream_wait_event(s, ev);
   if (!ev.recorded) return;  // CUDA: waiting on an unrecorded event is a no-op
   s.last_end = std::max(s.last_end, ev.completed_at);
@@ -81,16 +98,19 @@ bool Runtime::event_query(const Event& ev) const {
 }
 
 void Runtime::event_synchronize(const Event& ev) {
+  reject_during_capture("event_synchronize");
   if (ev.recorded) eng_.sleep_until(ev.completed_at);
   if (checker_ != nullptr) checker_->on_event_synchronize(ev);
 }
 
 void Runtime::stream_synchronize(const Stream& s) {
+  reject_during_capture("stream_synchronize");
   eng_.sleep_until(s.last_end);
   if (checker_ != nullptr) checker_->on_stream_synchronize(s);
 }
 
 void Runtime::device_synchronize(int ggpu) {
+  reject_during_capture("device_synchronize");
   eng_.sleep_until(dev(ggpu).all_streams_last_end);
   if (checker_ != nullptr) checker_->on_device_synchronize(ggpu);
 }
@@ -125,12 +145,87 @@ bool Runtime::ipc_mapping_valid(const IpcMappedPtr& p) const {
   return !inj->ipc_stale(machine_.node_of(p.device), p.opened_at, eng_.now());
 }
 
-sim::Time Runtime::issue(Stream& s) {
+Graph* Runtime::capture_target() {
+  if (captures_.empty()) return nullptr;
+  const int actor = eng_.actor_id();
+  for (auto& [id, g] : captures_) {
+    if (id == actor) return g.get();
+  }
+  return nullptr;
+}
+
+void Runtime::capture_node(std::string label, std::function<void(Runtime&)> replay) {
+  capture_target()->nodes_.push_back({std::move(label), std::move(replay)});
+}
+
+void Runtime::reject_during_capture(const char* what) {
+  if (capture_target() != nullptr) {
+    throw std::logic_error(std::string(what) + ": illegal during graph capture");
+  }
+}
+
+void Runtime::begin_capture() {
+  const int actor = eng_.actor_id();
+  for (const auto& [id, g] : captures_) {
+    if (id == actor) throw std::logic_error("begin_capture: capture already in progress");
+  }
+  captures_.emplace_back(actor, std::make_unique<Graph>());
+}
+
+Graph Runtime::end_capture() {
+  const int actor = eng_.actor_id();
+  for (auto it = captures_.begin(); it != captures_.end(); ++it) {
+    if (it->first == actor) {
+      Graph g = std::move(*it->second);
+      captures_.erase(it);
+      return g;
+    }
+  }
+  throw std::logic_error("end_capture: no capture in progress");
+}
+
+bool Runtime::capturing() { return capture_target() != nullptr; }
+
+GraphExec Runtime::instantiate(Graph g) {
+  reject_during_capture("instantiate");
+  GraphExec e;
+  e.graph_ = std::make_shared<const Graph>(std::move(g));
+  // cudaGraphInstantiate: host-side work proportional to the node count,
+  // paid once at plan-compile time.
+  eng_.sleep_for(machine_.arch().cpu_issue * static_cast<sim::Duration>(e.num_nodes()));
+  return e;
+}
+
+void Runtime::launch_graph(GraphExec& g) {
+  if (!g.valid()) throw std::logic_error("launch_graph: graph was never instantiated");
+  reject_during_capture("launch_graph");
   const sim::Time t0 = eng_.now();
-  eng_.sleep_for(machine_.arch().cpu_issue);
+  eng_.sleep_for(machine_.arch().cpu_issue);  // one issue for the whole graph
   if (recorder_ != nullptr) {
     const std::string& who = eng_.actor_name();
-    recorder_->record((who.empty() ? std::string("cpu") : who) + ".cpu", "issue", t0, eng_.now());
+    recorder_->record((who.empty() ? std::string("cpu") : who) + ".cpu",
+                      "graph launch (" + std::to_string(g.num_nodes()) + " nodes)", t0, eng_.now());
+  }
+  ++replay_depth_;
+  try {
+    for (const auto& node : g.graph_->nodes_) node.replay(*this);
+  } catch (...) {
+    --replay_depth_;
+    throw;
+  }
+  --replay_depth_;
+  ++g.launches_;
+  ++graphs_launched_;
+}
+
+sim::Time Runtime::issue(Stream& s) {
+  if (replay_depth_ == 0) {
+    const sim::Time t0 = eng_.now();
+    eng_.sleep_for(machine_.arch().cpu_issue);
+    if (recorder_ != nullptr) {
+      const std::string& who = eng_.actor_name();
+      recorder_->record((who.empty() ? std::string("cpu") : who) + ".cpu", "issue", t0, eng_.now());
+    }
   }
   ++ops_issued_;
   DeviceState& d = dev(s.device);
@@ -187,6 +282,13 @@ void Runtime::move_bytes(Buffer& dst, std::size_t dst_off, const Buffer& src, st
 void Runtime::memcpy_async(Buffer& dst, std::size_t dst_off, const Buffer& src, std::size_t src_off,
                            std::size_t bytes, Stream& s) {
   check_same_size_copy(dst, dst_off, src, src_off, bytes);
+  if (capture_target() != nullptr) {
+    capture_node("memcpy " + std::to_string(bytes) + "B",
+                 [&dst, dst_off, &src, src_off, bytes, &s](Runtime& rt) {
+                   rt.memcpy_async(dst, dst_off, src, src_off, bytes, s);
+                 });
+    return;
+  }
   const sim::Time ready = issue(s);
   sim::Span span;
   std::string lane;
@@ -221,6 +323,13 @@ void Runtime::memcpy_peer_async(Buffer& dst, std::size_t dst_off, const Buffer& 
   if (src.space() != MemSpace::kDevice || dst.space() != MemSpace::kDevice) {
     throw std::logic_error("memcpy_peer_async: both buffers must be device memory");
   }
+  if (capture_target() != nullptr) {
+    capture_node("peer " + std::to_string(bytes) + "B",
+                 [&dst, dst_off, &src, src_off, bytes, &s](Runtime& rt) {
+                   rt.memcpy_peer_async(dst, dst_off, src, src_off, bytes, s);
+                 });
+    return;
+  }
   const sim::Time ready = issue(s);
   const bool use_peer = peer_enabled(src.owner(), dst.owner());
   const sim::Span span = machine_.schedule_d2d(src.owner(), dst.owner(), bytes, ready, use_peer);
@@ -236,6 +345,14 @@ void Runtime::memcpy_peer_async(Buffer& dst, std::size_t dst_off, const Buffer& 
 
 void Runtime::memcpy_to_ipc_async(const IpcMappedPtr& dst, std::size_t dst_off, const Buffer& src,
                                   std::size_t src_off, std::size_t bytes, Stream& s) {
+  if (capture_target() != nullptr) {
+    // Mapping validity is time-dependent (fault injection); check at replay.
+    capture_node("ipc-copy " + std::to_string(bytes) + "B",
+                 [&dst, dst_off, &src, src_off, bytes, &s](Runtime& rt) {
+                   rt.memcpy_to_ipc_async(dst, dst_off, src, src_off, bytes, s);
+                 });
+    return;
+  }
   if (!dst.valid()) {
     const std::string what = dst.closed ? "memcpy_to_ipc_async: mapping already closed"
                                         : "memcpy_to_ipc_async: invalid IPC mapping";
@@ -265,6 +382,13 @@ void Runtime::memcpy_to_ipc_async(const IpcMappedPtr& dst, std::size_t dst_off, 
 void Runtime::memcpy3d_peer_async(int dst_ggpu, int src_ggpu, std::uint64_t bytes,
                                   std::uint64_t row_bytes, Stream& s, const std::string& label,
                                   const std::function<void()>& body, const AccessList& accesses) {
+  if (capture_target() != nullptr) {
+    capture_node(label + " (3d)", [dst_ggpu, src_ggpu, bytes, row_bytes, &s, label, body,
+                                   accesses](Runtime& rt) {
+      rt.memcpy3d_peer_async(dst_ggpu, src_ggpu, bytes, row_bytes, s, label, body, accesses);
+    });
+    return;
+  }
   const sim::Time ready = issue(s);
   const bool use_peer = peer_enabled(src_ggpu, dst_ggpu);
   const sim::Span span =
@@ -277,6 +401,12 @@ void Runtime::memcpy3d_peer_async(int dst_ggpu, int src_ggpu, std::uint64_t byte
 
 void Runtime::launch_kernel(Stream& s, std::uint64_t bytes_moved, const std::string& label,
                             const std::function<void()>& body, const AccessList& accesses) {
+  if (capture_target() != nullptr) {
+    capture_node(label, [&s, bytes_moved, label, body, accesses](Runtime& rt) {
+      rt.launch_kernel(s, bytes_moved, label, body, accesses);
+    });
+    return;
+  }
   const sim::Time ready = issue(s);
   const sim::Span span = machine_.schedule_kernel(s.device, bytes_moved, ready);
   if (body) body();
@@ -288,6 +418,12 @@ void Runtime::launch_kernel(Stream& s, std::uint64_t bytes_moved, const std::str
 void Runtime::launch_zero_copy_kernel(Stream& s, std::uint64_t bytes, const std::string& label,
                                       const std::function<void()>& body,
                                       const AccessList& accesses) {
+  if (capture_target() != nullptr) {
+    capture_node(label + " (zero-copy)", [&s, bytes, label, body, accesses](Runtime& rt) {
+      rt.launch_zero_copy_kernel(s, bytes, label, body, accesses);
+    });
+    return;
+  }
   const auto& arch = machine_.arch();
   const sim::Time ready = issue(s);
   // The kernel streams strided reads from HBM and writes over the host

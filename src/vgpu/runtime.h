@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "simtime/engine.h"
@@ -66,6 +68,51 @@ class CapabilityError : public std::runtime_error {
 
  private:
   Kind kind_;
+};
+
+class Runtime;
+
+/// A captured sequence of stream operations (cudaGraph analogue). Built with
+/// Runtime::begin_capture()/end_capture(): while capturing, the async entry
+/// points append nodes instead of executing, so capture itself moves no data
+/// and takes no virtual time. Buffers, streams, and events are captured by
+/// reference and must outlive every launch of an instantiated graph.
+class Graph {
+ public:
+  std::size_t num_nodes() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  /// Node labels in capture order (diagnostics / plan reports).
+  std::vector<std::string> labels() const;
+
+ private:
+  friend class Runtime;
+  struct Node {
+    std::string label;
+    std::function<void(Runtime&)> replay;
+  };
+  std::vector<Node> nodes_;
+};
+
+/// An instantiated, launchable graph (cudaGraphExec analogue). launch_graph
+/// replays the captured enqueues through the ordinary eager entry points, so
+/// observers (trace, checker) see replayed ops exactly like eager ops — but
+/// the per-op CPU issue cost is charged once per *launch*, not once per node.
+/// That amortization is the whole reason graphs exist.
+class GraphExec {
+ public:
+  GraphExec() = default;
+  bool valid() const { return graph_ != nullptr; }
+  std::size_t num_nodes() const { return graph_ != nullptr ? graph_->num_nodes() : 0; }
+  std::vector<std::string> labels() const {
+    return graph_ != nullptr ? graph_->labels() : std::vector<std::string>{};
+  }
+  /// How many times this executable has been launched.
+  std::uint64_t launches() const { return launches_; }
+
+ private:
+  friend class Runtime;
+  std::shared_ptr<const Graph> graph_;
+  std::uint64_t launches_ = 0;
 };
 
 /// The virtual CUDA runtime: allocation, streams, events, async copies,
@@ -186,8 +233,36 @@ class Runtime {
   /// misuse: reported to the checker, then thrown as std::logic_error.
   void ipc_close_mem_handle(IpcMappedPtr& p);
 
+  // --- graph capture ------------------------------------------------------
+  /// Begin capturing the calling actor's async enqueues (cudaStreamBeginCapture
+  /// analogue, scoped to the actor rather than one stream). Until end_capture,
+  /// async ops and event record/wait calls append graph nodes instead of
+  /// executing; synchronizing calls throw (they would invalidate a CUDA
+  /// capture too). Captures never block, so a capture section is atomic under
+  /// the cooperative scheduler.
+  void begin_capture();
+  Graph end_capture();
+  /// True when the calling actor has a capture in progress.
+  bool capturing();
+
+  /// Bake a captured graph into a launchable executable. Charges host-side
+  /// setup time proportional to the node count (cudaGraphInstantiate cost) —
+  /// paid once, amortized over every launch.
+  GraphExec instantiate(Graph g);
+
+  /// Replay an instantiated graph: one CPU issue charge for the whole graph,
+  /// then every node re-enters the eager entry point it was captured from
+  /// (observers see identical ops; per-node issue cost is skipped).
+  void launch_graph(GraphExec& g);
+
+  std::uint64_t graphs_launched() const { return graphs_launched_; }
+
   /// Number of async ops issued so far (diagnostics).
   std::uint64_t ops_issued() const { return ops_issued_; }
+
+  /// Number of buffers ever allocated (device + pinned host). Stable across
+  /// steady-state planned exchanges — tests assert zero setup-phase work.
+  std::uint64_t buffers_allocated() const { return next_buffer_id_ - 1; }
 
   // --- hooks for the (simulated) MPI library ------------------------------
   /// Completion frontier across all streams of a device — what a
@@ -227,11 +302,21 @@ class Runtime {
   void observe_op(OpKind kind, const Stream& s, const std::string& label, const sim::Span& span,
                   const AccessList& accesses);
 
+  /// Capture in progress for the calling actor, or nullptr. Cheap on the
+  /// eager path (captures_ empty short-circuits before querying the engine).
+  Graph* capture_target();
+  void capture_node(std::string label, std::function<void(Runtime&)> replay);
+  /// Throw when called during capture (ops that would invalidate it).
+  void reject_during_capture(const char* what);
+
   sim::Engine& eng_;
   topo::Machine& machine_;
   trace::Recorder* recorder_ = nullptr;
   RuntimeObserver* checker_ = nullptr;
   MemMode mem_mode_ = MemMode::kMaterialized;
+  std::vector<std::pair<int, std::unique_ptr<Graph>>> captures_;  // actor -> open capture
+  int replay_depth_ = 0;  // >0 while launch_graph replays (skip per-op issue cost)
+  std::uint64_t graphs_launched_ = 0;
   std::vector<DeviceState> devices_;
   std::vector<bool> peer_enabled_;  // [src * total_gpus + dst]
   std::uint64_t next_buffer_id_ = 1;
