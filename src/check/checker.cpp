@@ -34,6 +34,16 @@ VClock& Checker::host_clock() {
   return host_clocks_[it->second];
 }
 
+void Checker::log_hb(std::string from, std::string to) {
+  if (hb_edges_.size() >= kMaxHbEdges) return;
+  hb_edges_.push_back({std::move(from), std::move(to), eng_.now()});
+}
+
+const std::string& Checker::host_desc() {
+  host_clock();  // ensure the calling actor has a tid
+  return tid_desc(host_tids_[eng_.actor_id()]);
+}
+
 Checker::StreamState& Checker::stream_state(const vgpu::Stream& s) {
   const std::pair<int, std::uint64_t> key{s.device, s.id};
   auto it = streams_.find(key);
@@ -183,7 +193,9 @@ void Checker::on_stream_create(const vgpu::Stream& s) { stream_state(s); }
 void Checker::on_record_event(const vgpu::Event& ev, const vgpu::Stream& s) {
   // Re-recording overwrites: an event captures the stream frontier of its
   // most recent record, exactly like CUDA.
-  events_[&ev].clock = stream_state(s).clock;
+  EventState& es = events_[&ev];
+  es.clock = stream_state(s).clock;
+  es.src_desc = stream_desc(s);
 }
 
 void Checker::on_stream_wait_event(const vgpu::Stream& s, const vgpu::Event& ev) {
@@ -198,7 +210,10 @@ void Checker::on_stream_wait_event(const vgpu::Stream& s, const vgpu::Event& ev)
     return;
   }
   auto it = events_.find(&ev);
-  if (it != events_.end()) stream_state(s).clock.join(it->second.clock);
+  if (it != events_.end()) {
+    stream_state(s).clock.join(it->second.clock);
+    log_hb(it->second.src_desc, stream_desc(s));
+  }
 }
 
 void Checker::on_event_synchronize(const vgpu::Event& ev) {
@@ -213,7 +228,10 @@ void Checker::on_event_synchronize(const vgpu::Event& ev) {
     return;
   }
   auto it = events_.find(&ev);
-  if (it != events_.end()) host_clock().join(it->second.clock);
+  if (it != events_.end()) {
+    host_clock().join(it->second.clock);
+    log_hb(it->second.src_desc, host_desc());
+  }
 }
 
 void Checker::on_event_query(const vgpu::Event& ev, bool complete) {
@@ -221,14 +239,21 @@ void Checker::on_event_query(const vgpu::Event& ev, bool complete) {
   // the queried work happened-before everything the caller does next.
   if (!complete || !ev.recorded) return;
   auto it = events_.find(&ev);
-  if (it != events_.end()) host_clock().join(it->second.clock);
+  if (it != events_.end()) {
+    host_clock().join(it->second.clock);
+    log_hb(it->second.src_desc, host_desc());
+  }
 }
 
 void Checker::on_stream_synchronize(const vgpu::Stream& s) {
   host_clock().join(stream_state(s).clock);
+  log_hb(stream_desc(s), host_desc());
 }
 
-void Checker::on_device_synchronize(int ggpu) { host_clock().join(devices_[ggpu].all); }
+void Checker::on_device_synchronize(int ggpu) {
+  host_clock().join(devices_[ggpu].all);
+  log_hb("gpu" + std::to_string(ggpu), host_desc());
+}
 
 void Checker::on_stream_destroy(const vgpu::Stream& s) {
   StreamState& ss = stream_state(s);
@@ -294,6 +319,7 @@ void Checker::on_post(const simpi::MsgInfo& m) {
                   Epoch{rs.tid, ep}, c, rs.desc, eng_.now());
   }
   rs.completion = c;  // eager sends complete with just their post knowledge
+  log_hb(host_desc(), "mpi.r" + std::to_string(m.src) + "->r" + std::to_string(m.dst));
   requests_.emplace(m.serial, std::move(rs));
 }
 
@@ -367,6 +393,10 @@ void Checker::on_request_done(std::uint64_t serial) {
   if (it == requests_.end()) return;
   it->second.done = true;
   host_clock().join(it->second.completion);
+  if (it->second.src >= 0) {
+    log_hb("mpi.r" + std::to_string(it->second.src) + "->r" + std::to_string(it->second.dst),
+           host_desc());
+  }
 }
 
 void Checker::on_request_cancel(std::uint64_t serial) {
@@ -380,6 +410,7 @@ void Checker::on_barrier_arrive(std::uint64_t generation) {
 
 void Checker::on_barrier_release(std::uint64_t generation) {
   host_clock().join(barriers_[generation]);
+  log_hb("barrier#" + std::to_string(generation), host_desc());
 }
 
 void Checker::on_persistent_init(const simpi::MsgInfo& m) {

@@ -11,6 +11,7 @@
 #include "check/vclock.h"
 #include "simpi/observer.h"
 #include "simtime/engine.h"
+#include "telemetry/critical_path.h"
 #include "vgpu/observer.h"
 
 namespace stencil::check {
@@ -38,6 +39,18 @@ class Checker : public vgpu::RuntimeObserver, public simpi::JobObserver {
 
   CheckReport& report() { return report_; }
   const CheckReport& report() const { return report_; }
+
+  /// Ordered log of every happens-before edge the checker derived from real
+  /// synchronization (event waits, stream/device syncs, MPI post/completion,
+  /// barriers), in resource-description form. Feed it to
+  /// telemetry::CriticalPath::add_hb_edges to refine the critical chain with
+  /// the exact sync structure instead of timeline heuristics. Bounded: after
+  /// kMaxHbEdges the log stops growing (analysis windows are short; the cap
+  /// only guards arbitrarily long checked runs).
+  const std::vector<telemetry::HbEdge>& hb_edges() const { return hb_edges_; }
+  void clear_hb_edges() { hb_edges_.clear(); }
+
+  static constexpr std::size_t kMaxHbEdges = 1u << 20;
 
   /// Run teardown lints (unwaited requests, tag-mismatched pairs, streams
   /// with unsynchronized work). Called automatically at Job end; call
@@ -104,7 +117,8 @@ class Checker : public vgpu::RuntimeObserver, public simpi::JobObserver {
   };
 
   struct EventState {
-    VClock clock;  // stream knowledge captured at record time
+    VClock clock;          // stream knowledge captured at record time
+    std::string src_desc;  // stream that recorded it (hb-edge log)
   };
 
   struct ReqState {
@@ -134,6 +148,10 @@ class Checker : public vgpu::RuntimeObserver, public simpi::JobObserver {
   void apply_access(Segment& seg, const AccessRec& rec, bool write);
   void add_race(FindingKind kind, const AccessRec& prior, const AccessRec& cur);
   std::string edge_hint(Tid from, Tid to) const;
+  /// Append to the hb-edge log (no-op past kMaxHbEdges).
+  void log_hb(std::string from, std::string to);
+  /// Description of the calling host actor ("rank0", ...), creating its tid.
+  const std::string& host_desc();
 
   sim::Engine& eng_;
   CheckReport report_;
@@ -148,6 +166,7 @@ class Checker : public vgpu::RuntimeObserver, public simpi::JobObserver {
   std::unordered_map<std::uint64_t, VClock> barriers_;    // by generation
   // Shadow memory: buffer id -> disjoint segments keyed by start offset.
   std::unordered_map<std::uint64_t, std::map<std::size_t, Segment>> shadow_;
+  std::vector<telemetry::HbEdge> hb_edges_;
   // Race dedup: (kind, first label, second label) already reported.
   std::set<std::string> reported_;
 };

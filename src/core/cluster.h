@@ -68,6 +68,13 @@ class Cluster {
     job_.set_checker(c);
   }
 
+  /// Attach a telemetry sink (nullptr detaches): every runtime op and MPI
+  /// post/match/drop feeds its metrics registry and flight recorder.
+  void set_telemetry(telemetry::Telemetry* t) {
+    rt_.set_telemetry(t);
+    job_.set_telemetry(t);
+  }
+
   /// Attach a fault injector for this cluster's runs (nullptr detaches).
   /// The Machine holds the single authoritative pointer; the runtime, MPI
   /// job, and exchange layer all read it from there. The injector must

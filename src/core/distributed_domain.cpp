@@ -230,6 +230,7 @@ void DistributedDomain::realize() {
   plan_ = ExchangePlan::for_rank(*placement_, ctx_.comm.rank(), ctx_.cluster.ranks_per_node(),
                                  flags_, nbhd_, boundary_);
   build_transfer_states();
+  plan_.export_metrics(telemetry_.metrics());
   if (aggregate_remote_) build_aggregation_groups();
   colocated_setup();
   ctx_.comm.barrier();
@@ -369,8 +370,10 @@ void DistributedDomain::demote_transfer(TransferState& x, Method target) {
                     to_string(target),
                 now, now);
   }
+  telemetry_.on_demotion(x.t.tag, to_string(x.t.method), to_string(target), ctx_.engine().now());
   x.t.method = target;
   plan_.set_method(x.t.tag, target);
+  plan_.export_metrics(telemetry_.metrics());
   // The specialization table changed shape: version it and dirty the
   // transfer's frozen programs in every cached plan. The next acquire
   // rebuilds only those entries (partial invalidation, not a recompile).
@@ -537,6 +540,14 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
 
   inflight_.active = true;
   ++seq_;
+  inflight_.start_time = ctx_.engine().now();
+  telemetry_.on_exchange_start(seq_, inflight_.start_time);
+  for (const auto& xp : xfers_) {
+    if (!xp->i_send || xp->active_bytes == 0) continue;
+    telemetry_.flight().log(telemetry::EventKind::kTransfer, inflight_.start_time,
+                            "tag=" + std::to_string(xp->t.tag), to_string(xp->t.method),
+                            xp->active_bytes);
+  }
   auto& comm = ctx_.comm;
   auto& rt = ctx_.rt;
 
@@ -756,6 +767,7 @@ void DistributedDomain::exchange_finish() {
   if (!inflight_.active) throw std::logic_error("exchange_finish() without exchange_start()");
   if (inflight_.planned) {
     planned_finish(*cur_plan_);
+    note_exchange_complete();
     return;
   }
   auto& comm = ctx_.comm;
@@ -847,6 +859,24 @@ void DistributedDomain::exchange_finish() {
   inflight_.recv_map.clear();
   inflight_.pending_sends.clear();
   inflight_.pending_group_sends.clear();
+  note_exchange_complete();
+}
+
+void DistributedDomain::note_exchange_complete() {
+  const sim::Time now = ctx_.engine().now();
+  telemetry_.on_exchange_latency(now - inflight_.start_time);
+  std::map<Method, std::pair<std::uint64_t, std::uint64_t>> per;  // method -> (msgs, bytes)
+  for (const auto& xp : xfers_) {
+    if (!xp->i_send || xp->active_bytes == 0) continue;
+    auto& [msgs, bytes] = per[xp->t.method];
+    ++msgs;
+    bytes += xp->active_bytes;
+    telemetry_.metrics().histogram("exchange_message_bytes").observe(xp->active_bytes);
+  }
+  for (const auto& [method, mb] : per) {
+    telemetry_.on_exchange_end(seq_, to_string(method), mb.first, mb.second, now);
+  }
+  plan_cache_.stats().export_to(telemetry_.metrics());
 }
 
 // ---------------------------------------------------------------------------
@@ -863,6 +893,7 @@ plan::CompiledPlan& DistributedDomain::acquire_plan() {
       plan_cache_.find(static_cast<std::uint32_t>(flags_), aggregate_remote_, active_qs_);
   if (p == nullptr) {
     ++stats.compiles;
+    telemetry_.on_plan_event("compile");
     return compile_plan();
   }
   if (p->key.topo_epoch != topo_epoch_ || p->dirty_count() > 0) {
@@ -871,14 +902,17 @@ plan::CompiledPlan& DistributedDomain::acquire_plan() {
     // re-initialized, graphs re-captured against the new method — and stamp
     // the plan with the current epoch. Clean programs are untouched.
     ++stats.invalidations;
+    telemetry_.on_plan_event("invalidation");
     for (plan::TransferProgram& prog : p->programs) {
       if (!prog.dirty) continue;
       compile_program(prog);
       ++stats.rebuilt_programs;
+      telemetry_.on_plan_event("rebuild");
     }
     p->key.topo_epoch = topo_epoch_;
   } else {
     ++stats.hits;
+    telemetry_.on_plan_event("hit");
   }
   return *p;
 }
@@ -1080,6 +1114,7 @@ void DistributedDomain::planned_start(plan::CompiledPlan& p) {
   inflight_.planned = true;
   ++p.replays;
   ++plan_cache_.stats().replays;
+  telemetry_.on_plan_event("replay");
 
   // Phase 0': re-arm every persistent receive (groups first, matching the
   // eager post order) and remember each one's landing graph.

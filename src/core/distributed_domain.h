@@ -11,6 +11,7 @@
 #include "core/method_flags.h"
 #include "core/placement.h"
 #include "plan/plan.h"
+#include "telemetry/telemetry.h"
 
 namespace stencil {
 
@@ -135,6 +136,14 @@ class DistributedDomain {
   /// migrated (dirty programs rebuilt) on their next use.
   std::uint64_t topology_epoch() const { return topo_epoch_; }
 
+  /// Per-domain observability (DESIGN.md §11): exchange-latency histogram,
+  /// per-method byte/message counters, plan/fault counters, and the flight
+  /// recorder. Always on — the hooks are pure bookkeeping and never touch
+  /// virtual time. To additionally capture substrate events (GPU ops, MPI
+  /// messages), attach it cluster-wide: `cluster.set_telemetry(&dd.telemetry())`.
+  telemetry::Telemetry& telemetry() { return telemetry_; }
+  const telemetry::Telemetry& telemetry() const { return telemetry_; }
+
   template <typename F>
   void for_each_subdomain(F&& f) {
     for (auto& l : locals_) f(*l);
@@ -189,6 +198,11 @@ class DistributedDomain {
   void colocated_send(TransferState& x);
   void colocated_recv(TransferState& x);
 
+  // Telemetry bookkeeping at the end of both the eager and planned finish
+  // paths: latency histogram, per-method message/byte counters, plan-stats
+  // snapshot. Zero virtual-time cost.
+  void note_exchange_complete();
+
   // --- exchange plans (persistent mode) -----------------------------------
   // The plan for the active configuration: exact cache hit, stale-epoch
   // migration (rebuild only dirty programs), or full compile on miss.
@@ -232,6 +246,7 @@ class DistributedDomain {
   // Exchange-plan state (persistent mode).
   bool persistent_ = false;
   std::uint64_t topo_epoch_ = 0;
+  telemetry::Telemetry telemetry_;
   plan::PlanCache plan_cache_;
   plan::CompiledPlan* cur_plan_ = nullptr;  // plan driving the in-flight exchange
 
@@ -239,6 +254,7 @@ class DistributedDomain {
   struct InFlight {
     bool active = false;
     bool planned = false;
+    sim::Time start_time = 0;  // virtual time of exchange_start (telemetry)
     std::vector<simpi::Request> recv_reqs;
     // Exactly one of the pair is set: a plain transfer or a whole group.
     std::vector<std::pair<TransferState*, AggGroup*>> recv_map;

@@ -3,6 +3,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "telemetry/metrics.h"
+
 namespace stencil {
 
 int ExchangePlan::rank_of(const Placement& placement, Dim3 global_idx, int ranks_per_node) {
@@ -112,6 +114,24 @@ std::map<Method, int> ExchangePlan::method_histogram() const {
   std::map<Method, int> h;
   for (const auto& t : transfers_) ++h[t.method];
   return h;
+}
+
+void ExchangePlan::export_metrics(telemetry::MetricsRegistry& reg) const {
+  // Zero out stale series first: a demotion can drain a method entirely,
+  // and a gauge that silently kept its old value would misreport the table.
+  for (const Method m : {Method::kStaged, Method::kCudaAwareMpi, Method::kColocated, Method::kPeer,
+                         Method::kKernel}) {
+    const auto it = reg.gauges().find(std::string("exchange_plan_transfers{method=\"") +
+                                      to_string(m) + "\"}");
+    if (it != reg.gauges().end()) {
+      reg.gauge(it->first).set(0.0);
+    }
+  }
+  for (const auto& [m, n] : method_histogram()) {
+    reg.gauge(std::string("exchange_plan_transfers{method=\"") + to_string(m) + "\"}")
+        .set(static_cast<double>(n));
+  }
+  reg.gauge("exchange_plan_total_transfers").set(static_cast<double>(transfers_.size()));
 }
 
 void ExchangePlan::set_method(int tag, Method m) {

@@ -6,6 +6,10 @@
 #include "core/method_flags.h"
 #include "core/placement.h"
 
+namespace stencil::telemetry {
+class MetricsRegistry;
+}
+
 namespace stencil {
 
 /// One directed halo transfer: subdomain at src_idx sends its dir-facing
@@ -55,6 +59,12 @@ class ExchangePlan {
 
   /// Rank owning a subdomain under this ownership layout.
   static int rank_of(const Placement& placement, Dim3 global_idx, int ranks_per_node);
+
+  /// Export the specialization table as gauges: one
+  /// `exchange_plan_transfers{method="..."}` series per realized method.
+  /// Re-exported after every runtime demotion, so the gauges always show
+  /// the *current* table (the paper's Table II, live).
+  void export_metrics(telemetry::MetricsRegistry& reg) const;
 
  private:
   static Transfer make_transfer(const Placement& placement, Dim3 src_idx, Dim3 dst_idx, Dim3 dir,

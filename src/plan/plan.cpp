@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "telemetry/metrics.h"
+
 namespace stencil::plan {
 
 std::string PlanKey::str() const {
@@ -19,6 +21,14 @@ std::string PlanStats::str() const {
   return "compiles=" + std::to_string(compiles) + " hits=" + std::to_string(hits) +
          " invalidations=" + std::to_string(invalidations) +
          " rebuilt=" + std::to_string(rebuilt_programs) + " replays=" + std::to_string(replays);
+}
+
+void PlanStats::export_to(telemetry::MetricsRegistry& reg) const {
+  reg.gauge("plan_stats_compiles").set(static_cast<double>(compiles));
+  reg.gauge("plan_stats_hits").set(static_cast<double>(hits));
+  reg.gauge("plan_stats_invalidations").set(static_cast<double>(invalidations));
+  reg.gauge("plan_stats_rebuilt_programs").set(static_cast<double>(rebuilt_programs));
+  reg.gauge("plan_stats_replays").set(static_cast<double>(replays));
 }
 
 std::size_t CompiledPlan::dirty_count() const {

@@ -10,6 +10,10 @@
 #include "simpi/mpi.h"
 #include "vgpu/runtime.h"
 
+namespace stencil::telemetry {
+class MetricsRegistry;
+}
+
 namespace stencil::plan {
 
 /// Identity of one compiled exchange schedule. Two exchanges reuse the same
@@ -44,6 +48,9 @@ struct PlanStats {
   std::uint64_t replays = 0;           // planned exchanges executed
 
   std::string str() const;
+
+  /// Snapshot every counter into `plan_stats_*` gauges (DESIGN.md §11).
+  void export_to(telemetry::MetricsRegistry& reg) const;
 };
 
 /// The frozen form of one TransferState: its MPI envelope as persistent

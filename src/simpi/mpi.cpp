@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fault/fault.h"
+#include "telemetry/telemetry.h"
 
 namespace stencil::simpi {
 
@@ -134,6 +135,10 @@ std::shared_ptr<Request::Record> Job::post(bool is_send, int me, int peer, int t
   }
 
   if (checker_ != nullptr) checker_->on_post(msg_info(*rec));
+  if (telemetry_ != nullptr) {
+    telemetry_->on_mpi_post(rec->src, rec->dst, rec->tag, rec->payload.bytes, is_send,
+                            rec->post_time);
+  }
 
   auto& queue = is_send ? unmatched_sends_[static_cast<std::size_t>(rec->dst)]
                         : unmatched_recvs_[static_cast<std::size_t>(rec->dst)];
@@ -291,6 +296,9 @@ void Job::complete_match(Request::Record& send, Request::Record& recv) {
                               std::to_string(attempt + 1),
                           ready, retry_at);
       }
+      if (telemetry_ != nullptr) {
+        telemetry_->on_mpi_drop(send.src, recv.dst, send.tag, attempt + 1, ready);
+      }
       ready = retry_at;
       ++attempt;
     }
@@ -317,6 +325,9 @@ void Job::complete_match(Request::Record& send, Request::Record& recv) {
       }
       if (checker_ != nullptr) {
         checker_->on_match(msg_info(send), msg_info(recv), /*delivered=*/false, same_node);
+      }
+      if (telemetry_ != nullptr) {
+        telemetry_->on_mpi_lost(send.src, recv.dst, send.tag, recv.attempts, fail_at);
       }
       rank_gates_[static_cast<std::size_t>(send.src)]->notify_all(eng_);
       rank_gates_[static_cast<std::size_t>(recv.dst)]->notify_all(eng_);
@@ -418,6 +429,10 @@ void Job::complete_match(Request::Record& send, Request::Record& recv) {
   if (checker_ != nullptr) {
     checker_->on_match(msg_info(send), msg_info(recv), /*delivered=*/true, same_node);
   }
+  if (telemetry_ != nullptr) {
+    telemetry_->on_mpi_match(send.src, recv.dst, send.tag, bytes, send.attempts, same_node,
+                             span.end);
+  }
 
   rank_gates_[static_cast<std::size_t>(send.src)]->notify_all(eng_);
   rank_gates_[static_cast<std::size_t>(recv.dst)]->notify_all(eng_);
@@ -449,10 +464,12 @@ void Job::wait(Request& r, int me) {
           rank_gates_[static_cast<std::size_t>(me)]->wait_until(eng_, deadline, wait_detail(rec.is_send, rec.src, rec.dst, rec.tag));
       if (!notified && !rec.matched) {
         cancel_unmatched(rec);
+        const std::string what =
+            "simpi: " + wait_detail(rec.is_send, rec.src, rec.dst, rec.tag) + " timed out at t=" +
+            sim::format_duration(eng_.now()) + " (no matching peer)";
+        if (telemetry_ != nullptr) telemetry_->on_transport_error(what, eng_.now());
         throw TransportError(TransportError::Code::kTimeout, rec.is_send ? rec.dst : rec.src,
-                             rec.tag,
-                             "simpi: " + wait_detail(rec.is_send, rec.src, rec.dst, rec.tag) + " timed out at t=" +
-                                 sim::format_duration(eng_.now()) + " (no matching peer)");
+                             rec.tag, what);
       }
     }
   } else {
@@ -462,10 +479,12 @@ void Job::wait(Request& r, int me) {
   rec.active = false;  // persistent: back to inactive; handle stays valid
   if (checker_ != nullptr) checker_->on_request_done(rec.serial);
   if (rec.failed) {
+    const std::string what = "simpi: " + wait_detail(rec.is_send, rec.src, rec.dst, rec.tag) +
+                             " lost after " + std::to_string(rec.attempts) +
+                             " attempts (retries exhausted)";
+    if (telemetry_ != nullptr) telemetry_->on_transport_error(what, eng_.now());
     throw TransportError(TransportError::Code::kRetriesExhausted,
-                         rec.is_send ? rec.dst : rec.src, rec.tag,
-                         "simpi: " + wait_detail(rec.is_send, rec.src, rec.dst, rec.tag) + " lost after " +
-                             std::to_string(rec.attempts) + " attempts (retries exhausted)");
+                         rec.is_send ? rec.dst : rec.src, rec.tag, what);
   }
 }
 
@@ -506,10 +525,13 @@ int Job::wait_any(std::vector<Request>& rs, int me) {
       rs[static_cast<std::size_t>(best)].rec_.reset();
       if (checker_ != nullptr) checker_->on_request_done(rec->serial);
       if (rec->failed) {
+        const std::string what = "simpi: " +
+                                 wait_detail(rec->is_send, rec->src, rec->dst, rec->tag) +
+                                 " lost after " + std::to_string(rec->attempts) +
+                                 " attempts (retries exhausted)";
+        if (telemetry_ != nullptr) telemetry_->on_transport_error(what, eng_.now());
         throw TransportError(TransportError::Code::kRetriesExhausted,
-                             rec->is_send ? rec->dst : rec->src, rec->tag,
-                             "simpi: " + wait_detail(rec->is_send, rec->src, rec->dst, rec->tag) + " lost after " +
-                                 std::to_string(rec->attempts) + " attempts (retries exhausted)");
+                             rec->is_send ? rec->dst : rec->src, rec->tag, what);
       }
       return best;
     }

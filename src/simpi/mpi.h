@@ -109,6 +109,11 @@ class Job {
   void set_checker(JobObserver* obs) { checker_ = obs; }
   JobObserver* checker() const { return checker_; }
 
+  /// Optional telemetry sink: message/byte/retry counters and flight-recorder
+  /// events for every post, match, drop, and loss. Pure bookkeeping.
+  void set_telemetry(telemetry::Telemetry* t) { telemetry_ = t; }
+  telemetry::Telemetry* telemetry() const { return telemetry_; }
+
  private:
   friend class Comm;
 
@@ -132,6 +137,7 @@ class Job {
   vgpu::Runtime& runtime_;
   trace::Recorder* recorder_ = nullptr;
   JobObserver* checker_ = nullptr;
+  telemetry::Telemetry* telemetry_ = nullptr;
   int ranks_per_node_ = 0;
   int world_size_ = 0;
   std::uint64_t next_request_serial_ = 1;

@@ -1,0 +1,198 @@
+#include "telemetry/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace stencil::telemetry {
+
+CriticalPath::CriticalPath(std::vector<trace::OpRecord> spans) : spans_(std::move(spans)) {}
+
+void CriticalPath::add_edge(std::size_t from, std::size_t to) {
+  if (from >= spans_.size() || to >= spans_.size() || from == to) return;
+  if (spans_[from].end > spans_[to].start) return;  // contradicted by the timeline
+  edges_.emplace_back(from, to);
+}
+
+bool CriticalPath::lane_matches(const std::string& desc, const std::string& lane) {
+  if (lane == desc) return true;
+  const std::string token = desc.substr(0, desc.find('/'));
+  if (token.empty()) return false;
+  if (lane == token) return true;
+  if (lane.size() > token.size() && lane.compare(0, token.size(), token) == 0) {
+    const std::string rest = lane.substr(token.size());
+    if (rest[0] == '.' || rest.compare(0, 2, "->") == 0) return true;
+  }
+  const std::string as_dst = "->" + token;
+  return lane.size() >= as_dst.size() &&
+         lane.compare(lane.size() - as_dst.size(), as_dst.size(), as_dst) == 0;
+}
+
+std::size_t CriticalPath::add_hb_edges(const std::vector<HbEdge>& edges) {
+  std::size_t attached = 0;
+  for (const auto& e : edges) {
+    // Latest producer ending by e.at on a lane matching e.from.
+    std::size_t from = spans_.size();
+    for (std::size_t i = 0; i < spans_.size(); ++i) {
+      if (spans_[i].end > e.at || !lane_matches(e.from, spans_[i].lane)) continue;
+      if (from == spans_.size() || spans_[i].end > spans_[from].end) from = i;
+    }
+    // Earliest consumer starting from e.at on a lane matching e.to.
+    std::size_t to = spans_.size();
+    for (std::size_t i = 0; i < spans_.size(); ++i) {
+      if (spans_[i].start < e.at || !lane_matches(e.to, spans_[i].lane)) continue;
+      if (to == spans_.size() || spans_[i].start < spans_[to].start) to = i;
+    }
+    if (from == spans_.size() || to == spans_.size()) continue;
+    const std::size_t before = edges_.size();
+    add_edge(from, to);
+    attached += edges_.size() - before;
+  }
+  return attached;
+}
+
+Analysis CriticalPath::analyze() const {
+  Analysis a;
+  if (spans_.empty()) return a;
+
+  a.t0 = std::numeric_limits<sim::Time>::max();
+  a.t1 = std::numeric_limits<sim::Time>::min();
+  for (const auto& s : spans_) {
+    a.t0 = std::min(a.t0, s.start);
+    a.t1 = std::max(a.t1, s.end);
+  }
+  a.makespan = a.t1 - a.t0;
+
+  // Lane FIFO: the previous span on the same lane (by start, then index)
+  // is an implicit predecessor.
+  std::map<std::string, std::vector<std::size_t>> by_lane;
+  for (std::size_t i = 0; i < spans_.size(); ++i) by_lane[spans_[i].lane].push_back(i);
+  std::vector<std::size_t> lane_pred(spans_.size(), spans_.size());
+  for (auto& [lane, idx] : by_lane) {
+    std::sort(idx.begin(), idx.end(), [&](std::size_t x, std::size_t y) {
+      return spans_[x].start != spans_[y].start ? spans_[x].start < spans_[y].start : x < y;
+    });
+    for (std::size_t k = 1; k < idx.size(); ++k) lane_pred[idx[k]] = idx[k - 1];
+  }
+
+  std::vector<std::vector<std::size_t>> explicit_preds(spans_.size());
+  for (const auto& [from, to] : edges_) explicit_preds[to].push_back(from);
+
+  // Start at the last finisher (lowest index on ties) and walk backwards.
+  std::size_t cur = 0;
+  for (std::size_t i = 1; i < spans_.size(); ++i) {
+    if (spans_[i].end > spans_[cur].end) cur = i;
+  }
+
+  std::vector<std::size_t> rev_chain;
+  std::vector<char> visited(spans_.size(), 0);
+  for (;;) {
+    rev_chain.push_back(cur);
+    visited[cur] = 1;
+    const sim::Time need = spans_[cur].start;
+
+    // Prefer an explained predecessor: explicit edges first, then lane FIFO.
+    std::size_t pred = spans_.size();
+    bool pred_explicit = false;
+    const auto consider = [&](std::size_t p, bool is_explicit) {
+      if (p >= spans_.size() || visited[p] || spans_[p].end > need) return;
+      if (pred == spans_.size() || spans_[p].end > spans_[pred].end ||
+          (spans_[p].end == spans_[pred].end && is_explicit && !pred_explicit)) {
+        pred = p;
+        pred_explicit = is_explicit;
+      }
+    };
+    for (const std::size_t p : explicit_preds[cur]) consider(p, true);
+    consider(lane_pred[cur], false);
+
+    // Otherwise fall back to the global last finisher before our start —
+    // the same call a human makes reading a Gantt chart.
+    if (pred == spans_.size() && need > a.t0) {
+      for (std::size_t i = 0; i < spans_.size(); ++i) consider(i, false);
+    }
+    if (pred == spans_.size()) break;
+    cur = pred;
+  }
+
+  for (auto it = rev_chain.rbegin(); it != rev_chain.rend(); ++it) {
+    const auto& s = spans_[*it];
+    Hop h;
+    h.span = *it;
+    h.lane = s.lane;
+    h.label = s.label;
+    h.start = s.start;
+    h.end = s.end;
+    h.wait = a.chain.empty() ? s.start - a.t0 : s.start - a.chain.back().end;
+    a.critical_busy += s.end - s.start;
+    a.critical_wait += h.wait;
+    a.chain.push_back(std::move(h));
+  }
+  a.critical_wait += a.t1 - a.chain.back().end;  // trailing idle, if the walk ended early
+  a.overlap_efficiency =
+      a.makespan > 0 ? static_cast<double>(a.critical_busy) / static_cast<double>(a.makespan) : 0.0;
+
+  std::vector<char> on_chain(spans_.size(), 0);
+  for (const auto& h : a.chain) on_chain[h.span] = 1;
+  std::map<std::string, LaneStat> lanes;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    LaneStat& ls = lanes[spans_[i].lane];
+    ls.lane = spans_[i].lane;
+    ls.busy += spans_[i].end - spans_[i].start;
+    if (on_chain[i]) ls.critical += spans_[i].end - spans_[i].start;
+  }
+  for (auto& [name, ls] : lanes) {
+    ls.slack = a.makespan - ls.busy;
+    a.lanes.push_back(ls);
+  }
+  std::sort(a.lanes.begin(), a.lanes.end(), [](const LaneStat& x, const LaneStat& y) {
+    return x.busy != y.busy ? x.busy > y.busy : x.lane < y.lane;
+  });
+  return a;
+}
+
+std::vector<LaneStat> Analysis::top_bottlenecks(std::size_t k) const {
+  std::vector<LaneStat> ranked = lanes;
+  std::sort(ranked.begin(), ranked.end(), [](const LaneStat& x, const LaneStat& y) {
+    if (x.critical != y.critical) return x.critical > y.critical;
+    return x.busy != y.busy ? x.busy > y.busy : x.lane < y.lane;
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::string Analysis::str(std::size_t top_k) const {
+  std::ostringstream os;
+  if (chain.empty()) {
+    os << "critical path: (no spans)\n";
+    return os.str();
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "critical path: %zu hop(s), makespan %s, busy %s, wait %s  "
+                "(overlap efficiency %.1f%%)\n",
+                chain.size(), sim::format_duration(makespan).c_str(),
+                sim::format_duration(critical_busy).c_str(),
+                sim::format_duration(critical_wait).c_str(), overlap_efficiency * 100.0);
+  os << buf;
+  for (const auto& h : chain) {
+    std::snprintf(buf, sizeof(buf), "  +%-10s wait %-10s %-16s %-28s (%s)\n",
+                  sim::format_duration(h.start - t0).c_str(),
+                  sim::format_duration(h.wait).c_str(), h.lane.c_str(), h.label.c_str(),
+                  sim::format_duration(h.end - h.start).c_str());
+    os << buf;
+  }
+  const auto ranked = top_bottlenecks(top_k);
+  os << "bottleneck lanes (by time on critical path):\n";
+  for (const auto& ls : ranked) {
+    std::snprintf(buf, sizeof(buf), "  %-16s critical %-10s busy %-10s slack %s\n",
+                  ls.lane.c_str(), sim::format_duration(ls.critical).c_str(),
+                  sim::format_duration(ls.busy).c_str(), sim::format_duration(ls.slack).c_str());
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace stencil::telemetry

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "simtime/time.h"
+#include "trace/recorder.h"
+
+namespace stencil::telemetry {
+
+/// One happens-before edge as the checker observes it, in resource-name
+/// form ("gpu0/s1" waited on an event recorded by "gpu0/default" at time t).
+/// Defined here — not in stencil::check — so the checker can *feed* the
+/// analyzer without telemetry depending on the checker.
+struct HbEdge {
+  std::string from;
+  std::string to;
+  sim::Time at = 0;
+};
+
+/// One span on the critical chain, self-contained for reporting.
+struct Hop {
+  std::size_t span = 0;  // index into the analyzed span vector
+  std::string lane;
+  std::string label;
+  sim::Time start = 0;
+  sim::Time end = 0;
+  sim::Duration wait = 0;  // idle gap on the chain before this span began
+};
+
+/// Per-lane utilization over the analyzed window.
+struct LaneStat {
+  std::string lane;
+  sim::Duration busy = 0;      // sum of span durations on this lane
+  sim::Duration critical = 0;  // portion of busy that lies on the critical chain
+  sim::Duration slack = 0;     // makespan - busy: how long the lane sat idle
+};
+
+/// Result of one critical-path analysis: the end-to-end chain, the
+/// overlap-efficiency metric (busy time on the chain / makespan; waits on
+/// the chain are exactly the un-overlapped time), and per-lane statistics
+/// for the bottleneck-link report (the paper's Fig. 9/10 reading).
+struct Analysis {
+  sim::Time t0 = 0;
+  sim::Time t1 = 0;
+  sim::Duration makespan = 0;
+  std::vector<Hop> chain;  // time order, first hop earliest
+  sim::Duration critical_busy = 0;
+  sim::Duration critical_wait = 0;
+  double overlap_efficiency = 0.0;
+  std::vector<LaneStat> lanes;  // sorted by busy descending
+
+  /// Lanes ranked by time spent on the critical chain (busy breaks ties):
+  /// the links to optimize first.
+  std::vector<LaneStat> top_bottlenecks(std::size_t k) const;
+
+  /// Human-readable report: chain with per-hop waits/durations, overlap
+  /// efficiency, bottleneck lanes.
+  std::string str(std::size_t top_k = 5) const;
+};
+
+/// Builds the dependency structure over a set of recorded spans and walks
+/// it backwards from the last finisher. Three edge sources, strongest
+/// first: explicit edges (add_edge / add_hb_edges), lane FIFO (a span is
+/// ordered after the previous span on its lane), and — when neither
+/// explains a span's start — the global last-finisher heuristic (the span
+/// that completed most recently before this one began is taken as its
+/// trigger, which is how hand-drawn timeline analyses read a Gantt chart).
+class CriticalPath {
+ public:
+  explicit CriticalPath(std::vector<trace::OpRecord> spans);
+
+  /// Explicit dependency: spans[to] could not start before spans[from] ended.
+  /// Ignored when out of range or when the timestamps contradict it.
+  void add_edge(std::size_t from, std::size_t to);
+
+  /// Bridge from checker happens-before edges: each edge is matched to the
+  /// latest span ending at or before `at` on a lane matching `from`, and
+  /// the earliest span starting at or after `at` on a lane matching `to`.
+  /// Unmatchable edges are skipped. Returns how many edges were attached.
+  std::size_t add_hb_edges(const std::vector<HbEdge>& edges);
+
+  /// True when `lane` plausibly names the same resource as a checker
+  /// description like "gpu0/s1", "gpu0/default", or an actor name "rank0"
+  /// (lanes are spelled "gpu0.kernel", "gpu0->gpu1", "rank0.cpu", ...).
+  static bool lane_matches(const std::string& desc, const std::string& lane);
+
+  Analysis analyze() const;
+
+  const std::vector<trace::OpRecord>& spans() const { return spans_; }
+  std::size_t edge_count() const { return edges_.size(); }
+
+ private:
+  std::vector<trace::OpRecord> spans_;
+  std::vector<std::pair<std::size_t, std::size_t>> edges_;  // (from, to)
+};
+
+}  // namespace stencil::telemetry

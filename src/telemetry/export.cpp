@@ -1,0 +1,194 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace stencil::telemetry {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void write_histogram_json(std::ostream& os, const Histogram& h) {
+  os << "{\"count\": " << h.count() << ", \"sum\": " << h.sum() << ", \"min\": " << h.min()
+     << ", \"max\": " << h.max() << ", \"mean\": " << fmt_double(h.mean()) << ", \"buckets\": [";
+  bool first = true;
+  for (int i = 0; i < h.used_buckets(); ++i) {
+    if (h.bucket_count(i) == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"le\": " << Histogram::bucket_bound(i) << ", \"count\": " << h.bucket_count(i) << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const MetricsRegistry& reg) {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : reg.counters()) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": " << c.value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : reg.gauges()) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": " << fmt_double(g.value);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : reg.histograms()) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": ";
+    write_histogram_json(os, h);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void write_prometheus(std::ostream& os, const MetricsRegistry& reg) {
+  std::set<std::string> typed;
+  const auto type_line = [&](const std::string& base, const char* kind) {
+    if (typed.insert(base).second) os << "# TYPE " << base << " " << kind << "\n";
+  };
+  const auto series = [](const std::string& base, const std::string& labels,
+                         const std::string& extra = "") {
+    std::string all = labels;
+    if (!extra.empty()) all += (all.empty() ? "" : ",") + extra;
+    return all.empty() ? base : base + "{" + all + "}";
+  };
+
+  for (const auto& [name, c] : reg.counters()) {
+    const auto [base, labels] = split_metric_name(name);
+    type_line(base, "counter");
+    os << series(base, labels) << " " << c.value << "\n";
+  }
+  for (const auto& [name, g] : reg.gauges()) {
+    const auto [base, labels] = split_metric_name(name);
+    type_line(base, "gauge");
+    os << series(base, labels) << " " << fmt_double(g.value) << "\n";
+  }
+  for (const auto& [name, h] : reg.histograms()) {
+    const auto [base, labels] = split_metric_name(name);
+    type_line(base, "histogram");
+    std::uint64_t cum = 0;
+    for (int i = 0; i < h.used_buckets(); ++i) {
+      if (h.bucket_count(i) == 0) continue;
+      cum += h.bucket_count(i);
+      os << series(base + "_bucket", labels,
+                   "le=\"" + std::to_string(Histogram::bucket_bound(i)) + "\"")
+         << " " << cum << "\n";
+    }
+    os << series(base + "_bucket", labels, "le=\"+Inf\"") << " " << h.count() << "\n";
+    os << series(base + "_sum", labels) << " " << h.sum() << "\n";
+    os << series(base + "_count", labels) << " " << h.count() << "\n";
+  }
+}
+
+void write_chrome_trace(std::ostream& os, const std::vector<trace::OpRecord>& spans,
+                        const MetricsRegistry* reg, const Analysis* analysis) {
+  // Stable lane -> tid mapping, with thread-name metadata up front.
+  std::map<std::string, int> lanes;
+  for (const auto& r : spans) lanes.emplace(r.lane, 0);
+  int tid = 0;
+  for (auto& [lane, id] : lanes) id = tid++;
+
+  // Critical-chain membership by span identity (lane + start + end).
+  std::map<std::size_t, const Hop*> critical;
+  if (analysis) {
+    for (const auto& h : analysis->chain) critical.emplace(h.span, &h);
+  }
+
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&] {
+    os << (first ? "\n" : ",\n");
+    first = false;
+  };
+  for (const auto& [lane, id] : lanes) {
+    sep();
+    os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": " << id
+       << ", \"args\": {\"name\": \"" << json_escape(lane) << "\"}}";
+  }
+  sim::Time t1 = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto& r = spans[i];
+    t1 = std::max(t1, r.end);
+    const double dur_us = r.end > r.start ? sim::to_micros(r.end - r.start) : 0.0;
+    sep();
+    os << "  {\"name\": \"" << json_escape(r.label) << "\", \"ph\": \"X\", \"pid\": 0, \"tid\": "
+       << lanes[r.lane] << ", \"ts\": " << fmt_double(sim::to_micros(r.start))
+       << ", \"dur\": " << fmt_double(dur_us) << ", \"args\": {\"lane\": \"" << json_escape(r.lane)
+       << "\"";
+    if (const auto it = critical.find(i); it != critical.end()) {
+      os << ", \"critical\": true, \"wait_us\": " << fmt_double(sim::to_micros(it->second->wait));
+    }
+    os << "}}";
+  }
+  if (reg) {
+    for (const auto& [name, c] : reg->counters()) {
+      sep();
+      os << "  {\"name\": \"" << json_escape(name) << "\", \"ph\": \"C\", \"pid\": 0, \"ts\": "
+         << fmt_double(sim::to_micros(t1)) << ", \"args\": {\"value\": " << c.value << "}}";
+    }
+  }
+  os << (first ? "" : "\n") << "]}\n";
+}
+
+void write_report_json(std::ostream& os, const MetricsRegistry& reg, const Analysis& analysis) {
+  os << "{\n\"metrics\": ";
+  write_metrics_json(os, reg);
+  os << ",\n\"critical_path\": {\n  \"makespan_ns\": " << analysis.makespan
+     << ",\n  \"critical_busy_ns\": " << analysis.critical_busy
+     << ",\n  \"critical_wait_ns\": " << analysis.critical_wait
+     << ",\n  \"overlap_efficiency\": " << fmt_double(analysis.overlap_efficiency)
+     << ",\n  \"chain\": [";
+  bool first = true;
+  for (const auto& h : analysis.chain) {
+    os << (first ? "" : ",") << "\n    {\"lane\": \"" << json_escape(h.lane) << "\", \"label\": \""
+       << json_escape(h.label) << "\", \"start_ns\": " << h.start << ", \"end_ns\": " << h.end
+       << ", \"wait_ns\": " << h.wait << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "],\n  \"lanes\": [";
+  first = true;
+  for (const auto& ls : analysis.lanes) {
+    os << (first ? "" : ",") << "\n    {\"lane\": \"" << json_escape(ls.lane)
+       << "\", \"busy_ns\": " << ls.busy << ", \"critical_ns\": " << ls.critical
+       << ", \"slack_ns\": " << ls.slack << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "]\n}\n}\n";
+}
+
+}  // namespace stencil::telemetry

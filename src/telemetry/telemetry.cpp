@@ -1,0 +1,124 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace stencil::telemetry {
+
+namespace {
+
+std::string mpi_lane(int src, int dst) {
+  return "mpi.r" + std::to_string(src) + "->r" + std::to_string(dst);
+}
+
+}  // namespace
+
+void Telemetry::on_gpu_op(const std::string& lane, const std::string& label, std::uint64_t bytes,
+                          sim::Time start, sim::Time end) {
+  metrics_.counter("vgpu_ops_total").add();
+  metrics_.counter("vgpu_bytes_total").add(bytes);
+  const auto dur = static_cast<std::uint64_t>(end > start ? end - start : 0);
+  if (label.compare(0, 4, "pack") == 0) {
+    metrics_.histogram("vgpu_pack_ns").observe(dur);
+  } else if (label.compare(0, 6, "unpack") == 0) {
+    metrics_.histogram("vgpu_unpack_ns").observe(dur);
+  }
+  flight_.log(EventKind::kGpuOp, end, lane, label, bytes);
+}
+
+void Telemetry::on_graph_launch(const std::string& lane, int nodes, sim::Time at) {
+  metrics_.counter("vgpu_graph_launches_total").add();
+  flight_.log(EventKind::kGpuOp, at, lane, "graph launch (" + std::to_string(nodes) + " nodes)");
+}
+
+void Telemetry::on_mpi_post(int src, int dst, int tag, std::uint64_t bytes, bool is_send,
+                            sim::Time at) {
+  metrics_.counter(is_send ? "mpi_sends_posted_total" : "mpi_recvs_posted_total").add();
+  flight_.log(EventKind::kMpiPost, at, mpi_lane(src, dst),
+              std::string(is_send ? "isend" : "irecv") + " tag=" + std::to_string(tag), bytes);
+}
+
+void Telemetry::on_mpi_match(int src, int dst, int tag, std::uint64_t bytes, int attempts,
+                             bool same_node, sim::Time at) {
+  metrics_.counter("mpi_messages_total").add();
+  metrics_.counter("mpi_bytes_total").add(bytes);
+  metrics_.counter(same_node ? "mpi_messages_intra_node_total" : "mpi_messages_inter_node_total")
+      .add();
+  if (attempts > 1) metrics_.counter("mpi_retries_total").add(static_cast<std::uint64_t>(attempts - 1));
+  metrics_.histogram("mpi_message_bytes").observe(bytes);
+  flight_.log(EventKind::kMpiMatch, at, mpi_lane(src, dst),
+              "tag=" + std::to_string(tag) +
+                  (attempts > 1 ? " attempts=" + std::to_string(attempts) : ""),
+              bytes);
+}
+
+void Telemetry::on_mpi_drop(int src, int dst, int tag, int attempt, sim::Time at) {
+  metrics_.counter("mpi_drops_total").add();
+  flight_.log(EventKind::kMpiDrop, at, mpi_lane(src, dst),
+              "tag=" + std::to_string(tag) + " retry#" + std::to_string(attempt));
+}
+
+void Telemetry::on_mpi_lost(int src, int dst, int tag, int attempts, sim::Time at) {
+  metrics_.counter("mpi_messages_lost_total").add();
+  flight_.log(EventKind::kMpiLost, at, mpi_lane(src, dst),
+              "tag=" + std::to_string(tag) + " after " + std::to_string(attempts) + " attempts");
+}
+
+void Telemetry::on_transport_error(const std::string& what, sim::Time at) {
+  metrics_.counter("mpi_transport_errors_total").add();
+  flight_.log(EventKind::kError, at, "mpi", what);
+  capture_dump("TransportError: " + what, dump_tail_n_);
+}
+
+void Telemetry::on_exchange_start(std::uint64_t seq, sim::Time at) {
+  flight_.set_exchange_seq(seq);
+  flight_.log(EventKind::kExchangeStart, at, "exchange", "#" + std::to_string(seq));
+}
+
+void Telemetry::on_exchange_end(std::uint64_t seq, const std::string& method,
+                                std::uint64_t messages, std::uint64_t bytes, sim::Time at) {
+  metrics_.counter("exchange_messages_total{method=\"" + method + "\"}").add(messages);
+  metrics_.counter("exchange_bytes_total{method=\"" + method + "\"}").add(bytes);
+  flight_.log(EventKind::kExchangeEnd, at, "exchange", "#" + std::to_string(seq) + " " + method,
+              bytes);
+}
+
+void Telemetry::on_exchange_latency(sim::Duration d) {
+  metrics_.counter("exchanges_total").add();
+  metrics_.histogram("exchange_latency_ns").observe(static_cast<std::uint64_t>(d > 0 ? d : 0));
+}
+
+void Telemetry::on_demotion(int tag, const std::string& from, const std::string& to, sim::Time at) {
+  metrics_.counter("fault_demotions_total").add();
+  flight_.log(EventKind::kDemote, at, "fault",
+              "tag=" + std::to_string(tag) + " " + from + "->" + to);
+}
+
+void Telemetry::on_plan_event(const char* what) {
+  metrics_.counter("plan_" + std::string(what) + "s_total").add();
+}
+
+void Telemetry::install_deadlock_dump(sim::Engine& eng, std::size_t tail_n) {
+  dump_tail_n_ = tail_n;
+  eng.set_watchdog([this, tail_n](const sim::DeadlockReport& report) {
+    capture_dump(report.to_string(), tail_n);
+  });
+}
+
+void Telemetry::capture_dump(const std::string& header, std::size_t tail_n) {
+  std::ostringstream os;
+  os << header;
+  if (!header.empty() && header.back() != '\n') os << "\n";
+  os << "flight recorder (last " << std::min(tail_n, flight_.size()) << " of "
+     << flight_.total_logged() << " events):\n";
+  flight_.dump_tail(os, tail_n);
+  last_dump_ = os.str();
+}
+
+void Telemetry::clear() {
+  metrics_.clear();
+  flight_.clear();
+  last_dump_.clear();
+}
+
+}  // namespace stencil::telemetry

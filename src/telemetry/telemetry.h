@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simtime/engine.h"
+#include "telemetry/critical_path.h"
+#include "telemetry/export.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metrics.h"
+
+namespace stencil::telemetry {
+
+/// The single sink the instrumented layers (vgpu runtime, simpi job,
+/// DistributedDomain, plan cache) feed. Owns a MetricsRegistry and a
+/// FlightRecorder; every hook is pure bookkeeping — no virtual-time cost,
+/// so instrumented and un-instrumented runs are bit-identical in time.
+class Telemetry {
+ public:
+  explicit Telemetry(std::size_t flight_capacity = 256) : flight_(flight_capacity) {}
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  FlightRecorder& flight() { return flight_; }
+  const FlightRecorder& flight() const { return flight_; }
+
+  // --- vgpu::Runtime hooks -------------------------------------------------
+  /// One virtual-GPU op completed on `lane` over [start, end). Pack/unpack
+  /// labels additionally feed the pack/unpack time histograms.
+  void on_gpu_op(const std::string& lane, const std::string& label, std::uint64_t bytes,
+                 sim::Time start, sim::Time end);
+  void on_graph_launch(const std::string& lane, int nodes, sim::Time at);
+
+  // --- simpi::Job hooks ----------------------------------------------------
+  void on_mpi_post(int src, int dst, int tag, std::uint64_t bytes, bool is_send, sim::Time at);
+  void on_mpi_match(int src, int dst, int tag, std::uint64_t bytes, int attempts, bool same_node,
+                    sim::Time at);
+  void on_mpi_drop(int src, int dst, int tag, int attempt, sim::Time at);
+  void on_mpi_lost(int src, int dst, int tag, int attempts, sim::Time at);
+
+  /// A TransportError is about to surface: count it and snapshot the flight
+  /// tail so the failure report carries the events leading up to it.
+  void on_transport_error(const std::string& what, sim::Time at);
+
+  // --- DistributedDomain hooks ---------------------------------------------
+  void on_exchange_start(std::uint64_t seq, sim::Time at);
+  void on_exchange_end(std::uint64_t seq, const std::string& method, std::uint64_t messages,
+                       std::uint64_t bytes, sim::Time at);
+  void on_exchange_latency(sim::Duration d);
+  void on_demotion(int tag, const std::string& from, const std::string& to, sim::Time at);
+
+  // --- plan hooks ----------------------------------------------------------
+  void on_plan_event(const char* what);  // "compile", "hit", "invalidate", "rebuild", "replay"
+
+  // --- deadlock / failure dumps --------------------------------------------
+  /// Installs an engine watchdog that appends the flight-recorder tail to
+  /// the DeadlockReport text and stores the combined dump for retrieval
+  /// after the DeadlockError unwinds. The watchdog only reads state.
+  void install_deadlock_dump(sim::Engine& eng, std::size_t tail_n = 32);
+
+  /// Last dump captured by the deadlock watchdog or on_transport_error
+  /// ("" when neither fired).
+  std::string last_dump() const { return last_dump_; }
+
+  void clear();
+
+ private:
+  void capture_dump(const std::string& header, std::size_t tail_n);
+
+  MetricsRegistry metrics_;
+  FlightRecorder flight_;
+  std::string last_dump_;
+  std::size_t dump_tail_n_ = 32;
+};
+
+}  // namespace stencil::telemetry

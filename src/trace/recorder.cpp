@@ -1,6 +1,7 @@
 #include "trace/recorder.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
 #include <map>
 #include <ostream>
@@ -59,6 +60,7 @@ void Recorder::write_gantt(std::ostream& os, sim::Time t0, sim::Time t1, int wid
   for (const auto& lane : lane_order) {
     std::string row(static_cast<std::size_t>(width), '.');
     for (const OpRecord* r : lanes[lane]) {
+      if (r->end < t0 || r->start > t1) continue;  // entirely outside the window
       const auto clamp_col = [&](sim::Time t) {
         double c = static_cast<double>(t - t0) * scale;
         return std::min<std::size_t>(static_cast<std::size_t>(std::max(c, 0.0)),
@@ -84,8 +86,22 @@ void Recorder::write_chrome_trace(std::ostream& os) const {
     std::string out;
     out.reserve(s.size());
     for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            // Remaining control characters are illegal raw in JSON strings.
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
     }
     return out;
   };
@@ -98,9 +114,14 @@ void Recorder::write_chrome_trace(std::ostream& os) const {
        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << escape(*names[i]) << "\"}}";
   }
   for (const auto& r : records_) {
-    os << ",{\"ph\":\"X\",\"pid\":1,\"tid\":" << tids[r.lane] << ",\"name\":\""
+    if (!first) os << ",";
+    first = false;
+    // Clamp instants (and any malformed span) to zero duration rather than
+    // emitting a negative dur that chrome://tracing rejects.
+    const sim::Duration dur = r.end > r.start ? r.end - r.start : 0;
+    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tids[r.lane] << ",\"name\":\""
        << escape(r.label) << "\",\"ts\":" << sim::to_micros(r.start)
-       << ",\"dur\":" << sim::to_micros(r.end - r.start) << "}";
+       << ",\"dur\":" << sim::to_micros(dur) << "}";
   }
   os << "]}\n";
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fault/fault.h"
+#include "telemetry/telemetry.h"
 
 namespace stencil::vgpu {
 
@@ -206,6 +207,11 @@ void Runtime::launch_graph(GraphExec& g) {
     recorder_->record((who.empty() ? std::string("cpu") : who) + ".cpu",
                       "graph launch (" + std::to_string(g.num_nodes()) + " nodes)", t0, eng_.now());
   }
+  if (telemetry_ != nullptr) {
+    const std::string& who = eng_.actor_name();
+    telemetry_->on_graph_launch((who.empty() ? std::string("cpu") : who) + ".cpu",
+                                static_cast<int>(g.num_nodes()), t0);
+  }
   ++replay_depth_;
   try {
     for (const auto& node : g.graph_->nodes_) node.replay(*this);
@@ -247,8 +253,10 @@ void Runtime::commit(Stream& s, const sim::Span& span) {
   if (s.id == 0) d.default_last_end = std::max(d.default_last_end, span.end);
 }
 
-void Runtime::trace_op(const std::string& lane, const std::string& label, const sim::Span& span) {
+void Runtime::trace_op(const std::string& lane, const std::string& label, const sim::Span& span,
+                       std::uint64_t bytes) {
   if (recorder_ != nullptr) recorder_->record(lane, label, span.start, span.end);
+  if (telemetry_ != nullptr) telemetry_->on_gpu_op(lane, label, bytes, span.start, span.end);
 }
 
 void Runtime::observe_op(OpKind kind, const Stream& s, const std::string& label,
@@ -310,7 +318,7 @@ void Runtime::memcpy_async(Buffer& dst, std::size_t dst_off, const Buffer& src, 
   move_bytes(dst, dst_off, src, src_off, bytes);
   commit(s, span);
   const std::string label = "memcpy " + std::to_string(bytes) + "B";
-  trace_op(lane, label, span);
+  trace_op(lane, label, span, bytes);
   if (checker_ != nullptr) {
     observe_op(OpKind::kMemcpy, s, label, span,
                {{&src, src_off, bytes, false}, {&dst, dst_off, bytes, true}});
@@ -336,7 +344,7 @@ void Runtime::memcpy_peer_async(Buffer& dst, std::size_t dst_off, const Buffer& 
   move_bytes(dst, dst_off, src, src_off, bytes);
   commit(s, span);
   const std::string label = (use_peer ? "peer " : "staged-peer ") + std::to_string(bytes) + "B";
-  trace_op(pair_lane(src.owner(), dst.owner()), label, span);
+  trace_op(pair_lane(src.owner(), dst.owner()), label, span, bytes);
   if (checker_ != nullptr) {
     observe_op(OpKind::kMemcpyPeer, s, label, span,
                {{&src, src_off, bytes, false}, {&dst, dst_off, bytes, true}});
@@ -372,7 +380,7 @@ void Runtime::memcpy_to_ipc_async(const IpcMappedPtr& dst, std::size_t dst_off, 
   move_bytes(target, dst_off, src, src_off, bytes);
   commit(s, span);
   const std::string label = "ipc-copy " + std::to_string(bytes) + "B";
-  trace_op(pair_lane(src.owner(), dst.device), label, span);
+  trace_op(pair_lane(src.owner(), dst.device), label, span, bytes);
   if (checker_ != nullptr) {
     observe_op(OpKind::kMemcpyIpc, s, label, span,
                {{&src, src_off, bytes, false}, {&target, dst_off, bytes, true}});
@@ -395,7 +403,8 @@ void Runtime::memcpy3d_peer_async(int dst_ggpu, int src_ggpu, std::uint64_t byte
       machine_.schedule_d2d_strided(src_ggpu, dst_ggpu, bytes, row_bytes, ready, use_peer);
   if (body) body();
   commit(s, span);
-  trace_op(pair_lane(src_ggpu, dst_ggpu), label + " " + std::to_string(bytes) + "B/3d", span);
+  trace_op(pair_lane(src_ggpu, dst_ggpu), label + " " + std::to_string(bytes) + "B/3d", span,
+           bytes);
   observe_op(OpKind::kMemcpy3D, s, label, span, accesses);
 }
 
@@ -411,7 +420,7 @@ void Runtime::launch_kernel(Stream& s, std::uint64_t bytes_moved, const std::str
   const sim::Span span = machine_.schedule_kernel(s.device, bytes_moved, ready);
   if (body) body();
   commit(s, span);
-  trace_op(gpu_lane(s.device, "kernel"), label, span);
+  trace_op(gpu_lane(s.device, "kernel"), label, span, bytes_moved);
   observe_op(OpKind::kKernel, s, label, span, accesses);
 }
 
@@ -435,7 +444,7 @@ void Runtime::launch_zero_copy_kernel(Stream& s, std::uint64_t bytes, const std:
   machine_.host_link_out(s.device).acquire(span.start, dur);
   if (body) body();
   commit(s, span);
-  trace_op(gpu_lane(s.device, "kernel"), label + " (zero-copy)", span);
+  trace_op(gpu_lane(s.device, "kernel"), label + " (zero-copy)", span, bytes);
   observe_op(OpKind::kKernel, s, label, span, accesses);
 }
 

@@ -14,6 +14,10 @@
 #include "vgpu/buffer.h"
 #include "vgpu/observer.h"
 
+namespace stencil::telemetry {
+class Telemetry;
+}
+
 namespace stencil::vgpu {
 
 /// An asynchronous execution queue on one virtual device. CUDA semantics:
@@ -143,6 +147,11 @@ class Runtime {
   /// event edge, synchronize, and IPC lifecycle change is reported to it.
   void set_checker(RuntimeObserver* obs) { checker_ = obs; }
   RuntimeObserver* checker() const { return checker_; }
+
+  /// Optional telemetry sink: per-op counters, pack/unpack histograms, and
+  /// flight-recorder events. Pure bookkeeping — never perturbs virtual time.
+  void set_telemetry(telemetry::Telemetry* t) { telemetry_ = t; }
+  telemetry::Telemetry* telemetry() const { return telemetry_; }
 
   /// Default mode for new allocations (benchmarks flip this to kPhantom).
   void set_mem_mode(MemMode m) { mem_mode_ = m; }
@@ -290,7 +299,8 @@ class Runtime {
   sim::Time issue(Stream& s);
   /// Commit an op completing at `span` onto stream `s`.
   void commit(Stream& s, const sim::Span& span);
-  void trace_op(const std::string& lane, const std::string& label, const sim::Span& span);
+  void trace_op(const std::string& lane, const std::string& label, const sim::Span& span,
+                std::uint64_t bytes = 0);
   DeviceState& dev(int ggpu) { return devices_[static_cast<std::size_t>(ggpu)]; }
   void check_same_size_copy(const Buffer& dst, std::size_t dst_off, const Buffer& src,
                             std::size_t src_off, std::size_t bytes) const;
@@ -313,6 +323,7 @@ class Runtime {
   topo::Machine& machine_;
   trace::Recorder* recorder_ = nullptr;
   RuntimeObserver* checker_ = nullptr;
+  telemetry::Telemetry* telemetry_ = nullptr;
   MemMode mem_mode_ = MemMode::kMaterialized;
   std::vector<std::pair<int, std::unique_ptr<Graph>>> captures_;  // actor -> open capture
   int replay_depth_ = 0;  // >0 while launch_graph replays (skip per-op issue cost)

@@ -1,0 +1,741 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/distributed_domain.h"
+#include "plan/plan.h"
+#include "simtime/engine.h"
+#include "telemetry/critical_path.h"
+#include "telemetry/export.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+#include "topo/archetype.h"
+#include "trace/recorder.h"
+
+using namespace stencil;
+namespace telemetry = stencil::telemetry;
+using telemetry::CriticalPath;
+using telemetry::EventKind;
+using telemetry::FlightRecorder;
+using telemetry::Histogram;
+using telemetry::MetricsRegistry;
+using telemetry::Telemetry;
+using trace::OpRecord;
+
+namespace {
+
+/// Minimal recursive-descent JSON validator: enough to reject any malformed
+/// exporter output (unbalanced braces, bad escapes, trailing junk) without
+/// needing a JSON library.
+struct JsonParser {
+  const std::string& s;
+  std::size_t i = 0;
+  explicit JsonParser(const std::string& text) : s(text) {}
+
+  void ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool lit(const char* t) {
+    const std::size_t n = std::strlen(t);
+    if (s.compare(i, n, t) != 0) return false;
+    i += n;
+    return true;
+  }
+  bool string_() {
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    while (i < s.size() && s[i] != '"') {
+      if (static_cast<unsigned char>(s[i]) < 0x20) return false;  // raw control char
+      if (s[i] == '\\') {
+        ++i;
+        if (i >= s.size()) return false;
+      }
+      ++i;
+    }
+    if (i >= s.size()) return false;
+    ++i;
+    return true;
+  }
+  bool number() {
+    const std::size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    bool digits = false;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' || s[i] == 'e' ||
+            s[i] == 'E' || s[i] == '+' || s[i] == '-')) {
+      digits = digits || std::isdigit(static_cast<unsigned char>(s[i]));
+      ++i;
+    }
+    return digits && i > start;
+  }
+  bool object() {
+    ++i;  // '{'
+    ws();
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return true;
+    }
+    for (;;) {
+      ws();
+      if (!string_()) return false;
+      ws();
+      if (i >= s.size() || s[i] != ':') return false;
+      ++i;
+      if (!value()) return false;
+      ws();
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == '}') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool array() {
+    ++i;  // '['
+    ws();
+    if (i < s.size() && s[i] == ']') {
+      ++i;
+      return true;
+    }
+    for (;;) {
+      if (!value()) return false;
+      ws();
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool value() {
+    ws();
+    if (i >= s.size()) return false;
+    switch (s[i]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_();
+      case 't': return lit("true");
+      case 'f': return lit("false");
+      case 'n': return lit("null");
+      default: return number();
+    }
+  }
+};
+
+bool json_valid(const std::string& text) {
+  JsonParser p(text);
+  if (!p.value()) return false;
+  p.ws();
+  return p.i == text.size();
+}
+
+OpRecord span(const char* lane, const char* label, sim::Time start, sim::Time end) {
+  return OpRecord{lane, label, start, end};
+}
+
+}  // namespace
+
+// --- metrics -----------------------------------------------------------------
+
+TEST(Metrics, CounterAddsAndUntouchedReadsZero) {
+  MetricsRegistry reg;
+  reg.counter("a_total").add();
+  reg.counter("a_total").add(41);
+  EXPECT_EQ(reg.counter_value("a_total"), 42u);
+  EXPECT_EQ(reg.counter_value("never_touched"), 0u);
+  EXPECT_EQ(reg.counters().count("never_touched"), 0u);  // did not intern
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  reg.gauge("g").set(1.5);
+  reg.gauge("g").set(-3.0);
+  EXPECT_DOUBLE_EQ(reg.gauges().at("g").value, -3.0);
+}
+
+TEST(Metrics, HistogramBucketIndexKnownValues) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1), 0);
+  EXPECT_EQ(Histogram::bucket_index(2), 1);
+  EXPECT_EQ(Histogram::bucket_index(3), 2);
+  EXPECT_EQ(Histogram::bucket_index(4), 2);
+  EXPECT_EQ(Histogram::bucket_index(5), 3);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10);
+  EXPECT_EQ(Histogram::bucket_index(1024), 10);
+  EXPECT_EQ(Histogram::bucket_index(1025), 11);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<std::uint64_t>::max()), 63);
+}
+
+TEST(Metrics, HistogramBucketBounds) {
+  EXPECT_EQ(Histogram::bucket_bound(0), 1u);
+  EXPECT_EQ(Histogram::bucket_bound(1), 2u);
+  EXPECT_EQ(Histogram::bucket_bound(10), 1024u);
+  EXPECT_EQ(Histogram::bucket_bound(63), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Metrics, HistogramStats) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.used_buckets(), 0);
+  h.observe(0);
+  h.observe(3);
+  h.observe(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1003u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.mean(), 1003.0 / 3.0, 1e-9);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(10), 1u);
+  EXPECT_EQ(h.used_buckets(), 11);
+}
+
+TEST(Metrics, HistogramMerge) {
+  Histogram a, b;
+  a.observe(2);
+  b.observe(7);
+  b.observe(1);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 10u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 7u);
+  Histogram empty;
+  a.merge(empty);  // merging an empty histogram must not disturb min/max
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 1u);
+}
+
+TEST(Metrics, RegistryMergeFoldsAllThreeKinds) {
+  MetricsRegistry a, b;
+  a.counter("c").add(1);
+  b.counter("c").add(2);
+  b.counter("only_b").add(5);
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(9.0);
+  a.histogram("h").observe(4);
+  b.histogram("h").observe(100);
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("c"), 3u);
+  EXPECT_EQ(a.counter_value("only_b"), 5u);
+  EXPECT_DOUBLE_EQ(a.gauges().at("g").value, 9.0);
+  EXPECT_EQ(a.histograms().at("h").count(), 2u);
+}
+
+TEST(Metrics, IterationOrderIsLexicographic) {
+  MetricsRegistry reg;
+  reg.counter("zebra").add();
+  reg.counter("alpha").add();
+  reg.counter("mid").add();
+  std::vector<std::string> names;
+  for (const auto& [name, c] : reg.counters()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zebra"}));
+}
+
+TEST(Metrics, SplitMetricNameHandlesLabels) {
+  auto [base, labels] = telemetry::split_metric_name("exchange_bytes_total{method=\"staged\"}");
+  EXPECT_EQ(base, "exchange_bytes_total");
+  EXPECT_EQ(labels, "method=\"staged\"");
+  auto [plain, none] = telemetry::split_metric_name("exchanges_total");
+  EXPECT_EQ(plain, "exchanges_total");
+  EXPECT_EQ(none, "");
+}
+
+// --- flight recorder ---------------------------------------------------------
+
+TEST(FlightRecorderTest, RingEvictsOldest) {
+  FlightRecorder fr(4);
+  for (int i = 0; i < 10; ++i)
+    fr.log(EventKind::kNote, i * sim::kMicrosecond, "lane", "e" + std::to_string(i));
+  EXPECT_EQ(fr.size(), 4u);
+  EXPECT_EQ(fr.capacity(), 4u);
+  EXPECT_EQ(fr.total_logged(), 10u);
+  const auto tail = fr.tail(4);
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail.front().detail, "e6");  // oldest surviving
+  EXPECT_EQ(tail.back().detail, "e9");
+}
+
+TEST(FlightRecorderTest, TailClampsAndOrdersOldestFirst) {
+  FlightRecorder fr(8);
+  fr.log(EventKind::kNote, 1, "l", "first");
+  fr.log(EventKind::kNote, 2, "l", "second");
+  EXPECT_EQ(fr.tail(100).size(), 2u);
+  const auto t = fr.tail(1);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].detail, "second");
+}
+
+TEST(FlightRecorderTest, StampsCurrentExchangeSeq) {
+  FlightRecorder fr;
+  fr.log(EventKind::kNote, 0, "l", "before");
+  fr.set_exchange_seq(7);
+  fr.log(EventKind::kNote, 1, "l", "after");
+  const auto t = fr.tail(2);
+  EXPECT_EQ(t[0].exchange_seq, 0u);
+  EXPECT_EQ(t[1].exchange_seq, 7u);
+}
+
+TEST(FlightRecorderTest, DumpTailFormat) {
+  FlightRecorder fr(2);
+  std::ostringstream empty;
+  fr.dump_tail(empty, 4);
+  EXPECT_NE(empty.str().find("flight recorder empty"), std::string::npos);
+
+  fr.set_exchange_seq(3);
+  fr.log(EventKind::kGpuOp, 1250 * sim::kMicrosecond, "gpu0.d2h", "pack +x", 4096);
+  fr.log(EventKind::kMpiMatch, 1300 * sim::kMicrosecond, "mpi.r0->r1", "tag=42", 512);
+  fr.log(EventKind::kDemote, 1400 * sim::kMicrosecond, "fault", "tag=9 peer->staged");
+  std::ostringstream os;
+  fr.dump_tail(os, 8);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("[seq 3]"), std::string::npos) << s;
+  EXPECT_NE(s.find("mpi-match"), std::string::npos) << s;
+  EXPECT_NE(s.find("demote"), std::string::npos) << s;
+  EXPECT_NE(s.find("tag=9 peer->staged"), std::string::npos) << s;
+  EXPECT_NE(s.find("earlier event(s)"), std::string::npos) << s;  // one was evicted
+  EXPECT_EQ(s.find("pack +x"), std::string::npos) << s;           // ... that one
+}
+
+TEST(FlightRecorderTest, ZeroCapacityClampsToOne) {
+  FlightRecorder fr(0);
+  fr.log(EventKind::kNote, 0, "l", "only");
+  EXPECT_EQ(fr.capacity(), 1u);
+  EXPECT_EQ(fr.size(), 1u);
+}
+
+// --- telemetry facade --------------------------------------------------------
+
+TEST(TelemetryFacade, GpuOpsFeedPackUnpackHistograms) {
+  Telemetry tel;
+  tel.on_gpu_op("gpu0.kernel", "pack +x", 1024, 0, 100);
+  tel.on_gpu_op("gpu0.kernel", "unpack +x", 1024, 100, 350);
+  tel.on_gpu_op("gpu0.d2h", "memcpy 1KiB", 1024, 350, 400);
+  const auto& m = tel.metrics();
+  EXPECT_EQ(m.counter_value("vgpu_ops_total"), 3u);
+  EXPECT_EQ(m.counter_value("vgpu_bytes_total"), 3072u);
+  EXPECT_EQ(m.histograms().at("vgpu_pack_ns").count(), 1u);
+  EXPECT_EQ(m.histograms().at("vgpu_pack_ns").sum(), 100u);
+  EXPECT_EQ(m.histograms().at("vgpu_unpack_ns").count(), 1u);
+  EXPECT_EQ(m.histograms().at("vgpu_unpack_ns").sum(), 250u);
+  EXPECT_EQ(tel.flight().size(), 3u);
+}
+
+TEST(TelemetryFacade, MpiHooksCount) {
+  Telemetry tel;
+  tel.on_mpi_post(0, 1, 5, 512, /*is_send=*/true, 10);
+  tel.on_mpi_post(0, 1, 5, 512, /*is_send=*/false, 10);
+  tel.on_mpi_drop(0, 1, 5, 1, 20);
+  tel.on_mpi_match(0, 1, 5, 512, /*attempts=*/2, /*same_node=*/false, 30);
+  tel.on_mpi_match(2, 3, 6, 256, /*attempts=*/1, /*same_node=*/true, 40);
+  tel.on_mpi_lost(4, 5, 7, 3, 50);
+  const auto& m = tel.metrics();
+  EXPECT_EQ(m.counter_value("mpi_sends_posted_total"), 1u);
+  EXPECT_EQ(m.counter_value("mpi_recvs_posted_total"), 1u);
+  EXPECT_EQ(m.counter_value("mpi_messages_total"), 2u);
+  EXPECT_EQ(m.counter_value("mpi_bytes_total"), 768u);
+  EXPECT_EQ(m.counter_value("mpi_messages_inter_node_total"), 1u);
+  EXPECT_EQ(m.counter_value("mpi_messages_intra_node_total"), 1u);
+  EXPECT_EQ(m.counter_value("mpi_retries_total"), 1u);
+  EXPECT_EQ(m.counter_value("mpi_drops_total"), 1u);
+  EXPECT_EQ(m.counter_value("mpi_messages_lost_total"), 1u);
+  EXPECT_EQ(m.histograms().at("mpi_message_bytes").count(), 2u);
+}
+
+TEST(TelemetryFacade, TransportErrorCapturesDump) {
+  Telemetry tel;
+  tel.on_mpi_post(0, 1, 9, 64, true, 5);
+  EXPECT_EQ(tel.last_dump(), "");
+  tel.on_transport_error("wait timed out after 2 s", 100);
+  EXPECT_EQ(tel.metrics().counter_value("mpi_transport_errors_total"), 1u);
+  const std::string dump = tel.last_dump();
+  EXPECT_NE(dump.find("TransportError: wait timed out"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("flight recorder"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("isend tag=9"), std::string::npos) << dump;
+}
+
+TEST(TelemetryFacade, PlanEventCounters) {
+  Telemetry tel;
+  tel.on_plan_event("compile");
+  tel.on_plan_event("hit");
+  tel.on_plan_event("hit");
+  tel.on_plan_event("replay");
+  EXPECT_EQ(tel.metrics().counter_value("plan_compiles_total"), 1u);
+  EXPECT_EQ(tel.metrics().counter_value("plan_hits_total"), 2u);
+  EXPECT_EQ(tel.metrics().counter_value("plan_replays_total"), 1u);
+}
+
+TEST(TelemetryFacade, ExchangeHooksAndDemotion) {
+  Telemetry tel;
+  tel.on_exchange_start(1, 0);
+  tel.on_exchange_end(1, "staged", 4, 4096, 100);
+  tel.on_exchange_latency(100);
+  tel.on_demotion(7, "peer", "staged", 50);
+  const auto& m = tel.metrics();
+  EXPECT_EQ(m.counter_value("exchanges_total"), 1u);
+  EXPECT_EQ(m.counter_value("exchange_messages_total{method=\"staged\"}"), 4u);
+  EXPECT_EQ(m.counter_value("exchange_bytes_total{method=\"staged\"}"), 4096u);
+  EXPECT_EQ(m.counter_value("fault_demotions_total"), 1u);
+  EXPECT_EQ(m.histograms().at("exchange_latency_ns").count(), 1u);
+  // The flight ring saw start, end, and demotion, stamped with the seq.
+  const auto t = tel.flight().tail(8);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].kind, EventKind::kExchangeStart);
+  EXPECT_EQ(t[0].exchange_seq, 1u);
+  EXPECT_EQ(t[2].detail, "tag=7 peer->staged");
+}
+
+TEST(TelemetryFacade, DeadlockDumpEndToEnd) {
+  sim::Engine eng;
+  sim::Gate gate("stuck-gate");
+  Telemetry tel;
+  tel.flight().log(EventKind::kNote, 0, "exchange", "about to hang");
+  tel.install_deadlock_dump(eng, 16);
+  std::vector<std::function<void()>> bodies;
+  bodies.push_back([&] { gate.wait(eng, "token that never comes"); });
+  EXPECT_THROW(eng.run(std::move(bodies), {"waiter"}), sim::DeadlockError);
+  const std::string dump = tel.last_dump();
+  EXPECT_NE(dump.find("waiter"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("stuck-gate"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("flight recorder"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("about to hang"), std::string::npos) << dump;
+}
+
+// --- critical path -----------------------------------------------------------
+
+TEST(CriticalPathTest, KnownChainFullyBusy) {
+  CriticalPath cp({span("a", "A", 0, 10), span("b", "B", 10, 30), span("c", "C", 30, 35)});
+  cp.add_edge(0, 1);
+  cp.add_edge(1, 2);
+  const auto an = cp.analyze();
+  EXPECT_EQ(an.makespan, 35);
+  ASSERT_EQ(an.chain.size(), 3u);
+  EXPECT_EQ(an.chain[0].label, "A");
+  EXPECT_EQ(an.chain[1].label, "B");
+  EXPECT_EQ(an.chain[2].label, "C");
+  EXPECT_EQ(an.critical_busy, 35);
+  EXPECT_EQ(an.critical_wait, 0);
+  EXPECT_DOUBLE_EQ(an.overlap_efficiency, 1.0);
+}
+
+TEST(CriticalPathTest, WaitGapsLowerOverlapEfficiency) {
+  CriticalPath cp({span("a", "A", 0, 10), span("b", "B", 15, 30)});
+  cp.add_edge(0, 1);
+  const auto an = cp.analyze();
+  EXPECT_EQ(an.makespan, 30);
+  ASSERT_EQ(an.chain.size(), 2u);
+  EXPECT_EQ(an.chain[1].wait, 5);
+  EXPECT_EQ(an.critical_busy, 25);
+  EXPECT_EQ(an.critical_wait, 5);
+  EXPECT_NEAR(an.overlap_efficiency, 25.0 / 30.0, 1e-12);
+}
+
+TEST(CriticalPathTest, LaneStatsReportSlack) {
+  CriticalPath cp({span("busy", "long", 0, 90), span("idle", "short", 0, 10)});
+  const auto an = cp.analyze();
+  ASSERT_EQ(an.lanes.size(), 2u);
+  EXPECT_EQ(an.lanes[0].lane, "busy");  // sorted by busy descending
+  EXPECT_EQ(an.lanes[0].busy, 90);
+  EXPECT_EQ(an.lanes[0].slack, 0);
+  EXPECT_EQ(an.lanes[1].lane, "idle");
+  EXPECT_EQ(an.lanes[1].slack, 80);
+  const auto top = an.top_bottlenecks(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].lane, "busy");
+}
+
+TEST(CriticalPathTest, ExplicitEdgeWinsEndTies) {
+  // Both "a" and "b" end at 10; only the explicit edge names the real trigger.
+  CriticalPath cp({span("a", "A", 0, 10), span("b", "B", 0, 10), span("c", "C", 10, 20)});
+  cp.add_edge(1, 2);
+  const auto an = cp.analyze();
+  ASSERT_EQ(an.chain.size(), 2u);
+  EXPECT_EQ(an.chain[0].label, "B");
+}
+
+TEST(CriticalPathTest, LaneFifoChainsWithoutExplicitEdges) {
+  CriticalPath cp({span("l", "first", 0, 10), span("l", "second", 20, 30)});
+  const auto an = cp.analyze();
+  ASSERT_EQ(an.chain.size(), 2u);
+  EXPECT_EQ(an.chain[0].label, "first");
+  EXPECT_EQ(an.chain[1].wait, 10);
+}
+
+TEST(CriticalPathTest, ContradictedEdgesAreIgnored) {
+  CriticalPath cp({span("a", "A", 0, 10), span("b", "B", 5, 8)});
+  cp.add_edge(0, 1);   // A ends after B starts: not a real dependency
+  cp.add_edge(0, 0);   // self
+  cp.add_edge(7, 1);   // out of range
+  EXPECT_EQ(cp.edge_count(), 0u);
+}
+
+TEST(CriticalPathTest, LaneMatchesCheckerDescriptions) {
+  EXPECT_TRUE(CriticalPath::lane_matches("gpu0/default", "gpu0.kernel"));
+  EXPECT_TRUE(CriticalPath::lane_matches("gpu2/s1", "gpu2->gpu3"));
+  EXPECT_TRUE(CriticalPath::lane_matches("rank0", "rank0.cpu"));
+  EXPECT_FALSE(CriticalPath::lane_matches("gpu1/default", "gpu0.kernel"));
+  EXPECT_FALSE(CriticalPath::lane_matches("gpu1/default", "gpu10.kernel"));
+}
+
+TEST(CriticalPathTest, HbEdgesBridgeToSpans) {
+  CriticalPath cp({span("gpu0.kernel", "pack", 0, 10), span("gpu1.kernel", "unpack", 20, 30)});
+  std::vector<telemetry::HbEdge> edges;
+  edges.push_back({"gpu0/default", "gpu1/s1", 15});
+  edges.push_back({"gpu7/default", "gpu9/s1", 15});  // matches nothing
+  EXPECT_EQ(cp.add_hb_edges(edges), 1u);
+  const auto an = cp.analyze();
+  ASSERT_EQ(an.chain.size(), 2u);
+  EXPECT_EQ(an.chain[0].lane, "gpu0.kernel");
+  EXPECT_EQ(an.chain[1].lane, "gpu1.kernel");
+}
+
+TEST(CriticalPathTest, EmptySpansProduceEmptyAnalysis) {
+  CriticalPath cp({});
+  const auto an = cp.analyze();
+  EXPECT_EQ(an.makespan, 0);
+  EXPECT_TRUE(an.chain.empty());
+  EXPECT_TRUE(an.lanes.empty());
+  EXPECT_DOUBLE_EQ(an.overlap_efficiency, 0.0);
+  EXPECT_NE(an.str().find("critical path"), std::string::npos);
+}
+
+TEST(CriticalPathTest, OverlappedBeatsSerialized) {
+  // Overlapped: three lanes busy concurrently, chain is wall-to-wall busy.
+  CriticalPath overlapped(
+      {span("l1", "work", 0, 30), span("l2", "work", 0, 28), span("l3", "tail", 30, 40)});
+  // Serialized: same work, but every span waits for the previous to finish.
+  CriticalPath serialized(
+      {span("l1", "work", 0, 10), span("l2", "work", 20, 30), span("l3", "tail", 40, 50)});
+  const double eff_overlapped = overlapped.analyze().overlap_efficiency;
+  const double eff_serialized = serialized.analyze().overlap_efficiency;
+  EXPECT_DOUBLE_EQ(eff_overlapped, 1.0);
+  EXPECT_NEAR(eff_serialized, 30.0 / 50.0, 1e-12);
+  EXPECT_GT(eff_overlapped, eff_serialized);
+}
+
+TEST(CriticalPathTest, StrReportsHopsAndBottlenecks) {
+  CriticalPath cp({span("gpu0.d2h", "memcpy", 0, 10), span("mpi.r0->r1", "msg", 10, 50)});
+  cp.add_edge(0, 1);
+  const std::string s = cp.analyze().str(3);
+  EXPECT_NE(s.find("overlap efficiency"), std::string::npos) << s;
+  EXPECT_NE(s.find("memcpy"), std::string::npos) << s;
+  EXPECT_NE(s.find("bottleneck lanes"), std::string::npos) << s;
+  EXPECT_NE(s.find("mpi.r0->r1"), std::string::npos) << s;
+}
+
+// --- exporters ---------------------------------------------------------------
+
+TEST(Exporters, PrometheusTextIsWellFormed) {
+  MetricsRegistry reg;
+  reg.counter("exchange_bytes_total{method=\"staged\"}").add(4096);
+  reg.counter("exchange_bytes_total{method=\"peer\"}").add(128);
+  reg.gauge("plan_stats_hits").set(3);
+  reg.histogram("exchange_latency_ns").observe(900);
+  reg.histogram("exchange_latency_ns").observe(1100);
+  std::ostringstream os;
+  telemetry::write_prometheus(os, reg);
+  const std::string s = os.str();
+  // One TYPE line per base name, even with two labeled series.
+  EXPECT_NE(s.find("# TYPE exchange_bytes_total counter"), std::string::npos) << s;
+  EXPECT_EQ(s.find("# TYPE exchange_bytes_total counter"),
+            s.rfind("# TYPE exchange_bytes_total counter"));
+  EXPECT_NE(s.find("exchange_bytes_total{method=\"staged\"} 4096"), std::string::npos) << s;
+  EXPECT_NE(s.find("# TYPE plan_stats_hits gauge"), std::string::npos) << s;
+  EXPECT_NE(s.find("# TYPE exchange_latency_ns histogram"), std::string::npos) << s;
+  // Cumulative buckets: the le="1024" bucket holds one sample, +Inf both.
+  EXPECT_NE(s.find("exchange_latency_ns_bucket{le=\"1024\"} 1"), std::string::npos) << s;
+  EXPECT_NE(s.find("exchange_latency_ns_bucket{le=\"+Inf\"} 2"), std::string::npos) << s;
+  EXPECT_NE(s.find("exchange_latency_ns_sum 2000"), std::string::npos) << s;
+  EXPECT_NE(s.find("exchange_latency_ns_count 2"), std::string::npos) << s;
+  // Every non-comment line is `name{labels} value` or `name value`.
+  std::istringstream is(s);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(space, 0u) << line;
+  }
+}
+
+TEST(Exporters, MetricsJsonIsValid) {
+  MetricsRegistry reg;
+  reg.counter("with\"quote").add(1);  // name escaping must hold
+  reg.gauge("g").set(0.25);
+  reg.histogram("h").observe(5);
+  std::ostringstream os;
+  telemetry::write_metrics_json(os, reg);
+  EXPECT_TRUE(json_valid(os.str())) << os.str();
+  EXPECT_NE(os.str().find("\"counters\""), std::string::npos);
+  std::ostringstream empty;
+  telemetry::write_metrics_json(empty, MetricsRegistry{});
+  EXPECT_TRUE(json_valid(empty.str())) << empty.str();
+}
+
+TEST(Exporters, ChromeTraceIsValidAndEnriched) {
+  std::vector<OpRecord> spans_v = {span("gpu0.d2h", "memcpy \"8B\"", 0, 10),
+                                   span("mpi.r0->r1", "msg\ntag=1", 10, 50)};
+  CriticalPath cp(spans_v);
+  cp.add_edge(0, 1);
+  const auto an = cp.analyze();
+  MetricsRegistry reg;
+  reg.counter("exchanges_total").add(2);
+  std::ostringstream os;
+  telemetry::write_chrome_trace(os, spans_v, &reg, &an);
+  const std::string s = os.str();
+  EXPECT_TRUE(json_valid(s)) << s;
+  EXPECT_NE(s.find("thread_name"), std::string::npos);
+  EXPECT_NE(s.find("\"ph\": \"C\""), std::string::npos);      // counter event
+  EXPECT_NE(s.find("\"critical\": true"), std::string::npos);  // chain membership arg
+  EXPECT_NE(s.find("exchanges_total"), std::string::npos);
+
+  std::ostringstream empty;
+  telemetry::write_chrome_trace(empty, {});
+  EXPECT_TRUE(json_valid(empty.str())) << empty.str();
+}
+
+TEST(Exporters, ReportJsonCombinesMetricsAndCriticalPath) {
+  MetricsRegistry reg;
+  reg.counter("exchanges_total").add(1);
+  CriticalPath cp({span("a", "A", 0, 10), span("b", "B", 10, 30)});
+  cp.add_edge(0, 1);
+  std::ostringstream os;
+  telemetry::write_report_json(os, reg, cp.analyze());
+  const std::string s = os.str();
+  EXPECT_TRUE(json_valid(s)) << s;
+  EXPECT_NE(s.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(s.find("\"makespan_ns\""), std::string::npos);
+  EXPECT_NE(s.find("\"overlap_efficiency\""), std::string::npos);
+  EXPECT_NE(s.find("\"chain\""), std::string::npos);
+  EXPECT_NE(s.find("\"lanes\""), std::string::npos);
+}
+
+// --- end-to-end through the domain ------------------------------------------
+
+namespace {
+
+constexpr std::size_t kQ = 1;
+
+void run_small_domain(Cluster& cluster, int exchanges, bool persistent,
+                      std::function<void(DistributedDomain&)> inspect) {
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {24, 24, 24});
+    dd.set_radius(1);
+    for (std::size_t q = 0; q < kQ; ++q) dd.add_data<float>("q" + std::to_string(q));
+    dd.set_methods(MethodFlags::kAll);
+    dd.realize();
+    if (persistent) dd.set_persistent(true);
+    for (int i = 0; i < exchanges; ++i) {
+      dd.exchange();
+      ctx.comm.barrier();
+    }
+    inspect(dd);
+  });
+}
+
+}  // namespace
+
+TEST(DomainTelemetry, CountsExchangesAndLatency) {
+  Cluster cluster(topo::summit(), 1, 1);
+  run_small_domain(cluster, 3, false, [&](DistributedDomain& dd) {
+    const auto& m = dd.telemetry().metrics();
+    EXPECT_EQ(m.counter_value("exchanges_total"), 3u);
+    const auto& lat = m.histograms().at("exchange_latency_ns");
+    EXPECT_EQ(lat.count(), 3u);
+    EXPECT_GT(lat.sum(), 0u);
+    EXPECT_FALSE(dd.telemetry().flight().empty());
+  });
+}
+
+TEST(DomainTelemetry, PerMethodCountersMatchMethodBytesHistogram) {
+  Cluster cluster(topo::summit(), 1, 1);
+  run_small_domain(cluster, 2, false, [&](DistributedDomain& dd) {
+    // Satellite: method_bytes_histogram reflects the realized transfer set.
+    const auto hist = dd.method_bytes_histogram();
+    EXPECT_FALSE(hist.empty());
+    std::size_t hist_transfers = 0, hist_bytes = 0;
+    for (const auto& [m, cb] : hist) {
+      EXPECT_GT(cb.first, 0);
+      EXPECT_GT(cb.second, 0u);
+      hist_transfers += static_cast<std::size_t>(cb.first);
+      hist_bytes += cb.second;
+      // Each exchange sends every transfer of this method once, so the
+      // per-method telemetry counters are exactly 2x the realized set.
+      const std::string label = std::string("{method=\"") + to_string(m) + "\"}";
+      const auto& reg = dd.telemetry().metrics();
+      EXPECT_EQ(reg.counter_value("exchange_messages_total" + label),
+                2u * static_cast<std::uint64_t>(cb.first));
+      EXPECT_EQ(reg.counter_value("exchange_bytes_total" + label), 2u * cb.second);
+    }
+    EXPECT_EQ(hist_transfers, dd.transfers().size());
+    EXPECT_GT(hist_bytes, 0u);
+  });
+}
+
+TEST(DomainTelemetry, PlanStatsCountersAndExport) {
+  Cluster cluster(topo::summit(), 1, 1);
+  run_small_domain(cluster, 2, true, [&](DistributedDomain& dd) {
+    // Satellite: the PlanStats counters behind plan_report.
+    const plan::PlanStats& ps = dd.plan_stats();
+    EXPECT_EQ(ps.compiles, 1u);
+    EXPECT_EQ(ps.hits, 1u);
+    EXPECT_EQ(ps.replays, 2u);
+    EXPECT_EQ(ps.invalidations, 0u);
+    EXPECT_NE(ps.str().find("compiles=1"), std::string::npos);
+
+    const auto& m = dd.telemetry().metrics();
+    EXPECT_EQ(m.counter_value("plan_compiles_total"), 1u);
+    EXPECT_EQ(m.counter_value("plan_hits_total"), 1u);
+    EXPECT_EQ(m.counter_value("plan_replays_total"), 2u);
+    EXPECT_DOUBLE_EQ(m.gauges().at("plan_stats_compiles").value, 1.0);
+    EXPECT_DOUBLE_EQ(m.gauges().at("plan_stats_replays").value, 2.0);
+
+    MetricsRegistry fresh;
+    ps.export_to(fresh);
+    EXPECT_DOUBLE_EQ(fresh.gauges().at("plan_stats_hits").value, 1.0);
+  });
+}
+
+TEST(DomainTelemetry, ClusterWideTelemetryCapturesSubstrate) {
+  Cluster cluster(topo::summit(), 2, 1);
+  Telemetry tel;
+  cluster.set_telemetry(&tel);
+  run_small_domain(cluster, 1, false, [](DistributedDomain&) {});
+  const auto& m = tel.metrics();
+  EXPECT_GT(m.counter_value("vgpu_ops_total"), 0u);
+  EXPECT_GT(m.counter_value("vgpu_bytes_total"), 0u);
+  EXPECT_GT(m.histograms().at("vgpu_pack_ns").count(), 0u);
+  EXPECT_GT(m.histograms().at("vgpu_unpack_ns").count(), 0u);
+  // Two nodes: the staged path crosses MPI.
+  EXPECT_GT(m.counter_value("mpi_messages_total"), 0u);
+  EXPECT_GT(m.counter_value("mpi_bytes_total"), 0u);
+  EXPECT_GT(m.counter_value("mpi_sends_posted_total"), 0u);
+  EXPECT_EQ(m.counter_value("mpi_messages_lost_total"), 0u);
+}
+
+TEST(DomainTelemetry, ExchangePlanGaugesExported) {
+  Cluster cluster(topo::summit(), 1, 1);
+  run_small_domain(cluster, 1, false, [&](DistributedDomain& dd) {
+    const auto& g = dd.telemetry().metrics().gauges();
+    const auto it = g.find("exchange_plan_total_transfers");
+    ASSERT_NE(it, g.end());
+    EXPECT_DOUBLE_EQ(it->second.value, static_cast<double>(dd.transfers().size()));
+  });
+}

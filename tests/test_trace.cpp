@@ -83,6 +83,61 @@ TEST(Recorder, GanttClampsOutOfRangeSpans) {
   SUCCEED();                      // must not crash or write out of bounds
 }
 
+TEST(Recorder, ChromeTraceEscapesSpecialCharacters) {
+  Recorder r;
+  r.record("lane\"with\\quote", "label\nwith\ttabs\rand\x01" "ctrl", 0, 10);
+  std::ostringstream os;
+  r.write_chrome_trace(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("lane\\\"with\\\\quote"), std::string::npos) << s;
+  EXPECT_NE(s.find("label\\nwith\\ttabs\\rand\\u0001ctrl"), std::string::npos) << s;
+  // No raw control characters survive inside the document (sans final newline).
+  for (std::size_t i = 0; i + 1 < s.size(); ++i)
+    EXPECT_GE(static_cast<unsigned char>(s[i]), 0x20u) << "at index " << i;
+}
+
+TEST(Recorder, ChromeTraceClampsZeroAndNegativeDurations) {
+  Recorder r;
+  r.record("x", "instant", 100, 100);
+  r.record("x", "backwards", 200, 150);  // malformed span must not emit dur < 0
+  std::ostringstream os;
+  r.write_chrome_trace(os);
+  const std::string s = os.str();
+  EXPECT_EQ(s.find("\"dur\":-"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"dur\":0"), std::string::npos) << s;
+}
+
+TEST(Recorder, ChromeTraceEmptyRecorderIsValid) {
+  Recorder r;
+  std::ostringstream os;
+  r.write_chrome_trace(os);
+  EXPECT_EQ(os.str(), "{\"traceEvents\":[]}\n");
+}
+
+TEST(Recorder, GanttSkipsSpansOutsideWindow) {
+  Recorder r;
+  r.record("x", "inside", 10, 20);
+  r.record("x", "before", 0, 5);
+  r.record("x", "after", 900, 950);
+  std::ostringstream os;
+  r.write_gantt(os, 10, 100, 18);  // 5 ns/col: only [10,20) may mark cells
+  std::istringstream is(os.str());
+  std::string header, row;
+  std::getline(is, header);
+  std::getline(is, row);
+  // Exactly the first two columns are busy; out-of-window spans leave no mark.
+  EXPECT_NE(row.find("|##"), std::string::npos) << row;
+  EXPECT_EQ(row.find("##|"), std::string::npos) << row;
+}
+
+TEST(Recorder, GanttZeroDurationSpanStillRenders) {
+  Recorder r;
+  r.record("x", "instant", 50, 50);
+  std::ostringstream os;
+  r.write_gantt(os, 0, 100, 10);
+  EXPECT_NE(os.str().find("#"), std::string::npos) << os.str();
+}
+
 TEST(Recorder, LanesKeepFirstAppearanceOrder) {
   Recorder r;
   r.record("zeta", "op", 0, 1);
