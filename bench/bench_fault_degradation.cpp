@@ -18,8 +18,8 @@ namespace sim = stencil::sim;
 namespace {
 
 struct DrillResult {
-  double healthy_ms = 0.0;
-  double degraded_ms = 0.0;
+  MeasureResult healthy;
+  MeasureResult degraded;  // method_bytes shows the post-fault demotions
 };
 
 // One run, two measured epochs: `iters` exchanges before the fault instant
@@ -31,7 +31,10 @@ DrillResult measure_across_fault(const ExchangeConfig& cfg, const fault::FaultPl
   cluster.set_mem_mode(stencil::vgpu::MemMode::kPhantom);
   cluster.set_fault_injector(&inj);
   const auto ranks = static_cast<std::size_t>(cfg.nodes) * cfg.ranks_per_node;
-  std::vector<double> healthy(ranks, 0.0), degraded(ranks, 0.0);
+  const auto iters = static_cast<std::size_t>(cfg.iterations);
+  std::vector<std::vector<double>> healthy(iters, std::vector<double>(ranks, 0.0));
+  std::vector<std::vector<double>> degraded(iters, std::vector<double>(ranks, 0.0));
+  DrillResult r;
 
   cluster.run([&](stencil::RankCtx& ctx) {
     stencil::DistributedDomain dd(ctx, cfg.domain);
@@ -43,32 +46,38 @@ DrillResult measure_across_fault(const ExchangeConfig& cfg, const fault::FaultPl
     ctx.comm.barrier();
     dd.exchange();  // warm-up
 
-    auto epoch = [&](std::vector<double>& out) {
-      double total = 0.0;
+    auto epoch = [&](std::vector<std::vector<double>>& out, MeasureResult* res) {
       for (int it = 0; it < cfg.iterations; ++it) {
         ctx.comm.barrier();
         const double t0 = ctx.comm.wtime();
         dd.exchange();
-        total += ctx.comm.wtime() - t0;
+        out[static_cast<std::size_t>(it)][static_cast<std::size_t>(ctx.rank())] =
+            (ctx.comm.wtime() - t0) * 1e3;
       }
-      out[static_cast<std::size_t>(ctx.rank())] = total / cfg.iterations * 1e3;
+      if (ctx.rank() == 0) res->method_bytes = dd.method_bytes_histogram();
     };
-    epoch(healthy);
+    epoch(healthy, &r.healthy);
     ctx.engine().sleep_until(t_fault + sim::kMicrosecond);
     ctx.comm.barrier();
     dd.exchange();  // the demoting exchange: pays the one-time rebuild
-    epoch(degraded);
+    epoch(degraded, &r.degraded);
   });
 
-  DrillResult r;
-  r.healthy_ms = *std::max_element(healthy.begin(), healthy.end());
-  r.degraded_ms = *std::max_element(degraded.begin(), degraded.end());
+  auto lat = reduce_latency(healthy);
+  lat.method_bytes = std::move(r.healthy.method_bytes);
+  r.healthy = std::move(lat);
+  lat = reduce_latency(degraded);
+  lat.method_bytes = std::move(r.degraded.method_bytes);
+  r.degraded = std::move(lat);
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  BenchJson json("fault_degradation");
+  const bool emit_json = parse_json_flag(argc, argv, "fault_degradation", &json_path);
   const stencil::Dim3 domain = weak_scaling_domain(6);
   const sim::Time t_fault = sim::from_seconds(30.0);  // past any healthy epoch
   std::printf("Fault degradation drill: %s, radius 3, 4 SP quantities\n\n", domain.str().c_str());
@@ -86,11 +95,16 @@ int main() {
 
     ExchangeConfig staged = cfg;
     staged.flags = stencil::MethodFlags::kStaged;
-    const double staged_ms = measure_exchange_ms(staged);
+    const MeasureResult staged_ref = measure_exchange(staged);
 
-    print_row(cfg.label(), {{"healthy", r.healthy_ms},
-                            {"degraded", r.degraded_ms},
-                            {"staged-ref", staged_ms}});
+    if (emit_json) {
+      json.add(cfg.label(), "healthy", cfg, r.healthy);
+      json.add(cfg.label(), "degraded", cfg, r.degraded);
+      json.add(cfg.label(), "staged-ref", staged, staged_ref);
+    }
+    print_row(cfg.label(), {{"healthy", r.healthy.max_avg_ms},
+                            {"degraded", r.degraded.max_avg_ms},
+                            {"staged-ref", staged_ref.max_avg_ms}});
   }
 
   std::printf("\nNIC bandwidth loss (2 nodes, STAGED remote, link x0.25):\n");
@@ -103,7 +117,19 @@ int main() {
     fault::FaultPlan plan;
     plan.degrade_link(t_fault, fault::LinkClass::kNic, -1, -1, 0.25);
     const DrillResult r = measure_across_fault(cfg, plan, t_fault);
-    print_row(cfg.label(), {{"healthy", r.healthy_ms}, {"degraded", r.degraded_ms}});
+    if (emit_json) {
+      json.add(cfg.label() + "/nic", "healthy", cfg, r.healthy);
+      json.add(cfg.label() + "/nic", "degraded", cfg, r.degraded);
+    }
+    print_row(cfg.label(), {{"healthy", r.healthy.max_avg_ms}, {"degraded", r.degraded.max_avg_ms}});
+  }
+  if (emit_json) {
+    std::string err;
+    if (!json.write(json_path, &err)) {
+      std::fprintf(stderr, "bench_fault_degradation: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("\n%zu rows written to %s\n", json.rows(), json_path.c_str());
   }
   return 0;
 }

@@ -26,20 +26,26 @@ double speedup(double eager_ms, double planned_ms) {
   return planned_ms > 0.0 ? eager_ms / planned_ms : 0.0;
 }
 
-void run_pair(ExchangeConfig cfg, const std::string& label) {
+void run_pair(ExchangeConfig cfg, const std::string& label, BenchJson* json) {
   cfg.persistent = false;
-  const double eager = measure_exchange_ms(cfg);
+  const MeasureResult eager = measure_exchange(cfg);
+  if (json != nullptr) json->add(label, "eager", cfg, eager);
   cfg.persistent = true;
-  const double planned = measure_exchange_ms(cfg);
-  std::printf("%-26s  eager=%9.3f ms  planned=%9.3f ms  speedup=%5.2fx\n", label.c_str(), eager,
-              planned, speedup(eager, planned));
+  const MeasureResult planned = measure_exchange(cfg);
+  if (json != nullptr) json->add(label, "planned", cfg, planned);
+  std::printf("%-26s  eager=%9.3f ms  planned=%9.3f ms  speedup=%5.2fx\n", label.c_str(),
+              eager.max_avg_ms, planned.max_avg_ms,
+              speedup(eager.max_avg_ms, planned.max_avg_ms));
   std::fflush(stdout);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int max_nodes = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int max_nodes = positional_int(argc, argv, 16);
+  std::string json_path;
+  BenchJson json("plan");
+  BenchJson* jp = parse_json_flag(argc, argv, "plan", &json_path) ? &json : nullptr;
 
   std::printf("Exchange plans: eager vs planned (persistent) replay\n\n");
 
@@ -53,7 +59,7 @@ int main(int argc, char** argv) {
     cfg.quantities = 1;
     cfg.flags = MethodFlags::kAll;
     cfg.iterations = 4;
-    run_pair(cfg, cfg.label());
+    run_pair(cfg, cfg.label(), jp);
   }
 
   std::printf("\nmessage-size sweep, 2 nodes x 6 ranks, radius 1, 1 quantity\n");
@@ -66,7 +72,15 @@ int main(int argc, char** argv) {
     cfg.quantities = 1;
     cfg.flags = MethodFlags::kAll;
     cfg.iterations = 4;
-    run_pair(cfg, std::to_string(edge) + "^3");
+    run_pair(cfg, std::to_string(edge) + "^3", jp);
+  }
+  if (jp != nullptr) {
+    std::string err;
+    if (!json.write(json_path, &err)) {
+      std::fprintf(stderr, "bench_plan: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("\n%zu rows written to %s\n", json.rows(), json_path.c_str());
   }
   return 0;
 }

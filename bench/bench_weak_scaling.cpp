@@ -14,8 +14,11 @@
 using namespace stencil::bench;
 
 int main(int argc, char** argv) {
-  // Allow a smaller sweep for quick runs: bench_weak_scaling [max_nodes]
-  const int max_nodes = argc > 1 ? std::atoi(argv[1]) : 256;
+  // Allow a smaller sweep for quick runs: bench_weak_scaling [max_nodes] [--json]
+  const int max_nodes = positional_int(argc, argv, 256);
+  std::string json_path;
+  BenchJson json("weak_scaling");
+  const bool emit_json = parse_json_flag(argc, argv, "weak_scaling", &json_path);
 
   std::printf("Fig. 12b/12c reproduction: weak scaling, 6 ranks x 6 GPUs per node\n");
   std::printf("domain = round(750 * nGPUs^(1/3))^3, radius 3, 4 SP quantities\n\n");
@@ -33,8 +36,10 @@ int main(int argc, char** argv) {
       std::vector<std::pair<std::string, double>> cells;
       for (const auto& [name, flags] : capability_tiers(cuda_aware)) {
         cfg.flags = flags;
-        const double ms = measure_exchange_ms(cfg);
+        const MeasureResult r = measure_exchange(cfg);
+        const double ms = r.max_avg_ms;
         cells.emplace_back(name, ms);
+        if (emit_json) json.add(cfg.label(), name, cfg, r);
         if (nodes == max_nodes && name == "+remote") staged_256 = ms;
         if (nodes == max_nodes && name == "+kernel") best_256 = ms;
       }
@@ -45,6 +50,14 @@ int main(int argc, char** argv) {
                   staged_256 / best_256,
                   cuda_aware ? "" : "  (paper: 1.16x at 256n)");
     }
+  }
+  if (emit_json) {
+    std::string err;
+    if (!json.write(json_path, &err)) {
+      std::fprintf(stderr, "bench_weak_scaling: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("%zu rows written to %s\n", json.rows(), json_path.c_str());
   }
   return 0;
 }

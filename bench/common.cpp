@@ -1,6 +1,12 @@
 #include "common.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/export.h"
 
 namespace stencil::bench {
 
@@ -11,11 +17,37 @@ Dim3 weak_scaling_domain(int total_gpus, int per_gpu_edge) {
   return {e, e, e};
 }
 
-double measure_exchange_ms(const ExchangeConfig& cfg) {
+MeasureResult reduce_latency(const std::vector<std::vector<double>>& per_iter) {
+  MeasureResult r;
+  if (per_iter.empty() || per_iter.front().empty()) return r;
+  const std::size_t ranks = per_iter.front().size();
+
+  std::vector<double> per_rank_avg(ranks, 0.0);
+  for (const auto& ranks_ms : per_iter) {
+    r.iter_ms.push_back(*std::max_element(ranks_ms.begin(), ranks_ms.end()));
+    for (std::size_t k = 0; k < ranks; ++k) per_rank_avg[k] += ranks_ms[k];
+  }
+  for (double& avg : per_rank_avg) avg /= static_cast<double>(per_iter.size());
+  r.max_avg_ms = *std::max_element(per_rank_avg.begin(), per_rank_avg.end());
+
+  std::vector<double> sorted = r.iter_ms;
+  std::sort(sorted.begin(), sorted.end());
+  r.median_ms = sorted[sorted.size() / 2];
+  // Nearest-rank percentile: ceil(0.95 * n)-th smallest.
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(0.95 * static_cast<double>(sorted.size()))) - 1;
+  r.p95_ms = sorted[std::min(idx, sorted.size() - 1)];
+  return r;
+}
+
+MeasureResult measure_exchange(const ExchangeConfig& cfg) {
   Cluster cluster(cfg.arch, cfg.nodes, cfg.ranks_per_node);
   cluster.set_mem_mode(vgpu::MemMode::kPhantom);  // timing-only at scale
-  std::vector<double> per_rank_avg(
-      static_cast<std::size_t>(cfg.nodes) * static_cast<std::size_t>(cfg.ranks_per_node), 0.0);
+  const auto ranks =
+      static_cast<std::size_t>(cfg.nodes) * static_cast<std::size_t>(cfg.ranks_per_node);
+  std::vector<std::vector<double>> per_iter(static_cast<std::size_t>(cfg.iterations),
+                                            std::vector<double>(ranks, 0.0));
+  std::map<Method, std::pair<int, std::size_t>> method_bytes;
 
   cluster.run([&](RankCtx& ctx) {
     DistributedDomain dd(ctx, cfg.domain);
@@ -34,19 +66,88 @@ double measure_exchange_ms(const ExchangeConfig& cfg) {
     ctx.comm.barrier();
     dd.exchange();
 
-    double total = 0.0;
     for (int it = 0; it < cfg.iterations; ++it) {
       ctx.comm.barrier();
       const double t0 = ctx.comm.wtime();
       dd.exchange();
-      total += ctx.comm.wtime() - t0;
+      per_iter[static_cast<std::size_t>(it)][static_cast<std::size_t>(ctx.rank())] =
+          (ctx.comm.wtime() - t0) * 1e3;
     }
-    per_rank_avg[static_cast<std::size_t>(ctx.rank())] =
-        total / static_cast<double>(cfg.iterations);
+    if (ctx.rank() == 0) method_bytes = dd.method_bytes_histogram();
   });
 
-  const double max_s = *std::max_element(per_rank_avg.begin(), per_rank_avg.end());
-  return max_s * 1e3;
+  MeasureResult r = reduce_latency(per_iter);
+  r.method_bytes = std::move(method_bytes);
+  return r;
+}
+
+double measure_exchange_ms(const ExchangeConfig& cfg) { return measure_exchange(cfg).max_avg_ms; }
+
+void BenchJson::add(const std::string& label, const std::string& variant,
+                    const ExchangeConfig& cfg, const MeasureResult& r) {
+  rows_.push_back(Row{label, variant, cfg, r});
+}
+
+bool BenchJson::write(const std::string& path, std::string* err) const {
+  std::ofstream os(path);
+  if (!os) {
+    if (err != nullptr) *err = "cannot open " + path;
+    return false;
+  }
+  const auto esc = [](const std::string& s) { return telemetry::json_escape(s); };
+  os << "{\n  \"schema\": \"bench-v1\",\n  \"bench\": \"" << esc(bench_) << "\",\n"
+     << "  \"rows\": [";
+  bool first_row = true;
+  for (const auto& row : rows_) {
+    os << (first_row ? "\n" : ",\n");
+    first_row = false;
+    const ExchangeConfig& c = row.cfg;
+    os << "    {\"label\": \"" << esc(row.label) << "\", \"variant\": \"" << esc(row.variant)
+       << "\",\n     \"config\": {\"arch\": \"" << esc(c.arch.name) << "\", \"nodes\": " << c.nodes
+       << ", \"ranks_per_node\": " << c.ranks_per_node
+       << ", \"gpus_per_node\": " << c.gpus_per_node() << ", \"domain\": [" << c.domain.x << ", "
+       << c.domain.y << ", " << c.domain.z << "], \"radius\": " << c.radius
+       << ", \"quantities\": " << c.quantities << ", \"iterations\": " << c.iterations
+       << ", \"persistent\": " << (c.persistent ? "true" : "false") << "},\n"
+       << "     \"latency_ms\": {\"max_avg\": " << row.res.max_avg_ms
+       << ", \"median\": " << row.res.median_ms << ", \"p95\": " << row.res.p95_ms
+       << ", \"iterations\": [";
+    for (std::size_t k = 0; k < row.res.iter_ms.size(); ++k) {
+      os << (k == 0 ? "" : ", ") << row.res.iter_ms[k];
+    }
+    os << "]},\n     \"method_bytes\": {";
+    bool first_m = true;
+    for (const auto& [m, cb] : row.res.method_bytes) {
+      os << (first_m ? "" : ", ") << "\"" << to_string(m) << "\": {\"transfers\": " << cb.first
+         << ", \"bytes\": " << cb.second << "}";
+      first_m = false;
+    }
+    os << "}}";
+  }
+  os << "\n  ]\n}\n";
+  return os.good();
+}
+
+int positional_int(int argc, char** argv, int fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return std::atoi(argv[i]);
+  }
+  return fallback;
+}
+
+bool parse_json_flag(int argc, char** argv, const std::string& bench, std::string* path) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      *path = "BENCH_" + bench + ".json";
+      return true;
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      *path = argv[i] + 7;
+      if (path->empty()) *path = "BENCH_" + bench + ".json";
+      return true;
+    }
+  }
+  return false;
 }
 
 void print_row(const std::string& label, const std::vector<std::pair<std::string, double>>& cells) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/cluster.h"
@@ -54,10 +56,64 @@ inline std::vector<std::pair<std::string, MethodFlags>> capability_tiers(bool cu
 /// per GPU, i.e. round(750 * nGPUs^(1/3))^3.
 Dim3 weak_scaling_domain(int total_gpus, int per_gpu_edge = 750);
 
+/// Everything one measurement yields beyond the headline number: the
+/// per-iteration latencies (max across ranks per iteration), their median
+/// and nearest-rank p95, and rank 0's realized per-method transfer/byte
+/// histogram — the payload of the --json emitter.
+struct MeasureResult {
+  double max_avg_ms = 0.0;      // §IV-A headline: max over ranks of per-rank average
+  std::vector<double> iter_ms;  // per timed iteration, max across ranks
+  double median_ms = 0.0;
+  double p95_ms = 0.0;
+  std::map<Method, std::pair<int, std::size_t>> method_bytes;  // rank 0, realized
+};
+
+/// Latency reduction shared by the measurement loops: per_iter[it][rank] in
+/// milliseconds of virtual time. Fills every latency field of MeasureResult
+/// (method_bytes is the caller's). p95 is nearest-rank over iter_ms.
+MeasureResult reduce_latency(const std::vector<std::vector<double>>& per_iter);
+
 /// Run the exchange benchmark exactly as §IV-A measures it: per iteration,
 /// MPI_Barrier, MPI_Wtime, exchange, MPI_Wtime; report the maximum per-rank
 /// average across the job, in milliseconds of *virtual* time. Deterministic.
 double measure_exchange_ms(const ExchangeConfig& cfg);
+
+/// Full-fidelity variant: same measurement discipline, but keeps the
+/// per-iteration latencies and the realized method histogram.
+MeasureResult measure_exchange(const ExchangeConfig& cfg);
+
+/// Accumulates (label, variant) measurements and writes the normalized
+/// BENCH_<name>.json document ("bench-v1" schema) that CI uploads:
+/// configuration, per-method transfer counts/bytes, and median/p95
+/// virtual-time latency per row.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void add(const std::string& label, const std::string& variant, const ExchangeConfig& cfg,
+           const MeasureResult& r);
+  bool write(const std::string& path, std::string* err) const;
+  std::string default_path() const { return "BENCH_" + bench_ + ".json"; }
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::string label;
+    std::string variant;
+    ExchangeConfig cfg;
+    MeasureResult res;
+  };
+  std::string bench_;
+  std::vector<Row> rows_;
+};
+
+/// Recognizes --json or --json=PATH anywhere in argv (the benches keep
+/// their positional arguments). Returns true when present and sets *path
+/// to PATH or to BENCH_<bench>.json.
+bool parse_json_flag(int argc, char** argv, const std::string& bench, std::string* path);
+
+/// First positional (non "--" flag) argument as an int, or `fallback`.
+int positional_int(int argc, char** argv, int fallback);
 
 /// Printf helper: fixed-width table cell.
 void print_row(const std::string& label, const std::vector<std::pair<std::string, double>>& cells);

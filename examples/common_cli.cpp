@@ -4,9 +4,52 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
 namespace stencil::cli {
+
+bool parse_trace_flag(int argc, char** argv, int* i, TraceOptions* t, std::string* err) {
+  const std::string a = argv[*i];
+  if (a != "--trace-out" && a != "--trace-merge") return false;
+  if (*i + 1 >= argc) {
+    *err = "missing value for " + a;
+    return true;
+  }
+  const std::string v = argv[++*i];
+  (a == "--trace-out" ? t->out : t->merge) = v;
+  return true;
+}
+
+void print_trace_usage() {
+  std::printf(
+      "  --trace-out FILE            merged chrome trace with cross-rank flow arrows\n"
+      "  --trace-merge PREFIX        per-rank trace documents PREFIX.rankN.json\n");
+}
+
+bool write_trace_outputs(const dtrace::Collector& c, const TraceOptions& t, std::string* err) {
+  if (!t.out.empty()) {
+    std::ofstream f(t.out);
+    if (!f) {
+      *err = "cannot open " + t.out;
+      return false;
+    }
+    c.write_merged_chrome_trace(f);
+  }
+  if (!t.merge.empty()) {
+    for (int r = -1; r <= c.max_rank(); ++r) {
+      const std::string path =
+          t.merge + (r < 0 ? std::string(".shared") : ".rank" + std::to_string(r)) + ".json";
+      std::ofstream f(path);
+      if (!f) {
+        *err = "cannot open " + path;
+        return false;
+      }
+      c.write_rank_json(f, r);
+    }
+  }
+  return true;
+}
 
 namespace {
 

@@ -9,9 +9,35 @@
 
 #include "core/cluster.h"
 #include "core/distributed_domain.h"
+#include "dtrace/collector.h"
 #include "topo/archetype.h"
 
 namespace stencil::cli {
+
+/// Shared distributed-tracing flags, consumed by telemetry_report,
+/// trace_explorer, and bench_timeline so every tool spells them the same:
+///   --trace-out FILE      merged chrome trace (one process per rank, flow
+///                         arrows along every message) — open in Perfetto
+///   --trace-merge PREFIX  per-rank JSON documents PREFIX.rankN.json (plus
+///                         PREFIX.shared.json for unattributed lanes), the
+///                         offline-merge workflow of dtrace::Collector::merge
+struct TraceOptions {
+  std::string out;
+  std::string merge;
+  bool any() const { return !out.empty() || !merge.empty(); }
+};
+
+/// Recognizes one trace flag at argv[*i], consuming its value. Returns true
+/// when the flag was recognized (check *err afterwards: a recognized flag
+/// with a missing value sets it); false when argv[*i] is not a trace flag.
+bool parse_trace_flag(int argc, char** argv, int* i, TraceOptions* t, std::string* err);
+
+/// The usage lines for the trace flags (tools append them to their help).
+void print_trace_usage();
+
+/// Writes the collector's outputs as requested: merged chrome trace to
+/// t.out, per-rank documents to t.merge. False on I/O failure (*err set).
+bool write_trace_outputs(const dtrace::Collector& c, const TraceOptions& t, std::string* err);
 
 struct Options {
   bool help = false;

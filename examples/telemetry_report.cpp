@@ -5,7 +5,8 @@
 //
 //   telemetry_report --preset summit
 //   telemetry_report --preset dgx --nodes 1 --rpn 2
-//   telemetry_report --prom metrics.prom --json report.json --trace trace.json
+//   telemetry_report --prom metrics.prom --json report.json
+//   telemetry_report --trace-out merged.json --trace-merge rankdocs
 //
 // Three configurations run back to back so all five methods appear: the
 // default flag set (staged | colocated | peer), a CUDA-aware set that
@@ -15,7 +16,10 @@
 // pure bookkeeping and must not perturb the exchange. The run is also
 // checked: the happens-before edges the checker derives feed the
 // critical-path analyzer, replacing timeline heuristics with the real sync
-// structure. Exits non-zero on halo mismatch or checker findings.
+// structure, and the recorded exchange runs under a dtrace::Collector so
+// message edges (flow arrows) join the analysis and --trace-out /
+// --trace-merge emit the merged / per-rank causal trace (DESIGN.md §12).
+// Exits non-zero on halo mismatch or checker findings.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -25,11 +29,12 @@
 #include <vector>
 
 #include "check/checker.h"
+#include "common_cli.h"
 #include "core/cluster.h"
 #include "core/distributed_domain.h"
+#include "dtrace/collector.h"
 #include "telemetry/telemetry.h"
 #include "topo/archetype.h"
-#include "trace/recorder.h"
 
 using namespace stencil;
 namespace check = stencil::check;
@@ -82,13 +87,21 @@ struct Args {
   std::int64_t edge = 48;
   int radius = 1;
   std::size_t quantities = 2;
-  std::string prom_file;   // Prometheus text exposition
-  std::string json_file;   // full JSON report (metrics + critical path)
-  std::string trace_file;  // enriched chrome trace of the recorded exchange
+  std::string prom_file;    // Prometheus text exposition
+  std::string json_file;    // full JSON report (metrics + critical path)
+  cli::TraceOptions trace;  // --trace-out / --trace-merge (shared flags)
 };
 
 bool parse(int argc, char** argv, Args* a) {
   for (int i = 1; i < argc; ++i) {
+    std::string terr;
+    if (cli::parse_trace_flag(argc, argv, &i, &a->trace, &terr)) {
+      if (!terr.empty()) {
+        std::fprintf(stderr, "telemetry_report: %s\n", terr.c_str());
+        return false;
+      }
+      continue;
+    }
     const std::string f = argv[i];
     auto next = [&](const char* what) -> const char* {
       if (i + 1 >= argc) {
@@ -107,12 +120,12 @@ bool parse(int argc, char** argv, Args* a) {
       a->quantities = static_cast<std::size_t>(std::atoll(v));
     else if (f == "--prom" && (v = next("--prom"))) a->prom_file = v;
     else if (f == "--json" && (v = next("--json"))) a->json_file = v;
-    else if (f == "--trace" && (v = next("--trace"))) a->trace_file = v;
     else if (f == "--help") {
       std::printf(
           "usage: telemetry_report [--preset summit|dgx|pcie] [--nodes N] [--rpn R]\n"
           "                        [--domain EDGE] [--radius R] [--quantities Q]\n"
-          "                        [--prom FILE] [--json FILE] [--trace FILE]\n");
+          "                        [--prom FILE] [--json FILE]\n");
+      cli::print_trace_usage();
       std::exit(0);
     } else {
       std::fprintf(stderr, "telemetry_report: unknown flag '%s' (try --help)\n", f.c_str());
@@ -169,7 +182,7 @@ int main(int argc, char** argv) {
   std::int64_t halo_errors = 0;
   int findings = 0;
   telemetry::Analysis last_analysis;
-  std::vector<trace::OpRecord> last_spans;
+  dtrace::Collector trace_out;  // the "all" config's trace: the one that crosses ranks
 
   for (const Config& cfg : configs) {
     Cluster cluster(arch_for(a.preset), cfg.nodes ? cfg.nodes : a.nodes,
@@ -178,7 +191,7 @@ int main(int argc, char** argv) {
     cluster.set_checker(&checker);
     telemetry::Telemetry substrate;  // GPU-op / MPI metrics, cluster-wide
     cluster.set_telemetry(&substrate);
-    trace::Recorder rec;
+    dtrace::Collector rec;
 
     std::map<Method, std::pair<int, std::size_t>> xfer_set;  // rank 0's realized transfers
 
@@ -198,7 +211,7 @@ int main(int argc, char** argv) {
       ctx.comm.barrier();
       halo_errors += check_halos(dd, domain, a.quantities);
 
-      if (ctx.rank() == 0) cluster.set_recorder(&rec);
+      if (ctx.rank() == 0) cluster.set_collector(&rec);
       ctx.comm.barrier();
       dd.exchange();
       ctx.comm.barrier();
@@ -229,13 +242,16 @@ int main(int argc, char** argv) {
       std::printf("  %-16s %10d %14zu\n", to_string(m), cb.first, cb.second);
 
     telemetry::CriticalPath cp(rec.records());
+    const std::size_t msg_edges = cp.add_flow_edges(rec.flows());
     const std::size_t attached = cp.add_hb_edges(checker.hb_edges());
     const telemetry::Analysis an = cp.analyze();
-    std::printf("critical path over one recorded exchange (%zu spans, %zu hb edges attached):\n",
-                rec.records().size(), attached);
+    std::printf(
+        "critical path over one recorded exchange (%zu spans, %zu message edges, "
+        "%zu hb edges attached):\n",
+        rec.records().size(), msg_edges, attached);
     std::printf("%s", an.str(5).c_str());
     last_analysis = an;
-    last_spans = rec.records();
+    if (std::string(cfg.name) == "all") trace_out = rec;
   }
 
   std::printf("\n=== merged telemetry (all ranks, all configs) ===\n");
@@ -273,10 +289,16 @@ int main(int argc, char** argv) {
     telemetry::write_report_json(os, merged, last_analysis);
     std::printf("JSON report written to %s\n", a.json_file.c_str());
   }
-  if (!a.trace_file.empty()) {
-    std::ofstream os(a.trace_file);
-    telemetry::write_chrome_trace(os, last_spans, &merged, &last_analysis);
-    std::printf("chrome trace written to %s\n", a.trace_file.c_str());
+  if (a.trace.any()) {
+    std::string err;
+    if (!cli::write_trace_outputs(trace_out, a.trace, &err)) {
+      std::fprintf(stderr, "telemetry_report: %s\n", err.c_str());
+      return 2;
+    }
+    if (!a.trace.out.empty())
+      std::printf("merged chrome trace written to %s\n", a.trace.out.c_str());
+    if (!a.trace.merge.empty())
+      std::printf("per-rank trace documents written to %s.rank*.json\n", a.trace.merge.c_str());
   }
 
   if (halo_errors != 0) {

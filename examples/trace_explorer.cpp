@@ -1,0 +1,237 @@
+// trace_explorer: run a halo exchange under the causal distributed tracer
+// (DESIGN.md §12) and explore what it sees — one merged cross-rank timeline
+// with flow arrows along every message, a critical path that follows those
+// message edges across rank boundaries with per-rank blame, and a live
+// progress monitor that flags stragglers against its virtual-time slack.
+//
+//   trace_explorer                                # clean 2-node x 2-GPU run
+//   trace_explorer --trace-out merged.json        # open in Perfetto
+//   trace_explorer --trace-merge doc              # per-rank docs + offline merge
+//   trace_explorer --straggler 3 --expect straggler   # inject + detect a slow GPU
+//
+// The default shape is two Summit-like nodes trimmed to one GPU per socket
+// (2 nodes x 2 GPUs, one GPU per rank) so every lane fits on a screen while
+// still exercising inter-node MPI, same-node IPC, and pack kernels.
+// --straggler G scales GPU G's kernel throughput down by --factor; the
+// ProgressMonitor compares per-rank exchange durations against the median
+// and fires when a rank exceeds relative-slack x median AND the absolute
+// slack floor. --expect straggler|clean turns the outcome into the exit
+// status so CI can pin both the true-positive and the false-positive case.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common_cli.h"
+#include "core/cluster.h"
+#include "core/distributed_domain.h"
+#include "dtrace/collector.h"
+#include "dtrace/progress.h"
+#include "fault/fault.h"
+#include "telemetry/critical_path.h"
+#include "telemetry/telemetry.h"
+#include "topo/archetype.h"
+
+using namespace stencil;
+namespace fault = stencil::fault;
+namespace telemetry = stencil::telemetry;
+
+namespace {
+
+struct Args {
+  int nodes = 2;
+  int rpn = 2;
+  std::int64_t edge = 48;
+  int radius = 1;
+  std::size_t quantities = 2;
+  int iters = 3;
+  bool persistent = false;
+  int straggler = -1;       // global GPU to slow down (-1: none)
+  double factor = 0.001;    // throughput scale for the slowed GPU (floored at 1e-3)
+  double slack_us = 50.0;   // ProgressMonitor absolute slack floor
+  double rel_slack = 2.0;   // ProgressMonitor relative slack
+  std::string expect;       // "" | straggler | clean
+  cli::TraceOptions trace;
+};
+
+bool parse(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    std::string terr;
+    if (cli::parse_trace_flag(argc, argv, &i, &a->trace, &terr)) {
+      if (!terr.empty()) {
+        std::fprintf(stderr, "trace_explorer: %s\n", terr.c_str());
+        return false;
+      }
+      continue;
+    }
+    const std::string f = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "trace_explorer: %s needs a value\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (f == "--nodes" && (v = next("--nodes"))) a->nodes = std::atoi(v);
+    else if (f == "--rpn" && (v = next("--rpn"))) a->rpn = std::atoi(v);
+    else if (f == "--domain" && (v = next("--domain"))) a->edge = std::atoll(v);
+    else if (f == "--radius" && (v = next("--radius"))) a->radius = std::atoi(v);
+    else if (f == "--quantities" && (v = next("--quantities")))
+      a->quantities = static_cast<std::size_t>(std::atoll(v));
+    else if (f == "--iters" && (v = next("--iters"))) a->iters = std::atoi(v);
+    else if (f == "--straggler" && (v = next("--straggler"))) a->straggler = std::atoi(v);
+    else if (f == "--factor" && (v = next("--factor"))) a->factor = std::atof(v);
+    else if (f == "--slack-us" && (v = next("--slack-us"))) a->slack_us = std::atof(v);
+    else if (f == "--rel-slack" && (v = next("--rel-slack"))) a->rel_slack = std::atof(v);
+    else if (f == "--expect" && (v = next("--expect"))) a->expect = v;
+    else if (f == "--persistent") { a->persistent = true; continue; }
+    else if (f == "--help") {
+      std::printf(
+          "usage: trace_explorer [--nodes N] [--rpn R] [--domain EDGE] [--radius R]\n"
+          "                      [--quantities Q] [--iters N] [--persistent]\n"
+          "                      [--straggler GPU] [--factor F] [--slack-us US]\n"
+          "                      [--rel-slack MULT] [--expect straggler|clean]\n");
+      cli::print_trace_usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "trace_explorer: unknown flag '%s' (try --help)\n", f.c_str());
+      return false;
+    }
+    if (v == nullptr) return false;
+  }
+  if (!a->expect.empty() && a->expect != "straggler" && a->expect != "clean") {
+    std::fprintf(stderr, "trace_explorer: --expect takes straggler|clean\n");
+    return false;
+  }
+  return true;
+}
+
+// Round-trip the per-rank documents through the offline merger and confirm
+// the rebuilt collector renders the same merged timeline byte for byte.
+bool verify_offline_merge(const dtrace::Collector& direct, const std::string& prefix) {
+  std::vector<std::string> docs;
+  for (int r = -1; r <= direct.max_rank(); ++r) {
+    const std::string path =
+        prefix + (r < 0 ? std::string(".shared") : ".rank" + std::to_string(r)) + ".json";
+    std::ifstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "trace_explorer: cannot re-read %s\n", path.c_str());
+      return false;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    docs.push_back(ss.str());
+  }
+  const dtrace::Collector rebuilt = dtrace::Collector::merge(docs);
+  std::ostringstream a, b;
+  direct.write_merged_chrome_trace(a);
+  rebuilt.write_merged_chrome_trace(b);
+  return a.str() == b.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, &a)) return 2;
+
+  // Summit sockets with one V100 each: a 2-GPU node keeps the timeline small.
+  topo::NodeArchetype arch = topo::summit();
+  arch.gpus_per_socket = 1;
+  if (arch.gpus_per_node() % a.rpn != 0) {
+    std::fprintf(stderr, "trace_explorer: --rpn must divide %d GPUs per node\n",
+                 arch.gpus_per_node());
+    return 2;
+  }
+  const Dim3 domain{a.edge, a.edge, a.edge};
+  std::printf("trace_explorer: %dn/%dr (%d GPUs), domain %s, radius %d, %d iters%s\n",
+              a.nodes, a.rpn, a.nodes * arch.gpus_per_node(), domain.str().c_str(), a.radius,
+              a.iters, a.persistent ? ", persistent" : "");
+
+  Cluster cluster(arch, a.nodes, a.rpn);
+  cluster.set_mem_mode(vgpu::MemMode::kPhantom);
+
+  fault::FaultPlan plan;
+  if (a.straggler >= 0) {
+    plan.slow_device(0, a.straggler, a.factor);
+    std::printf("injected: GPU %d kernel throughput x%.3g from t=0\n", a.straggler, a.factor);
+  }
+  fault::Injector inj(plan);
+  if (inj.active()) cluster.set_fault_injector(&inj);
+
+  telemetry::Telemetry tel;
+  cluster.set_telemetry(&tel);
+  dtrace::Collector col;
+  cluster.set_collector(&col);
+  dtrace::ProgressMonitor mon;
+  mon.set_slack(static_cast<sim::Duration>(a.slack_us * 1000.0));
+  mon.set_relative_slack(a.rel_slack);
+  cluster.set_progress_monitor(&mon);
+
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, domain);
+    dd.set_radius(a.radius);
+    for (std::size_t q = 0; q < a.quantities; ++q) dd.add_data<float>("q" + std::to_string(q));
+    dd.set_persistent(a.persistent);
+    dd.realize();
+    for (int it = 0; it < a.iters; ++it) {
+      ctx.comm.barrier();
+      dd.exchange();
+    }
+    ctx.comm.barrier();
+  });
+  mon.finish(cluster.engine().now());
+
+  std::printf("\n=== progress monitor (%llu exchanges, slack %s, %.2gx median) ===\n%s",
+              static_cast<unsigned long long>(mon.exchanges_seen()),
+              sim::format_duration(mon.slack()).c_str(), mon.relative_slack(),
+              mon.str().c_str());
+
+  telemetry::CriticalPath cp(col.records());
+  const std::size_t msg_edges = cp.add_flow_edges(col.flows());
+  const telemetry::Analysis an = cp.analyze();
+  std::printf("\n=== critical path (%zu spans, %zu message edges, %d rank crossings) ===\n%s",
+              col.records().size(), msg_edges, an.rank_crossings, an.str(8).c_str());
+
+  if (a.trace.any()) {
+    std::string err;
+    if (!cli::write_trace_outputs(col, a.trace, &err)) {
+      std::fprintf(stderr, "trace_explorer: %s\n", err.c_str());
+      return 2;
+    }
+    if (!a.trace.out.empty())
+      std::printf("\nmerged chrome trace written to %s (open in Perfetto)\n",
+                  a.trace.out.c_str());
+    if (!a.trace.merge.empty()) {
+      std::printf("per-rank trace documents written to %s.rank*.json\n", a.trace.merge.c_str());
+      if (!verify_offline_merge(col, a.trace.merge)) {
+        std::fprintf(stderr, "trace_explorer: offline merge does not match direct trace\n");
+        return 1;
+      }
+      std::printf("offline merge round-trip: identical to the direct merged trace\n");
+    }
+  }
+
+  if (a.expect == "straggler") {
+    const int slow_rank = a.straggler / cluster.gpus_per_rank();
+    bool hit = false;
+    for (const auto& alert : mon.alerts()) hit |= alert.rank == slow_rank;
+    if (!hit) {
+      std::fprintf(stderr, "trace_explorer: expected a straggler alert for rank %d\n",
+                   slow_rank);
+      return 1;
+    }
+    std::printf("\nexpected straggler flagged: OK\n");
+  } else if (a.expect == "clean") {
+    if (!mon.clean()) {
+      std::fprintf(stderr, "trace_explorer: expected a clean run, got %zu alert(s)\n",
+                   mon.alerts().size());
+      return 1;
+    }
+    std::printf("\nexpected clean run: OK\n");
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "simpi/mpi.h"
+#include "telemetry/telemetry.h"
 #include "vgpu/runtime.h"
 
 namespace stencil::check {
@@ -34,9 +35,14 @@ VClock& Checker::host_clock() {
   return host_clocks_[it->second];
 }
 
-void Checker::log_hb(std::string from, std::string to) {
+void Checker::log_hb(std::string from, std::string to, std::uint64_t msg) {
   if (hb_edges_.size() >= kMaxHbEdges) return;
-  hb_edges_.push_back({std::move(from), std::move(to), eng_.now()});
+  hb_edges_.push_back({std::move(from), std::move(to), eng_.now(), msg});
+}
+
+void Checker::add_finding(Finding f) {
+  if (telemetry_ != nullptr) telemetry_->on_checker_finding(to_string(f.kind), f.at);
+  report_.add(std::move(f));
 }
 
 const std::string& Checker::host_desc() {
@@ -83,7 +89,7 @@ void Checker::add_race(FindingKind kind, const AccessRec& prior, const AccessRec
   f.second = cur.label + " @ t=" + sim::format_duration(cur.when);
   f.missing_edge = edge_hint(prior.at.tid, cur.at.tid);
   f.at = eng_.now();
-  report_.add(std::move(f));
+  add_finding(std::move(f));
 }
 
 void Checker::check_pair(const AccessRec& prior, bool prior_is_write, const AccessRec& cur,
@@ -206,7 +212,7 @@ void Checker::on_stream_wait_event(const vgpu::Stream& s, const vgpu::Event& ev)
     f.second = "event was never recorded; the wait is a no-op and orders nothing";
     f.missing_edge = "record_event must happen-before the wait that consumes it";
     f.at = eng_.now();
-    report_.add(std::move(f));
+    add_finding(std::move(f));
     return;
   }
   auto it = events_.find(&ev);
@@ -224,7 +230,7 @@ void Checker::on_event_synchronize(const vgpu::Event& ev) {
     f.second = "event was never recorded; the sync returns immediately and orders nothing";
     f.missing_edge = "record_event must happen-before the synchronize that consumes it";
     f.at = eng_.now();
-    report_.add(std::move(f));
+    add_finding(std::move(f));
     return;
   }
   auto it = events_.find(&ev);
@@ -265,7 +271,7 @@ void Checker::on_stream_destroy(const vgpu::Stream& s) {
     f.missing_edge = "synchronize the stream (or an event recorded after its last op) "
                      "before destroying it";
     f.at = eng_.now();
-    report_.add(std::move(f));
+    add_finding(std::move(f));
   }
   streams_.erase({s.device, s.id});
 }
@@ -278,7 +284,7 @@ void Checker::on_ipc_misuse(const vgpu::IpcMappedPtr& p, const std::string& what
              (p.closed ? " (closed by ipc_close_mem_handle)" : " (never opened)");
   f.missing_edge = "all copies through a mapping must happen-before its close";
   f.at = eng_.now();
-  report_.add(std::move(f));
+  add_finding(std::move(f));
 }
 
 // --- simpi::JobObserver -----------------------------------------------------
@@ -319,7 +325,7 @@ void Checker::on_post(const simpi::MsgInfo& m) {
                   Epoch{rs.tid, ep}, c, rs.desc, eng_.now());
   }
   rs.completion = c;  // eager sends complete with just their post knowledge
-  log_hb(host_desc(), "mpi.r" + std::to_string(m.src) + "->r" + std::to_string(m.dst));
+  log_hb(host_desc(), "mpi.r" + std::to_string(m.src) + "->r" + std::to_string(m.dst), m.serial);
   requests_.emplace(m.serial, std::move(rs));
 }
 
@@ -385,7 +391,7 @@ void Checker::on_truncation(const simpi::MsgInfo& send, const simpi::MsgInfo& re
   f.second = req_desc(recv) + " provides only " + std::to_string(recv.payload->bytes) + "B";
   f.missing_edge = "recv buffer must be at least the matched message size";
   f.at = eng_.now();
-  report_.add(std::move(f));
+  add_finding(std::move(f));
 }
 
 void Checker::on_request_done(std::uint64_t serial) {
@@ -395,7 +401,7 @@ void Checker::on_request_done(std::uint64_t serial) {
   host_clock().join(it->second.completion);
   if (it->second.src >= 0) {
     log_hb("mpi.r" + std::to_string(it->second.src) + "->r" + std::to_string(it->second.dst),
-           host_desc());
+           host_desc(), serial);
   }
 }
 
@@ -441,7 +447,7 @@ void Checker::on_persistent_start(const simpi::MsgInfo& m) {
                std::to_string(rs.starts) + " is still in flight";
     f.missing_edge = "the previous start must complete (wait/test/wait_any) before the next";
     f.at = eng_.now();
-    report_.add(std::move(f));
+    add_finding(std::move(f));
     return;
   }
   // Re-arm: same tid (same reusable Record), fresh epoch. The send-buffer
@@ -471,7 +477,7 @@ void Checker::on_persistent_free(std::uint64_t serial, bool active) {
     f.second = "freed while start #" + std::to_string(rs.starts) + " is still in flight";
     f.missing_edge = "complete the active operation before request_free";
     f.at = eng_.now();
-    report_.add(std::move(f));
+    add_finding(std::move(f));
   }
 }
 
@@ -505,7 +511,7 @@ void Checker::finish() {
         f.second = leaked[j]->desc;
         f.missing_edge = "tags must match for the pair to rendezvous";
         f.at = eng_.now();
-        report_.add(std::move(f));
+        add_finding(std::move(f));
         consumed[i] = consumed[j] = true;
         break;
       }
@@ -520,7 +526,7 @@ void Checker::finish() {
                                    : "never matched and never waited";
     f.missing_edge = "every request must reach wait/test/wait_any before teardown";
     f.at = eng_.now();
-    report_.add(std::move(f));
+    add_finding(std::move(f));
   }
   requests_.clear();
 
@@ -535,7 +541,7 @@ void Checker::finish() {
     f.second = "last unsynchronized op: " + ss.last_label;
     f.missing_edge = "synchronize the stream before the job ends";
     f.at = eng_.now();
-    report_.add(std::move(f));
+    add_finding(std::move(f));
   }
   events_.clear();
   barriers_.clear();

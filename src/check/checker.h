@@ -14,6 +14,10 @@
 #include "telemetry/critical_path.h"
 #include "vgpu/observer.h"
 
+namespace stencil::telemetry {
+class Telemetry;
+}
+
 namespace stencil::check {
 
 /// Vector-clock happens-before analyzer for the virtual CUDA/MPI substrate.
@@ -39,6 +43,12 @@ class Checker : public vgpu::RuntimeObserver, public simpi::JobObserver {
 
   CheckReport& report() { return report_; }
   const CheckReport& report() const { return report_; }
+
+  /// Optional telemetry sink: every finding (race, leak, lint, ...) is
+  /// counted by kind and triggers a flight-recorder tail dump, exactly like
+  /// deadlocks and transport errors. Cluster cross-wires this when both a
+  /// checker and a telemetry sink are installed.
+  void set_telemetry(telemetry::Telemetry* t) { telemetry_ = t; }
 
   /// Ordered log of every happens-before edge the checker derived from real
   /// synchronization (event waits, stream/device syncs, MPI post/completion,
@@ -148,13 +158,17 @@ class Checker : public vgpu::RuntimeObserver, public simpi::JobObserver {
   void apply_access(Segment& seg, const AccessRec& rec, bool write);
   void add_race(FindingKind kind, const AccessRec& prior, const AccessRec& cur);
   std::string edge_hint(Tid from, Tid to) const;
-  /// Append to the hb-edge log (no-op past kMaxHbEdges).
-  void log_hb(std::string from, std::string to);
+  /// Files a finding: notifies the telemetry sink, then adds to the report.
+  void add_finding(Finding f);
+  /// Append to the hb-edge log (no-op past kMaxHbEdges). `msg` carries the
+  /// message identity (request serial) for edges derived from MPI matching.
+  void log_hb(std::string from, std::string to, std::uint64_t msg = 0);
   /// Description of the calling host actor ("rank0", ...), creating its tid.
   const std::string& host_desc();
 
   sim::Engine& eng_;
   CheckReport report_;
+  telemetry::Telemetry* telemetry_ = nullptr;
   Tid next_tid_ = 1;
   std::unordered_map<Tid, std::string> tid_descs_;
   std::unordered_map<int, Tid> host_tids_;  // engine actor id -> tid

@@ -7,8 +7,11 @@
 
 #include "check/checker.h"
 #include "core/placement.h"
+#include "dtrace/collector.h"
+#include "dtrace/progress.h"
 #include "simpi/mpi.h"
 #include "simtime/engine.h"
+#include "telemetry/telemetry.h"
 #include "topo/machine.h"
 #include "trace/recorder.h"
 #include "vgpu/runtime.h"
@@ -55,25 +58,58 @@ class Cluster {
   int gpus_per_rank() const { return machine_.gpus_per_node() / job_.ranks_per_node(); }
 
   void set_recorder(trace::Recorder* rec) {
+    recorder_ = rec;
     rt_.set_recorder(rec);
     job_.set_recorder(rec);
   }
+  trace::Recorder* recorder() const { return recorder_; }
+
+  /// Attach a causal distributed-tracing collector (DESIGN.md §12): a
+  /// rank-aware Recorder plus the job topology it needs for GPU-lane
+  /// attribution. Equivalent to set_recorder(c) + c->set_topology(...).
+  void set_collector(dtrace::Collector* c) {
+    if (c != nullptr) c->set_topology(job_.world_size(), gpus_per_rank());
+    set_recorder(c);
+  }
+
   void set_mem_mode(vgpu::MemMode m) { rt_.set_mem_mode(m); }
 
   /// Attach a happens-before checker (nullptr detaches): every runtime op,
   /// event edge, and MPI post/match/wait feeds it, and the exchange layer
   /// annotates its kernels with byte-range access lists when one is set.
   void set_checker(check::Checker* c) {
+    checker_ = c;
     rt_.set_checker(c);
     job_.set_checker(c);
+    if (c != nullptr && telemetry_ != nullptr) c->set_telemetry(telemetry_);
   }
 
   /// Attach a telemetry sink (nullptr detaches): every runtime op and MPI
-  /// post/match/drop feeds its metrics registry and flight recorder.
+  /// post/match/drop feeds its metrics registry and flight recorder. When a
+  /// checker is (or later gets) attached too, its findings are cross-wired
+  /// into the sink so race reports dump the flight-recorder tail.
   void set_telemetry(telemetry::Telemetry* t) {
+    telemetry_ = t;
     rt_.set_telemetry(t);
     job_.set_telemetry(t);
+    if (checker_ != nullptr) checker_->set_telemetry(t);
   }
+  telemetry::Telemetry* telemetry() const { return telemetry_; }
+
+  /// Attach a progress/stall monitor (nullptr detaches): every rank
+  /// heartbeats at exchange start and completion, and the monitor flags
+  /// stragglers/stalls against its slack thresholds, snapshotting the
+  /// flight-recorder tail and in-flight trace contexts when one fires.
+  void set_progress_monitor(dtrace::ProgressMonitor* m) {
+    monitor_ = m;
+    if (m == nullptr) return;
+    m->set_world(job_.world_size());
+    if (telemetry_ != nullptr) m->set_flight(&telemetry_->flight());
+    if (auto* c = dynamic_cast<dtrace::Collector*>(recorder_); c != nullptr) {
+      m->set_collector(c);
+    }
+  }
+  dtrace::ProgressMonitor* progress_monitor() const { return monitor_; }
 
   /// Attach a fault injector for this cluster's runs (nullptr detaches).
   /// The Machine holds the single authoritative pointer; the runtime, MPI
@@ -91,6 +127,10 @@ class Cluster {
   topo::Machine machine_;
   vgpu::Runtime rt_;
   simpi::Job job_;
+  trace::Recorder* recorder_ = nullptr;
+  check::Checker* checker_ = nullptr;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  dtrace::ProgressMonitor* monitor_ = nullptr;
   std::map<std::string, std::shared_ptr<const Placement>> placement_cache_;
 };
 

@@ -18,6 +18,10 @@ struct DistributedDomain::IpcEventChannel {
   std::uint64_t data_gen = 0;
   vgpu::Event done_ev;
   std::uint64_t done_gen = 0;
+  // Distributed tracing: span id of the sender's "ipc push" marker for the
+  // generation in data_gen, so the receiver can draw a causal arrow along
+  // the IPC handshake. 0 when the recorder is not causal.
+  std::uint64_t data_span = 0;
   sim::Gate gate{"colocated-channel"};
   // Set by the sender when its IPC mapping went stale and it rerouted this
   // generation over MPI; tells a receiver parked on data_gen to fall back.
@@ -542,6 +546,9 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
   ++seq_;
   inflight_.start_time = ctx_.engine().now();
   telemetry_.on_exchange_start(seq_, inflight_.start_time);
+  if (auto* pm = ctx_.cluster.progress_monitor(); pm != nullptr) {
+    pm->on_exchange_begin(ctx_.comm.world_rank(), seq_, inflight_.start_time);
+  }
   for (const auto& xp : xfers_) {
     if (!xp->i_send || xp->active_bytes == 0) continue;
     telemetry_.flight().log(telemetry::EventKind::kTransfer, inflight_.start_time,
@@ -708,6 +715,13 @@ void DistributedDomain::colocated_send(TransferState& x) {
                        pack_access(x, x.src_pack));
       rt.memcpy_to_ipc_async(x.mapped, 0, x.src_pack, 0, x.active_bytes, x.src_stream);
       rt.record_event(x.peer_channel->data_ev, x.src_stream);
+      if (trace::Recorder* rec = ctx_.cluster.recorder();
+          rec != nullptr && rec->causal()) {
+        const sim::Time now = eng.now();
+        x.peer_channel->data_span =
+            rec->record("rank" + std::to_string(ctx_.comm.world_rank()) + ".colo",
+                        "ipc push tag=" + std::to_string(x.t.tag), now, now);
+      }
       x.peer_channel->data_gen = seq_;
       x.peer_channel->gate.notify_all(eng);
     } catch (const vgpu::CapabilityError&) {
@@ -755,6 +769,16 @@ void DistributedDomain::colocated_recv(TransferState& x) {
     return;
   }
   rt.stream_wait_event(x.dst_stream, x.channel->data_ev);
+  if (trace::Recorder* rec = ctx_.cluster.recorder();
+      rec != nullptr && rec->causal() && x.channel->data_span != 0) {
+    const sim::Time now = eng.now();
+    const std::uint64_t adopt =
+        rec->record("rank" + std::to_string(ctx_.comm.world_rank()) + ".colo",
+                    "ipc recv tag=" + std::to_string(x.t.tag), now, now);
+    rec->add_flow(x.channel->data_span, adopt, /*msg=*/0,
+                  "ipc tag=" + std::to_string(x.t.tag));
+    x.channel->data_span = 0;  // one arrow per generation
+  }
   rt.launch_kernel(x.dst_stream, x.active_bytes, "unpack " + dir_str(x.t.dir),
                    [&x, this] { x.dst_ld->unpack_region(x.dst_pack, x.dst_region, active_qs_); },
                    unpack_access(x, x.dst_pack));
@@ -865,6 +889,9 @@ void DistributedDomain::exchange_finish() {
 void DistributedDomain::note_exchange_complete() {
   const sim::Time now = ctx_.engine().now();
   telemetry_.on_exchange_latency(now - inflight_.start_time);
+  if (auto* pm = ctx_.cluster.progress_monitor(); pm != nullptr) {
+    pm->on_exchange_complete(ctx_.comm.world_rank(), seq_, now);
+  }
   std::map<Method, std::pair<std::uint64_t, std::uint64_t>> per;  // method -> (msgs, bytes)
   for (const auto& xp : xfers_) {
     if (!xp->i_send || xp->active_bytes == 0) continue;

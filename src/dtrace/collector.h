@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dtrace/context.h"
+#include "trace/recorder.h"
+
+namespace stencil::dtrace {
+
+/// A causal, rank-aware trace recorder (DESIGN.md §12). Drop-in for
+/// trace::Recorder (attach with Cluster::set_collector): every recorded
+/// span is attributed to the rank its lane names ("rank2.cpu" -> 2,
+/// "gpu5.kernel" -> 5 / gpus_per_rank, "mpi.r1->r3" -> 1, the sender), and
+/// because causal() is true the simpi layer stamps trace contexts onto
+/// message envelopes and feeds flow edges along every message, IPC
+/// handshake, and persistent-plan replay. The result merges into one
+/// global timeline: write_merged_chrome_trace emits one process per rank
+/// with chrome flow events (s/f arrows) drawn along every message, and
+/// write_rank_json / merge support the offline per-rank-file workflow.
+class Collector : public trace::Recorder {
+ public:
+  /// Rank attribution for GPU lanes needs the job shape; Cluster::set_collector
+  /// calls this. gpus_per_rank <= 0 leaves GPU lanes unattributed.
+  void set_topology(int world_size, int gpus_per_rank);
+  int world_size() const { return world_size_; }
+
+  std::uint64_t record(std::string lane, std::string label, sim::Time start,
+                       sim::Time end) override;
+  bool causal() const override { return true; }
+
+  void on_context_posted(int rank, std::uint64_t span, std::uint64_t seq,
+                         std::uint64_t serial) override;
+  void on_context_resolved(std::uint64_t serial) override;
+
+  /// Trace contexts stamped on sends whose completion has not been observed
+  /// yet, ordered by request serial — the "what is still in the air"
+  /// snapshot a ProgressMonitor stall alert captures.
+  std::vector<TraceContext> inflight() const;
+
+  /// Which rank a lane belongs to: "rankN.*" -> N, "mpi.rS->rD" -> S (the
+  /// sender initiates the message), "gpuG*" -> G / gpus_per_rank; -1 for
+  /// shared lanes ("exchange", "fault", "barrier#...").
+  int rank_of_lane(const std::string& lane) const;
+
+  /// Largest rank seen across spans (-1 when nothing is attributed).
+  int max_rank() const;
+
+  /// One global timeline: a chrome trace with one process per rank
+  /// (pid = rank + 1; pid 0 holds unattributed lanes), thread-per-lane
+  /// within each process, and a flow-event pair (ph "s" at the producer,
+  /// ph "f" bp "e" at the consumer) per causal edge. Loads in Perfetto
+  /// with arrows along every message.
+  void write_merged_chrome_trace(std::ostream& os) const;
+
+  /// Per-rank export for the offline-merge workflow: the spans owned by
+  /// `rank` plus the flow edges whose producer span `rank` owns, as a
+  /// self-describing JSON document. rank -1 exports the shared lanes.
+  void write_rank_json(std::ostream& os, int rank) const;
+
+  /// Offline merger: parse documents previously written by write_rank_json
+  /// and rebuild the union Collector (spans and flows ordered by id, which
+  /// is the original recording order). Throws std::runtime_error on
+  /// malformed input.
+  static Collector merge(const std::vector<std::string>& docs);
+
+ private:
+  int world_size_ = 0;
+  int gpus_per_rank_ = 0;
+  std::map<std::uint64_t, TraceContext> inflight_;  // serial -> stamped context
+};
+
+}  // namespace stencil::dtrace

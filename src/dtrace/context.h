@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+namespace stencil::dtrace {
+
+/// The trace context a simpi send stamps onto its message envelope and the
+/// matching receive adopts (Dapper-style propagation, DESIGN.md §12): which
+/// rank originated the message, the id of the "post" marker span on that
+/// rank's timeline, and the rank-local send sequence number. Header-only so
+/// simpi can carry it on Request::Record without linking dtrace.
+struct TraceContext {
+  int rank = -1;          // originating rank
+  std::uint64_t span = 0; // id of the sender's post/start marker span (0: unset)
+  std::uint64_t seq = 0;  // rank-local send sequence number (1-based)
+
+  bool valid() const { return span != 0; }
+};
+
+}  // namespace stencil::dtrace

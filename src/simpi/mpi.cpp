@@ -83,6 +83,7 @@ Job::Job(sim::Engine& eng, topo::Machine& machine, vgpu::Runtime& runtime, int r
   }
   unmatched_sends_.resize(static_cast<std::size_t>(world_size_));
   unmatched_recvs_.resize(static_cast<std::size_t>(world_size_));
+  send_seq_.resize(static_cast<std::size_t>(world_size_), 0);
   barrier_gate_ = std::make_unique<sim::Gate>("barrier");
 }
 
@@ -139,6 +140,7 @@ std::shared_ptr<Request::Record> Job::post(bool is_send, int me, int peer, int t
     telemetry_->on_mpi_post(rec->src, rec->dst, rec->tag, rec->payload.bytes, is_send,
                             rec->post_time);
   }
+  stamp_context(*rec, /*restart=*/false);  // before try_match can consume it
 
   auto& queue = is_send ? unmatched_sends_[static_cast<std::size_t>(rec->dst)]
                         : unmatched_recvs_[static_cast<std::size_t>(rec->dst)];
@@ -207,10 +209,47 @@ void Job::start(Request& r) {
     }
   }
 
+  stamp_context(rec, /*restart=*/true);  // re-stamped per start, same serial
+
   auto& queue = rec.is_send ? unmatched_sends_[static_cast<std::size_t>(rec.dst)]
                             : unmatched_recvs_[static_cast<std::size_t>(rec.dst)];
   queue.push_back(rec_sp);
   try_match(rec.dst);
+}
+
+void Job::stamp_context(Request::Record& rec, bool restart) {
+  if (!rec.is_send || recorder_ == nullptr || !recorder_->causal()) return;
+  const std::uint64_t span = recorder_->record(
+      "rank" + std::to_string(rec.src) + ".mpi",
+      std::string(restart ? "start" : "post") + " tag=" + std::to_string(rec.tag) + " ->r" +
+          std::to_string(rec.dst),
+      rec.post_time, rec.post_time);
+  rec.ctx =
+      dtrace::TraceContext{rec.src, span, ++send_seq_[static_cast<std::size_t>(rec.src)]};
+  rec.wire_span = 0;
+  recorder_->on_context_posted(rec.src, span, rec.ctx.seq, rec.serial);
+}
+
+void Job::note_completion(Request::Record& rec) {
+  if (recorder_ == nullptr || !recorder_->causal()) return;
+  if (rec.is_send) {
+    if (rec.ctx.valid()) {
+      recorder_->on_context_resolved(rec.serial);
+      rec.ctx = dtrace::TraceContext{};
+    }
+    return;
+  }
+  if (rec.wire_span != 0) {
+    // The receive adopts the sender's context: a marker span on the
+    // receiving rank's timeline, with an arrow from the wire span into it.
+    const std::uint64_t adopt = recorder_->record(
+        "rank" + std::to_string(rec.dst) + ".mpi",
+        "recv tag=" + std::to_string(rec.tag) + " <-r" + std::to_string(rec.src), eng_.now(),
+        eng_.now());
+    recorder_->add_flow(rec.wire_span, adopt, rec.serial,
+                        "deliver tag=" + std::to_string(rec.tag));
+    rec.wire_span = 0;  // one adoption arrow per delivery
+  }
 }
 
 void Job::request_free(Request& r) {
@@ -318,10 +357,19 @@ void Job::complete_match(Request::Record& send, Request::Record& recv) {
       recv.failed = true;
       recv.complete_at = fail_at;
       if (recorder_ != nullptr) {
-        recorder_->record("mpi.r" + std::to_string(send.src) + "->r" + std::to_string(recv.dst),
-                          "LOST tag=" + std::to_string(send.tag) + " after " +
-                              std::to_string(recv.attempts) + " attempts",
-                          ready, fail_at);
+        const std::uint64_t lost = recorder_->record(
+            "mpi.r" + std::to_string(send.src) + "->r" + std::to_string(recv.dst),
+            "LOST tag=" + std::to_string(send.tag) + " after " + std::to_string(recv.attempts) +
+                " attempts",
+            ready, fail_at);
+        if (recorder_->causal() && send.ctx.valid()) {
+          // The arrow ends at the loss: the trace shows where the message
+          // died, and the sender's context leaves the in-flight set.
+          recorder_->add_flow(send.ctx.span, lost, send.serial,
+                              "lost tag=" + std::to_string(send.tag));
+          recorder_->on_context_resolved(send.serial);
+          send.ctx = dtrace::TraceContext{};
+        }
       }
       if (checker_ != nullptr) {
         checker_->on_match(msg_info(send), msg_info(recv), /*delivered=*/false, same_node);
@@ -422,9 +470,18 @@ void Job::complete_match(Request::Record& send, Request::Record& recv) {
   recv.complete_at = span.end;
 
   if (recorder_ != nullptr) {
-    recorder_->record("mpi.r" + std::to_string(send.src) + "->r" + std::to_string(recv.dst),
-                      (dev_s || dev_r ? "ca-msg " : "msg ") + std::to_string(bytes) + "B", span.start,
-                      span.end);
+    const std::uint64_t wire = recorder_->record(
+        "mpi.r" + std::to_string(send.src) + "->r" + std::to_string(recv.dst),
+        (dev_s || dev_r ? "ca-msg " : "msg ") + std::to_string(bytes) + "B", span.start,
+        span.end);
+    if (recorder_->causal()) {
+      send.wire_span = recv.wire_span = wire;
+      if (send.ctx.valid()) {
+        recorder_->add_flow(send.ctx.span, wire, send.serial,
+                            "msg tag=" + std::to_string(send.tag));
+      }
+      recv.ctx = send.ctx;  // the receive adopts the sender's context
+    }
   }
   if (checker_ != nullptr) {
     checker_->on_match(msg_info(send), msg_info(recv), /*delivered=*/true, same_node);
@@ -478,6 +535,7 @@ void Job::wait(Request& r, int me) {
   eng_.sleep_until(rec.complete_at);
   rec.active = false;  // persistent: back to inactive; handle stays valid
   if (checker_ != nullptr) checker_->on_request_done(rec.serial);
+  note_completion(rec);
   if (rec.failed) {
     const std::string what = "simpi: " + wait_detail(rec.is_send, rec.src, rec.dst, rec.tag) +
                              " lost after " + std::to_string(rec.attempts) +
@@ -496,6 +554,7 @@ bool Job::test(Request& r) {
   if (complete) {
     rec.active = false;
     if (checker_ != nullptr) checker_->on_request_done(rec.serial);
+    note_completion(rec);
   }
   return complete;
 }
@@ -524,6 +583,7 @@ int Job::wait_any(std::vector<Request>& rs, int me) {
       rec->active = false;
       rs[static_cast<std::size_t>(best)].rec_.reset();
       if (checker_ != nullptr) checker_->on_request_done(rec->serial);
+      note_completion(*rec);
       if (rec->failed) {
         const std::string what = "simpi: " +
                                  wait_detail(rec->is_send, rec->src, rec->dst, rec->tag) +

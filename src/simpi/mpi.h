@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "dtrace/context.h"
 #include "simpi/observer.h"
 #include "simtime/engine.h"
 #include "simtime/resource.h"
@@ -129,6 +130,12 @@ class Job {
   bool test(Request& r);
   int wait_any(std::vector<Request>& rs, int me);
   void barrier(int me);
+  // Distributed tracing (no-ops unless the recorder is causal): stamp a
+  // fresh trace context onto a send's envelope (a zero-duration marker span
+  // on "rankN.mpi"), and close out a completed request (resolve the send's
+  // context / record the receive-side adoption marker and flow edge).
+  void stamp_context(Request::Record& rec, bool restart);
+  void note_completion(Request::Record& rec);
   sim::Time device_ready_barrier(const Request::Record& send, const Request::Record& recv,
                                  sim::Time ready);
 
@@ -141,6 +148,7 @@ class Job {
   int ranks_per_node_ = 0;
   int world_size_ = 0;
   std::uint64_t next_request_serial_ = 1;
+  std::vector<std::uint64_t> send_seq_;  // per-rank send sequence numbers
 
   std::vector<sim::Resource> cpu_;                       // per rank
   std::vector<std::unique_ptr<sim::Gate>> rank_gates_;   // per rank: wakes its waits
@@ -184,6 +192,14 @@ struct Request::Record {
   bool persistent = false;
   bool active = false;
   std::uint64_t starts = 0;
+  // Distributed tracing (only populated when the attached recorder is
+  // causal): the envelope carries the sender's trace context so the
+  // matching receive adopts it, and `wire_span` remembers the wire span a
+  // delivered receive must draw its adoption arrow from. Persistent
+  // requests re-stamp a fresh context on every start() under the same
+  // serial, so contexts survive compiled-plan replay.
+  dtrace::TraceContext ctx;
+  std::uint64_t wire_span = 0;
 };
 
 /// The per-rank communicator handle (the world communicator; split() yields

@@ -11,10 +11,35 @@ namespace stencil::telemetry {
 
 CriticalPath::CriticalPath(std::vector<trace::OpRecord> spans) : spans_(std::move(spans)) {}
 
-void CriticalPath::add_edge(std::size_t from, std::size_t to) {
+void CriticalPath::add_edge_checked(std::size_t from, std::size_t to, bool message,
+                                    std::uint64_t msg) {
   if (from >= spans_.size() || to >= spans_.size() || from == to) return;
   if (spans_[from].end > spans_[to].start) return;  // contradicted by the timeline
-  edges_.emplace_back(from, to);
+  edges_.push_back(Edge{from, to, message, msg});
+}
+
+void CriticalPath::add_edge(std::size_t from, std::size_t to) {
+  add_edge_checked(from, to, /*message=*/false, /*msg=*/0);
+}
+
+std::size_t CriticalPath::add_flow_edges(const std::vector<trace::FlowEdge>& flows) {
+  std::map<std::uint64_t, std::size_t> by_id;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].id != 0) by_id.emplace(spans_[i].id, i);
+  }
+  std::size_t attached = 0;
+  for (const auto& f : flows) {
+    const auto fit = by_id.find(f.from_span);
+    const auto tit = by_id.find(f.to_span);
+    if (fit == by_id.end() || tit == by_id.end()) continue;
+    const std::size_t before = edges_.size();
+    add_edge_checked(fit->second, tit->second, /*message=*/true, f.msg);
+    if (edges_.size() != before) {
+      ++attached;
+      if (f.msg != 0) flow_msgs_.insert(f.msg);
+    }
+  }
+  return attached;
 }
 
 bool CriticalPath::lane_matches(const std::string& desc, const std::string& lane) {
@@ -34,6 +59,9 @@ bool CriticalPath::lane_matches(const std::string& desc, const std::string& lane
 std::size_t CriticalPath::add_hb_edges(const std::vector<HbEdge>& edges) {
   std::size_t attached = 0;
   for (const auto& e : edges) {
+    // Same message already attached as a trace flow edge: skip, the flow
+    // edge is exact (span-id to span-id) where this one is heuristic.
+    if (e.msg != 0 && flow_msgs_.count(e.msg) != 0) continue;
     // Latest producer ending by e.at on a lane matching e.from.
     std::size_t from = spans_.size();
     for (std::size_t i = 0; i < spans_.size(); ++i) {
@@ -78,8 +106,29 @@ Analysis CriticalPath::analyze() const {
     for (std::size_t k = 1; k < idx.size(); ++k) lane_pred[idx[k]] = idx[k - 1];
   }
 
-  std::vector<std::vector<std::size_t>> explicit_preds(spans_.size());
-  for (const auto& [from, to] : edges_) explicit_preds[to].push_back(from);
+  // Rank FIFO: with a causal recorder the spans carry rank attribution, and
+  // a rank is one sequential actor — its previous span (across all its
+  // lanes) is an implicit predecessor too. This is what lets the walk reach
+  // a message-adoption marker and continue into the sending rank.
+  std::map<int, std::vector<std::size_t>> by_rank;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].rank >= 0) by_rank[spans_[i].rank].push_back(i);
+  }
+  std::vector<std::size_t> rank_pred(spans_.size(), spans_.size());
+  for (auto& [rank, idx] : by_rank) {
+    std::sort(idx.begin(), idx.end(), [&](std::size_t x, std::size_t y) {
+      return spans_[x].start != spans_[y].start ? spans_[x].start < spans_[y].start : x < y;
+    });
+    for (std::size_t k = 1; k < idx.size(); ++k) rank_pred[idx[k]] = idx[k - 1];
+  }
+
+  struct PredEdge {
+    std::size_t from;
+    bool message;
+    std::uint64_t msg;
+  };
+  std::vector<std::vector<PredEdge>> explicit_preds(spans_.size());
+  for (const auto& e : edges_) explicit_preds[e.to].push_back({e.from, e.message, e.msg});
 
   // Start at the last finisher (lowest index on ties) and walk backwards.
   std::size_t cur = 0;
@@ -89,6 +138,8 @@ Analysis CriticalPath::analyze() const {
 
   std::vector<std::size_t> rev_chain;
   std::vector<char> visited(spans_.size(), 0);
+  std::vector<char> via_msg(spans_.size(), 0);        // the edge into span i was a message
+  std::vector<std::uint64_t> via_msg_id(spans_.size(), 0);
   for (;;) {
     rev_chain.push_back(cur);
     visited[cur] = 1;
@@ -97,23 +148,31 @@ Analysis CriticalPath::analyze() const {
     // Prefer an explained predecessor: explicit edges first, then lane FIFO.
     std::size_t pred = spans_.size();
     bool pred_explicit = false;
-    const auto consider = [&](std::size_t p, bool is_explicit) {
+    bool pred_message = false;
+    std::uint64_t pred_msg = 0;
+    const auto consider = [&](std::size_t p, bool is_explicit, bool is_message,
+                              std::uint64_t msg) {
       if (p >= spans_.size() || visited[p] || spans_[p].end > need) return;
       if (pred == spans_.size() || spans_[p].end > spans_[pred].end ||
           (spans_[p].end == spans_[pred].end && is_explicit && !pred_explicit)) {
         pred = p;
         pred_explicit = is_explicit;
+        pred_message = is_message;
+        pred_msg = msg;
       }
     };
-    for (const std::size_t p : explicit_preds[cur]) consider(p, true);
-    consider(lane_pred[cur], false);
+    for (const auto& pe : explicit_preds[cur]) consider(pe.from, true, pe.message, pe.msg);
+    consider(lane_pred[cur], false, false, 0);
+    consider(rank_pred[cur], false, false, 0);
 
     // Otherwise fall back to the global last finisher before our start —
     // the same call a human makes reading a Gantt chart.
     if (pred == spans_.size() && need > a.t0) {
-      for (std::size_t i = 0; i < spans_.size(); ++i) consider(i, false);
+      for (std::size_t i = 0; i < spans_.size(); ++i) consider(i, false, false, 0);
     }
     if (pred == spans_.size()) break;
+    via_msg[cur] = pred_message ? 1 : 0;
+    via_msg_id[cur] = pred_msg;
     cur = pred;
   }
 
@@ -126,9 +185,17 @@ Analysis CriticalPath::analyze() const {
     h.start = s.start;
     h.end = s.end;
     h.wait = a.chain.empty() ? s.start - a.t0 : s.start - a.chain.back().end;
+    h.rank = s.rank;
+    h.via_message = via_msg[*it] != 0;
+    h.msg = via_msg_id[*it];
     a.critical_busy += s.end - s.start;
     a.critical_wait += h.wait;
     a.chain.push_back(std::move(h));
+  }
+  for (std::size_t i = 1; i < a.chain.size(); ++i) {
+    const Hop& p = a.chain[i - 1];
+    const Hop& h = a.chain[i];
+    if (h.via_message && p.rank >= 0 && h.rank >= 0 && p.rank != h.rank) ++a.rank_crossings;
   }
   a.critical_wait += a.t1 - a.chain.back().end;  // trailing idle, if the walk ended early
   a.overlap_efficiency =
@@ -149,6 +216,24 @@ Analysis CriticalPath::analyze() const {
   }
   std::sort(a.lanes.begin(), a.lanes.end(), [](const LaneStat& x, const LaneStat& y) {
     return x.busy != y.busy ? x.busy > y.busy : x.lane < y.lane;
+  });
+
+  // Per-rank blame, only when the spans carry attribution (causal recorder).
+  std::map<int, RankStat> ranks;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].rank < 0) continue;
+    RankStat& rs = ranks[spans_[i].rank];
+    rs.rank = spans_[i].rank;
+    rs.busy += spans_[i].end - spans_[i].start;
+    if (on_chain[i]) rs.critical += spans_[i].end - spans_[i].start;
+  }
+  for (const auto& h : a.chain) {
+    if (h.rank >= 0) ++ranks[h.rank].chain_spans;
+  }
+  for (auto& [r, rs] : ranks) a.ranks.push_back(rs);
+  std::sort(a.ranks.begin(), a.ranks.end(), [](const RankStat& x, const RankStat& y) {
+    if (x.critical != y.critical) return x.critical > y.critical;
+    return x.busy != y.busy ? x.busy > y.busy : x.rank < y.rank;
   });
   return a;
 }
@@ -178,10 +263,11 @@ std::string Analysis::str(std::size_t top_k) const {
                 sim::format_duration(critical_wait).c_str(), overlap_efficiency * 100.0);
   os << buf;
   for (const auto& h : chain) {
-    std::snprintf(buf, sizeof(buf), "  +%-10s wait %-10s %-16s %-28s (%s)\n",
+    std::snprintf(buf, sizeof(buf), "  +%-10s wait %-10s %-16s %-28s (%s)%s\n",
                   sim::format_duration(h.start - t0).c_str(),
                   sim::format_duration(h.wait).c_str(), h.lane.c_str(), h.label.c_str(),
-                  sim::format_duration(h.end - h.start).c_str());
+                  sim::format_duration(h.end - h.start).c_str(),
+                  h.via_message ? "  via msg" : "");
     os << buf;
   }
   const auto ranked = top_bottlenecks(top_k);
@@ -191,6 +277,17 @@ std::string Analysis::str(std::size_t top_k) const {
                   ls.lane.c_str(), sim::format_duration(ls.critical).c_str(),
                   sim::format_duration(ls.busy).c_str(), sim::format_duration(ls.slack).c_str());
     os << buf;
+  }
+  if (!ranks.empty()) {
+    std::snprintf(buf, sizeof(buf), "per-rank blame (%d rank-crossing message edge(s) on chain):\n",
+                  rank_crossings);
+    os << buf;
+    for (const auto& rs : ranks) {
+      std::snprintf(buf, sizeof(buf), "  rank %-4d critical %-10s busy %-10s (%zu chain span(s))\n",
+                    rs.rank, sim::format_duration(rs.critical).c_str(),
+                    sim::format_duration(rs.busy).c_str(), rs.chain_spans);
+      os << buf;
+    }
   }
   return os.str();
 }

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -12,14 +14,21 @@ namespace stencil::telemetry {
 /// One happens-before edge as the checker observes it, in resource-name
 /// form ("gpu0/s1" waited on an event recorded by "gpu0/default" at time t).
 /// Defined here — not in stencil::check — so the checker can *feed* the
-/// analyzer without telemetry depending on the checker.
+/// analyzer without telemetry depending on the checker. `msg` carries the
+/// message identity (simpi request serial) when the edge came from a
+/// message match, so an analyzer that already attached the same message as
+/// a trace flow edge can skip it instead of double-counting.
 struct HbEdge {
   std::string from;
   std::string to;
   sim::Time at = 0;
+  std::uint64_t msg = 0;
 };
 
-/// One span on the critical chain, self-contained for reporting.
+/// One span on the critical chain, self-contained for reporting. `rank` is
+/// the owning rank when the spans carry attribution (dtrace::Collector);
+/// `via_message` marks a hop that was reached over a message flow edge —
+/// the chain crossed between timelines (usually rank boundaries) there.
 struct Hop {
   std::size_t span = 0;  // index into the analyzed span vector
   std::string lane;
@@ -27,6 +36,9 @@ struct Hop {
   sim::Time start = 0;
   sim::Time end = 0;
   sim::Duration wait = 0;  // idle gap on the chain before this span began
+  int rank = -1;
+  bool via_message = false;
+  std::uint64_t msg = 0;  // message identity of the inbound edge, if any
 };
 
 /// Per-lane utilization over the analyzed window.
@@ -35,6 +47,15 @@ struct LaneStat {
   sim::Duration busy = 0;      // sum of span durations on this lane
   sim::Duration critical = 0;  // portion of busy that lies on the critical chain
   sim::Duration slack = 0;     // makespan - busy: how long the lane sat idle
+};
+
+/// Per-rank blame over the analyzed window (only populated when spans carry
+/// rank attribution): how much of the critical chain each rank owns.
+struct RankStat {
+  int rank = -1;
+  sim::Duration busy = 0;        // sum of span durations owned by this rank
+  sim::Duration critical = 0;    // portion of busy on the critical chain
+  std::size_t chain_spans = 0;   // how many chain hops this rank owns
 };
 
 /// Result of one critical-path analysis: the end-to-end chain, the
@@ -50,6 +71,8 @@ struct Analysis {
   sim::Duration critical_wait = 0;
   double overlap_efficiency = 0.0;
   std::vector<LaneStat> lanes;  // sorted by busy descending
+  std::vector<RankStat> ranks;  // per-rank blame, sorted by critical descending
+  int rank_crossings = 0;       // chain links that cross ranks over a message edge
 
   /// Lanes ranked by time spent on the critical chain (busy breaks ties):
   /// the links to optimize first.
@@ -75,10 +98,18 @@ class CriticalPath {
   /// Ignored when out of range or when the timestamps contradict it.
   void add_edge(std::size_t from, std::size_t to);
 
+  /// Message edges from a causal trace (dtrace::Collector::flows): matched
+  /// by span id, marked as message edges so the chain reports where it
+  /// crossed rank boundaries. Returns how many edges were attached. Each
+  /// edge's msg identity is remembered so a later add_hb_edges call skips
+  /// checker edges describing the same message (no double edges).
+  std::size_t add_flow_edges(const std::vector<trace::FlowEdge>& flows);
+
   /// Bridge from checker happens-before edges: each edge is matched to the
   /// latest span ending at or before `at` on a lane matching `from`, and
   /// the earliest span starting at or after `at` on a lane matching `to`.
-  /// Unmatchable edges are skipped. Returns how many edges were attached.
+  /// Unmatchable edges are skipped, as are edges whose message identity was
+  /// already attached by add_flow_edges. Returns how many were attached.
   std::size_t add_hb_edges(const std::vector<HbEdge>& edges);
 
   /// True when `lane` plausibly names the same resource as a checker
@@ -92,8 +123,18 @@ class CriticalPath {
   std::size_t edge_count() const { return edges_.size(); }
 
  private:
+  struct Edge {
+    std::size_t from = 0;
+    std::size_t to = 0;
+    bool message = false;   // came from a trace flow edge (crosses timelines)
+    std::uint64_t msg = 0;  // message identity, 0 if none
+  };
+
+  void add_edge_checked(std::size_t from, std::size_t to, bool message, std::uint64_t msg);
+
   std::vector<trace::OpRecord> spans_;
-  std::vector<std::pair<std::size_t, std::size_t>> edges_;  // (from, to)
+  std::vector<Edge> edges_;
+  std::set<std::uint64_t> flow_msgs_;  // message ids already attached as flow edges
 };
 
 }  // namespace stencil::telemetry

@@ -70,6 +70,12 @@ void Telemetry::on_transport_error(const std::string& what, sim::Time at) {
   capture_dump("TransportError: " + what, dump_tail_n_);
 }
 
+void Telemetry::on_checker_finding(const std::string& kind, sim::Time at) {
+  metrics_.counter("checker_findings_total{kind=\"" + kind + "\"}").add();
+  flight_.log(EventKind::kError, at, "check", kind);
+  capture_dump("checker finding: " + kind, dump_tail_n_);
+}
+
 void Telemetry::on_exchange_start(std::uint64_t seq, sim::Time at) {
   flight_.set_exchange_seq(seq);
   flight_.log(EventKind::kExchangeStart, at, "exchange", "#" + std::to_string(seq));

@@ -42,6 +42,13 @@ class Telemetry {
   /// tail so the failure report carries the events leading up to it.
   void on_transport_error(const std::string& what, sim::Time at);
 
+  // --- check::Checker hooks ------------------------------------------------
+  /// The checker filed a finding (race, leak, lint, ...): count it by kind
+  /// and snapshot the flight tail, exactly like transport errors and
+  /// deadlocks — so a race report always carries the events leading up to
+  /// it, not just the finding text.
+  void on_checker_finding(const std::string& kind, sim::Time at);
+
   // --- DistributedDomain hooks ---------------------------------------------
   void on_exchange_start(std::uint64_t seq, sim::Time at);
   void on_exchange_end(std::uint64_t seq, const std::string& method, std::uint64_t messages,

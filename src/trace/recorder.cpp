@@ -8,8 +8,27 @@
 
 namespace stencil::trace {
 
-void Recorder::record(std::string lane, std::string label, sim::Time start, sim::Time end) {
-  records_.push_back(OpRecord{std::move(lane), std::move(label), start, end});
+std::uint64_t Recorder::record(std::string lane, std::string label, sim::Time start,
+                               sim::Time end) {
+  const std::uint64_t id = ++next_span_id_;
+  records_.push_back(OpRecord{std::move(lane), std::move(label), start, end, /*rank=*/-1, id});
+  return id;
+}
+
+void Recorder::add_flow(std::uint64_t from_span, std::uint64_t to_span, std::uint64_t msg,
+                        std::string label) {
+  if (from_span == 0 || to_span == 0 || from_span == to_span) return;
+  flows_.push_back(FlowEdge{++next_flow_id_, from_span, to_span, msg, std::move(label)});
+}
+
+void Recorder::on_context_posted(int, std::uint64_t, std::uint64_t, std::uint64_t) {}
+void Recorder::on_context_resolved(std::uint64_t) {}
+
+void Recorder::clear() {
+  records_.clear();
+  flows_.clear();
+  next_span_id_ = 0;
+  next_flow_id_ = 0;
 }
 
 void Recorder::write_csv(std::ostream& os) const {

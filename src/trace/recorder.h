@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -10,12 +11,29 @@ namespace stencil::trace {
 
 /// One recorded operation span: `lane` identifies the resource or executor
 /// (e.g. "gpu0.kernel", "gpu0->gpu1", "rank2.cpu", "nic0.out"), `label` the
-/// operation (e.g. "pack +x", "MPI_Isend").
+/// operation (e.g. "pack +x", "MPI_Isend"). `rank` and `id` are filled by
+/// causal recorders (dtrace::Collector); the plain Recorder assigns ids but
+/// leaves rank at -1 (unattributed).
 struct OpRecord {
   std::string lane;
   std::string label;
   sim::Time start = 0;
   sim::Time end = 0;
+  int rank = -1;         // owning rank, -1 when the lane is shared/unattributed
+  std::uint64_t id = 0;  // 1-based span id, unique within one recorder
+};
+
+/// A causal arrow between two recorded spans (a chrome-trace flow event):
+/// the consumer span could not begin before the producer span produced.
+/// `msg` carries the message identity (the simpi request serial) so
+/// downstream analyses can recognize the same edge arriving from the
+/// checker's happens-before log and avoid attaching it twice.
+struct FlowEdge {
+  std::uint64_t id = 0;         // flow id (binds the chrome s/t/f events)
+  std::uint64_t from_span = 0;  // producer span id
+  std::uint64_t to_span = 0;    // consumer span id
+  std::uint64_t msg = 0;        // message identity (simpi serial), 0 if none
+  std::string label;
 };
 
 /// Collects operation spans during a simulation and renders them as CSV or
@@ -23,11 +41,34 @@ struct OpRecord {
 /// Recording order is deterministic because the engine is token-scheduled.
 class Recorder {
  public:
-  void record(std::string lane, std::string label, sim::Time start, sim::Time end);
+  virtual ~Recorder() = default;
+
+  /// Records one span and returns its id (1-based). Virtual so causal
+  /// recorders (dtrace::Collector) can attribute the span to a rank.
+  virtual std::uint64_t record(std::string lane, std::string label, sim::Time start,
+                               sim::Time end);
+
+  /// True when this recorder wants causal annotations: the simpi layer only
+  /// stamps trace contexts onto message envelopes, records post/deliver
+  /// marker spans, and adds flow edges when the attached recorder opts in,
+  /// so a plain Recorder keeps byte-identical output with older traces.
+  virtual bool causal() const { return false; }
+
+  /// Adds a causal arrow between two recorded span ids.
+  void add_flow(std::uint64_t from_span, std::uint64_t to_span, std::uint64_t msg,
+                std::string label);
+
+  /// In-flight message-context bookkeeping (a send's context was stamped /
+  /// the matching receive completed). No-ops here; dtrace::Collector tracks
+  /// them so a stall report can name the messages still in the air.
+  virtual void on_context_posted(int rank, std::uint64_t span, std::uint64_t seq,
+                                 std::uint64_t serial);
+  virtual void on_context_resolved(std::uint64_t serial);
 
   const std::vector<OpRecord>& records() const { return records_; }
+  const std::vector<FlowEdge>& flows() const { return flows_; }
   bool empty() const { return records_.empty(); }
-  void clear() { records_.clear(); }
+  void clear();
 
   /// `lane,label,start_us,end_us,duration_us` rows, sorted by (lane, start).
   void write_csv(std::ostream& os) const;
@@ -40,8 +81,11 @@ class Recorder {
   /// event per span, lanes mapped to thread ids of a single process.
   void write_chrome_trace(std::ostream& os) const;
 
- private:
+ protected:
   std::vector<OpRecord> records_;
+  std::vector<FlowEdge> flows_;
+  std::uint64_t next_span_id_ = 0;
+  std::uint64_t next_flow_id_ = 0;
 };
 
 }  // namespace stencil::trace
