@@ -18,6 +18,7 @@
 #include "core/cluster.h"
 #include "core/distributed_domain.h"
 #include "fault/fault.h"
+#include "recover/recover.h"
 #include "topo/archetype.h"
 #include "trace/recorder.h"
 
@@ -80,6 +81,11 @@ struct Args {
   double fault_s = 1.0;
   std::uint64_t seed = 0x5eed;
   bool trace = false;
+  // Elastic-recovery mode: script a *terminal* failure and survive it.
+  bool recover = false;
+  int kill_gpu = -1;   // global GPU id to kill at --fault-at
+  int kill_node = -1;  // node id to kill at --fault-at
+  std::int64_t cadence = 2;
 };
 
 bool parse(int argc, char** argv, Args* a) {
@@ -102,19 +108,128 @@ bool parse(int argc, char** argv, Args* a) {
     else if (f == "--fault-at" && (v = next("--fault-at"))) a->fault_s = std::atof(v);
     else if (f == "--seed" && (v = next("--seed"))) a->seed = std::strtoull(v, nullptr, 0);
     else if (f == "--trace") a->trace = true;
+    else if (f == "--recover") a->recover = true;
+    else if (f == "--kill-gpu" && (v = next("--kill-gpu"))) a->kill_gpu = std::atoi(v);
+    else if (f == "--kill-node" && (v = next("--kill-node"))) a->kill_node = std::atoi(v);
+    else if (f == "--cadence" && (v = next("--cadence"))) a->cadence = std::atoll(v);
     else if (f == "--help") {
       std::printf(
           "usage: fault_drill [--drill peer|ipc|nic|cuda|all] [--nodes N] [--rpn R]\n"
           "                   [--domain EDGE] [--radius R] [--iters N]\n"
-          "                   [--fault-at SECONDS] [--seed S] [--trace]\n");
+          "                   [--fault-at SECONDS] [--seed S] [--trace]\n"
+          "       fault_drill --recover (--kill-gpu G | --kill-node N) [--cadence K]\n"
+          "                   [--nodes N] [--rpn R] [--domain EDGE] [--iters N]\n"
+          "                   [--fault-at SECONDS]\n"
+          "\n"
+          "--recover runs on a pcie_box with one GPU per rank (a killed GPU is a\n"
+          "killed rank), buddy-checkpoints every K iterations, and survives the\n"
+          "scripted terminal failure by shrinking and re-homing the orphans.\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "fault_drill: unknown flag '%s' (try --help)\n", f.c_str());
       return false;
     }
-    if (v == nullptr && f != "--trace") return false;
+    if (v == nullptr && f != "--trace" && f != "--recover") return false;
   }
   return true;
+}
+
+// Survive a scripted terminal failure: checkpoint on a cadence, exchange,
+// recover through the §13 ladder when the fault lands, and keep checking
+// halos bit-exactly on the survivors.
+int run_recover_drill(const Args& a) {
+  const sim::Time t_fault = sim::from_seconds(a.fault_s);
+  const Dim3 domain{a.edge, a.edge, a.edge};
+  constexpr std::size_t kQuantities = 2;
+  const int world = a.nodes * a.rpn;
+
+  if (a.kill_gpu < 0 && a.kill_node < 0) {
+    std::fprintf(stderr, "fault_drill: --recover needs --kill-gpu or --kill-node\n");
+    return 2;
+  }
+  if (a.kill_gpu >= world || a.kill_node >= a.nodes) {
+    std::fprintf(stderr, "fault_drill: kill target out of range (%d ranks, %d nodes)\n",
+                 world, a.nodes);
+    return 2;
+  }
+
+  fault::FaultPlan plan;
+  plan.set_seed(a.seed);
+  if (a.kill_gpu >= 0) plan.fail_gpu(t_fault, a.kill_gpu);
+  if (a.kill_node >= 0) plan.fail_node(t_fault, a.kill_node);
+
+  fault::Injector inj(plan);
+  trace::Recorder rec;
+  inj.set_recorder(&rec);
+  // One GPU per rank so a dead GPU means a dead rank — the shape the
+  // recovery ladder shrinks around.
+  Cluster cluster(topo::pcie_box(a.rpn), a.nodes, a.rpn);
+  cluster.set_recorder(&rec);
+  cluster.set_fault_injector(&inj);
+
+  std::printf("fault_drill: recover drill, %dn/%dr, domain %s, cadence %lld, fault at t=%s\n",
+              a.nodes, a.rpn, domain.str().c_str(), static_cast<long long>(a.cadence),
+              sim::format_duration(t_fault).c_str());
+
+  std::int64_t failures = 0;
+  int survivors = 0, casualties = 0;
+  recover::RecoveryStats agg;
+  const std::int64_t total = 2 * static_cast<std::int64_t>(a.iters);
+  // Pace iterations so the fault lands mid-run: trip i starts no earlier
+  // than i * (t_fault / iters), putting the failure around trip `iters`.
+  const sim::Time slice = t_fault / (a.iters > 0 ? a.iters : 1);
+
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, domain);
+    dd.set_radius(a.radius);
+    for (std::size_t q = 0; q < kQuantities; ++q) dd.add_data<float>("q" + std::to_string(q));
+    dd.realize();
+    recover::RecoveryManager rm(ctx, dd, a.cadence);
+
+    std::int64_t it = 0, trip = 0;
+    while (it < total) {
+      try {
+        ctx.engine().sleep_until(slice * trip);
+        ++trip;
+        rm.maybe_checkpoint(it);
+        fill(dd, kQuantities);
+        dd.exchange();
+        failures += check_halos(dd, domain, kQuantities);
+        ++it;
+      } catch (const std::exception& e) {
+        const auto ev =
+            recover::classify(e, ctx.comm.job(), ctx.rank(), ctx.engine().now());
+        if (ev.kind == recover::FailureKind::kNone) throw;
+        const std::int64_t back = rm.recover(ev, it);
+        if (back == recover::RecoveryManager::kRankGone) {
+          ++casualties;
+          return;
+        }
+        it = back;
+      }
+    }
+    ++survivors;
+    if (rm.stats().recoveries > agg.recoveries) agg = rm.stats();
+  });
+
+  std::printf("fault lane:\n");
+  for (const auto& r : rec.records()) {
+    if (r.lane != "fault") continue;
+    std::printf("  t=%-12s %s\n", sim::format_duration(r.start).c_str(), r.label.c_str());
+  }
+  std::printf("survivors %d, casualties %d, recoveries %llu, restore floor %lld, "
+              "mttr %s, halo errors %lld\n",
+              survivors, casualties, static_cast<unsigned long long>(agg.recoveries),
+              static_cast<long long>(agg.last_floor),
+              sim::format_duration(agg.last_mttr).c_str(),
+              static_cast<long long>(failures));
+  if (failures != 0 || casualties == 0 || survivors + casualties != world ||
+      agg.recoveries == 0) {
+    std::fprintf(stderr, "fault_drill: recovery drill failed\n");
+    return 1;
+  }
+  std::printf("survived the incident; all survivor halos bit-exact.\n");
+  return 0;
 }
 
 }  // namespace
@@ -122,6 +237,7 @@ bool parse(int argc, char** argv, Args* a) {
 int main(int argc, char** argv) {
   Args a;
   if (!parse(argc, argv, &a)) return 2;
+  if (a.recover || a.kill_gpu >= 0 || a.kill_node >= 0) return run_recover_drill(a);
   const sim::Time t_fault = sim::from_seconds(a.fault_s);
   const Dim3 domain{a.edge, a.edge, a.edge};
   constexpr std::size_t kQuantities = 2;

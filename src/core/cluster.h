@@ -104,10 +104,14 @@ class Cluster {
     monitor_ = m;
     if (m == nullptr) return;
     m->set_world(job_.world_size());
-    if (telemetry_ != nullptr) m->set_flight(&telemetry_->flight());
+    if (telemetry_ != nullptr) {
+      m->set_flight(&telemetry_->flight());
+      m->set_telemetry(telemetry_);
+    }
     if (auto* c = dynamic_cast<dtrace::Collector*>(recorder_); c != nullptr) {
       m->set_collector(c);
     }
+    m->set_rank_fail_time([this](int r) { return job_.rank_fail_time(r); });
   }
   dtrace::ProgressMonitor* progress_monitor() const { return monitor_; }
 

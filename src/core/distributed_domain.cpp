@@ -1,6 +1,7 @@
 #include "core/distributed_domain.h"
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
 
 #include "fault/fault.h"
@@ -197,6 +198,13 @@ LocalDomain* DistributedDomain::local_by_gpu(int ggpu) {
   return it == local_index_by_gpu_.end() ? nullptr : locals_[it->second].get();
 }
 
+LocalDomain* DistributedDomain::local_by_subdomain(Dim3 idx) {
+  if (placement_ == nullptr) return nullptr;
+  const auto it =
+      local_index_by_subdomain_.find(idx.linearize(placement_->partition().global_extent()));
+  return it == local_index_by_subdomain_.end() ? nullptr : locals_[it->second].get();
+}
+
 void DistributedDomain::realize() {
   require_unrealized("realize");
   if (quantities_.empty()) throw std::logic_error("realize: no quantities added");
@@ -208,15 +216,18 @@ void DistributedDomain::realize() {
                                              boundary_);
   const auto& hp = placement_->partition();
 
-  // Materialize this rank's subdomains.
+  // Materialize this rank's subdomains (the live occupancy of each GPU —
+  // one subdomain per GPU until recovery re-homing adds adoptees).
   const int gpn = ctx_.machine.gpus_per_node();
   for (int ggpu : ctx_.gpus) {
-    const Dim3 idx = placement_->subdomain_at(ctx_.node(), ggpu % gpn);
-    const Dim3 sz = hp.subdomain_size(idx);
-    const Dim3 origin = hp.subdomain_origin(idx);
-    locals_.push_back(std::make_unique<LocalDomain>(ctx_.rt, ggpu, idx, origin, sz, radius_,
-                                                    quantities_));
-    local_index_by_gpu_[ggpu] = locals_.size() - 1;
+    for (const Dim3 idx : placement_->subdomains_on(ctx_.node(), ggpu % gpn)) {
+      const Dim3 sz = hp.subdomain_size(idx);
+      const Dim3 origin = hp.subdomain_origin(idx);
+      locals_.push_back(std::make_unique<LocalDomain>(ctx_.rt, ggpu, idx, origin, sz, radius_,
+                                                      quantities_));
+      local_index_by_gpu_[ggpu] = locals_.size() - 1;
+      local_index_by_subdomain_[idx.linearize(hp.global_extent())] = locals_.size() - 1;
+    }
   }
 
   // Enable peer access between my GPUs and every capable same-node GPU
@@ -274,73 +285,77 @@ void DistributedDomain::build_aggregation_groups() {
   build(by_src, recv_groups_);
 }
 
-void DistributedDomain::build_transfer_states() {
+void DistributedDomain::build_one_transfer(TransferState& x, const Transfer& t) {
   const auto& hp = placement_->partition();
+  x.t = t;
+  x.i_send = t.src_rank == ctx_.comm.rank();
+  x.i_recv = t.dst_rank == ctx_.comm.rank();
+  const Dim3 src_sz = hp.subdomain_size(t.src_idx);
+  const Dim3 dst_sz = hp.subdomain_size(t.dst_idx);
+  x.src_region = interior_slab(src_sz, t.dir, radius_);
+  x.dst_region = halo_slab(dst_sz, t.dir, radius_);
+  if (x.src_region.extent != x.dst_region.extent) {
+    throw std::logic_error("transfer " + t.src_idx.str() + "->" + t.dst_idx.str() + " dir " +
+                           dir_str(t.dir) + ": slab shapes differ");
+  }
+  x.bytes = static_cast<std::size_t>(x.src_region.volume()) * bytes_per_point_;
+  if (x.bytes == 0) return;  // asymmetric radius: nothing moves this way
+  if (x.i_send) x.src_ld = local_by_subdomain(t.src_idx);
+  if (x.i_recv) x.dst_ld = local_by_subdomain(t.dst_idx);
+
+  auto& rt = ctx_.rt;
+  switch (t.method) {
+    case Method::kKernel:
+      if (x.i_send) x.src_stream = rt.create_stream(t.src_gpu);
+      break;
+    case Method::kPeer:
+      // Same rank: both halves are ours.
+      x.src_stream = rt.create_stream(t.src_gpu);
+      x.dst_stream = rt.create_stream(t.dst_gpu);
+      x.src_pack = rt.alloc_device(t.src_gpu, x.bytes);
+      x.dst_pack = rt.alloc_device(t.dst_gpu, x.bytes);
+      break;
+    case Method::kColocated:
+      if (x.i_send) {
+        x.src_stream = rt.create_stream(t.src_gpu);
+        x.src_pack = rt.alloc_device(t.src_gpu, x.bytes);
+      }
+      if (x.i_recv) {
+        x.dst_stream = rt.create_stream(t.dst_gpu);
+        x.dst_pack = rt.alloc_device(t.dst_gpu, x.bytes);
+        x.channel = std::make_unique<IpcEventChannel>();
+      }
+      break;
+    case Method::kCudaAwareMpi:
+      if (x.i_send) {
+        x.src_stream = rt.create_stream(t.src_gpu);
+        x.src_pack = rt.alloc_device(t.src_gpu, x.bytes);
+      }
+      if (x.i_recv) {
+        x.dst_stream = rt.create_stream(t.dst_gpu);
+        x.dst_pack = rt.alloc_device(t.dst_gpu, x.bytes);
+      }
+      break;
+    case Method::kStaged:
+      if (x.i_send) {
+        x.src_stream = rt.create_stream(t.src_gpu);
+        x.src_pack = rt.alloc_device(t.src_gpu, x.bytes);
+        x.src_host = rt.alloc_pinned_host(ctx_.machine.node_of(t.src_gpu), x.bytes);
+      }
+      if (x.i_recv) {
+        x.dst_stream = rt.create_stream(t.dst_gpu);
+        x.dst_pack = rt.alloc_device(t.dst_gpu, x.bytes);
+        x.dst_host = rt.alloc_pinned_host(ctx_.machine.node_of(t.dst_gpu), x.bytes);
+      }
+      break;
+  }
+}
+
+void DistributedDomain::build_transfer_states() {
   for (const Transfer& t : plan_.transfers()) {
     auto xp = std::make_unique<TransferState>();
-    TransferState& x = *xp;
-    x.t = t;
-    x.i_send = t.src_rank == ctx_.comm.rank();
-    x.i_recv = t.dst_rank == ctx_.comm.rank();
-    const Dim3 src_sz = hp.subdomain_size(t.src_idx);
-    const Dim3 dst_sz = hp.subdomain_size(t.dst_idx);
-    x.src_region = interior_slab(src_sz, t.dir, radius_);
-    x.dst_region = halo_slab(dst_sz, t.dir, radius_);
-    if (x.src_region.extent != x.dst_region.extent) {
-      throw std::logic_error("transfer " + t.src_idx.str() + "->" + t.dst_idx.str() + " dir " +
-                             dir_str(t.dir) + ": slab shapes differ");
-    }
-    x.bytes = static_cast<std::size_t>(x.src_region.volume()) * bytes_per_point_;
-    if (x.bytes == 0) continue;  // asymmetric radius: nothing moves this way
-    if (x.i_send) x.src_ld = local_by_gpu(t.src_gpu);
-    if (x.i_recv) x.dst_ld = local_by_gpu(t.dst_gpu);
-
-    auto& rt = ctx_.rt;
-    switch (t.method) {
-      case Method::kKernel:
-        if (x.i_send) x.src_stream = rt.create_stream(t.src_gpu);
-        break;
-      case Method::kPeer:
-        // Same rank: both halves are ours.
-        x.src_stream = rt.create_stream(t.src_gpu);
-        x.dst_stream = rt.create_stream(t.dst_gpu);
-        x.src_pack = rt.alloc_device(t.src_gpu, x.bytes);
-        x.dst_pack = rt.alloc_device(t.dst_gpu, x.bytes);
-        break;
-      case Method::kColocated:
-        if (x.i_send) {
-          x.src_stream = rt.create_stream(t.src_gpu);
-          x.src_pack = rt.alloc_device(t.src_gpu, x.bytes);
-        }
-        if (x.i_recv) {
-          x.dst_stream = rt.create_stream(t.dst_gpu);
-          x.dst_pack = rt.alloc_device(t.dst_gpu, x.bytes);
-          x.channel = std::make_unique<IpcEventChannel>();
-        }
-        break;
-      case Method::kCudaAwareMpi:
-        if (x.i_send) {
-          x.src_stream = rt.create_stream(t.src_gpu);
-          x.src_pack = rt.alloc_device(t.src_gpu, x.bytes);
-        }
-        if (x.i_recv) {
-          x.dst_stream = rt.create_stream(t.dst_gpu);
-          x.dst_pack = rt.alloc_device(t.dst_gpu, x.bytes);
-        }
-        break;
-      case Method::kStaged:
-        if (x.i_send) {
-          x.src_stream = rt.create_stream(t.src_gpu);
-          x.src_pack = rt.alloc_device(t.src_gpu, x.bytes);
-          x.src_host = rt.alloc_pinned_host(ctx_.machine.node_of(t.src_gpu), x.bytes);
-        }
-        if (x.i_recv) {
-          x.dst_stream = rt.create_stream(t.dst_gpu);
-          x.dst_pack = rt.alloc_device(t.dst_gpu, x.bytes);
-          x.dst_host = rt.alloc_pinned_host(ctx_.machine.node_of(t.dst_gpu), x.bytes);
-        }
-        break;
-    }
+    build_one_transfer(*xp, t);
+    if (xp->bytes == 0) continue;  // asymmetric radius: nothing moves this way
     xfers_.push_back(std::move(xp));
   }
 }
@@ -514,6 +529,14 @@ void DistributedDomain::exchange_start() {
 void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantities) {
   if (!realized_) throw std::logic_error("exchange() before realize()");
   if (inflight_.active) throw std::logic_error("exchange_start() while an exchange is in flight");
+  // A pending revocation means some peer is already in recovery. Abort into
+  // recovery here instead of posting requests the recovering peers will
+  // never answer — the exchange is the collective heartbeat every rank
+  // passes through, so no survivor can miss the incident.
+  if (ctx_.comm.job().revoked()) {
+    throw simpi::TransportError(simpi::TransportError::Code::kRevoked, -1, -1,
+                                "exchange_start: communicator revoked (recovery pending)");
+  }
   if (quantities.empty()) throw std::invalid_argument("exchange: empty quantity list");
   for (std::size_t i = 0; i < quantities.size(); ++i) {
     if (quantities[i] >= quantities_.size() || (i > 0 && quantities[i] <= quantities[i - 1])) {
@@ -699,15 +722,17 @@ void DistributedDomain::colocated_send(TransferState& x) {
   } else {
     // Flow control: the receiver must have unpacked the previous
     // generation before we overwrite its buffer.
-    while (x.peer_channel->done_gen + 1 < seq_) {
-      x.peer_channel->gate.wait(eng, "colocated flow-control tag=" + std::to_string(x.t.tag));
-    }
+    colocated_gate_wait(x.peer_channel->gate, x.t.dst_rank, x.t.tag,
+                        [&] { return x.peer_channel->done_gen + 1 >= seq_; },
+                        "colocated flow-control tag=" + std::to_string(x.t.tag));
     try {
-      // The receiver records done_ev after each unpack; before the first
-      // generation lands (done_gen == 0) nothing has been recorded and
-      // there is nothing to wait for — waiting on an unrecorded event is
-      // API misuse the checker flags.
-      if (x.peer_channel->done_gen > 0) {
+      // The receiver records done_ev after each unpack; until the first
+      // generation lands there is nothing to wait for — waiting on an
+      // unrecorded event is API misuse the checker flags. Keyed off the
+      // event itself, not done_gen: recovery re-aligns generation counters
+      // (recover_abort / resync_seq) without recording events, so a bare
+      // done_gen check goes spuriously true after a mid-exchange abort.
+      if (x.peer_channel->done_ev.recorded) {
         rt.stream_wait_event(x.src_stream, x.peer_channel->done_ev);
       }
       rt.launch_kernel(x.src_stream, x.active_bytes, "pack " + dir_str(x.t.dir),
@@ -751,9 +776,9 @@ void DistributedDomain::colocated_send(TransferState& x) {
 void DistributedDomain::colocated_recv(TransferState& x) {
   auto& rt = ctx_.rt;
   auto& eng = ctx_.engine();
-  while (x.channel->data_gen < seq_ && !x.channel->demoted) {
-    x.channel->gate.wait(eng, "colocated data tag=" + std::to_string(x.t.tag));
-  }
+  colocated_gate_wait(x.channel->gate, x.t.src_rank, x.t.tag,
+                      [&] { return x.channel->data_gen >= seq_ || x.channel->demoted; },
+                      "colocated data tag=" + std::to_string(x.t.tag));
   if (x.channel->demoted) {
     // The sender lost its IPC mapping and rerouted this generation over
     // MPI. Adopt STAGED on this side too (no irecv was posted in Phase 0
@@ -787,6 +812,235 @@ void DistributedDomain::colocated_recv(TransferState& x) {
   x.channel->gate.notify_all(eng);
 }
 
+void DistributedDomain::colocated_gate_wait(sim::Gate& gate, int peer_rank, int tag,
+                                            const std::function<bool()>& done,
+                                            const std::string& detail) {
+  auto& eng = ctx_.engine();
+  simpi::Job& job = ctx_.comm.job();
+  while (!done()) {
+    if (job.revoked()) {
+      throw simpi::TransportError(simpi::TransportError::Code::kRevoked, peer_rank, tag,
+                                  detail + ": communicator revoked (recovery pending)");
+    }
+    const sim::Time peer_fail = job.rank_fail_time(peer_rank);
+    if (peer_fail == fault::kForever) {
+      gate.wait(eng, detail);
+      continue;
+    }
+    const fault::Injector* inj = ctx_.machine.fault_injector();
+    const sim::Time deadline = peer_fail + (inj != nullptr ? inj->detect_latency() : sim::Time{0});
+    if (eng.now() >= deadline) {
+      throw simpi::TransportError(simpi::TransportError::Code::kPeerDead, peer_rank, tag,
+                                  detail + ": peer rank " + std::to_string(peer_rank) + " died");
+    }
+    gate.wait_until(eng, deadline, detail);
+  }
+}
+
+Method DistributedDomain::forced_method(const Transfer& t) const {
+  const Method remote =
+      any(flags_ & MethodFlags::kCudaAwareMpi) ? Method::kCudaAwareMpi : Method::kStaged;
+  if (t.self()) {
+    if (any(flags_ & MethodFlags::kKernel)) return Method::kKernel;
+    if (any(flags_ & MethodFlags::kPeer)) return Method::kPeer;
+    return remote;
+  }
+  if (t.src_rank == t.dst_rank && any(flags_ & MethodFlags::kPeer) &&
+      (t.src_gpu == t.dst_gpu || ctx_.rt.peer_enabled(t.src_gpu, t.dst_gpu))) {
+    return Method::kPeer;
+  }
+  // Cross-rank: COLOCATED is deliberately excluded — its IPC handshake was
+  // negotiated against the pre-failure world and cannot be redone without a
+  // collective setup phase. The MPI envelope's dead-peer detection also only
+  // covers the message methods.
+  return remote;
+}
+
+void DistributedDomain::recover_abort() {
+  auto& rt = ctx_.rt;
+  // Return every posted request to the inactive state. inflight_ holds the
+  // authoritative handles; the per-transfer / per-group / plan-program copies
+  // below share the same records, so they must NOT be reset a second time —
+  // eager copies are dropped, persistent ones stay valid for restart.
+  for (simpi::Request& r : inflight_.recv_reqs) ctx_.comm.reset(r);
+  for (simpi::Request& r : inflight_.send_reqs) ctx_.comm.reset(r);
+  for (auto& xp : xfers_) {
+    xp->send_req = {};
+    xp->recv_req = {};
+    // Re-align COLOCATED flow control: the aborted generation will never be
+    // replayed under this seq_, so mark it complete on the receiver's
+    // channel (both ends run recover_abort, so every channel is covered by
+    // its owner).
+    if (xp->channel != nullptr) {
+      xp->channel->data_gen = seq_;
+      xp->channel->done_gen = seq_;
+      xp->channel->demoted = false;
+      xp->channel->data_span = 0;
+    }
+  }
+  for (auto groups : {&send_groups_, &recv_groups_}) {
+    for (auto& gp : *groups) gp->req = {};
+  }
+  // Quiesce every stream we may have touched. A rank whose own device died
+  // cannot: its streams are gone with the GPU, which is fine — the rank is
+  // being retired and its work re-homed.
+  try {
+    for (auto& xp : xfers_) {
+      if (xp->src_stream.valid()) rt.stream_synchronize(xp->src_stream);
+      if (xp->dst_stream.valid()) rt.stream_synchronize(xp->dst_stream);
+    }
+    compute_synchronize();
+  } catch (const vgpu::DeviceLost&) {
+  }
+  cur_plan_ = nullptr;
+  inflight_ = InFlight{};
+  telemetry_.on_recover_step("abort", "seq=" + std::to_string(seq_), ctx_.engine().now());
+}
+
+std::vector<DistributedDomain::Rehome> DistributedDomain::recover_replace(
+    const std::vector<int>& dead_ranks) {
+  if (!realized_) throw std::logic_error("recover_replace before realize()");
+  if (inflight_.active) throw std::logic_error("recover_replace while an exchange is in flight");
+  if (aggregate_remote_) {
+    throw std::logic_error("recover_replace: remote aggregation is not recoverable yet");
+  }
+  const auto& hp = placement_->partition();
+  const int gpn = ctx_.machine.gpus_per_node();
+  const int rpn = ctx_.cluster.ranks_per_node();
+  const int gpr = gpn / rpn;
+  const int total_gpus = hp.num_nodes() * gpn;
+  const auto rank_of_gpu = [&](int g) { return (g / gpn) * rpn + (g % gpn) / gpr; };
+
+  // Every GPU owned by a dead rank is gone (kGpuFail kills the rank that
+  // drives the GPU; kNodeFail kills all of the node's ranks).
+  std::set<int> dead_gpus;
+  for (int r : dead_ranks) {
+    const int node = r / rpn;
+    const int slot = r % rpn;
+    for (int k = 0; k < gpr; ++k) dead_gpus.insert(node * gpn + slot * gpr + k);
+  }
+
+  // Orphaned subdomains in deterministic (linearized-index) order, and the
+  // current load of every surviving GPU. Each survivor computes the same
+  // greedy adoption with no communication — the placement is shared state.
+  std::vector<Rehome> moves;
+  for (int g : dead_gpus) {
+    for (const Dim3 idx : placement_->subdomains_on(g / gpn, g % gpn)) {
+      Rehome rh;
+      rh.idx = idx;
+      rh.lin = idx.linearize(hp.global_extent());
+      rh.old_gpu = g;
+      rh.old_rank = rank_of_gpu(g);
+      moves.push_back(rh);
+    }
+  }
+  std::sort(moves.begin(), moves.end(), [](const Rehome& a, const Rehome& b) {
+    return a.lin < b.lin;
+  });
+
+  std::map<int, int> load;  // surviving GPU -> hosted subdomain count
+  for (int g = 0; g < total_gpus; ++g) {
+    if (dead_gpus.count(g) != 0) continue;
+    load[g] = static_cast<int>(placement_->subdomains_on(g / gpn, g % gpn).size());
+  }
+  if (load.empty()) throw std::runtime_error("recover_replace: no surviving GPUs");
+
+  auto np = std::make_shared<Placement>(*placement_);
+  for (Rehome& rh : moves) {
+    int best = -1;
+    for (const auto& [g, n] : load) {
+      if (best < 0 || n < load[best]) best = g;  // ties to the lowest GPU id
+    }
+    rh.new_gpu = best;
+    rh.new_rank = rank_of_gpu(best);
+    np->rehome(rh.idx, best);
+    ++load[best];
+  }
+  placement_ = std::move(np);
+
+  // Adopters materialize LocalDomains for their new subdomains. The halo
+  // shapes come from the unchanged partition, so sizes, tags, and iteration
+  // spaces are identical to the dead rank's — the root of bit-exactness.
+  const int me = ctx_.comm.rank();
+  for (const Rehome& rh : moves) {
+    if (rh.new_rank != me || local_by_subdomain(rh.idx) != nullptr) continue;
+    locals_.push_back(std::make_unique<LocalDomain>(ctx_.rt, rh.new_gpu, rh.idx,
+                                                    hp.subdomain_origin(rh.idx),
+                                                    hp.subdomain_size(rh.idx), radius_,
+                                                    quantities_));
+    local_index_by_subdomain_[rh.lin] = locals_.size() - 1;
+    if (local_index_by_gpu_.find(rh.new_gpu) == local_index_by_gpu_.end()) {
+      local_index_by_gpu_[rh.new_gpu] = locals_.size() - 1;
+    }
+  }
+
+  // Re-derive the exchange plan against the re-homed placement and diff it
+  // per tag (tags are structural — subdomain index × direction — so they
+  // survive re-homing). Unchanged endpoints keep their runtime state and
+  // method, incl. earlier demotions; changed endpoints are rebuilt and
+  // forced down to a method that works in the post-failure world; transfers
+  // new to this rank (adopted subdomains) are appended.
+  ExchangePlan next = ExchangePlan::for_rank(*placement_, me, rpn, flags_, nbhd_, boundary_);
+  std::map<int, std::size_t> by_tag;
+  for (std::size_t i = 0; i < xfers_.size(); ++i) by_tag[xfers_[i]->t.tag] = i;
+
+  int kept = 0, rebuilt = 0, appended = 0;
+  for (const Transfer& nt : next.transfers()) {
+    const auto it = by_tag.find(nt.tag);
+    if (it != by_tag.end()) {
+      const Transfer& ot = xfers_[it->second]->t;
+      if (ot.src_gpu == nt.src_gpu && ot.dst_gpu == nt.dst_gpu && ot.src_rank == nt.src_rank &&
+          ot.dst_rank == nt.dst_rank) {
+        next.set_method(nt.tag, ot.method);
+        ++kept;
+        continue;
+      }
+      Transfer t = nt;
+      t.method = forced_method(t);
+      auto xp = std::make_unique<TransferState>();
+      build_one_transfer(*xp, t);
+      xfers_[it->second] = std::move(xp);
+      next.set_method(t.tag, t.method);
+      plan_cache_.invalidate_tag(t.tag);
+      ++rebuilt;
+    } else {
+      Transfer t = nt;
+      t.method = forced_method(t);
+      auto xp = std::make_unique<TransferState>();
+      build_one_transfer(*xp, t);
+      if (xp->bytes == 0) continue;  // asymmetric radius: nothing moves
+      xfers_.push_back(std::move(xp));
+      next.set_method(t.tag, t.method);
+      ++appended;
+    }
+  }
+  plan_ = std::move(next);
+  // Version the specialization table: stale cached plans migrate on their
+  // next acquire (dirty programs rebuilt, appended transfers compiled in).
+  // (resync_seq is a separate step: the caller aligns seq_ across survivors
+  // once it has agreed on the maximum.)
+  ++topo_epoch_;
+  plan_.export_metrics(telemetry_.metrics());
+  telemetry_.on_recover_step("replace",
+                             "moved=" + std::to_string(moves.size()) +
+                                 " kept=" + std::to_string(kept) +
+                                 " rebuilt=" + std::to_string(rebuilt) +
+                                 " appended=" + std::to_string(appended),
+                             ctx_.engine().now());
+  return moves;
+}
+
+void DistributedDomain::resync_seq(std::uint64_t s) {
+  if (inflight_.active) throw std::logic_error("resync_seq while an exchange is in flight");
+  seq_ = s;
+  for (auto& xp : xfers_) {
+    if (xp->channel != nullptr) {
+      xp->channel->data_gen = s;
+      xp->channel->done_gen = s;
+    }
+  }
+}
+
 void DistributedDomain::exchange_finish() {
   if (!inflight_.active) throw std::logic_error("exchange_finish() without exchange_start()");
   if (inflight_.planned) {
@@ -804,7 +1058,7 @@ void DistributedDomain::exchange_finish() {
   // gated on its ready_ev with an event synchronize — not a virtual-time
   // sleep to the same instant — so the isend's read of the staging buffer
   // has a happens-before edge from the pack/D2H writes it consumes.
-  std::vector<simpi::Request> send_reqs;
+  std::vector<simpi::Request>& send_reqs = inflight_.send_reqs;
   {
     auto xi = inflight_.pending_sends.begin();
     auto gi = inflight_.pending_group_sends.begin();
@@ -880,6 +1134,7 @@ void DistributedDomain::exchange_finish() {
 
   inflight_.active = false;
   inflight_.recv_reqs.clear();
+  inflight_.send_reqs.clear();
   inflight_.recv_map.clear();
   inflight_.pending_sends.clear();
   inflight_.pending_group_sends.clear();
@@ -933,6 +1188,17 @@ plan::CompiledPlan& DistributedDomain::acquire_plan() {
     for (plan::TransferProgram& prog : p->programs) {
       if (!prog.dirty) continue;
       compile_program(prog);
+      ++stats.rebuilt_programs;
+      telemetry_.on_plan_event("rebuild");
+    }
+    // Recovery can also *append* transfers (adopted subdomains bring new
+    // neighbor pairs): extend the frozen set — programs are index-aligned
+    // with xfers_ — instead of recompiling the plan wholesale.
+    for (std::size_t i = p->programs.size(); i < xfers_.size(); ++i) {
+      plan::TransferProgram prog;
+      prog.xfer_index = i;
+      compile_program(prog);
+      p->programs.push_back(std::move(prog));
       ++stats.rebuilt_programs;
       telemetry_.on_plan_event("rebuild");
     }
@@ -1194,7 +1460,7 @@ void DistributedDomain::planned_finish(plan::CompiledPlan& p) {
   // path's per-iteration ready-time sort; each start is still gated on the
   // transfer's ready event, so the persistent request's read of the staging
   // buffer keeps the same happens-before edge as the eager isend.
-  std::vector<simpi::Request> send_reqs;
+  std::vector<simpi::Request>& send_reqs = inflight_.send_reqs;
   for (plan::TransferProgram& prog : p.programs) {
     if (!prog.send_req.valid()) continue;
     TransferState& x = *xfers_[prog.xfer_index];
@@ -1251,6 +1517,7 @@ void DistributedDomain::planned_finish(plan::CompiledPlan& p) {
   inflight_.active = false;
   inflight_.planned = false;
   inflight_.recv_reqs.clear();
+  inflight_.send_reqs.clear();
   inflight_.recv_graphs.clear();
   inflight_.recv_map.clear();
   inflight_.pending_sends.clear();

@@ -157,6 +157,47 @@ class DistributedDomain {
   /// Block until every subdomain's compute stream is quiescent.
   void compute_synchronize();
 
+  // --- elastic failure recovery (stencil::recover) -------------------------
+  /// One re-homed subdomain: which global index moved, from which GPU/rank
+  /// onto which. recover_replace returns the full list so the checkpoint
+  /// layer can route the dead ranks' blobs to their adopters.
+  struct Rehome {
+    Dim3 idx{};
+    std::int64_t lin = 0;  // idx linearized over the global subdomain extent
+    int old_gpu = -1;
+    int new_gpu = -1;
+    int old_rank = -1;
+    int new_rank = -1;
+  };
+
+  /// Abort the in-flight exchange (if any) without waiting for dead peers:
+  /// every posted request is returned to the inactive state via Job::reset,
+  /// per-transfer handles are dropped, and all touched streams quiesce.
+  /// Leaves the domain ready for recover_replace + a fresh exchange.
+  void recover_abort();
+
+  /// Incremental re-placement after the listed ranks died: their subdomains
+  /// are re-homed onto surviving GPUs (deterministic greedy: least-loaded,
+  /// ties to the lowest GPU id — every survivor computes the same answer
+  /// with no communication), the exchange plan is re-derived, and only the
+  /// transfers whose endpoints changed are rebuilt (forced down to PEER /
+  /// STAGED; never COLOCATED, whose handshake needs the old world). Bumps
+  /// the topology epoch so cached plans migrate on next acquire.
+  std::vector<Rehome> recover_replace(const std::vector<int>& dead_ranks);
+
+  /// Exchanges are pairwise, not globally synchronized, so ranks can be a
+  /// few iterations apart when an incident hits. Survivors agree on
+  /// max(exchanges_done()) and realign here — COLOCATED flow control
+  /// compares channel generations against seq_, so both ends must count
+  /// from the same value after recovery.
+  void resync_seq(std::uint64_t s);
+
+  /// The subdomain hosted at `global_idx` on this rank, or nullptr.
+  LocalDomain* local_by_subdomain(Dim3 idx);
+
+  /// Quantity table (recovery checkpointing needs sizes for remote blobs).
+  const std::vector<Quantity>& quantities() const { return quantities_; }
+
  private:
   struct IpcEventChannel;
   struct TransferState;
@@ -164,6 +205,13 @@ class DistributedDomain {
 
   void require_unrealized(const char* what) const;
   void build_transfer_states();
+  // Construct one transfer's runtime state (regions, buffers, streams per
+  // method). Shared by realize() and the recovery rebuild path.
+  void build_one_transfer(TransferState& x, const Transfer& t);
+  // Specialization for a transfer rebuilt mid-run: COLOCATED is excluded
+  // (its IPC handshake belongs to the pre-failure world) and PEER requires
+  // the peer link to actually be enabled.
+  Method forced_method(const Transfer& t) const;
   void build_aggregation_groups();
   void colocated_setup();
   LocalDomain* local_by_gpu(int ggpu);
@@ -197,6 +245,13 @@ class DistributedDomain {
   // flow control is generation-dependent, so plans keep them interpreted).
   void colocated_send(TransferState& x);
   void colocated_recv(TransferState& x);
+  // Park on a COLOCATED channel gate until `done` holds, but stay
+  // failure-aware: a pending revoke or a dead peer surfaces as a
+  // TransportError (kRevoked / kPeerDead) instead of a silent hang — the
+  // IPC channel has no MPI envelope, so the simpi dead-peer deadline never
+  // covers these waits.
+  void colocated_gate_wait(sim::Gate& gate, int peer_rank, int tag,
+                           const std::function<bool()>& done, const std::string& detail);
 
   // Telemetry bookkeeping at the end of both the eager and planned finish
   // paths: latency histogram, per-method message/byte counters, plan-stats
@@ -236,6 +291,9 @@ class DistributedDomain {
   ExchangePlan plan_;
   std::vector<std::unique_ptr<LocalDomain>> locals_;
   std::map<int, std::size_t> local_index_by_gpu_;
+  // Keyed by linearized global subdomain index: after recovery re-homing a
+  // GPU may host several subdomains, so gpu id no longer identifies one.
+  std::map<std::int64_t, std::size_t> local_index_by_subdomain_;
   std::vector<std::unique_ptr<TransferState>> xfers_;
   std::vector<std::unique_ptr<AggGroup>> send_groups_;
   std::vector<std::unique_ptr<AggGroup>> recv_groups_;
@@ -256,6 +314,9 @@ class DistributedDomain {
     bool planned = false;
     sim::Time start_time = 0;  // virtual time of exchange_start (telemetry)
     std::vector<simpi::Request> recv_reqs;
+    // Posted sends, kept here (not on the stack) so recover_abort can reset
+    // them when a failure unwinds exchange_finish mid-flight.
+    std::vector<simpi::Request> send_reqs;
     // Exactly one of the pair is set: a plain transfer or a whole group.
     std::vector<std::pair<TransferState*, AggGroup*>> recv_map;
     // Planned path: the captured H2D+unpack graph for each receive, indexed

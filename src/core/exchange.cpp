@@ -89,7 +89,11 @@ ExchangePlan ExchangePlan::for_rank(const Placement& placement, int rank, int ra
 
   for (int k = 0; k < gpus_per_rank; ++k) {
     const int local_gpu = slot * gpus_per_rank + k;
-    add_for_subdomain(placement.subdomain_at(node, local_gpu));
+    // Live occupancy, not the base assignment: after recovery re-homing a
+    // GPU may host adopted subdomains (or have lost its own).
+    for (const Dim3 idx : placement.subdomains_on(node, local_gpu)) {
+      add_for_subdomain(idx);
+    }
   }
   return plan;
 }

@@ -143,20 +143,56 @@ qap::SquareMatrix Placement::node_flow(int node_linear) const {
 }
 
 int Placement::node_linear_of(Dim3 global_idx) const {
-  const auto [node_idx, gpu_idx] = hp_.split_index(global_idx);
-  (void)gpu_idx;
-  return static_cast<int>(node_idx.linearize(hp_.node_extent()));
+  return global_gpu_of(global_idx) / arch_.gpus_per_node();
 }
 
 int Placement::local_gpu_of(Dim3 global_idx) const {
-  const auto [node_idx, gpu_idx] = hp_.split_index(global_idx);
-  const int n = static_cast<int>(node_idx.linearize(hp_.node_extent()));
-  const int s = static_cast<int>(gpu_idx.linearize(hp_.gpu_extent()));
-  return assign_[static_cast<std::size_t>(n)][static_cast<std::size_t>(s)];
+  return global_gpu_of(global_idx) % arch_.gpus_per_node();
 }
 
 int Placement::global_gpu_of(Dim3 global_idx) const {
-  return node_linear_of(global_idx) * arch_.gpus_per_node() + local_gpu_of(global_idx);
+  if (!overrides_.empty()) {
+    const auto it = overrides_.find(global_idx.linearize(hp_.global_extent()));
+    if (it != overrides_.end()) return it->second;
+  }
+  const auto [node_idx, gpu_idx] = hp_.split_index(global_idx);
+  const int n = static_cast<int>(node_idx.linearize(hp_.node_extent()));
+  const int s = static_cast<int>(gpu_idx.linearize(hp_.gpu_extent()));
+  return n * arch_.gpus_per_node() +
+         assign_[static_cast<std::size_t>(n)][static_cast<std::size_t>(s)];
+}
+
+void Placement::rehome(Dim3 global_idx, int new_global_gpu) {
+  const std::int64_t key = global_idx.linearize(hp_.global_extent());
+  // Re-homing back onto the base GPU dissolves the override; any other
+  // target records (or retargets) it.
+  const auto it = overrides_.find(key);
+  const int base = [&] {
+    const auto [node_idx, gpu_idx] = hp_.split_index(global_idx);
+    const int n = static_cast<int>(node_idx.linearize(hp_.node_extent()));
+    const int s = static_cast<int>(gpu_idx.linearize(hp_.gpu_extent()));
+    return n * arch_.gpus_per_node() +
+           assign_[static_cast<std::size_t>(n)][static_cast<std::size_t>(s)];
+  }();
+  if (new_global_gpu == base) {
+    if (it != overrides_.end()) overrides_.erase(it);
+  } else {
+    overrides_[key] = new_global_gpu;
+  }
+}
+
+std::vector<Dim3> Placement::subdomains_on(int node_linear, int local_gpu) const {
+  std::vector<Dim3> out;
+  const int ggpu = node_linear * arch_.gpus_per_node() + local_gpu;
+  const Dim3 base = subdomain_at(node_linear, local_gpu);
+  const std::int64_t base_key = base.linearize(hp_.global_extent());
+  const auto it = overrides_.find(base_key);
+  if (it == overrides_.end() || it->second == ggpu) out.push_back(base);
+  for (const auto& [key, target] : overrides_) {
+    if (target != ggpu || key == base_key) continue;
+    out.push_back(Dim3::from_linear(key, hp_.global_extent()));
+  }
+  return out;
 }
 
 Dim3 Placement::subdomain_at(int node_linear, int local_gpu) const {

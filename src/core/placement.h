@@ -55,8 +55,25 @@ class Placement {
   /// Global GPU id hosting this subdomain: node * gpus_per_node + local.
   int global_gpu_of(Dim3 global_idx) const;
 
-  /// Inverse map: the subdomain hosted by (node_linear, local_gpu).
+  /// Inverse map: the subdomain hosted by (node_linear, local_gpu) under
+  /// the *base* assignment (ignores re-homing overrides — a rehomed-away
+  /// subdomain is still reported here; use subdomains_on for the live set).
   Dim3 subdomain_at(int node_linear, int local_gpu) const;
+
+  /// Recovery re-homing: move `global_idx` onto `new_global_gpu` (possibly
+  /// on another node), layered as an override over the base QAP assignment.
+  /// The partition itself is untouched — subdomain shapes, origins, and
+  /// message tags stay identical, which is what makes post-recovery results
+  /// bit-exact. Callers share Placement immutably; copy, rehome, swap.
+  void rehome(Dim3 global_idx, int new_global_gpu);
+
+  /// Live occupancy of (node_linear, local_gpu): the base subdomain (unless
+  /// rehomed away) followed by adopted subdomains in deterministic order.
+  /// Empty when the GPU lost its subdomain and adopted none.
+  std::vector<Dim3> subdomains_on(int node_linear, int local_gpu) const;
+
+  /// True when any subdomain has been rehomed off its base GPU.
+  bool rehomed() const { return !overrides_.empty(); }
 
   /// QAP objective summed over all nodes (bytes / (GiB/s) in arbitrary
   /// units); lower means high-volume exchanges land on fast links.
@@ -84,6 +101,9 @@ class Placement {
   // Per node: subdomain (linearized in gpu space) -> local GPU, and inverse.
   std::vector<std::vector<int>> assign_;
   std::vector<std::vector<int>> inverse_;
+  // Recovery overrides: linearized global subdomain index -> global GPU id.
+  // Ordered map so adopted-subdomain iteration is deterministic.
+  std::map<std::int64_t, int> overrides_;
 };
 
 /// All direction vectors of a neighborhood, in a fixed deterministic order

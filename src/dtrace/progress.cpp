@@ -5,6 +5,7 @@
 
 #include "dtrace/collector.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/telemetry.h"
 
 namespace stencil::dtrace {
 
@@ -95,12 +96,22 @@ void ProgressMonitor::finish(sim::Time now) {
 
 void ProgressMonitor::fire(int rank, std::uint64_t seq, sim::Time at, sim::Duration lag,
                            std::string detail) {
+  // Failure attribution: a stall on a rank with a scripted terminal fault is
+  // not an anonymous hang — name the death so recovery can escalate it.
+  if (rank_fail_time_) {
+    const sim::Time pf = rank_fail_time_(rank);
+    if (pf != std::numeric_limits<sim::Time>::max() && pf <= at) {
+      detail += " [attributable: rank " + std::to_string(rank) + " died at " +
+                sim::format_duration(pf) + "]";
+    }
+  }
   StallAlert a;
   a.rank = rank;
   a.seq = seq;
   a.at = at;
   a.lag = lag;
   a.detail = std::move(detail);
+  if (telemetry_ != nullptr) telemetry_->on_stall(a.detail, at);
   if (flight_ != nullptr && !flight_->empty()) {
     std::ostringstream tail;
     flight_->dump_tail(tail, 16);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 
 namespace stencil::telemetry {
 class FlightRecorder;
+class Telemetry;
 }
 
 namespace stencil::dtrace {
@@ -53,6 +55,14 @@ class ProgressMonitor {
   void set_flight(const telemetry::FlightRecorder* flight) { flight_ = flight; }
   /// Optional: snapshot in-flight trace contexts into alerts.
   void set_collector(const Collector* collector) { collector_ = collector; }
+  /// Optional: every fired alert also lands in the telemetry sink
+  /// (counter + flight event + auto tail dump, the DeadlockError path).
+  void set_telemetry(telemetry::Telemetry* t) { telemetry_ = t; }
+  /// Optional failure attribution: maps a rank to its scripted death instant
+  /// (fault::kForever = alive). A stall on a dead rank is reported as
+  /// attributable — the escalation signal recovery consumes — instead of an
+  /// anonymous hang. Cluster wires this to Job::rank_fail_time.
+  void set_rank_fail_time(std::function<sim::Time(int)> fn) { rank_fail_time_ = std::move(fn); }
 
   sim::Duration slack() const { return slack_; }
   double relative_slack() const { return relative_slack_; }
@@ -89,6 +99,8 @@ class ProgressMonitor {
   double relative_slack_ = 2.0;
   const telemetry::FlightRecorder* flight_ = nullptr;
   const Collector* collector_ = nullptr;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  std::function<sim::Time(int)> rank_fail_time_;
   std::map<std::uint64_t, std::map<int, Cell>> beats_;  // seq -> rank -> heartbeat
   std::vector<StallAlert> alerts_;
 };

@@ -48,6 +48,8 @@ const char* to_string(EventKind k) {
     case EventKind::kDeviceSlow: return "device-slow";
     case EventKind::kMsgDrop: return "msg-drop";
     case EventKind::kMsgDelay: return "msg-delay";
+    case EventKind::kGpuFail: return "gpu-fail";
+    case EventKind::kNodeFail: return "node-fail";
   }
   return "?";
 }
@@ -76,6 +78,12 @@ std::string Event::str() const {
       break;
     case EventKind::kMsgDelay:
       s += " node " + id_str(a) + "->" + id_str(b) + " +" + sim::format_duration(delay);
+      break;
+    case EventKind::kGpuFail:
+      s += " gpu" + id_str(a);
+      break;
+    case EventKind::kNodeFail:
+      s += " node " + id_str(a);
       break;
   }
   return s;
@@ -182,17 +190,75 @@ FaultPlan& FaultPlan::delay_messages(sim::Time at, sim::Time until, int src_node
   return push(e);
 }
 
+FaultPlan& FaultPlan::fail_gpu(sim::Time at, int ggpu) {
+  Event e;
+  e.at = at;
+  e.kind = EventKind::kGpuFail;
+  e.a = ggpu;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::fail_node(sim::Time at, int node) {
+  Event e;
+  e.at = at;
+  e.kind = EventKind::kNodeFail;
+  e.a = node;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::set_detect_latency(sim::Duration d) {
+  if (d < 0) throw std::invalid_argument("set_detect_latency: negative latency");
+  detect_latency_ = d;
+  return *this;
+}
+
 FaultPlan& FaultPlan::set_seed(std::uint64_t seed) {
   seed_ = seed;
   return *this;
 }
 
 FaultPlan& FaultPlan::set_retry_policy(RetryPolicy p) {
-  if (p.max_retries < 0 || p.timeout < 0 || p.backoff_base < 0) {
+  if (p.max_retries < 0 || p.timeout < 0 || p.backoff_base < 0 || p.backoff_cap < 0 ||
+      p.jitter < 0) {
     throw std::invalid_argument("set_retry_policy: negative field");
   }
   retry_ = p;
   return *this;
+}
+
+std::uint64_t mix64(std::uint64_t x) { return mix(x); }
+
+sim::Duration RetryPolicy::backoff_delay(int attempt, std::uint64_t salt) const {
+  std::uint64_t d = 0;
+  if (backoff_base > 0) {
+    // Truncated exponential: shifts saturate well before overflow.
+    const int shift = attempt < 40 ? attempt : 40;
+    d = static_cast<std::uint64_t>(backoff_base) << shift;
+    if (backoff_cap > 0 && d > static_cast<std::uint64_t>(backoff_cap)) {
+      d = static_cast<std::uint64_t>(backoff_cap);
+    }
+  }
+  if (jitter > 0) {
+    d += mix(salt ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(attempt)) << 32)) %
+         (static_cast<std::uint64_t>(jitter) + 1);
+  }
+  return static_cast<sim::Duration>(d);
+}
+
+sim::Duration RetryPolicy::backoff_budget(int attempts) const {
+  sim::Duration total = 0;
+  for (int i = 0; i < attempts; ++i) {
+    std::uint64_t d = 0;
+    if (backoff_base > 0) {
+      const int shift = i < 40 ? i : 40;
+      d = static_cast<std::uint64_t>(backoff_base) << shift;
+      if (backoff_cap > 0 && d > static_cast<std::uint64_t>(backoff_cap)) {
+        d = static_cast<std::uint64_t>(backoff_cap);
+      }
+    }
+    total += static_cast<sim::Duration>(d) + jitter;
+  }
+  return total;
 }
 
 Injector::Injector(FaultPlan plan) : plan_(std::move(plan)) {}
@@ -281,6 +347,30 @@ sim::Duration Injector::message_delay(int src_node, int dst_node, sim::Time t) c
     d = std::max(d, e.delay);
   }
   return d;
+}
+
+sim::Time Injector::gpu_fail_time(int ggpu) const {
+  sim::Time t = kForever;
+  for (const Event& e : plan_.events()) {
+    if (e.kind == EventKind::kGpuFail && id_match(e.a, ggpu)) t = std::min(t, e.at);
+  }
+  return t;
+}
+
+sim::Time Injector::node_fail_time(int node) const {
+  sim::Time t = kForever;
+  for (const Event& e : plan_.events()) {
+    if (e.kind == EventKind::kNodeFail && id_match(e.a, node)) t = std::min(t, e.at);
+  }
+  return t;
+}
+
+sim::Time Injector::first_terminal_failure() const {
+  sim::Time t = kForever;
+  for (const Event& e : plan_.events()) {
+    if (e.kind == EventKind::kGpuFail || e.kind == EventKind::kNodeFail) t = std::min(t, e.at);
+  }
+  return t;
 }
 
 }  // namespace stencil::fault

@@ -35,6 +35,8 @@ enum class EventKind {
   kDeviceSlow,        // device kernel throughput scaled by `factor`
   kMsgDrop,           // messages over (a -> b) dropped with prob `factor`
   kMsgDelay,          // messages over (a -> b) delayed by `delay`
+  kGpuFail,           // GPU `a` permanently dead from `at` on (terminal)
+  kNodeFail,          // node `a` permanently dead from `at` on (terminal)
 };
 
 const char* to_string(EventKind k);
@@ -61,15 +63,33 @@ struct Event {
 /// How simpi reacts to dropped messages and missing peers. Disabled by
 /// default (timeout == 0): a drop then fails immediately and an unmatched
 /// wait blocks forever (deadlock detection still fires). With a timeout,
-/// attempt k waits `timeout + backoff_base * 2^(k-1)` before retransmitting,
-/// up to max_retries retransmissions, then raises TransportError.
+/// retransmission k (0-based) waits `timeout + backoff_delay(k, salt)`
+/// before firing, up to max_retries retransmissions, then raises
+/// TransportError. The backoff is truncated exponential —
+/// `min(backoff_base * 2^k, backoff_cap)` — plus deterministic seeded
+/// jitter in [0, jitter]: the jitter term hashes the caller-supplied salt
+/// (message identity), so the schedule is a pure function of the plan and
+/// the message, never of call order or wall clock.
 struct RetryPolicy {
   sim::Duration timeout = 0;
   int max_retries = 0;
   sim::Duration backoff_base = 0;
+  sim::Duration backoff_cap = 0;  // 0 = uncapped
+  sim::Duration jitter = 0;       // 0 = none; else uniform in [0, jitter]
 
   bool enabled() const { return timeout > 0; }
+
+  /// Extra wait before retransmission `attempt` (0-based) beyond the
+  /// timeout. `salt` identifies the message (hashed for the jitter term).
+  sim::Duration backoff_delay(int attempt, std::uint64_t salt) const;
+
+  /// Upper bound on the total backoff over `attempts` retransmissions
+  /// (jitter counted at its maximum) — the retry-budget term.
+  sim::Duration backoff_budget(int attempts) const;
 };
+
+/// splitmix64 — the deterministic hash the injector and retry jitter share.
+std::uint64_t mix64(std::uint64_t x);
 
 /// A deterministic schedule of faults, all in virtual time (never wall
 /// clock). Build with the fluent methods, hand to an Injector, and wire the
@@ -113,6 +133,20 @@ class FaultPlan {
   FaultPlan& delay_messages(sim::Time at, sim::Time until, int src_node, int dst_node,
                             sim::Duration extra);
 
+  /// Permanently kill one global GPU (-1: every GPU) at `at`. Terminal:
+  /// work on the device errors, messages to a rank whose GPUs are all dead
+  /// complete with kPeerDead, and recovery (stencil::recover) may shrink
+  /// the job around it.
+  FaultPlan& fail_gpu(sim::Time at, int ggpu);
+
+  /// Permanently kill a whole node (-1: every node) at `at` — all its GPUs,
+  /// its NIC endpoints, and every rank it hosts.
+  FaultPlan& fail_node(sim::Time at, int node);
+
+  /// Virtual-time lag between a terminal failure and the instant survivors
+  /// may observe it (the failure-detector bound). Default 20 us.
+  FaultPlan& set_detect_latency(sim::Duration d);
+
   /// Seed for probabilistic drops. Decisions hash (seed, src, dst, tag,
   /// attempt, time) — fixed seed means bit-identical fault sequences.
   FaultPlan& set_seed(std::uint64_t seed);
@@ -123,12 +157,14 @@ class FaultPlan {
   const std::vector<Event>& events() const { return events_; }
   std::uint64_t seed() const { return seed_; }
   const RetryPolicy& retry_policy() const { return retry_; }
+  sim::Duration detect_latency() const { return detect_latency_; }
 
  private:
   FaultPlan& push(Event e);
   std::vector<Event> events_;
   std::uint64_t seed_ = 0x5eed;
   RetryPolicy retry_;
+  sim::Duration detect_latency_ = 20 * sim::kMicrosecond;
 };
 
 /// Read-only oracle the stack consults while running. All queries are pure
@@ -172,6 +208,27 @@ class Injector {
 
   /// Extra latency injected on the (src_node -> dst_node) path at time t.
   sim::Duration message_delay(int src_node, int dst_node, sim::Time t) const;
+
+  // --- terminal failures (stencil::recover) -------------------------------
+
+  /// Instant GPU `ggpu` dies (earliest matching kGpuFail), or kForever.
+  /// Pure device-level query: a GPU on a failed node is reported dead by
+  /// the composed queries of the layers that know the topology.
+  sim::Time gpu_fail_time(int ggpu) const;
+
+  /// Instant node `node` dies (earliest matching kNodeFail), or kForever.
+  sim::Time node_fail_time(int node) const;
+
+  bool gpu_dead(int ggpu, sim::Time t) const { return gpu_fail_time(ggpu) <= t; }
+  bool node_dead(int node, sim::Time t) const { return node_fail_time(node) <= t; }
+
+  /// Earliest scripted terminal failure of any kind, or kForever.
+  sim::Time first_terminal_failure() const;
+  bool has_terminal_failures() const { return first_terminal_failure() != kForever; }
+
+  /// Failure-detector bound: how long after a terminal failure survivors
+  /// may first observe it.
+  sim::Duration detect_latency() const { return plan_.detect_latency(); }
 
  private:
   FaultPlan plan_;

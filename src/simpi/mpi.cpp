@@ -42,14 +42,21 @@ std::string wait_detail(bool is_send, int src, int dst, int tag) {
 }
 
 // Virtual time the full retry schedule of rp can take: the initial timeout
-// plus one timeout + backoff per retry. A waiter that outlives this budget
-// knows no matching peer will ever arrive in time.
+// plus one timeout + backoff (cap and jitter included at their maximum) per
+// retry. A waiter that outlives this budget knows no matching peer will
+// ever arrive in time.
 sim::Duration retry_budget(const fault::RetryPolicy& rp) {
-  sim::Duration budget = rp.timeout * (rp.max_retries + 1);
-  for (int i = 0; i < rp.max_retries; ++i) {
-    budget += rp.backoff_base << i;
-  }
-  return budget;
+  return rp.timeout * (rp.max_retries + 1) + rp.backoff_budget(rp.max_retries);
+}
+
+// Jitter salt identifying one (src, dst, tag) message stream: the retry
+// schedule must be a pure function of the plan and the message, never of
+// call order.
+std::uint64_t retry_salt(const fault::Injector& inj, int src, int dst, int tag) {
+  const std::uint64_t pair = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+                             static_cast<std::uint32_t>(dst);
+  return fault::mix64(pair ^ fault::mix64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) ^
+                                          inj.plan().seed()));
 }
 
 MsgInfo msg_info(const Request::Record& rec) {
@@ -85,6 +92,8 @@ Job::Job(sim::Engine& eng, topo::Machine& machine, vgpu::Runtime& runtime, int r
   unmatched_recvs_.resize(static_cast<std::size_t>(world_size_));
   send_seq_.resize(static_cast<std::size_t>(world_size_), 0);
   barrier_gate_ = std::make_unique<sim::Gate>("barrier");
+  retired_.resize(static_cast<std::size_t>(world_size_), false);
+  drain_gate_ = std::make_unique<sim::Gate>("recover.drain");
 }
 
 void Job::run(const std::function<void(Comm&)>& body) {
@@ -123,6 +132,7 @@ std::shared_ptr<Request::Record> Job::post(bool is_send, int me, int peer, int t
   rec->tag = tag;
   rec->payload = p;
   rec->post_time = eng_.now();
+  rec->epoch = comm_epoch_;
 
   if (is_send && !p.is_device() && p.bytes <= kEagerLimit) {
     // Eager protocol: buffer the payload inside the library; the send
@@ -195,6 +205,7 @@ void Job::start(Request& r) {
   rec.buffered = false;
   rec.staged.clear();
   rec.post_time = eng_.now();
+  rec.epoch = comm_epoch_;
   rec.active = true;
   ++rec.starts;
 
@@ -321,6 +332,7 @@ void Job::complete_match(Request::Record& send, Request::Record& recv) {
   if (const fault::Injector* inj = machine_.fault_injector(); inj != nullptr && inj->active()) {
     ready += inj->message_delay(node_s, node_r, ready);
     const fault::RetryPolicy& rp = inj->retry_policy();
+    const std::uint64_t salt = retry_salt(*inj, send.src, recv.dst, send.tag);
     int attempt = 0;
     bool delivered = true;
     while (inj->message_dropped(node_s, node_r, send.src, recv.dst, send.tag, attempt, ready)) {
@@ -328,7 +340,7 @@ void Job::complete_match(Request::Record& send, Request::Record& recv) {
         delivered = false;
         break;
       }
-      const sim::Time retry_at = ready + rp.timeout + (rp.backoff_base << attempt);
+      const sim::Time retry_at = ready + rp.timeout + rp.backoff_delay(attempt, salt);
       if (recorder_ != nullptr) {
         recorder_->record("mpi.r" + std::to_string(send.src) + "->r" + std::to_string(recv.dst),
                           "drop tag=" + std::to_string(send.tag) + " retry#" +
@@ -510,27 +522,50 @@ void Job::wait(Request& r, int me) {
   auto& rec = *r.rec_;
   if (rec.persistent && !rec.active) return;  // MPI: wait on inactive is a no-op
   const fault::Injector* inj = machine_.fault_injector();
-  const bool timed = !rec.matched && inj != nullptr && inj->retry_policy().enabled();
-  if (timed) {
-    // With a retry policy active, an unmatched wait is bounded: if a match
-    // could succeed, it would complete within the peer's full retry budget.
-    const sim::Time deadline =
-        std::max(eng_.now(), rec.post_time) + retry_budget(inj->retry_policy());
-    while (!rec.matched) {
-      const bool notified =
-          rank_gates_[static_cast<std::size_t>(me)]->wait_until(eng_, deadline, wait_detail(rec.is_send, rec.src, rec.dst, rec.tag));
-      if (!notified && !rec.matched) {
-        cancel_unmatched(rec);
-        const std::string what =
-            "simpi: " + wait_detail(rec.is_send, rec.src, rec.dst, rec.tag) + " timed out at t=" +
-            sim::format_duration(eng_.now()) + " (no matching peer)";
-        if (telemetry_ != nullptr) telemetry_->on_transport_error(what, eng_.now());
-        throw TransportError(TransportError::Code::kTimeout, rec.is_send ? rec.dst : rec.src,
-                             rec.tag, what);
-      }
+  const int peer = rec.is_send ? rec.dst : rec.src;
+  const std::string detail = wait_detail(rec.is_send, rec.src, rec.dst, rec.tag);
+  // Two bounds make an unmatched wait finite under fault injection: the
+  // retry budget (a live peer that wanted to match would have done so within
+  // it) and the failure detector (a dead peer can never match after its
+  // failure instant plus the detection bound).
+  sim::Time retry_deadline = fault::kForever;
+  if (!rec.matched && inj != nullptr && inj->retry_policy().enabled()) {
+    retry_deadline = std::max(eng_.now(), rec.post_time) + retry_budget(inj->retry_policy());
+  }
+  sim::Time dead_deadline = fault::kForever;
+  const sim::Time peer_fail = rank_fail_time(peer);
+  if (!rec.matched && inj != nullptr && peer_fail != fault::kForever) {
+    dead_deadline = std::max(rec.post_time, peer_fail) + inj->detect_latency();
+  }
+  while (!rec.matched) {
+    if (rec.epoch < comm_epoch_) {
+      // The communicator was revoked while this operation was pending.
+      cancel_unmatched(rec);
+      const std::string what = "simpi: " + detail + " revoked at t=" +
+                               sim::format_duration(eng_.now()) + " (communicator revoked)";
+      if (telemetry_ != nullptr) telemetry_->on_transport_error(what, eng_.now());
+      throw TransportError(TransportError::Code::kRevoked, peer, rec.tag, what);
     }
-  } else {
-    while (!rec.matched) rank_gates_[static_cast<std::size_t>(me)]->wait(eng_, wait_detail(rec.is_send, rec.src, rec.dst, rec.tag));
+    const sim::Time deadline = std::min(retry_deadline, dead_deadline);
+    if (deadline == fault::kForever) {
+      rank_gates_[static_cast<std::size_t>(me)]->wait(eng_, detail);
+      continue;
+    }
+    const bool notified =
+        rank_gates_[static_cast<std::size_t>(me)]->wait_until(eng_, deadline, detail);
+    if (notified || rec.matched) continue;
+    cancel_unmatched(rec);
+    if (eng_.now() >= dead_deadline) {
+      const std::string what = "simpi: " + detail + " peer rank " + std::to_string(peer) +
+                               " died at t=" + sim::format_duration(peer_fail) +
+                               " (detected t=" + sim::format_duration(eng_.now()) + ")";
+      if (telemetry_ != nullptr) telemetry_->on_transport_error(what, eng_.now());
+      throw TransportError(TransportError::Code::kPeerDead, peer, rec.tag, what);
+    }
+    const std::string what = "simpi: " + detail + " timed out at t=" +
+                             sim::format_duration(eng_.now()) + " (no matching peer)";
+    if (telemetry_ != nullptr) telemetry_->on_transport_error(what, eng_.now());
+    throw TransportError(TransportError::Code::kTimeout, peer, rec.tag, what);
   }
   eng_.sleep_until(rec.complete_at);
   rec.active = false;  // persistent: back to inactive; handle stays valid
@@ -595,8 +630,65 @@ int Job::wait_any(std::vector<Request>& rs, int me) {
       }
       return best;
     }
-    rank_gates_[static_cast<std::size_t>(me)]->wait(eng_, "waitany");
+    // No completion available. A pending entry from a revoked epoch or
+    // toward a dead peer will never complete; surface it instead of parking
+    // forever.
+    const fault::Injector* inj = machine_.fault_injector();
+    sim::Time dead_deadline = fault::kForever;
+    std::size_t dead_idx = 0;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      if (!rs[i].valid()) continue;
+      auto& rec = *rs[i].rec_;
+      if (rec.persistent && !rec.active) continue;
+      if (rec.matched) continue;
+      if (rec.epoch < comm_epoch_) {
+        cancel_unmatched(rec);
+        const std::string what = "simpi: " +
+                                 wait_detail(rec.is_send, rec.src, rec.dst, rec.tag) +
+                                 " revoked at t=" + sim::format_duration(eng_.now()) +
+                                 " (communicator revoked)";
+        if (telemetry_ != nullptr) telemetry_->on_transport_error(what, eng_.now());
+        throw TransportError(TransportError::Code::kRevoked,
+                             rec.is_send ? rec.dst : rec.src, rec.tag, what);
+      }
+      const int peer = rec.is_send ? rec.dst : rec.src;
+      const sim::Time pf = rank_fail_time(peer);
+      if (inj != nullptr && pf != fault::kForever) {
+        const sim::Time d = std::max(rec.post_time, pf) + inj->detect_latency();
+        if (d < dead_deadline) {
+          dead_deadline = d;
+          dead_idx = i;
+        }
+      }
+    }
+    if (dead_deadline == fault::kForever) {
+      rank_gates_[static_cast<std::size_t>(me)]->wait(eng_, "waitany");
+      continue;
+    }
+    const bool notified =
+        rank_gates_[static_cast<std::size_t>(me)]->wait_until(eng_, dead_deadline, "waitany");
+    if (notified) continue;
+    auto& rec = *rs[dead_idx].rec_;
+    if (rec.matched) continue;  // an in-flight pre-death message still delivered
+    cancel_unmatched(rec);
+    const int peer = rec.is_send ? rec.dst : rec.src;
+    const std::string what = "simpi: " + wait_detail(rec.is_send, rec.src, rec.dst, rec.tag) +
+                             " peer rank " + std::to_string(peer) + " died at t=" +
+                             sim::format_duration(rank_fail_time(peer)) +
+                             " (detected t=" + sim::format_duration(eng_.now()) + ")";
+    if (telemetry_ != nullptr) telemetry_->on_transport_error(what, eng_.now());
+    throw TransportError(TransportError::Code::kPeerDead, peer, rec.tag, what);
   }
+}
+
+void Job::release_barrier_locked() {
+  barrier_arrived_ = 0;
+  const auto& arch = machine_.arch();
+  const sim::Duration lat = machine_.num_nodes() > 1 ? arch.lat_mpi_inter : arch.lat_mpi_intra;
+  barrier_release_ = barrier_max_arrival_ + 2 * ceil_log2(live_count()) * lat;
+  barrier_max_arrival_ = 0;
+  ++barrier_generation_;
+  barrier_gate_->notify_all(eng_);
 }
 
 void Job::barrier(int me) {
@@ -604,21 +696,159 @@ void Job::barrier(int me) {
   const std::uint64_t gen = barrier_generation_;
   if (checker_ != nullptr) checker_->on_barrier_arrive(gen);
   barrier_max_arrival_ = std::max(barrier_max_arrival_, eng_.now());
-  if (++barrier_arrived_ == world_size_) {
-    barrier_arrived_ = 0;
-    const auto& arch = machine_.arch();
-    const sim::Duration lat =
-        machine_.num_nodes() > 1 ? arch.lat_mpi_inter : arch.lat_mpi_intra;
-    barrier_release_ = barrier_max_arrival_ + 2 * ceil_log2(world_size_) * lat;
-    barrier_max_arrival_ = 0;
-    ++barrier_generation_;
-    barrier_gate_->notify_all(eng_);
+  // Collectives count to the live target: retired ranks are excluded, so
+  // post-recovery barriers over the shrunk job complete normally.
+  if (++barrier_arrived_ >= live_count()) {
+    release_barrier_locked();
     eng_.sleep_until(barrier_release_);
   } else {
-    while (barrier_generation_ == gen) barrier_gate_->wait(eng_, "barrier");
+    const fault::Injector* inj = machine_.fault_injector();
+    while (barrier_generation_ == gen) {
+      // A scripted-but-unretired dead rank can never arrive; bound the wait
+      // by the failure detector so the barrier raises kPeerDead instead of
+      // deadlocking. (Once the rank is retired the target shrinks instead.)
+      sim::Time hazard = fault::kForever;
+      int dead_rank = -1;
+      if (inj != nullptr && inj->has_terminal_failures()) {
+        for (int r = 0; r < world_size_; ++r) {
+          if (retired_[static_cast<std::size_t>(r)]) continue;
+          const sim::Time pf = rank_fail_time(r);
+          if (pf == fault::kForever) continue;
+          const sim::Time d = pf + inj->detect_latency();
+          if (d < hazard) {
+            hazard = d;
+            dead_rank = r;
+          }
+        }
+      }
+      if (hazard == fault::kForever) {
+        barrier_gate_->wait(eng_, "barrier");
+        continue;
+      }
+      const bool notified = barrier_gate_->wait_until(eng_, hazard, "barrier");
+      if (notified || barrier_generation_ != gen) continue;
+      // Unwind our arrival so a later (post-retirement) barrier counts
+      // cleanly, then surface the failure.
+      --barrier_arrived_;
+      const std::string what = "simpi: barrier with dead rank " + std::to_string(dead_rank) +
+                               " (died t=" + sim::format_duration(rank_fail_time(dead_rank)) +
+                               ", detected t=" + sim::format_duration(eng_.now()) + ")";
+      if (telemetry_ != nullptr) telemetry_->on_transport_error(what, eng_.now());
+      throw TransportError(TransportError::Code::kPeerDead, dead_rank, /*tag=*/-1, what);
+    }
     eng_.sleep_until(barrier_release_);
   }
   if (checker_ != nullptr) checker_->on_barrier_release(gen);
+}
+
+// --- ULFM-style failure semantics ------------------------------------------
+
+sim::Time Job::rank_fail_time(int r) const {
+  const fault::Injector* inj = machine_.fault_injector();
+  if (inj == nullptr || !inj->has_terminal_failures()) return fault::kForever;
+  sim::Time t = inj->node_fail_time(node_of_rank(r));
+  const int gpn = machine_.gpus_per_node();
+  const int gpr = gpn / ranks_per_node_;
+  if (gpr > 0) {
+    // The rank dies when its last GPU dies: it can no longer make progress.
+    const int base = node_of_rank(r) * gpn + (r % ranks_per_node_) * gpr;
+    sim::Time all_gpus = 0;
+    for (int g = 0; g < gpr; ++g) {
+      all_gpus = std::max(all_gpus, inj->gpu_fail_time(base + g));
+    }
+    t = std::min(t, all_gpus);
+  }
+  return t;
+}
+
+bool Job::rank_alive(int r) const { return rank_fail_time(r) > eng_.now(); }
+
+void Job::revoke() {
+  if (revoked_) return;
+  revoked_ = true;
+  ++comm_epoch_;
+  // Fresh incident, fresh drain ledger: acks left over from a previous
+  // recovery must not let a dying rank depart before the survivors of
+  // *this* incident have finished recovering.
+  drain_acks_ = 0;
+  if (recorder_ != nullptr) {
+    recorder_->record("recover", "revoke epoch=" + std::to_string(comm_epoch_), eng_.now(),
+                      eng_.now());
+  }
+  for (auto& g : rank_gates_) g->notify_all(eng_);
+  barrier_gate_->notify_all(eng_);
+}
+
+void Job::retire_rank(int r) {
+  if (r < 0 || r >= world_size_) throw std::out_of_range("simpi: retire_rank out of range");
+  if (retired_[static_cast<std::size_t>(r)]) return;
+  retired_[static_cast<std::size_t>(r)] = true;
+  ++retired_count_;
+  // Purge every unmatched request the dead rank posted so nothing matches
+  // against a ghost, and so the checker sees them resolved (cancelled).
+  for (auto* queues : {&unmatched_sends_, &unmatched_recvs_}) {
+    for (auto& q : *queues) {
+      for (auto it = q.begin(); it != q.end();) {
+        Request::Record& rec = **it;
+        const int poster = rec.is_send ? rec.src : rec.dst;
+        if (poster == r) {
+          rec.cancelled = true;
+          if (checker_ != nullptr) checker_->on_request_cancel(rec.serial);
+          it = q.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  if (recorder_ != nullptr) {
+    recorder_->record("recover", "retire rank " + std::to_string(r), eng_.now(), eng_.now());
+  }
+  // A barrier blocked only on the dead rank releases here, in the retiring
+  // caller's context.
+  if (barrier_arrived_ > 0 && barrier_arrived_ >= live_count()) {
+    barrier_max_arrival_ = std::max(barrier_max_arrival_, eng_.now());
+    release_barrier_locked();
+  }
+  for (auto& g : rank_gates_) g->notify_all(eng_);
+  barrier_gate_->notify_all(eng_);
+  drain_gate_->notify_all(eng_);
+}
+
+void Job::await_drain(int me) {
+  // A dying rank must first have been retired by its incident's recovery:
+  // drain acks left over from an *earlier* incident can otherwise satisfy
+  // the count before any survivor has even noticed this rank's death.
+  while (!rank_retired(me) || drain_acks_ < live_count()) {
+    drain_gate_->wait(eng_, "rank " + std::to_string(me) + " awaiting drain");
+  }
+}
+
+void Job::release_drained(int me) {
+  (void)me;
+  ++drain_acks_;
+  drain_gate_->notify_all(eng_);
+}
+
+void Job::reset(Request& r) {
+  if (!r.valid()) return;
+  auto rec_sp = r.rec_;
+  auto& rec = *rec_sp;
+  if (rec.persistent && !rec.active) return;  // nothing in flight
+  if (!rec.matched) {
+    if (!rec.cancelled) cancel_unmatched(rec);
+    rec.active = false;
+  } else {
+    // Drain rather than abandon: sleeping to the completion instant keeps
+    // later buffer reuse ordered after the modeled transfer, so the
+    // happens-before checker stays clean. Failed completions do not throw
+    // here — reset is the abort path.
+    if (rec.complete_at > eng_.now()) eng_.sleep_until(rec.complete_at);
+    rec.active = false;
+    if (checker_ != nullptr) checker_->on_request_done(rec.serial);
+    note_completion(rec);
+  }
+  if (!rec.persistent) r.rec_.reset();
 }
 
 // --- Comm ------------------------------------------------------------------
@@ -672,9 +902,9 @@ void Comm::waitall(std::vector<Request>& rs) {
 int Comm::wait_any(std::vector<Request>& rs) { return job_->wait_any(rs, world_rank()); }
 
 void Comm::barrier() {
-  // Sub-communicator barriers are only used with the world communicator in
-  // this library; enforce that to keep the collective state simple.
-  if (size() != job_->world_size()) {
+  // Only the world communicator (or its post-failure shrink, which is the
+  // whole live set) may use the single counting barrier.
+  if (size() != job_->world_size() && size() != job_->live_count()) {
     throw std::logic_error("simpi: barrier on a sub-communicator is not supported");
   }
   job_->barrier(world_rank());
@@ -726,6 +956,18 @@ Comm Comm::split(int color, int key) const {
   for (std::size_t i = 0; i < group.size(); ++i) {
     members.push_back(group[i].wrank);
     if (group[i].wrank == world_rank()) my_sub = static_cast<int>(i);
+  }
+  return Comm(job_, std::move(members), my_sub);
+}
+
+Comm Comm::shrink() const {
+  std::vector<int> members;
+  members.reserve(members_.size());
+  int my_sub = -1;
+  for (const int wr : members_) {
+    if (job_->rank_fail_time(wr) != fault::kForever) continue;
+    if (wr == world_rank()) my_sub = static_cast<int>(members.size());
+    members.push_back(wr);
   }
   return Comm(job_, std::move(members), my_sub);
 }

@@ -44,12 +44,16 @@ struct Payload {
 /// Thrown from wait/wait_any instead of hanging when fault injection is
 /// active: either the peer never produced a matching message within the
 /// retry budget (kTimeout), or the message was lost and every retry was
-/// dropped too (kRetriesExhausted). Without a retry policy the library
+/// dropped too (kRetriesExhausted). Terminal failures add two ULFM-style
+/// codes: kPeerDead (the peer rank is permanently dead — scripted kGpuFail/
+/// kNodeFail — and the failure-detector bound has elapsed) and kRevoked
+/// (another rank revoked the communicator while this operation was pending;
+/// see Job::revoke). Without a retry policy or terminal faults the library
 /// keeps its MPI-faithful behaviour (block forever; the engine's deadlock
 /// detector fires if nothing else can run).
 class TransportError : public std::runtime_error {
  public:
-  enum class Code { kTimeout, kRetriesExhausted };
+  enum class Code { kTimeout, kRetriesExhausted, kPeerDead, kRevoked };
   TransportError(Code code, int peer, int tag, const std::string& what)
       : std::runtime_error(what), code_(code), peer_(peer), tag_(tag) {}
   Code code() const { return code_; }
@@ -115,6 +119,50 @@ class Job {
   void set_telemetry(telemetry::Telemetry* t) { telemetry_ = t; }
   telemetry::Telemetry* telemetry() const { return telemetry_; }
 
+  // --- ULFM-style failure semantics (stencil::recover) ----------------------
+
+  /// Instant rank `r` dies, or fault::kForever. A rank is dead once its node
+  /// fails or every GPU it drives fails (block mapping: rank r on node
+  /// r/ranks_per_node drives the slot's gpus_per_node/ranks_per_node GPUs).
+  /// Pure oracle over the installed fault plan; kForever without an injector.
+  sim::Time rank_fail_time(int r) const;
+  bool rank_alive(int r) const;
+
+  /// Ranks still participating (world size minus retired ranks). Collectives
+  /// count to this target.
+  int live_count() const { return world_size_ - retired_count_; }
+  bool rank_retired(int r) const { return retired_[static_cast<std::size_t>(r)]; }
+
+  /// MPI_Comm_revoke analogue: bump the communicator epoch and wake every
+  /// parked wait. Operations posted under an older epoch that are still
+  /// unmatched complete with TransportError::kRevoked; operations posted
+  /// after the revoke (the recovery traffic itself) are unaffected.
+  /// Idempotent per failure incident: further revokes are no-ops until
+  /// clear_revoke() closes the incident (call it after the post-recovery
+  /// barrier, when every survivor has aborted its stale operations).
+  void revoke();
+  bool revoked() const { return revoked_; }
+  void clear_revoke() { revoked_ = false; }
+  std::uint64_t comm_epoch() const { return comm_epoch_; }
+
+  /// Acknowledge a dead rank: cancel every unmatched request it posted
+  /// (notifying the checker), shrink the collective target, and wake all
+  /// waiters so barriers blocked only on the dead rank release. Idempotent.
+  void retire_rank(int r);
+
+  /// Deterministic drain protocol: a dying rank parks here until every
+  /// survivor has called release_drained() after finishing recovery, so its
+  /// shared-memory channels and IPC buffers outlive all remote references.
+  void await_drain(int me);
+  void release_drained(int me);
+
+  /// Return a request to the inactive state without waiting: unmatched
+  /// records are cancelled, matched ones are drained (sleeping to their
+  /// completion instant so buffer reuse stays race-free) and marked done.
+  /// Non-persistent handles are invalidated. Recovery uses this to abort
+  /// an in-flight exchange without tripping the checker's unwaited lint.
+  void reset(Request& r);
+
  private:
   friend class Comm;
 
@@ -162,6 +210,15 @@ class Job {
   sim::Time barrier_release_ = 0;
   sim::Time barrier_max_arrival_ = 0;
   std::unique_ptr<sim::Gate> barrier_gate_;
+
+  // ULFM-style failure state.
+  void release_barrier_locked();
+  bool revoked_ = false;
+  std::uint64_t comm_epoch_ = 0;
+  std::vector<bool> retired_;
+  int retired_count_ = 0;
+  std::unique_ptr<sim::Gate> drain_gate_;
+  int drain_acks_ = 0;
 };
 
 struct Request::Record {
@@ -192,6 +249,9 @@ struct Request::Record {
   bool persistent = false;
   bool active = false;
   std::uint64_t starts = 0;
+  // Communicator epoch at post/start time: a revoke bumps the job epoch and
+  // any still-unmatched record from an older epoch completes with kRevoked.
+  std::uint64_t epoch = 0;
   // Distributed tracing (only populated when the attached recorder is
   // causal): the envelope carries the sender's trace context so the
   // matching receive adopts it, and `wire_span` remembers the wire span a
@@ -252,6 +312,15 @@ class Comm {
 
   /// Split into sub-communicators by color; ranks ordered by (key, rank).
   Comm split(int color, int key) const;
+
+  /// MPI_Comm_shrink analogue, made non-collective by the determinism of the
+  /// fault oracle: every survivor locally derives the same surviving member
+  /// list (ranks with no scripted terminal failure), in world-rank order.
+  /// Only meaningful on survivors.
+  Comm shrink() const;
+
+  /// Job::reset on this communicator's matching engine (abort helper).
+  void reset(Request& r) { job_->reset(r); }
 
   /// Virtual wall clock in seconds (MPI_Wtime).
   double wtime() const;

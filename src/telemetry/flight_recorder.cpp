@@ -17,6 +17,8 @@ const char* to_string(EventKind k) {
     case EventKind::kMpiLost: return "mpi-LOST";
     case EventKind::kDemote: return "demote";
     case EventKind::kError: return "ERROR";
+    case EventKind::kStall: return "STALL";
+    case EventKind::kRecover: return "recover";
     case EventKind::kNote: return "note";
   }
   return "?";

@@ -23,6 +23,8 @@ enum class EventKind {
   kMpiLost,    // retries exhausted
   kDemote,     // fault path re-specialized a transfer
   kError,      // TransportError surfaced to the application
+  kStall,      // progress monitor flagged a straggling rank
+  kRecover,    // failure-recovery step (detect, checkpoint, restore, ...)
   kNote,       // free-form marker
 };
 

@@ -104,6 +104,17 @@ void Telemetry::on_plan_event(const char* what) {
   metrics_.counter("plan_" + std::string(what) + "s_total").add();
 }
 
+void Telemetry::on_stall(const std::string& what, sim::Time at) {
+  metrics_.counter("progress_stalls_total").add();
+  flight_.log(EventKind::kStall, at, "progress", what);
+  capture_dump("progress stall: " + what, dump_tail_n_);
+}
+
+void Telemetry::on_recover_step(const std::string& step, const std::string& detail, sim::Time at) {
+  metrics_.counter("recover_steps_total{step=\"" + step + "\"}").add();
+  flight_.log(EventKind::kRecover, at, "recover", step + ": " + detail);
+}
+
 void Telemetry::install_deadlock_dump(sim::Engine& eng, std::size_t tail_n) {
   dump_tail_n_ = tail_n;
   eng.set_watchdog([this, tail_n](const sim::DeadlockReport& report) {

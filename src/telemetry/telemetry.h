@@ -59,6 +59,17 @@ class Telemetry {
   // --- plan hooks ----------------------------------------------------------
   void on_plan_event(const char* what);  // "compile", "hit", "invalidate", "rebuild", "replay"
 
+  // --- dtrace::ProgressMonitor hook ----------------------------------------
+  /// A stall verdict fired: count it and capture a flight-recorder tail dump
+  /// through the same path DeadlockError and TransportError use, so a stall
+  /// leaves the "last N events" trail too.
+  void on_stall(const std::string& what, sim::Time at);
+
+  // --- stencil::recover hooks ----------------------------------------------
+  /// One recovery-ladder step ("detect", "checkpoint", "restore", "retire",
+  /// "replace", "shrink", ...): per-step counter plus a kRecover flight event.
+  void on_recover_step(const std::string& step, const std::string& detail, sim::Time at);
+
   // --- deadlock / failure dumps --------------------------------------------
   /// Installs an engine watchdog that appends the flight-recorder tail to
   /// the DeadlockReport text and stores the combined dump for retrieval

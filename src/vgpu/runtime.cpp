@@ -225,6 +225,17 @@ void Runtime::launch_graph(GraphExec& g) {
 }
 
 sim::Time Runtime::issue(Stream& s) {
+  // Terminal failures surface here, the choke point every async op passes
+  // through (graph replays included): issuing to a dead device errors like
+  // a real CUDA context loss would.
+  if (const fault::Injector* inj = machine_.fault_injector();
+      inj != nullptr && inj->has_terminal_failures()) {
+    const sim::Time now = eng_.now();
+    if (inj->gpu_dead(s.device, now) || inj->node_dead(machine_.node_of(s.device), now)) {
+      throw DeviceLost(s.device, "vgpu: gpu" + std::to_string(s.device) +
+                                     " lost (terminal fault) at t=" + sim::format_duration(now));
+    }
+  }
   if (replay_depth_ == 0) {
     const sim::Time t0 = eng_.now();
     eng_.sleep_for(machine_.arch().cpu_issue);

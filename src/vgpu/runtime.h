@@ -74,6 +74,19 @@ class CapabilityError : public std::runtime_error {
   Kind kind_;
 };
 
+/// Thrown from every async entry point once the target device is permanently
+/// dead (fault::kGpuFail / kNodeFail). Unlike CapabilityError there is no
+/// lower rung to demote to: recovery (stencil::recover) must re-home the
+/// device's subdomains onto surviving resources.
+class DeviceLost : public std::runtime_error {
+ public:
+  DeviceLost(int ggpu, const std::string& what) : std::runtime_error(what), ggpu_(ggpu) {}
+  int device() const { return ggpu_; }
+
+ private:
+  int ggpu_ = -1;
+};
+
 class Runtime;
 
 /// A captured sequence of stream operations (cudaGraph analogue). Built with
