@@ -12,6 +12,7 @@
 #include "core/placement.h"
 #include "plan/plan.h"
 #include "telemetry/telemetry.h"
+#include "verify/verify.h"
 
 namespace stencil {
 
@@ -136,6 +137,22 @@ class DistributedDomain {
   /// migrated (dirty programs rebuilt) on their next use.
   std::uint64_t topology_epoch() const { return topo_epoch_; }
 
+  // --- static plan verification (src/verify, DESIGN.md §14) ----------------
+  /// Lower a compiled plan into the verifier's IR: the local rank from the
+  /// artifact itself, every remote rank re-derived deterministically from
+  /// the shared placement (with local demotions overriding shared
+  /// transfers). Exposed for plan_verify and tests.
+  verify::ExchangeModel verify_model(const plan::CompiledPlan& p) const;
+  /// Run the static verifier on a plan: global send/recv matching, deadlock
+  /// freedom, tag-space hygiene, buffer-overlap hazards.
+  verify::Report verify_plan(const plan::CompiledPlan& p) const;
+  /// Fail-fast admission (on by default): every freshly compiled plan and
+  /// every fault-demotion/recovery migration is statically verified before
+  /// its first replay; findings throw plan::AdmissionError out of
+  /// exchange_start().
+  void set_verify_plans(bool on);
+  bool verify_plans() const { return verify_plans_; }
+
   /// Per-domain observability (DESIGN.md §11): exchange-latency histogram,
   /// per-method byte/message counters, plan/fault counters, and the flight
   /// recorder. Always on — the hooks are pure bookkeeping and never touch
@@ -258,6 +275,9 @@ class DistributedDomain {
   // snapshot. Zero virtual-time cost.
   void note_exchange_complete();
 
+  // Install (or clear) the PlanCache admission hook per verify_plans_.
+  void install_admission();
+
   // --- exchange plans (persistent mode) -----------------------------------
   // The plan for the active configuration: exact cache hit, stale-epoch
   // migration (rebuild only dirty programs), or full compile on miss.
@@ -303,10 +323,27 @@ class DistributedDomain {
 
   // Exchange-plan state (persistent mode).
   bool persistent_ = false;
+  bool verify_plans_ = true;
   std::uint64_t topo_epoch_ = 0;
   telemetry::Telemetry telemetry_;
   plan::PlanCache plan_cache_;
   plan::CompiledPlan* cur_plan_ = nullptr;  // plan driving the in-flight exchange
+
+  // verify_model derivation cache: the world transfer list and per-transfer
+  // slab element counts depend only on the placement and exchange shape, not
+  // on the plan under verification, so consecutive plan admissions (and
+  // post-demotion re-verifications) reuse one ExchangePlan::full derivation.
+  // The shared_ptr keeps the keyed placement alive so the identity compare
+  // cannot alias a recycled allocation.
+  struct VerifyDeriv {
+    std::shared_ptr<const Placement> placement;
+    MethodFlags flags{};
+    Neighborhood nbhd{};
+    Boundary boundary{};
+    Radius radius{1};
+    std::vector<std::pair<Transfer, std::size_t>> xfers;  // (transfer, slab elems)
+  };
+  mutable VerifyDeriv verify_deriv_;
 
   // Split-phase exchange state, valid between exchange_start/finish.
   struct InFlight {

@@ -3,6 +3,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "core/tagspace.h"
 #include "telemetry/metrics.h"
 
 namespace stencil {
@@ -50,7 +51,7 @@ Transfer ExchangePlan::make_transfer(const Placement& placement, Dim3 src_idx, D
 
   const int di = direction_index(dir);
   if (di < 0) throw std::logic_error("ExchangePlan: bad direction");
-  t.tag = static_cast<int>(src_idx.linearize(hp.global_extent())) * 26 + di;
+  t.tag = tagspace::data_tag(src_idx.linearize(hp.global_extent()), di);
   return t;
 }
 

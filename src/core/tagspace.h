@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file tagspace.h
+/// Single source of truth for every MPI tag the library derives.
+///
+/// Layout (DESIGN.md §14). Data tags are non-negative; every service tag is
+/// negative so user-visible exchange traffic can never alias control traffic:
+///
+///   data        [0, 9'999'989]              subdomain-linear * 26 + direction
+///   setup       [-9'999'999, -10]           COLOCATED IPC handshake, -(data+10)
+///   aggregate   [-10'999'999, -10'000'000]  per-peer group header, -(10M+rank)
+///   checkpoint  [-49'999'999, -40'000'000]  recover blobs, -(40M + lin*64 + q)
+///   restore     [-59'999'999, -50'000'000]  recover blobs, -(50M + lin*64 + q)
+///
+/// Each derivation is bounds-checked: before this header existed the setup
+/// space silently bled into the aggregate space once a data tag exceeded
+/// 9'999'989 (~385k subdomains) and checkpoint tags bled into restore tags
+/// once lin*64+q reached 10'000'000 — near-miss collisions surfaced by the
+/// static verifier (src/verify). Exhaustion now throws instead of aliasing.
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace stencil::tagspace {
+
+inline constexpr int kDirectionsPerSubdomain = 26;
+/// Largest data tag whose derived setup tag still fits the setup span.
+inline constexpr int kMaxDataTag = 9'999'989;
+inline constexpr int kSetupOffset = 10;
+inline constexpr int kAggBase = 10'000'000;
+inline constexpr int kMaxRanks = 1'000'000;
+inline constexpr int kCheckpointBase = 40'000'000;
+inline constexpr int kRestoreBase = 50'000'000;
+inline constexpr int kBlobSpan = 10'000'000;
+/// Quantity slots folded into one checkpoint/restore tag.
+inline constexpr int kMaxQuantities = 64;
+
+struct Range {
+  int lo;
+  int hi;  // inclusive
+  const char* name;
+};
+
+/// Name of the aggregation-header range; group messages claim it so the
+/// static verifier knows they occupy that span by design.
+inline constexpr const char* kAggRangeName = "aggregate-header";
+
+/// Service tag spans that data tags (and each other) must stay clear of.
+inline constexpr std::array<Range, 4> reserved_ranges() {
+  return {{
+      {-(kAggBase - 1), -kSetupOffset, "colocated-setup"},
+      {-(kAggBase + kMaxRanks - 1), -kAggBase, kAggRangeName},
+      {-(kCheckpointBase + kBlobSpan - 1), -kCheckpointBase, "checkpoint"},
+      {-(kRestoreBase + kBlobSpan - 1), -kRestoreBase, "restore"},
+  }};
+}
+
+/// Halo-exchange data tag: unique per (source subdomain, direction).
+inline int data_tag(std::int64_t src_linear, int direction_index) {
+  const std::int64_t t =
+      src_linear * kDirectionsPerSubdomain + direction_index;
+  if (src_linear < 0 || direction_index < 0 ||
+      direction_index >= kDirectionsPerSubdomain || t > kMaxDataTag) {
+    throw std::overflow_error(
+        "tagspace: data tag space exhausted (subdomain linear index " +
+        std::to_string(src_linear) + ", direction " +
+        std::to_string(direction_index) + ")");
+  }
+  return static_cast<int>(t);
+}
+
+/// COLOCATED IPC-handshake tag paired with a data tag.
+inline int setup_tag(int data_tag) {
+  if (data_tag < 0 || data_tag > kMaxDataTag) {
+    throw std::overflow_error("tagspace: setup tag for out-of-range data tag " +
+                              std::to_string(data_tag));
+  }
+  return -(data_tag + kSetupOffset);
+}
+
+/// Aggregated-group header tag, one per sending rank.
+inline int agg_tag(int src_rank) {
+  if (src_rank < 0 || src_rank >= kMaxRanks) {
+    throw std::overflow_error("tagspace: aggregate tag for rank " +
+                              std::to_string(src_rank));
+  }
+  return -(kAggBase + src_rank);
+}
+
+namespace detail {
+inline int blob_tag(int base, std::int64_t lin, std::size_t q, const char* what) {
+  const std::int64_t slot =
+      lin * kMaxQuantities + static_cast<std::int64_t>(q);
+  if (lin < 0 || q >= static_cast<std::size_t>(kMaxQuantities) ||
+      slot >= kBlobSpan) {
+    throw std::overflow_error(
+        std::string("tagspace: ") + what + " tag space exhausted (subdomain " +
+        std::to_string(lin) + ", quantity " + std::to_string(q) + ")");
+  }
+  return -(base + static_cast<int>(slot));
+}
+}  // namespace detail
+
+/// Buddy-checkpoint blob tag (recover layer).
+inline int checkpoint_tag(std::int64_t lin, std::size_t q) {
+  return detail::blob_tag(kCheckpointBase, lin, q, "checkpoint");
+}
+
+/// Restore blob tag (recover layer).
+inline int restore_tag(std::int64_t lin, std::size_t q) {
+  return detail::blob_tag(kRestoreBase, lin, q, "restore");
+}
+
+}  // namespace stencil::tagspace

@@ -20,7 +20,9 @@ std::string PlanKey::str() const {
 std::string PlanStats::str() const {
   return "compiles=" + std::to_string(compiles) + " hits=" + std::to_string(hits) +
          " invalidations=" + std::to_string(invalidations) +
-         " rebuilt=" + std::to_string(rebuilt_programs) + " replays=" + std::to_string(replays);
+         " rebuilt=" + std::to_string(rebuilt_programs) + " replays=" + std::to_string(replays) +
+         " verifications=" + std::to_string(verifications) +
+         " rejections=" + std::to_string(rejections);
 }
 
 void PlanStats::export_to(telemetry::MetricsRegistry& reg) const {
@@ -29,6 +31,8 @@ void PlanStats::export_to(telemetry::MetricsRegistry& reg) const {
   reg.gauge("plan_stats_invalidations").set(static_cast<double>(invalidations));
   reg.gauge("plan_stats_rebuilt_programs").set(static_cast<double>(rebuilt_programs));
   reg.gauge("plan_stats_replays").set(static_cast<double>(replays));
+  reg.gauge("plan_stats_verifications").set(static_cast<double>(verifications));
+  reg.gauge("plan_stats_rejections").set(static_cast<double>(rejections));
 }
 
 std::size_t CompiledPlan::dirty_count() const {
@@ -109,6 +113,16 @@ CompiledPlan& PlanCache::emplace(PlanKey key) {
 
 void PlanCache::invalidate_tag(int tag) {
   for (auto& p : plans_) p->mark_dirty(tag);
+}
+
+void PlanCache::admit(const CompiledPlan& p) {
+  if (!admission_) return;
+  ++stats_.verifications;
+  std::string report = admission_(p);
+  if (report.empty()) return;
+  ++stats_.rejections;
+  throw AdmissionError("plan admission rejected { " + p.key.str() + " }",
+                       std::move(report));
 }
 
 }  // namespace stencil::plan

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -46,6 +48,8 @@ struct PlanStats {
   std::uint64_t invalidations = 0;     // stale-epoch migrations (partial rebuild)
   std::uint64_t rebuilt_programs = 0;  // programs recompiled across migrations
   std::uint64_t replays = 0;           // planned exchanges executed
+  std::uint64_t verifications = 0;     // admission checks run (static verifier)
+  std::uint64_t rejections = 0;        // plans refused at admission
 
   std::string str() const;
 
@@ -117,11 +121,39 @@ class CompiledPlan {
   void describe(std::ostream& os) const;
 };
 
+/// Thrown when plan admission rejects a compiled plan: the static verifier
+/// found a protocol defect (mismatched tags, wait cycle, reserved-tag
+/// collision, buffer hazard). `report()` carries the full findings text.
+class AdmissionError : public std::runtime_error {
+ public:
+  AdmissionError(std::string summary, std::string report)
+      : std::runtime_error(std::move(summary)), report_(std::move(report)) {}
+  const std::string& report() const { return report_; }
+
+ private:
+  std::string report_;
+};
+
 /// The per-domain plan cache. Owns every compiled plan; lookups match on
 /// configuration (flags, aggregation, quantity subset) and never on epoch —
 /// epoch mismatches are repaired by the domain via partial rebuild.
 class PlanCache {
  public:
+  /// Admission hook: returns a findings report for a plan, or the empty
+  /// string when the plan is clean. Keeping the result a plain string keeps
+  /// stencil_plan decoupled from the verifier (core installs a hook that
+  /// lowers the plan to a verify::ExchangeModel and runs stencil_verify).
+  using AdmissionFn = std::function<std::string(const CompiledPlan&)>;
+
+  /// Install (or clear, with nullptr) the admission hook.
+  void set_admission(AdmissionFn fn) { admission_ = std::move(fn); }
+  bool has_admission() const { return static_cast<bool>(admission_); }
+
+  /// Run the admission hook on a freshly compiled or migrated plan.
+  /// Throws AdmissionError when the verifier reports findings; the bad plan
+  /// is left in the cache marked by the throw site (callers fail fast).
+  void admit(const CompiledPlan& p);
+
   /// The plan for this configuration, or nullptr (caller compiles one).
   CompiledPlan* find(std::uint32_t flags, bool agg, const std::vector<std::size_t>& qs);
 
@@ -140,6 +172,7 @@ class PlanCache {
  private:
   std::vector<std::unique_ptr<CompiledPlan>> plans_;
   PlanStats stats_;
+  AdmissionFn admission_;
 };
 
 }  // namespace stencil::plan

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/tagspace.h"
+
 namespace stencil::recover {
 
 const char* to_string(FailureKind k) {
@@ -62,14 +64,14 @@ FailureEvent classify(const std::exception& e, simpi::Job& job, int me, sim::Tim
 // --- CheckpointStore --------------------------------------------------------
 
 namespace {
-// Blob-exchange tags, kept clear of the exchange layer's data (>= 0), setup
-// (-(tag+10)), and aggregation (-(10'000'000+rank)) tag spaces. Up to 64
-// quantities per domain.
+// Blob-exchange tags from the central registry (core/tagspace.h): kept clear
+// of the exchange layer's data, setup, and aggregation spaces, and
+// bounds-checked so checkpoint tags can never bleed into restore tags.
 int checkpoint_tag(std::int64_t lin, std::size_t q) {
-  return -static_cast<int>(40'000'000 + lin * 64 + static_cast<std::int64_t>(q));
+  return tagspace::checkpoint_tag(lin, q);
 }
 int restore_tag(std::int64_t lin, std::size_t q) {
-  return -static_cast<int>(50'000'000 + lin * 64 + static_cast<std::int64_t>(q));
+  return tagspace::restore_tag(lin, q);
 }
 }  // namespace
 

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file verify.h
+/// Static exchange-protocol verifier.
+///
+/// verify() proves four properties of an ExchangeModel with zero execution:
+///   (a) global send/recv matching per (src, dst, tag, bytes) across all
+///       ranks, including staged hops and persistent restarts;
+///   (b) deadlock freedom via a wait-for graph over blocking waits,
+///       persistent-request starts and COLOCATED flow-control tokens,
+///       unrolled across two iterations — a cycle yields a minimal
+///       counterexample naming every op in the cycle;
+///   (c) tag-space hygiene — message tags stay out of the reserved ranges
+///       (checkpoint/restore blobs, IPC setup, aggregation headers) and the
+///       reserved ranges themselves stay disjoint;
+///   (d) buffer-overlap hazards — two accesses to the same buffer, at least
+///       one a write, with no plan-ordered sync path between them.
+///
+/// Findings mirror check::CheckReport: a flat list with kind + precise
+/// location, renderable as text or deterministic JSON.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "verify/model.h"
+
+namespace stencil::verify {
+
+enum class FindingKind {
+  kOrphanSend,       ///< send with no matching recv anywhere
+  kOrphanRecv,       ///< recv posted with no matching send anywhere
+  kTagMismatch,      ///< send/recv pair on one channel disagreeing only on tag
+  kSizeMismatch,     ///< matched (src,dst,tag) but payload bytes differ
+  kTagCollision,     ///< message tag inside a reserved range, or duplicate tag
+  kWaitCycle,        ///< cyclic wait-for dependency (deadlock)
+  kUnsatisfiedWait,  ///< token wait whose signal never occurs
+  kBufferHazard,     ///< unsynchronized conflicting accesses to one buffer
+};
+
+const char* to_string(FindingKind k);
+
+struct Finding {
+  FindingKind kind = FindingKind::kOrphanSend;
+  int rank = -1;  ///< rank the defect is anchored at (-1 = global)
+  int peer = -1;
+  int tag = 0;
+  std::string detail;             ///< one-line diagnostic
+  std::vector<std::string> ops;   ///< every op involved (cycle members, hazard pair)
+};
+
+class Report {
+ public:
+  void add(Finding f) { findings_.push_back(std::move(f)); }
+  bool clean() const { return findings_.empty(); }
+  std::size_t count() const { return findings_.size(); }
+  bool has(FindingKind k) const;
+  std::size_t count(FindingKind k) const;
+  const std::vector<Finding>& findings() const { return findings_; }
+  void clear() { findings_.clear(); }
+
+  /// Human-readable rendering, one block per finding.
+  void write(std::ostream& os) const;
+  std::string summary() const;
+  /// Deterministic JSON ({"schema":"verify-v1",...}); no timestamps.
+  void write_json(std::ostream& os, const std::string& plan_name = "") const;
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+/// Individual passes, exposed for targeted tests.
+void check_matching(const ExchangeModel& m, Report& r);
+void check_tags(const ExchangeModel& m, Report& r);
+void check_deadlock(const ExchangeModel& m, Report& r);
+void check_hazards(const ExchangeModel& m, Report& r);
+
+/// Run all four passes.
+Report verify(const ExchangeModel& m);
+
+}  // namespace stencil::verify

@@ -1,0 +1,503 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/checker.h"
+#include "check/report.h"
+#include "core/cluster.h"
+#include "core/distributed_domain.h"
+#include "core/tagspace.h"
+#include "fault/fault.h"
+#include "plan/plan.h"
+#include "topo/archetype.h"
+#include "verify/verify.h"
+
+namespace sim = stencil::sim;
+namespace topo = stencil::topo;
+namespace check = stencil::check;
+namespace plan = stencil::plan;
+namespace fault = stencil::fault;
+namespace verify = stencil::verify;
+namespace tagspace = stencil::tagspace;
+
+using stencil::Cluster;
+using stencil::Dim3;
+using stencil::DistributedDomain;
+using stencil::Method;
+using stencil::MethodFlags;
+using stencil::RankCtx;
+using verify::ExchangeModel;
+using verify::FindingKind;
+using verify::Op;
+using verify::OpKind;
+using verify::RankProgram;
+
+namespace {
+
+std::string dump(const verify::Report& rep) {
+  std::ostringstream os;
+  rep.write(os);
+  return os.str();
+}
+
+std::string dump(const check::CheckReport& rep) {
+  std::ostringstream os;
+  rep.write(os);
+  return os.str();
+}
+
+// -- fixture builders -------------------------------------------------------
+
+Op msg(OpKind kind, int rank, int peer, int tag, std::uint64_t bytes) {
+  Op o;
+  o.kind = kind;
+  o.rank = rank;
+  o.peer = peer;
+  o.tag = tag;
+  o.bytes = bytes;
+  return o;
+}
+
+verify::Access flat(std::uint64_t buffer, std::uint64_t offset,
+                    std::uint64_t bytes, bool write) {
+  verify::Access a;
+  a.buffer = buffer;
+  a.write = write;
+  a.offset = offset;
+  a.bytes = bytes;
+  return a;
+}
+
+ExchangeModel two_ranks() {
+  ExchangeModel m;
+  m.world_size = 2;
+  m.ranks.resize(2);
+  m.ranks[0].rank = 0;
+  m.ranks[1].rank = 1;
+  for (const tagspace::Range& tr : tagspace::reserved_ranges()) {
+    m.reserved.push_back({tr.lo, tr.hi, tr.name});
+  }
+  m.name = "fixture";
+  return m;
+}
+
+// A clean unidirectional message rank 0 -> rank 1 on `tag`.
+void add_clean_message(ExchangeModel& m, int tag, std::uint64_t bytes) {
+  m.ranks[1].ops.push_back(msg(OpKind::kPostRecv, 1, 0, tag, bytes));
+  m.ranks[0].ops.push_back(msg(OpKind::kStartSend, 0, 1, tag, bytes));
+  m.ranks[1].ops.push_back(msg(OpKind::kWaitRecv, 1, 0, tag, bytes));
+  m.ranks[0].ops.push_back(msg(OpKind::kWaitSend, 0, 1, tag, bytes));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Seeded-defect fixtures: each hand-built model carries exactly one protocol
+// bug; the verifier must name it with rank- and tag-precise diagnostics.
+// ---------------------------------------------------------------------------
+
+TEST(VerifySeeded, CleanFixtureHasNoFindings) {
+  ExchangeModel m = two_ranks();
+  add_clean_message(m, 7, 256);
+  const verify::Report rep = verify::verify(m);
+  EXPECT_TRUE(rep.clean()) << dump(rep);
+}
+
+TEST(VerifySeeded, MismatchedTagNamesBothTags) {
+  // Sender uses tag 41, receiver posted tag 42: same endpoints, same bytes.
+  ExchangeModel m = two_ranks();
+  m.ranks[1].ops.push_back(msg(OpKind::kPostRecv, 1, 0, 42, 512));
+  m.ranks[0].ops.push_back(msg(OpKind::kStartSend, 0, 1, 41, 512));
+  const verify::Report rep = verify::verify(m);
+  ASSERT_TRUE(rep.has(FindingKind::kTagMismatch)) << dump(rep);
+  const auto& fs = rep.findings();
+  bool named = false;
+  for (const auto& f : fs) {
+    if (f.kind != FindingKind::kTagMismatch) continue;
+    named = f.detail.find("41") != std::string::npos &&
+            f.detail.find("42") != std::string::npos;
+  }
+  EXPECT_TRUE(named) << dump(rep);
+}
+
+TEST(VerifySeeded, OrphanRecvIsAnchoredAtPostingRank) {
+  ExchangeModel m = two_ranks();
+  add_clean_message(m, 3, 64);
+  m.ranks[1].ops.push_back(msg(OpKind::kPostRecv, 1, 0, 99, 64));
+  const verify::Report rep = verify::verify(m);
+  ASSERT_EQ(rep.count(FindingKind::kOrphanRecv), 1u) << dump(rep);
+  const verify::Finding& f = rep.findings().front();
+  EXPECT_EQ(f.kind, FindingKind::kOrphanRecv);
+  EXPECT_EQ(f.rank, 1);
+  EXPECT_EQ(f.peer, 0);
+  EXPECT_EQ(f.tag, 99);
+  ASSERT_EQ(f.ops.size(), 1u);
+  EXPECT_NE(f.ops.front().find("tag 99"), std::string::npos);
+}
+
+TEST(VerifySeeded, SizeMismatchOnMatchedChannel) {
+  ExchangeModel m = two_ranks();
+  m.ranks[1].ops.push_back(msg(OpKind::kPostRecv, 1, 0, 5, 128));
+  m.ranks[0].ops.push_back(msg(OpKind::kStartSend, 0, 1, 5, 256));
+  const verify::Report rep = verify::verify(m);
+  EXPECT_TRUE(rep.has(FindingKind::kSizeMismatch)) << dump(rep);
+}
+
+TEST(VerifySeeded, HeadToHeadRendezvousCycleNamesEveryOp) {
+  // Both ranks wait for their receive to land before starting their own
+  // send: the classic rendezvous deadlock a persistent-request schedule can
+  // freeze into. All channels are matched, so only the cycle fires.
+  ExchangeModel m = two_ranks();
+  m.ranks[0].ops.push_back(msg(OpKind::kPostRecv, 0, 1, 1, 32));
+  m.ranks[1].ops.push_back(msg(OpKind::kPostRecv, 1, 0, 2, 32));
+  m.ranks[0].ops.push_back(msg(OpKind::kWaitRecv, 0, 1, 1, 32));
+  m.ranks[1].ops.push_back(msg(OpKind::kWaitRecv, 1, 0, 2, 32));
+  m.ranks[0].ops.push_back(msg(OpKind::kStartSend, 0, 1, 2, 32));
+  m.ranks[1].ops.push_back(msg(OpKind::kStartSend, 1, 0, 1, 32));
+  m.ranks[0].ops.push_back(msg(OpKind::kWaitSend, 0, 1, 2, 32));
+  m.ranks[1].ops.push_back(msg(OpKind::kWaitSend, 1, 0, 1, 32));
+  const verify::Report rep = verify::verify(m);
+  ASSERT_TRUE(rep.has(FindingKind::kWaitCycle)) << dump(rep);
+  for (const auto& f : rep.findings()) {
+    if (f.kind != FindingKind::kWaitCycle) continue;
+    // The counterexample walks both waits and both sends.
+    EXPECT_GE(f.ops.size(), 4u) << dump(rep);
+    std::size_t waits = 0, sends = 0;
+    for (const std::string& op : f.ops) {
+      waits += op.find("wait-recv") != std::string::npos;
+      sends += op.find("start-send") != std::string::npos;
+    }
+    EXPECT_EQ(waits, 2u) << dump(rep);
+    EXPECT_EQ(sends, 2u) << dump(rep);
+  }
+}
+
+TEST(VerifySeeded, TokenWaitWithoutSignalIsUnsatisfied) {
+  ExchangeModel m = two_ranks();
+  Op w;
+  w.kind = OpKind::kTokenWait;
+  w.rank = 0;
+  w.peer = 1;
+  w.token = "colo:17:data";
+  m.ranks[0].ops.push_back(std::move(w));
+  const verify::Report rep = verify::verify(m);
+  ASSERT_TRUE(rep.has(FindingKind::kUnsatisfiedWait)) << dump(rep);
+  EXPECT_NE(rep.findings().front().detail.find("colo:17:data"),
+            std::string::npos);
+}
+
+TEST(VerifySeeded, CheckpointTagCollisionIsFlagged) {
+  // A halo message whose tag strays into recover's reserved checkpoint span.
+  ExchangeModel m = two_ranks();
+  const int bad = tagspace::checkpoint_tag(3, 1);
+  add_clean_message(m, bad, 1024);
+  const verify::Report rep = verify::verify(m);
+  ASSERT_TRUE(rep.has(FindingKind::kTagCollision)) << dump(rep);
+  bool named = false;
+  for (const auto& f : rep.findings()) {
+    if (f.kind != FindingKind::kTagCollision) continue;
+    EXPECT_EQ(f.tag, bad);
+    named |= f.detail.find("checkpoint") != std::string::npos;
+  }
+  EXPECT_TRUE(named) << dump(rep);
+}
+
+TEST(VerifySeeded, ClaimedAggregationTagIsNotACollision) {
+  // Aggregation headers legitimately occupy their reserved span — but only
+  // when every endpoint claims the range by name.
+  ExchangeModel m = two_ranks();
+  const int agg = tagspace::agg_tag(0);
+  add_clean_message(m, agg, 4096);
+  verify::Report rep = verify::verify(m);
+  EXPECT_TRUE(rep.has(FindingKind::kTagCollision)) << dump(rep);
+
+  for (RankProgram& rp : m.ranks) {
+    for (Op& o : rp.ops) o.claims = tagspace::kAggRangeName;
+  }
+  rep = verify::verify(m);
+  EXPECT_TRUE(rep.clean()) << dump(rep);
+}
+
+TEST(VerifySeeded, UnsynchronizedPackRecvOverlapIsAHazard) {
+  // Rank 1's pack kernel reads the very buffer its posted receive lands in,
+  // with no plan-ordered sync between them.
+  ExchangeModel m = two_ranks();
+  add_clean_message(m, 11, 4096);  // recv landing on rank 1
+  RankProgram& r1 = m.ranks[1];
+  for (Op& o : r1.ops) {
+    if (o.kind == OpKind::kWaitRecv) o.accesses.push_back(flat(77, 0, 4096, true));
+  }
+  Op pack;
+  pack.kind = OpKind::kStream;
+  pack.rank = 1;
+  pack.stream = 9;
+  pack.tag = 11;
+  pack.accesses.push_back(flat(77, 1024, 512, false));
+  pack.what = "pack reading buffer 77";
+  r1.ops.push_back(std::move(pack));
+
+  verify::Report rep = verify::verify(m);
+  ASSERT_EQ(rep.count(FindingKind::kBufferHazard), 1u) << dump(rep);
+  const verify::Finding& f = rep.findings().front();
+  EXPECT_EQ(f.rank, 1);
+  EXPECT_EQ(f.ops.size(), 2u);
+
+  // The same pair with a plan-ordered edge between them verifies clean.
+  std::size_t wait_idx = 0;
+  for (std::size_t i = 0; i < r1.ops.size(); ++i) {
+    if (r1.ops[i].kind == OpKind::kWaitRecv) wait_idx = i;
+  }
+  r1.order.emplace_back(wait_idx, r1.ops.size() - 1);  // recv-done -> pack
+  rep = verify::verify(m);
+  EXPECT_TRUE(rep.clean()) << dump(rep);
+}
+
+TEST(VerifyReport, JsonIsDeterministicAndSchemaTagged) {
+  ExchangeModel m = two_ranks();
+  m.ranks[1].ops.push_back(msg(OpKind::kPostRecv, 1, 0, 99, 64));
+  const verify::Report rep = verify::verify(m);
+  std::ostringstream a, b;
+  rep.write_json(a, "fixture");
+  rep.write_json(b, "fixture");
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("\"schema\":\"verify-v1\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"plan\":\"fixture\""), std::string::npos);
+  EXPECT_NE(a.str().find("orphan-recv"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tag-space hygiene of the layout itself.
+// ---------------------------------------------------------------------------
+
+TEST(TagSpace, ReservedRangesArePairwiseDisjointAndNegative) {
+  const auto rs = tagspace::reserved_ranges();
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_LE(rs[i].lo, rs[i].hi);
+    EXPECT_LT(rs[i].hi, 0) << rs[i].name;
+    for (std::size_t j = i + 1; j < rs.size(); ++j) {
+      EXPECT_TRUE(rs[i].hi < rs[j].lo || rs[j].hi < rs[i].lo)
+          << rs[i].name << " overlaps " << rs[j].name;
+    }
+  }
+}
+
+TEST(TagSpace, DerivationsStayInsideTheirRanges) {
+  EXPECT_EQ(tagspace::data_tag(0, 0), 0);
+  EXPECT_EQ(tagspace::data_tag(2, 3), 2 * 26 + 3);
+  EXPECT_EQ(tagspace::setup_tag(0), -10);
+  EXPECT_EQ(tagspace::agg_tag(0), -10'000'000);
+  EXPECT_EQ(tagspace::checkpoint_tag(0, 0), -40'000'000);
+  EXPECT_EQ(tagspace::restore_tag(0, 0), -50'000'000);
+
+  const auto rs = tagspace::reserved_ranges();
+  auto in = [&](const char* name, int tag) {
+    for (const auto& r : rs) {
+      if (std::string(r.name) == name) return tag >= r.lo && tag <= r.hi;
+    }
+    return false;
+  };
+  EXPECT_TRUE(in("colocated-setup", tagspace::setup_tag(tagspace::kMaxDataTag)));
+  EXPECT_TRUE(in("aggregate-header", tagspace::agg_tag(tagspace::kMaxRanks - 1)));
+  EXPECT_TRUE(in("checkpoint", tagspace::checkpoint_tag(156'249, 63)));
+  EXPECT_TRUE(in("restore", tagspace::restore_tag(156'249, 63)));
+}
+
+TEST(TagSpace, ExhaustionThrowsInsteadOfAliasing) {
+  // Before tagspace.h, each of these silently bled into the next span.
+  EXPECT_THROW(tagspace::data_tag(385'000, 0), std::overflow_error);
+  EXPECT_THROW(tagspace::data_tag(-1, 0), std::overflow_error);
+  EXPECT_THROW(tagspace::data_tag(0, 26), std::overflow_error);
+  EXPECT_THROW(tagspace::setup_tag(-1), std::overflow_error);
+  EXPECT_THROW(tagspace::setup_tag(tagspace::kMaxDataTag + 1), std::overflow_error);
+  EXPECT_THROW(tagspace::agg_tag(-1), std::overflow_error);
+  EXPECT_THROW(tagspace::agg_tag(tagspace::kMaxRanks), std::overflow_error);
+  EXPECT_THROW(tagspace::checkpoint_tag(156'250, 0), std::overflow_error);
+  EXPECT_THROW(tagspace::checkpoint_tag(0, 64), std::overflow_error);
+  EXPECT_THROW(tagspace::restore_tag(156'250, 0), std::overflow_error);
+}
+
+// ---------------------------------------------------------------------------
+// Plan-cache admission: the hook turns a dirty report into a rejection.
+// ---------------------------------------------------------------------------
+
+TEST(PlanAdmission, CleanReportAdmitsAndCountsVerification) {
+  plan::PlanCache cache;
+  cache.set_admission([](const plan::CompiledPlan&) { return std::string(); });
+  EXPECT_TRUE(cache.has_admission());
+  plan::CompiledPlan& p = cache.emplace(plan::PlanKey{});
+  EXPECT_NO_THROW(cache.admit(p));
+  EXPECT_EQ(cache.stats().verifications, 1u);
+  EXPECT_EQ(cache.stats().rejections, 0u);
+}
+
+TEST(PlanAdmission, FindingsRejectWithReportAttached) {
+  plan::PlanCache cache;
+  cache.set_admission(
+      [](const plan::CompiledPlan&) { return std::string("[orphan-recv] rank 1 tag 99"); });
+  plan::PlanKey key;
+  key.quantities = {0};
+  plan::CompiledPlan& p = cache.emplace(key);
+  try {
+    cache.admit(p);
+    FAIL() << "admit did not throw";
+  } catch (const plan::AdmissionError& e) {
+    EXPECT_NE(std::string(e.what()).find("plan admission rejected"),
+              std::string::npos);
+    EXPECT_NE(e.report().find("orphan-recv"), std::string::npos);
+  }
+  EXPECT_EQ(cache.stats().verifications, 1u);
+  EXPECT_EQ(cache.stats().rejections, 1u);
+}
+
+TEST(PlanAdmission, NoHookIsANoOp) {
+  plan::PlanCache cache;
+  EXPECT_FALSE(cache.has_admission());
+  plan::CompiledPlan& p = cache.emplace(plan::PlanKey{});
+  EXPECT_NO_THROW(cache.admit(p));
+  EXPECT_EQ(cache.stats().verifications, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Production plans: every method's compiled plan must verify clean, at
+// admission (fail-fast inside acquire_plan) and under explicit re-checks.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct VerifyCase {
+  const char* name;
+  int nodes;
+  int ranks_per_node;
+  MethodFlags flags;
+  bool aggregate = false;
+};
+
+void run_verified_exchange(const VerifyCase& c) {
+  SCOPED_TRACE(c.name);
+  const Dim3 domain{48, 48, 48};
+  Cluster cluster(topo::summit(), c.nodes, c.ranks_per_node);
+  check::Checker chk(cluster.engine());
+  cluster.set_checker(&chk);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, domain);
+    dd.set_radius(1);
+    dd.add_data<float>("a");
+    dd.add_data<double>("b");
+    dd.set_methods(c.flags);
+    dd.set_remote_aggregation(c.aggregate);
+    dd.set_persistent(true);
+    ASSERT_TRUE(dd.verify_plans());  // admission is on by default
+    dd.realize();
+    dd.exchange();
+    dd.exchange({0});  // selective subsets compile (and admit) their own plans
+    dd.exchange();
+
+    // Admission ran once per compile and rejected nothing.
+    EXPECT_EQ(dd.plan_stats().verifications, dd.plan_stats().compiles);
+    EXPECT_EQ(dd.plan_stats().rejections, 0u);
+    // Explicit re-verification of every cached plan is also clean.
+    for (const auto& p : dd.plan_cache().entries()) {
+      const verify::Report rep = dd.verify_plan(*p);
+      EXPECT_TRUE(rep.clean()) << "plan { " << p->key.str() << " }\n" << dump(rep);
+    }
+    ctx.comm.barrier();
+  });
+  EXPECT_TRUE(chk.report().clean()) << dump(chk.report());
+}
+
+}  // namespace
+
+TEST(VerifyPlans, SingleNodeKernelPeerColocatedClean) {
+  run_verified_exchange({"single-node kAll", 1, 2, MethodFlags::kAll});
+}
+
+TEST(VerifyPlans, CudaAwareRemoteClean) {
+  run_verified_exchange({"cuda-aware remote", 2, 1, MethodFlags::kAllCudaAware});
+}
+
+TEST(VerifyPlans, StagedRemoteClean) {
+  run_verified_exchange(
+      {"staged remote", 2, 1, MethodFlags::kStaged | MethodFlags::kPeer | MethodFlags::kKernel});
+}
+
+TEST(VerifyPlans, StagedAggregatedClean) {
+  run_verified_exchange(
+      {"staged aggregated", 2, 1,
+       MethodFlags::kStaged | MethodFlags::kPeer | MethodFlags::kKernel, true});
+}
+
+TEST(VerifyPlans, AllMethodsTwoByTwoClean) {
+  run_verified_exchange({"all methods 2x2", 2, 2, MethodFlags::kAllCudaAware | MethodFlags::kStaged});
+}
+
+// After a fault storm demotes transfers, migrated plans are re-admitted
+// (dirty rebuilds only) and still verify clean.
+TEST(VerifyPlans, PostDemotionMigratedPlansReverifyClean) {
+  const sim::Time t_fault = sim::from_seconds(1.0);
+  const Dim3 domain{48, 48, 48};
+  fault::FaultPlan fplan;
+  fplan.revoke_peer(t_fault, -1, -1).invalidate_ipc(t_fault).disable_cuda_aware(t_fault);
+  fault::Injector inj(fplan);
+
+  Cluster cluster(topo::summit(), 2, 2);
+  check::Checker chk(cluster.engine());
+  cluster.set_checker(&chk);
+  cluster.set_fault_injector(&inj);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, domain);
+    dd.set_radius(1);
+    dd.add_data<float>("a");
+    dd.set_methods(MethodFlags::kAllCudaAware | MethodFlags::kStaged);
+    dd.set_persistent(true);
+    dd.realize();
+
+    dd.exchange();
+    const std::uint64_t admitted_before = dd.plan_stats().verifications;
+    EXPECT_GE(admitted_before, 1u);
+
+    ctx.engine().sleep_until(t_fault + sim::kMicrosecond);
+    ctx.comm.barrier();
+    // First post-fault exchange trips the demotions mid-replay (dirtying the
+    // plan); the second migrates the dirty programs and re-admits the plan.
+    dd.exchange();
+    ctx.comm.barrier();
+    dd.exchange();
+    ctx.comm.barrier();
+
+    EXPECT_GT(dd.topology_epoch(), 0u);
+    EXPECT_GT(dd.plan_stats().verifications, admitted_before)
+        << "migrated plan was not re-verified";
+    EXPECT_EQ(dd.plan_stats().rejections, 0u);
+    for (const auto& p : dd.plan_cache().entries()) {
+      EXPECT_EQ(p->dirty_count(), 0u);
+      const verify::Report rep = dd.verify_plan(*p);
+      EXPECT_TRUE(rep.clean()) << "plan { " << p->key.str() << " }\n" << dump(rep);
+    }
+
+    // A pure cache hit does not re-run the verifier.
+    const std::uint64_t admitted_after = dd.plan_stats().verifications;
+    dd.exchange();
+    EXPECT_EQ(dd.plan_stats().verifications, admitted_after);
+    ctx.comm.barrier();
+  });
+  EXPECT_TRUE(chk.report().clean()) << dump(chk.report());
+}
+
+// Disabling verification removes the admission hook entirely.
+TEST(VerifyPlans, OptOutSkipsAdmission) {
+  Cluster cluster(topo::summit(), 1, 2);
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, {32, 32, 32});
+    dd.set_radius(1);
+    dd.add_data<float>("a");
+    dd.set_methods(MethodFlags::kAll);
+    dd.set_persistent(true);
+    dd.set_verify_plans(false);
+    dd.realize();
+    dd.exchange();
+    EXPECT_EQ(dd.plan_stats().verifications, 0u);
+    ctx.comm.barrier();
+  });
+}

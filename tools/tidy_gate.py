@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""tidy_gate — enforced clang-tidy, scoped to the lines a change touched.
+
+Whole-tree clang-tidy stays advisory (the seed predates .clang-tidy), but a
+change must not add new diagnostics. This gate diffs against a base ref,
+collects the changed line ranges of every translation unit, runs clang-tidy
+over just those files, and fails only on diagnostics anchored to changed
+lines — so pre-existing noise elsewhere in the file cannot block a PR, while
+anything a patch introduces does.
+
+Usage:
+  tools/tidy_gate.py [--base <ref>] [--build build] [--require]
+
+--base     git ref to diff against (default: origin/main, falling back to
+           HEAD~1 when origin/main is absent, e.g. shallow CI clones).
+--build    build dir containing compile_commands.json (default: build).
+--require  fail (exit 3) when clang-tidy or compile_commands.json is
+           missing. Without it the gate degrades to a skip with a notice so
+           developer machines without clang-tidy are not blocked; CI passes
+           --require so the gate cannot silently vanish there.
+
+Exit status: 0 clean/skipped, 1 diagnostics on changed lines, 2 usage,
+3 --require unmet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+TIDY_SUFFIXES = {".cpp", ".cc"}  # TUs present in compile_commands.json
+
+DIAG = re.compile(r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+                  r"(?P<sev>warning|error): (?P<msg>.*)$")
+
+
+def run(cmd: list[str], **kw) -> subprocess.CompletedProcess:
+    return subprocess.run(cmd, cwd=REPO, text=True, capture_output=True, **kw)
+
+
+def resolve_base(requested: str) -> str | None:
+    for ref in [requested, "HEAD~1"]:
+        if run(["git", "rev-parse", "--verify", "--quiet", ref]).returncode == 0:
+            return ref
+    return None
+
+
+def changed_lines(base: str) -> dict[str, set[int]]:
+    """Map of repo-relative path -> set of added/modified line numbers."""
+    diff = run(["git", "diff", "--unified=0", base, "--", "src", "tests",
+                "bench", "examples"])
+    if diff.returncode != 0:
+        print(f"tidy_gate: git diff failed: {diff.stderr.strip()}", file=sys.stderr)
+        sys.exit(2)
+    out: dict[str, set[int]] = {}
+    cur: str | None = None
+    for line in diff.stdout.splitlines():
+        if line.startswith("+++ b/"):
+            cur = line[6:]
+        elif line.startswith("@@") and cur is not None:
+            m = re.search(r"\+(\d+)(?:,(\d+))?", line)
+            if m:
+                start = int(m.group(1))
+                count = int(m.group(2)) if m.group(2) is not None else 1
+                out.setdefault(cur, set()).update(range(start, start + count))
+    return out
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--base", default="origin/main")
+    ap.add_argument("--build", default="build")
+    ap.add_argument("--require", action="store_true")
+    args = ap.parse_args(argv)
+
+    tidy = shutil.which("clang-tidy")
+    compdb = REPO / args.build / "compile_commands.json"
+    if tidy is None or not compdb.exists():
+        missing = "clang-tidy" if tidy is None else str(compdb)
+        level = "error" if args.require else "notice"
+        print(f"tidy_gate: {level}: {missing} not available; "
+              f"{'failing (--require)' if args.require else 'skipping'}",
+              file=sys.stderr)
+        return 3 if args.require else 0
+
+    base = resolve_base(args.base)
+    if base is None:
+        print("tidy_gate: no usable base ref; skipping", file=sys.stderr)
+        return 3 if args.require else 0
+
+    touched = changed_lines(base)
+    tus = [f for f in touched
+           if pathlib.Path(f).suffix in TIDY_SUFFIXES and (REPO / f).exists()]
+    if not tus:
+        print(f"tidy_gate: no changed translation units vs {base}; clean")
+        return 0
+
+    print(f"tidy_gate: {len(tus)} changed TU(s) vs {base}: {' '.join(tus)}")
+    proc = run([tidy, "-p", args.build, "--quiet", *tus])
+    # clang-tidy exits non-zero on any diagnostic, including pre-existing
+    # ones; the verdict below considers changed lines only.
+
+    gated: list[str] = []
+    for line in proc.stdout.splitlines():
+        m = DIAG.match(line)
+        if not m:
+            continue
+        try:
+            rel = pathlib.Path(m.group("file")).resolve().relative_to(REPO).as_posix()
+        except ValueError:
+            continue
+        if int(m.group("line")) in touched.get(rel, set()):
+            gated.append(line)
+
+    for g in gated:
+        print(g)
+    print(f"tidy_gate: {len(gated)} diagnostic(s) on changed lines", file=sys.stderr)
+    return 1 if gated else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
