@@ -4,6 +4,11 @@
 // real cost (the other bench binaries report simulated/virtual time).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.h"
 #include "core/cluster.h"
 #include "core/distributed_domain.h"
 #include "core/local_domain.h"
@@ -119,4 +124,55 @@ static void BM_FullExchangeSimulated(benchmark::State& state) {
 }
 BENCHMARK(BM_FullExchangeSimulated)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console output as usual, but keep every run so --json can re-emit the
+/// wall-clock numbers in the repo-wide bench-v1 schema (real ms per
+/// iteration; these rows measure the simulator itself, not virtual time).
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<Run> runs;
+  void ReportRuns(const std::vector<Run>& report) override {
+    runs.insert(runs.end(), report.begin(), report.end());
+    ConsoleReporter::ReportRuns(report);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  const bool emit_json = stencil::bench::parse_json_flag(argc, argv, "micro", &json_path);
+  // Strip --json before google-benchmark sees (and rejects) it.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json", 6) != 0) args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  if (emit_json) {
+    stencil::bench::BenchJson json("micro");
+    for (const auto& r : reporter.runs) {
+      if (r.error_occurred) continue;
+      const double iters = r.iterations > 0 ? static_cast<double>(r.iterations) : 1.0;
+      const double ms = r.real_accumulated_time / iters * 1e3;
+      stencil::bench::MeasureResult res;
+      res.max_avg_ms = res.median_ms = res.p95_ms = ms;
+      res.iter_ms = {ms};
+      json.add(r.benchmark_name(), "wallclock", stencil::bench::ExchangeConfig{}, res);
+    }
+    std::string err;
+    if (!json.write(json_path, &err)) {
+      std::fprintf(stderr, "bench_micro: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("%zu rows written to %s\n", json.rows(), json_path.c_str());
+  }
+  benchmark::Shutdown();
+  return 0;
+}

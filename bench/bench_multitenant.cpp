@@ -1,0 +1,140 @@
+// Multi-tenant scheduling benchmark (DESIGN.md §15): three concurrent
+// stencil jobs admitted onto one 4-node machine under each placement
+// policy. Reports, per policy:
+//
+//   - aggregate exchange throughput (moved bytes over the wave makespan),
+//   - per-tenant p95 exchange latency and the solo-baseline p95 of the same
+//     job re-run alone on the identical slice,
+//   - interference (co-run p95 / solo p95 - 1) and critical-path blame per
+//     tenant (dtrace + telemetry::CriticalPath).
+//
+// Expected shape: kNodeAware isolates each tenant on its own node slice and
+// achieves the lowest worst-tenant interference; kSpread fans every tenant
+// across every NIC and pays the most. The bench exits non-zero if node-aware
+// placement loses that comparison — CI runs it as an acceptance check.
+//
+// bench_multitenant [tenants] [--json[=PATH]]   (bench-v1 JSON rows:
+// label = placement policy, variant = tenant name)
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "sched/sched.h"
+
+using namespace stencil::bench;
+namespace sched = stencil::sched;
+namespace topo = stencil::topo;
+
+int main(int argc, char** argv) {
+  const int tenants = positional_int(argc, argv, 3);
+  if (tenants < 1 || tenants > 4) {
+    std::fprintf(stderr, "bench_multitenant: tenants must be 1..4 (4-node machine)\n");
+    return 2;
+  }
+  std::string json_path;
+  BenchJson json("multitenant");
+  const bool emit_json = parse_json_flag(argc, argv, "multitenant", &json_path);
+
+  std::printf("multi-tenant scheduling: %d tenants x 4 GPUs, 4 nodes x 6 ranks\n", tenants);
+  std::printf("96^3 per tenant, radius 2, 4 DP quantities, 5 iterations\n\n");
+
+  struct PolicyRow {
+    const char* name;
+    sched::PlacePolicy place;
+  };
+  const std::vector<PolicyRow> policies = {
+      {"packed", sched::PlacePolicy::kPacked},
+      {"spread", sched::PlacePolicy::kSpread},
+      {"node-aware", sched::PlacePolicy::kNodeAware},
+  };
+
+  double aware_worst = 0.0;
+  double other_best_worst = 1e300;
+  for (const auto& pol : policies) {
+    stencil::Cluster cluster(topo::summit(), 4, 6);
+    cluster.set_mem_mode(stencil::vgpu::MemMode::kPhantom);
+    sched::Scheduler::Options opt;
+    opt.place = pol.place;
+    opt.solo_baseline = true;
+    opt.blame = true;
+    sched::Scheduler scheduler(cluster, opt);
+    for (int t = 0; t < tenants; ++t) {
+      sched::JobSpec s;
+      s.name = "tenant" + std::to_string(t);
+      s.user = "bench";
+      s.gpus = 4;
+      s.domain = {96, 96, 96};
+      s.radius = 2;
+      s.quantities = 4;
+      s.elem_size = 8;
+      s.iterations = 5;
+      s.methods = stencil::MethodFlags::kStaged | stencil::MethodFlags::kColocated |
+                  stencil::MethodFlags::kPeer | stencil::MethodFlags::kKernel;
+      scheduler.submit(s);
+    }
+    const sched::RunReport rep = scheduler.run();
+
+    std::printf("== %s: %d wave(s), makespan %.3f ms, aggregate %.2f GB/s ==\n", pol.name,
+                rep.waves, rep.makespan_ms, rep.aggregate_gb_s);
+    double worst = 0.0;
+    for (const auto& t : rep.tenants) {
+      std::printf("  %-8s nodes=%zu  p95=%8.3f ms  solo=%8.3f ms  interference=%+6.1f%%"
+                  "  blame=%8.3f ms\n",
+                  t.name.c_str(), t.nodes.size(), t.p95_ms, t.solo_p95_ms,
+                  t.interference * 100.0, t.blame_ms);
+      if (t.interference > worst) worst = t.interference;
+      if (emit_json) {
+        ExchangeConfig cfg;
+        cfg.nodes = t.vnodes;
+        cfg.ranks_per_node = t.vnodes > 0 ? t.ranks / t.vnodes : t.ranks;
+        cfg.domain = {96, 96, 96};
+        cfg.radius = 2;
+        cfg.quantities = 4;
+        cfg.iterations = static_cast<int>(t.iter_ms.size());
+        MeasureResult r;
+        r.iter_ms = t.iter_ms;
+        r.median_ms = t.median_ms;
+        r.p95_ms = t.p95_ms;
+        r.max_avg_ms = t.iter_ms.empty()
+                           ? 0.0
+                           : std::accumulate(t.iter_ms.begin(), t.iter_ms.end(), 0.0) /
+                                 static_cast<double>(t.iter_ms.size());
+        json.add(pol.name, t.name, cfg, r);
+      }
+    }
+    std::printf("  worst-tenant interference: %+.1f%%  (cross-tenant verify findings: %zu)\n\n",
+                worst * 100.0, rep.verify_findings);
+    if (rep.verify_findings != 0) {
+      std::fprintf(stderr, "bench_multitenant: cross-tenant verify found collisions\n");
+      return 1;
+    }
+    if (pol.place == sched::PlacePolicy::kNodeAware) {
+      aware_worst = worst;
+    } else if (worst < other_best_worst) {
+      other_best_worst = worst;
+    }
+  }
+
+  if (tenants > 1 && aware_worst > other_best_worst + 1e-9) {
+    std::fprintf(stderr,
+                 "bench_multitenant: node-aware placement did not minimize interference "
+                 "(%.4f vs best other %.4f)\n",
+                 aware_worst, other_best_worst);
+    return 1;
+  }
+  std::printf("node-aware worst-tenant interference %.4f <= best other policy %.4f\n",
+              aware_worst, tenants > 1 ? other_best_worst : 0.0);
+
+  if (emit_json) {
+    std::string err;
+    if (!json.write(json_path, &err)) {
+      std::fprintf(stderr, "bench_multitenant: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("%zu rows written to %s\n", json.rows(), json_path.c_str());
+  }
+  return 0;
+}

@@ -10,7 +10,12 @@
 
 using namespace stencil::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  // bench_specialization [--json[=PATH]]
+  std::string json_path;
+  BenchJson json("specialization");
+  const bool emit_json = parse_json_flag(argc, argv, "specialization", &json_path);
+
   const stencil::Dim3 domain = weak_scaling_domain(6);  // 1364^3: ~750^3 per GPU
   std::printf("Fig. 12a reproduction: single-node communication specialization\n");
   std::printf("domain %s, radius 3, 4 SP quantities, exchange time (max over ranks)\n\n",
@@ -29,8 +34,10 @@ int main() {
       std::vector<std::pair<std::string, double>> cells;
       for (const auto& [name, flags] : capability_tiers(cuda_aware)) {
         cfg.flags = flags;
-        const double ms = measure_exchange_ms(cfg);
+        const MeasureResult r = measure_exchange(cfg);
+        const double ms = r.max_avg_ms;
         cells.emplace_back(name, ms);
+        if (emit_json) json.add(cfg.label(), name, cfg, r);
         if (rpn == 6 && !cuda_aware && name == "+remote") staged_6r = ms;
         if (rpn == 6 && cuda_aware && name == "+remote") ca_6r = ms;
         if (rpn == 6 && !cuda_aware && name == "+kernel") best_6r = ms;
@@ -43,5 +50,13 @@ int main() {
   std::printf("headline ratios (paper: ~6x over STAGED, ~2x over CUDA-aware at 6 ranks):\n");
   std::printf("  specialization vs STAGED-only:    %.2fx\n", staged_6r / best_6r);
   std::printf("  specialization vs CUDA-aware MPI: %.2fx\n", ca_6r / best_6r);
+  if (emit_json) {
+    std::string err;
+    if (!json.write(json_path, &err)) {
+      std::fprintf(stderr, "bench_specialization: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("%zu rows written to %s\n", json.rows(), json_path.c_str());
+  }
   return 0;
 }

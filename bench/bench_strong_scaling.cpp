@@ -15,7 +15,11 @@
 using namespace stencil::bench;
 
 int main(int argc, char** argv) {
-  const int max_nodes = argc > 1 ? std::atoi(argv[1]) : 256;
+  // bench_strong_scaling [max_nodes] [--json[=PATH]]
+  const int max_nodes = positional_int(argc, argv, 256);
+  std::string json_path;
+  BenchJson json("strong_scaling");
+  const bool emit_json = parse_json_flag(argc, argv, "strong_scaling", &json_path);
 
   std::printf("Fig. 13 reproduction: strong scaling, fixed 1363^3 domain\n");
   std::printf("6 ranks x 6 GPUs per node, radius 3, 4 SP quantities\n\n");
@@ -29,9 +33,19 @@ int main(int argc, char** argv) {
     std::vector<std::pair<std::string, double>> cells;
     for (const auto& [name, flags] : capability_tiers(/*cuda_aware=*/false)) {
       cfg.flags = flags;
-      cells.emplace_back(name, measure_exchange_ms(cfg));
+      const MeasureResult r = measure_exchange(cfg);
+      cells.emplace_back(name, r.max_avg_ms);
+      if (emit_json) json.add(cfg.label(), name, cfg, r);
     }
     print_row(cfg.label(), cells);
+  }
+  if (emit_json) {
+    std::string err;
+    if (!json.write(json_path, &err)) {
+      std::fprintf(stderr, "bench_strong_scaling: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("%zu rows written to %s\n", json.rows(), json_path.c_str());
   }
   return 0;
 }

@@ -21,21 +21,24 @@ void Cluster::run(const std::function<void(RankCtx&)>& body) {
   });
 }
 
-std::shared_ptr<const Placement> Cluster::placement_cached(Dim3 domain, Radius radius,
-                                                           std::size_t bytes_per_point,
-                                                           Neighborhood nbhd,
-                                                           PlacementStrategy strategy,
-                                                           Boundary boundary) {
+std::shared_ptr<const Placement> Cluster::placement_cached(
+    Dim3 domain, Radius radius, std::size_t bytes_per_point, Neighborhood nbhd,
+    PlacementStrategy strategy, Boundary boundary, int num_nodes, int gpus_per_node,
+    int gpu_slot_base) {
+  if (num_nodes <= 0) num_nodes = machine_.num_nodes();
+  if (gpus_per_node <= 0) gpus_per_node = machine_.gpus_per_node();
   std::string key = domain.str() + "/r" + radius.str() + "/b" +
                     std::to_string(bytes_per_point) + "/n" +
                     std::to_string(static_cast<int>(nbhd)) + "/s" +
-                    std::to_string(static_cast<int>(strategy)) + "/" + to_string(boundary);
+                    std::to_string(static_cast<int>(strategy)) + "/" + to_string(boundary) +
+                    "/N" + std::to_string(num_nodes) + "g" + std::to_string(gpus_per_node) +
+                    "o" + std::to_string(gpu_slot_base);
   auto it = placement_cache_.find(key);
   if (it != placement_cache_.end()) return it->second;
   // Token-scheduled actors: no data race; the first rank to ask computes.
-  HierarchicalPartition hp(domain, machine_.num_nodes(), machine_.gpus_per_node());
+  HierarchicalPartition hp(domain, num_nodes, gpus_per_node);
   auto placement = std::make_shared<const Placement>(hp, machine_.arch(), radius, bytes_per_point,
-                                                     nbhd, strategy, boundary);
+                                                     nbhd, strategy, boundary, gpu_slot_base);
   placement_cache_.emplace(std::move(key), placement);
   return placement;
 }

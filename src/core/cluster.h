@@ -7,6 +7,7 @@
 
 #include "check/checker.h"
 #include "core/placement.h"
+#include "core/tenant.h"
 #include "dtrace/collector.h"
 #include "dtrace/progress.h"
 #include "simpi/mpi.h"
@@ -31,6 +32,10 @@ struct RankCtx {
   Cluster& cluster;
   int gpus_per_rank = 0;
   std::vector<int> gpus;  // global GPU ids owned by this rank
+  /// Multi-tenancy (src/sched): the slice of the machine this rank's job
+  /// owns. nullptr = solo job owning the whole machine (the default; every
+  /// existing call site aggregate-initializes without this member).
+  const core::TenantView* tenant = nullptr;
 
   int rank() const { return comm.rank(); }
   int node() const { return comm.node(); }
@@ -122,9 +127,14 @@ class Cluster {
   void set_fault_injector(const fault::Injector* inj) { machine_.set_fault_injector(inj); }
 
   /// Shared placement cache (see Placement: identical on every rank).
+  /// `num_nodes` / `gpus_per_node` override the machine shape for tenant
+  /// slices partitioning over a virtual machine (0 = use the physical
+  /// shape); `gpu_slot_base` anchors the slice's bandwidth lookups and is
+  /// part of the cache key so different slices never share a solution.
   std::shared_ptr<const Placement> placement_cached(
       Dim3 domain, Radius radius, std::size_t bytes_per_point, Neighborhood nbhd,
-      PlacementStrategy strategy, Boundary boundary = Boundary::kPeriodic);
+      PlacementStrategy strategy, Boundary boundary = Boundary::kPeriodic, int num_nodes = 0,
+      int gpus_per_node = 0, int gpu_slot_base = 0);
 
  private:
   sim::Engine eng_;

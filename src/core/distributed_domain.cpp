@@ -22,9 +22,14 @@ struct ColoSetupMsg {
 
 int setup_tag(const Transfer& t) { return tagspace::setup_tag(t.tag); }
 
-/// Tag for the aggregated message from `src_rank`; (src, dst) channels keep
-/// it unique, and the tagspace layout keeps it clear of data and setup tags.
-int agg_tag(int src_rank) { return tagspace::agg_tag(src_rank); }
+/// Tag for the aggregated message from `src_rank` (a rank of `comm`);
+/// (src, dst) channels keep it unique, and the tagspace layout keeps it
+/// clear of data and setup tags. Derived from the *world* rank so the
+/// header tags of concurrent tenants (whose sub-ranks all start at 0)
+/// never alias — identical to the sub-rank for solo jobs.
+int agg_tag(const simpi::Comm& comm, int src_rank) {
+  return tagspace::agg_tag(comm.world_rank_of(src_rank));
+}
 
 std::string dir_str(Dim3 d) {
   auto c = [](std::int64_t v) { return v > 0 ? "+" : v < 0 ? "-" : "0"; };
@@ -140,16 +145,34 @@ void DistributedDomain::realize() {
   for (const auto& q : quantities_) bytes_per_point_ += q.elem_size;
 
   // Phase 1+2 of the paper's setup: partition and placement (shared across
-  // ranks — deterministic, needs no communication).
+  // ranks — deterministic, needs no communication). A tenant partitions
+  // over its virtual shape (vnodes x gpus_per_vnode) instead of the
+  // physical machine; the first vnode's slot base anchors the bandwidth
+  // lookups (slices are slot-homogeneous to a good approximation on the
+  // symmetric archetypes).
+  const core::TenantView* tv = ctx_.tenant;
+  if (tv != nullptr) {
+    tv->validate();
+    if (ctx_.comm.size() != tv->world_size()) {
+      throw std::invalid_argument("realize: tenant communicator has " +
+                                  std::to_string(ctx_.comm.size()) + " ranks, view expects " +
+                                  std::to_string(tv->world_size()));
+    }
+  }
   placement_ = ctx_.cluster.placement_cached(domain_, radius_, bytes_per_point_, nbhd_, strategy_,
-                                             boundary_);
+                                             boundary_, part_nodes(), part_gpn(),
+                                             tv != nullptr ? tv->gpu_base[0] : 0);
   const auto& hp = placement_->partition();
 
   // Materialize this rank's subdomains (the live occupancy of each GPU —
   // one subdomain per GPU until recovery re-homing adds adoptees).
-  const int gpn = ctx_.machine.gpus_per_node();
+  // Placement speaks virtual (partition) coordinates; LocalDomain and the
+  // runtime speak physical GPU ids.
+  const int phys_gpn = ctx_.machine.gpus_per_node();
+  const int vnode = part_node();
   for (int ggpu : ctx_.gpus) {
-    for (const Dim3 idx : placement_->subdomains_on(ctx_.node(), ggpu % gpn)) {
+    const int vlocal = tv != nullptr ? tv->vlocal(vnode, ggpu % phys_gpn) : ggpu % phys_gpn;
+    for (const Dim3 idx : placement_->subdomains_on(vnode, vlocal)) {
       const Dim3 sz = hp.subdomain_size(idx);
       const Dim3 origin = hp.subdomain_origin(idx);
       locals_.push_back(std::make_unique<LocalDomain>(ctx_.rt, ggpu, idx, origin, sz, radius_,
@@ -159,10 +182,14 @@ void DistributedDomain::realize() {
     }
   }
 
-  // Enable peer access between my GPUs and every capable same-node GPU
-  // (needed for PEER and for direct COLOCATED copies).
+  // Enable peer access between my GPUs and every capable same-node GPU this
+  // job owns (needed for PEER and for direct COLOCATED copies). A tenant
+  // only touches its own slice — peer capability on GPUs of co-tenants is
+  // their business.
+  const int slice_lo = ctx_.node() * phys_gpn + (tv != nullptr ? tv->gpu_base[vnode] : 0);
+  const int slice_hi = slice_lo + part_gpn();
   for (int g : ctx_.gpus) {
-    for (int h = ctx_.node() * gpn; h < (ctx_.node() + 1) * gpn; ++h) {
+    for (int h = slice_lo; h < slice_hi; ++h) {
       if (g != h && ctx_.rt.can_access_peer(g, h)) {
         ctx_.rt.enable_peer_access(g, h);
         ctx_.rt.enable_peer_access(h, g);
@@ -170,9 +197,15 @@ void DistributedDomain::realize() {
     }
   }
 
-  // Phase 3: capability specialization.
-  plan_ = ExchangePlan::for_rank(*placement_, ctx_.comm.rank(), ctx_.cluster.ranks_per_node(),
-                                 flags_, nbhd_, boundary_);
+  // Phase 3: capability specialization. The plan is built in partition
+  // (virtual) GPU coordinates with tags inside this tenant's tag window,
+  // then translated to physical GPU ids so every downstream consumer —
+  // streams, buffers, machine cost queries, IPC — sees real hardware.
+  plan_ = ExchangePlan::for_rank(*placement_, ctx_.comm.rank(), part_rpn(), flags_, nbhd_,
+                                 boundary_, tenant_id());
+  if (tv != nullptr) {
+    plan_.map_gpus([tv](int vgpu) { return tv->phys_gpu(vgpu); });
+  }
   build_transfer_states();
   plan_.export_metrics(telemetry_.metrics());
   if (aggregate_remote_) build_aggregation_groups();
@@ -522,7 +555,7 @@ void DistributedDomain::exchange_start(const std::vector<std::size_t>& quantitie
   auto& recv_map = inflight_.recv_map;
   for (auto& gp : recv_groups_) {  // aggregated STAGED receives, one per peer
     gp->req = comm.irecv(simpi::Payload::of(gp->host, 0, gp->active_bytes), gp->peer_rank,
-                         agg_tag(gp->peer_rank));
+                         agg_tag(comm, gp->peer_rank));
     recv_reqs.push_back(gp->req);
     recv_map.emplace_back(nullptr, gp.get());
   }
@@ -833,6 +866,13 @@ std::vector<DistributedDomain::Rehome> DistributedDomain::recover_replace(
   if (aggregate_remote_) {
     throw std::logic_error("recover_replace: remote aggregation is not recoverable yet");
   }
+  if (ctx_.tenant != nullptr) {
+    // Re-homing below works in whole-machine rank/GPU coordinates; a tenant
+    // slice needs vnode-aware adoption plus scheduler-level capacity updates.
+    // Fail loudly instead of silently corrupting a co-tenant's GPUs; the
+    // scheduler path resubmits the job instead.
+    throw std::logic_error("recover_replace: not supported under multi-tenancy");
+  }
   const auto& hp = placement_->partition();
   const int gpn = ctx_.machine.gpus_per_node();
   const int rpn = ctx_.cluster.ranks_per_node();
@@ -1001,7 +1041,7 @@ void DistributedDomain::exchange_finish() {
           rt.event_synchronize(mx->ready_ev);
         }
         g.req = comm.isend(simpi::Payload::of(g.host, 0, g.active_bytes), g.peer_rank,
-                           agg_tag(comm.rank()));
+                           agg_tag(comm, comm.rank()));
         send_reqs.push_back(g.req);
         ++gi;
       } else {
@@ -1329,9 +1369,9 @@ void DistributedDomain::compile_group_program(plan::GroupProgram& g) {
   g.graph = rt.instantiate(rt.end_capture());
   g.req = g.is_send
               ? comm.send_init(simpi::Payload::of(grp.host, 0, grp.active_bytes), grp.peer_rank,
-                               agg_tag(comm.rank()))
+                               agg_tag(comm, comm.rank()))
               : comm.recv_init(simpi::Payload::of(grp.host, 0, grp.active_bytes), grp.peer_rank,
-                               agg_tag(grp.peer_rank));
+                               agg_tag(comm, grp.peer_rank));
 }
 
 void DistributedDomain::planned_start(plan::CompiledPlan& p) {

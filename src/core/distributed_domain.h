@@ -137,6 +137,28 @@ class DistributedDomain {
   /// migrated (dirty programs rebuilt) on their next use.
   std::uint64_t topology_epoch() const { return topo_epoch_; }
 
+  // --- multi-tenancy (src/sched, DESIGN.md §15) ---------------------------
+  /// The machine shape this domain partitions and places over: the tenant
+  /// slice's virtual shape when RankCtx carries a TenantView, the physical
+  /// machine otherwise. All tenant-aware internals route through these.
+  const core::TenantView* tenant() const { return ctx_.tenant; }
+  int tenant_id() const { return ctx_.tenant != nullptr ? ctx_.tenant->id : 0; }
+  int part_nodes() const {
+    return ctx_.tenant != nullptr ? ctx_.tenant->num_vnodes() : ctx_.cluster.num_nodes();
+  }
+  int part_gpn() const {
+    return ctx_.tenant != nullptr ? ctx_.tenant->gpus_per_vnode : ctx_.machine.gpus_per_node();
+  }
+  int part_rpn() const {
+    return ctx_.tenant != nullptr ? ctx_.tenant->ranks_per_vnode : ctx_.cluster.ranks_per_node();
+  }
+  /// This rank's (virtual) node in partition coordinates. For a tenant the
+  /// communicator is the tenant's sub-communicator, whose ranks are dense
+  /// vnode-major, so rank / ranks_per_vnode is the vnode index.
+  int part_node() const {
+    return ctx_.tenant != nullptr ? ctx_.comm.rank() / part_rpn() : ctx_.node();
+  }
+
   // --- static plan verification (src/verify, DESIGN.md §14) ----------------
   /// Lower a compiled plan into the verifier's IR: the local rank from the
   /// artifact itself, every remote rank re-derived deterministically from

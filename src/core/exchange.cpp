@@ -17,7 +17,7 @@ int ExchangePlan::rank_of(const Placement& placement, Dim3 global_idx, int ranks
 }
 
 Transfer ExchangePlan::make_transfer(const Placement& placement, Dim3 src_idx, Dim3 dst_idx,
-                                     Dim3 dir, int ranks_per_node, MethodFlags flags) {
+                                     Dim3 dir, int ranks_per_node, MethodFlags flags, int tenant) {
   const auto& hp = placement.partition();
   Transfer t;
   t.src_idx = src_idx;
@@ -51,12 +51,13 @@ Transfer ExchangePlan::make_transfer(const Placement& placement, Dim3 src_idx, D
 
   const int di = direction_index(dir);
   if (di < 0) throw std::logic_error("ExchangePlan: bad direction");
-  t.tag = tagspace::data_tag(src_idx.linearize(hp.global_extent()), di);
+  t.tag = tagspace::data_tag(src_idx.linearize(hp.global_extent()), di, tenant);
   return t;
 }
 
 ExchangePlan ExchangePlan::for_rank(const Placement& placement, int rank, int ranks_per_node,
-                                    MethodFlags flags, Neighborhood nbhd, Boundary boundary) {
+                                    MethodFlags flags, Neighborhood nbhd, Boundary boundary,
+                                    int tenant) {
   const auto& hp = placement.partition();
   const int gpn = static_cast<int>(hp.gpu_extent().volume());
   const int gpus_per_rank = gpn / ranks_per_node;
@@ -68,7 +69,7 @@ ExchangePlan ExchangePlan::for_rank(const Placement& placement, int rank, int ra
   std::set<std::pair<std::int64_t, int>> seen;  // (src linear, dir index)
 
   const auto maybe_add = [&](Dim3 src, Dim3 dst, Dim3 dir) {
-    Transfer t = make_transfer(placement, src, dst, dir, ranks_per_node, flags);
+    Transfer t = make_transfer(placement, src, dst, dir, ranks_per_node, flags, tenant);
     if (t.src_rank != rank && t.dst_rank != rank) return;
     if (seen.emplace(src.linearize(ext), direction_index(dir)).second) {
       plan.transfers_.push_back(t);
@@ -100,7 +101,7 @@ ExchangePlan ExchangePlan::for_rank(const Placement& placement, int rank, int ra
 }
 
 ExchangePlan ExchangePlan::full(const Placement& placement, int ranks_per_node, MethodFlags flags,
-                                Neighborhood nbhd, Boundary boundary) {
+                                Neighborhood nbhd, Boundary boundary, int tenant) {
   const auto& hp = placement.partition();
   const Dim3 ext = hp.global_extent();
   ExchangePlan plan;
@@ -108,7 +109,8 @@ ExchangePlan ExchangePlan::full(const Placement& placement, int ranks_per_node, 
     const Dim3 idx = Dim3::from_linear(i, ext);
     for (const Dim3& dir : neighbor_directions(nbhd)) {
       if (const auto dst = neighbor_index(idx, dir, ext, boundary)) {
-        plan.transfers_.push_back(make_transfer(placement, idx, *dst, dir, ranks_per_node, flags));
+        plan.transfers_.push_back(
+            make_transfer(placement, idx, *dst, dir, ranks_per_node, flags, tenant));
       }
     }
   }
@@ -137,6 +139,13 @@ void ExchangePlan::export_metrics(telemetry::MetricsRegistry& reg) const {
         .set(static_cast<double>(n));
   }
   reg.gauge("exchange_plan_total_transfers").set(static_cast<double>(transfers_.size()));
+}
+
+void ExchangePlan::map_gpus(const std::function<int(int)>& fn) {
+  for (auto& t : transfers_) {
+    t.src_gpu = fn(t.src_gpu);
+    t.dst_gpu = fn(t.dst_gpu);
+  }
 }
 
 void ExchangePlan::set_method(int tag, Method m) {

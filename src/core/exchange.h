@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -41,15 +42,27 @@ class ExchangePlan {
   /// Build only the transfers in which `rank` participates (as sender,
   /// receiver, or both). `ranks_per_node` defines subdomain ownership:
   /// local GPU g belongs to rank slot g / (gpus_per_node / ranks_per_node).
+  /// `tenant` selects the tagspace data window the tags derive into (0 =
+  /// the solo default, identical to the pre-tenancy derivation).
   static ExchangePlan for_rank(const Placement& placement, int rank, int ranks_per_node,
                                MethodFlags flags, Neighborhood nbhd,
-                               Boundary boundary = Boundary::kPeriodic);
+                               Boundary boundary = Boundary::kPeriodic, int tenant = 0);
 
   /// Build every transfer in the whole job (tests, planning reports).
   static ExchangePlan full(const Placement& placement, int ranks_per_node, MethodFlags flags,
-                           Neighborhood nbhd, Boundary boundary = Boundary::kPeriodic);
+                           Neighborhood nbhd, Boundary boundary = Boundary::kPeriodic,
+                           int tenant = 0);
 
   const std::vector<Transfer>& transfers() const { return transfers_; }
+
+  /// Rewrite every transfer's GPU ids through `fn`. Multi-tenancy builds
+  /// the plan in the tenant's virtual GPU space (ids the shared placement
+  /// emits) and then maps each id to the physical GPU backing it, so every
+  /// consumer downstream of plan construction — runtime calls, machine
+  /// cost queries, peer/IPC setup — continues to see physical ids. Ranks,
+  /// tags, and methods are untouched: specialization decisions were
+  /// already final in virtual space (same-vnode iff same physical node).
+  void map_gpus(const std::function<int(int)>& fn);
 
   std::map<Method, int> method_histogram() const;
 
@@ -68,7 +81,7 @@ class ExchangePlan {
 
  private:
   static Transfer make_transfer(const Placement& placement, Dim3 src_idx, Dim3 dst_idx, Dim3 dir,
-                                int ranks_per_node, MethodFlags flags);
+                                int ranks_per_node, MethodFlags flags, int tenant);
   std::vector<Transfer> transfers_;
 };
 

@@ -34,17 +34,19 @@ std::vector<Dim3> Placement::directions() const { return neighbor_directions(nbh
 
 Placement::Placement(const HierarchicalPartition& hp, const topo::NodeArchetype& arch, Radius radius,
                      std::size_t bytes_per_point, Neighborhood nbhd, PlacementStrategy strategy,
-                     Boundary boundary)
+                     Boundary boundary, int gpu_slot_base)
     : hp_(hp),
       arch_(arch),
       radius_(radius),
       bytes_per_point_(bytes_per_point),
       nbhd_(nbhd),
       strategy_(strategy),
-      boundary_(boundary) {
-  const int g = arch_.gpus_per_node();
-  if (hp_.gpu_extent().volume() != g) {
-    throw std::invalid_argument("Placement: partition GPU count != node GPU count");
+      boundary_(boundary),
+      gpn_(static_cast<int>(hp.gpu_extent().volume())),
+      slot_base_(gpu_slot_base) {
+  const int g = gpn_;
+  if (g < 1 || slot_base_ < 0 || slot_base_ + g > arch_.gpus_per_node()) {
+    throw std::invalid_argument("Placement: partition GPU slice exceeds the node");
   }
   if (hp_.node_extent().volume() != hp_.num_nodes()) {
     throw std::invalid_argument("Placement: partition node count mismatch");
@@ -53,14 +55,17 @@ Placement::Placement(const HierarchicalPartition& hp, const topo::NodeArchetype&
   // Distance: reciprocal bandwidth, shared by every node (homogeneous
   // cluster). kNodeAware uses the figure nvml-style topology discovery
   // reports; kMeasured uses what an empirical probe achieves (§VI) —
-  // notably lower for non-peer pairs that stage through the host.
+  // notably lower for non-peer pairs that stage through the host. Tenant
+  // slices read the bandwidths of the physical slots they occupy
+  // (slot_base_ + i); vnodes on different physical nodes share the slot
+  // layout by the homogeneous-cluster assumption.
   distance_ = qap::SquareMatrix(g);
   for (int i = 0; i < g; ++i) {
     for (int j = 0; j < g; ++j) {
       if (i == j) continue;
       const double bw = strategy_ == PlacementStrategy::kMeasured
-                            ? arch_.achieved_gpu_bw(i, j)
-                            : arch_.theoretical_gpu_bw(i, j);
+                            ? arch_.achieved_gpu_bw(slot_base_ + i, slot_base_ + j)
+                            : arch_.theoretical_gpu_bw(slot_base_ + i, slot_base_ + j);
       distance_.at(i, j) = bw > 0 ? 1.0 / bw : 1e9;
     }
   }
@@ -117,7 +122,7 @@ Placement::Placement(const HierarchicalPartition& hp, const topo::NodeArchetype&
 }
 
 qap::SquareMatrix Placement::node_flow(int node_linear) const {
-  const int g = arch_.gpus_per_node();
+  const int g = gpn_;
   qap::SquareMatrix w(g);
   const Dim3 node_idx = Dim3::from_linear(node_linear, hp_.node_extent());
   const Dim3 gext = hp_.gpu_extent();
@@ -143,11 +148,11 @@ qap::SquareMatrix Placement::node_flow(int node_linear) const {
 }
 
 int Placement::node_linear_of(Dim3 global_idx) const {
-  return global_gpu_of(global_idx) / arch_.gpus_per_node();
+  return global_gpu_of(global_idx) / gpn_;
 }
 
 int Placement::local_gpu_of(Dim3 global_idx) const {
-  return global_gpu_of(global_idx) % arch_.gpus_per_node();
+  return global_gpu_of(global_idx) % gpn_;
 }
 
 int Placement::global_gpu_of(Dim3 global_idx) const {
@@ -158,7 +163,7 @@ int Placement::global_gpu_of(Dim3 global_idx) const {
   const auto [node_idx, gpu_idx] = hp_.split_index(global_idx);
   const int n = static_cast<int>(node_idx.linearize(hp_.node_extent()));
   const int s = static_cast<int>(gpu_idx.linearize(hp_.gpu_extent()));
-  return n * arch_.gpus_per_node() +
+  return n * gpn_ +
          assign_[static_cast<std::size_t>(n)][static_cast<std::size_t>(s)];
 }
 
@@ -171,7 +176,7 @@ void Placement::rehome(Dim3 global_idx, int new_global_gpu) {
     const auto [node_idx, gpu_idx] = hp_.split_index(global_idx);
     const int n = static_cast<int>(node_idx.linearize(hp_.node_extent()));
     const int s = static_cast<int>(gpu_idx.linearize(hp_.gpu_extent()));
-    return n * arch_.gpus_per_node() +
+    return n * gpn_ +
            assign_[static_cast<std::size_t>(n)][static_cast<std::size_t>(s)];
   }();
   if (new_global_gpu == base) {
@@ -183,7 +188,7 @@ void Placement::rehome(Dim3 global_idx, int new_global_gpu) {
 
 std::vector<Dim3> Placement::subdomains_on(int node_linear, int local_gpu) const {
   std::vector<Dim3> out;
-  const int ggpu = node_linear * arch_.gpus_per_node() + local_gpu;
+  const int ggpu = node_linear * gpn_ + local_gpu;
   const Dim3 base = subdomain_at(node_linear, local_gpu);
   const std::int64_t base_key = base.linearize(hp_.global_extent());
   const auto it = overrides_.find(base_key);

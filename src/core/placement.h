@@ -37,14 +37,28 @@ inline const char* to_string(PlacementStrategy s) {
 /// Deterministic given its inputs, so every rank computes an identical
 /// placement with no communication — one of the paper's stated advantages
 /// over profiling-based approaches.
+/// The placement solves per *partition* node over the partition's own GPU
+/// extent, which for a solo job equals the physical node. A multi-tenant
+/// slice (src/sched) partitions over virtual nodes narrower than the
+/// physical node; `gpu_slot_base` anchors the slice's first physical GPU
+/// slot so the distance matrix reads the bandwidths of the slots the tenant
+/// actually occupies. All emitted GPU ids are then *virtual*
+/// (vnode * gpus_per_vnode + vlocal) and the caller (DistributedDomain)
+/// translates them to physical ids via TenantView::phys_gpu.
 class Placement {
  public:
   Placement(const HierarchicalPartition& hp, const topo::NodeArchetype& arch, Radius radius,
             std::size_t bytes_per_point, Neighborhood nbhd, PlacementStrategy strategy,
-            Boundary boundary = Boundary::kPeriodic);
+            Boundary boundary = Boundary::kPeriodic, int gpu_slot_base = 0);
 
   const HierarchicalPartition& partition() const { return hp_; }
   PlacementStrategy strategy() const { return strategy_; }
+
+  /// GPUs per (possibly virtual) node this placement decomposes over —
+  /// hp.gpu_extent().volume(), == arch.gpus_per_node() for solo jobs.
+  int gpus_per_node() const { return gpn_; }
+  /// First physical GPU slot of the slice (0 for solo jobs).
+  int gpu_slot_base() const { return slot_base_; }
 
   /// Local GPU index (within the owning node) hosting this subdomain.
   int local_gpu_of(Dim3 global_idx) const;
@@ -96,6 +110,8 @@ class Placement {
   Neighborhood nbhd_;
   PlacementStrategy strategy_;
   Boundary boundary_ = Boundary::kPeriodic;
+  int gpn_ = 0;        // partition GPUs per node (virtual under tenancy)
+  int slot_base_ = 0;  // physical slot anchoring the bandwidth lookups
   qap::SquareMatrix distance_;
   double total_cost_ = 0.0;
   // Per node: subdomain (linearized in gpu space) -> local GPU, and inverse.

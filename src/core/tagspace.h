@@ -11,12 +11,26 @@
 ///   aggregate   [-10'999'999, -10'000'000]  per-peer group header, -(10M+rank)
 ///   checkpoint  [-49'999'999, -40'000'000]  recover blobs, -(40M + lin*64 + q)
 ///   restore     [-59'999'999, -50'000'000]  recover blobs, -(50M + lin*64 + q)
+///   collective  [-60'999'999, -60'000'000]  simpi collectives (allgather,
+///                                           sub-communicator barrier rounds)
+///
+/// Multi-tenancy (src/sched) slices the data span into fixed per-tenant
+/// windows of kTenantDataSpan tags: tenant t owns
+/// [t * kTenantDataSpan, (t+1) * kTenantDataSpan - 1]. A solo job is tenant 0
+/// and may additionally run past its window into the legacy full span — the
+/// static verifier only enforces window membership when a tenant view is
+/// active, so pre-tenancy callers are unaffected. Setup tags derive from data
+/// tags, so tenant isolation of the data span isolates the setup span too.
 ///
 /// Each derivation is bounds-checked: before this header existed the setup
 /// space silently bled into the aggregate space once a data tag exceeded
 /// 9'999'989 (~385k subdomains) and checkpoint tags bled into restore tags
 /// once lin*64+q reached 10'000'000 — near-miss collisions surfaced by the
 /// static verifier (src/verify). Exhaustion now throws instead of aliasing.
+/// PR 7 left one latent global-tag assumption: the simpi allgather tags
+/// (-1001/-1002) sat *inside* the colocated-setup span and could alias the
+/// setup handshake for data tags 991/992 if a collective overlapped a
+/// re-specialization. Collectives now live in their own reserved window.
 
 #include <array>
 #include <cstdint>
@@ -36,6 +50,17 @@ inline constexpr int kRestoreBase = 50'000'000;
 inline constexpr int kBlobSpan = 10'000'000;
 /// Quantity slots folded into one checkpoint/restore tag.
 inline constexpr int kMaxQuantities = 64;
+inline constexpr int kCollectiveBase = 60'000'000;
+inline constexpr int kCollectiveSpan = 1'000'000;
+
+/// Concurrent tenants one machine can host (src/sched). The data span is
+/// split into kMaxTenants equal windows; 16 * 600'000 = 9'600'000 tags stay
+/// inside [0, kMaxDataTag].
+inline constexpr int kMaxTenants = 16;
+inline constexpr int kTenantDataSpan = 600'000;
+static_assert(static_cast<std::int64_t>(kMaxTenants) * kTenantDataSpan <=
+                  static_cast<std::int64_t>(kMaxDataTag) + 1,
+              "tenant windows must tile inside the data span");
 
 struct Range {
   int lo;
@@ -47,26 +72,54 @@ struct Range {
 /// static verifier knows they occupy that span by design.
 inline constexpr const char* kAggRangeName = "aggregate-header";
 
+/// Name of the collective range; simpi allgather/barrier traffic claims it.
+inline constexpr const char* kCollectiveRangeName = "collective";
+
 /// Service tag spans that data tags (and each other) must stay clear of.
-inline constexpr std::array<Range, 4> reserved_ranges() {
+inline constexpr std::array<Range, 5> reserved_ranges() {
   return {{
       {-(kAggBase - 1), -kSetupOffset, "colocated-setup"},
       {-(kAggBase + kMaxRanks - 1), -kAggBase, kAggRangeName},
       {-(kCheckpointBase + kBlobSpan - 1), -kCheckpointBase, "checkpoint"},
       {-(kRestoreBase + kBlobSpan - 1), -kRestoreBase, "restore"},
+      {-(kCollectiveBase + kCollectiveSpan - 1), -kCollectiveBase,
+       kCollectiveRangeName},
   }};
 }
 
-/// Halo-exchange data tag: unique per (source subdomain, direction).
-inline int data_tag(std::int64_t src_linear, int direction_index) {
-  const std::int64_t t =
+/// Inclusive data-tag window owned by one tenant.
+inline Range tenant_data_range(int tenant) {
+  if (tenant < 0 || tenant >= kMaxTenants) {
+    throw std::overflow_error("tagspace: tenant id out of range: " +
+                              std::to_string(tenant));
+  }
+  return {tenant * kTenantDataSpan, (tenant + 1) * kTenantDataSpan - 1,
+          "tenant-data"};
+}
+
+/// Halo-exchange data tag: unique per (source subdomain, direction), offset
+/// into the owning tenant's window. Tenant 0 (the solo default) keeps the
+/// legacy full-span bound so pre-tenancy jobs with many subdomains still
+/// derive tags; tenants > 0 must fit their window or the derivation throws
+/// before any cross-tenant alias can reach the wire.
+inline int data_tag(std::int64_t src_linear, int direction_index,
+                    int tenant = 0) {
+  if (tenant < 0 || tenant >= kMaxTenants) {
+    throw std::overflow_error("tagspace: tenant id out of range: " +
+                              std::to_string(tenant));
+  }
+  const std::int64_t local =
       src_linear * kDirectionsPerSubdomain + direction_index;
+  const std::int64_t t =
+      static_cast<std::int64_t>(tenant) * kTenantDataSpan + local;
+  const std::int64_t bound = tenant == 0 ? kMaxDataTag : kTenantDataSpan - 1;
   if (src_linear < 0 || direction_index < 0 ||
-      direction_index >= kDirectionsPerSubdomain || t > kMaxDataTag) {
+      direction_index >= kDirectionsPerSubdomain || local > bound) {
     throw std::overflow_error(
         "tagspace: data tag space exhausted (subdomain linear index " +
         std::to_string(src_linear) + ", direction " +
-        std::to_string(direction_index) + ")");
+        std::to_string(direction_index) + ", tenant " +
+        std::to_string(tenant) + ")");
   }
   return static_cast<int>(t);
 }
@@ -111,6 +164,15 @@ inline int checkpoint_tag(std::int64_t lin, std::size_t q) {
 /// Restore blob tag (recover layer).
 inline int restore_tag(std::int64_t lin, std::size_t q) {
   return detail::blob_tag(kRestoreBase, lin, q, "restore");
+}
+
+/// Collective tag (simpi allgather phases, sub-communicator barrier rounds).
+inline int collective_tag(int slot) {
+  if (slot < 0 || slot >= kCollectiveSpan) {
+    throw std::overflow_error("tagspace: collective tag slot out of range: " +
+                              std::to_string(slot));
+  }
+  return -(kCollectiveBase + slot);
 }
 
 }  // namespace stencil::tagspace

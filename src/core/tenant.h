@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file tenant.h
+/// A tenant's slice of the shared machine.
+///
+/// The scheduler (src/sched) carves one `topo::Machine` into per-job slices
+/// and hands each tenant rank a TenantView through RankCtx::tenant. With a
+/// view installed, DistributedDomain partitions and places against the
+/// *virtual* machine shape (num_vnodes x gpus_per_vnode) instead of the
+/// physical one, derives its exchange tags inside the tenant's tagspace
+/// window, and translates the resulting virtual GPU ids back to physical ids
+/// before any runtime call. Without a view (tenant == nullptr) every code
+/// path reduces to the pre-tenancy solo behaviour.
+///
+/// Invariants (checked by validate()):
+///   - each vnode maps to exactly one distinct physical node, so the
+///     "same vnode" test used for COLOCATED/peer specialization coincides
+///     with "same physical node" and IPC/peer reachability is preserved;
+///   - within a vnode the slice is a contiguous run of physical GPU slots
+///     [gpu_base, gpu_base + gpus_per_vnode), matching the block GPU
+///     assignment Cluster::run hands each rank;
+///   - the tenant id fits the tagspace window table.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/tagspace.h"
+
+namespace stencil::core {
+
+struct TenantView {
+  int id = 0;                ///< tagspace window index [0, kMaxTenants)
+  std::string name;          ///< human label for traces / telemetry / blame
+  int phys_gpus_per_node = 0;  ///< physical GPUs per node on the machine
+  int gpus_per_vnode = 0;    ///< virtual-node width (<= phys_gpus_per_node)
+  int ranks_per_vnode = 0;   ///< tenant ranks per vnode
+  /// Physical node backing each vnode; size() == num_vnodes.
+  std::vector<int> phys_nodes;
+  /// First physical GPU (node-local id) of each vnode's contiguous slice.
+  std::vector<int> gpu_base;
+
+  int num_vnodes() const { return static_cast<int>(phys_nodes.size()); }
+  int world_size() const { return num_vnodes() * ranks_per_vnode; }
+
+  /// Physical node backing tenant vnode `v`.
+  int phys_node(int v) const { return phys_nodes.at(static_cast<std::size_t>(v)); }
+
+  /// Virtual node-local GPU id for a physical node-local GPU id on vnode `v`.
+  int vlocal(int v, int phys_local) const {
+    return phys_local - gpu_base.at(static_cast<std::size_t>(v));
+  }
+  /// Physical node-local GPU id for a virtual node-local GPU id on vnode `v`.
+  int plocal(int v, int virt_local) const {
+    return virt_local + gpu_base.at(static_cast<std::size_t>(v));
+  }
+
+  /// Physical global GPU id for a virtual global GPU id (vnode-major, the
+  /// layout HierarchicalPartition/Placement emit for the virtual machine).
+  int phys_gpu(int virt_gpu) const {
+    const int v = virt_gpu / gpus_per_vnode;
+    return phys_node(v) * phys_gpus_per_node + plocal(v, virt_gpu % gpus_per_vnode);
+  }
+
+  void validate() const {
+    if (id < 0 || id >= tagspace::kMaxTenants) {
+      throw std::invalid_argument("tenant: id out of range: " + std::to_string(id));
+    }
+    if (phys_nodes.empty() || phys_nodes.size() != gpu_base.size()) {
+      throw std::invalid_argument("tenant " + name + ": vnode tables empty or mismatched");
+    }
+    if (gpus_per_vnode <= 0 || gpus_per_vnode > phys_gpus_per_node ||
+        ranks_per_vnode <= 0 || gpus_per_vnode % ranks_per_vnode != 0) {
+      throw std::invalid_argument("tenant " + name + ": bad vnode shape " +
+                                  std::to_string(gpus_per_vnode) + " gpus / " +
+                                  std::to_string(ranks_per_vnode) + " ranks");
+    }
+    for (std::size_t i = 0; i < phys_nodes.size(); ++i) {
+      if (gpu_base[i] < 0 || gpu_base[i] + gpus_per_vnode > phys_gpus_per_node) {
+        throw std::invalid_argument("tenant " + name + ": vnode " +
+                                    std::to_string(i) + " slice exceeds the node");
+      }
+      for (std::size_t j = i + 1; j < phys_nodes.size(); ++j) {
+        if (phys_nodes[i] == phys_nodes[j]) {
+          throw std::invalid_argument(
+              "tenant " + name + ": two vnodes share physical node " +
+              std::to_string(phys_nodes[i]));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace stencil::core

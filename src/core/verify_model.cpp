@@ -190,9 +190,27 @@ verify::ExchangeModel DistributedDomain::verify_model(const plan::CompiledPlan& 
   for (const auto& rr : tagspace::reserved_ranges()) {
     m.reserved.push_back({rr.lo, rr.hi, rr.name});
   }
+  if (ctx_.tenant != nullptr) {
+    // Tenant-scoped model: our data tags must stay inside our window, and
+    // every other tenant's window is as reserved as the service spans —
+    // check_tags rejects any tag that strays into a co-tenant's slice.
+    m.tenant_scoped = true;
+    m.tenant = tenant_id();
+    const tagspace::Range win = tagspace::tenant_data_range(m.tenant);
+    m.tenant_window = {win.lo, win.hi, win.name};
+    for (int t = 0; t < tagspace::kMaxTenants; ++t) {
+      if (t == m.tenant) continue;
+      const tagspace::Range other = tagspace::tenant_data_range(t);
+      m.reserved.push_back({other.lo, other.hi, "tenant-" + std::to_string(t) + "-data"});
+    }
+    m.world_rank_of.resize(static_cast<std::size_t>(ctx_.comm.size()));
+    for (int r = 0; r < ctx_.comm.size(); ++r) {
+      m.world_rank_of[static_cast<std::size_t>(r)] = ctx_.comm.world_rank_of(r);
+    }
+  }
 
   const int me = ctx_.comm.rank();
-  const int rpn = ctx_.cluster.ranks_per_node();
+  const int rpn = part_rpn();
   const auto& hp = placement_->partition();
 
   std::size_t bpp = 0;
@@ -233,7 +251,8 @@ verify::ExchangeModel DistributedDomain::verify_model(const plan::CompiledPlan& 
     vd.boundary = boundary_;
     vd.radius = radius_;
     vd.xfers.clear();
-    const ExchangePlan ep = ExchangePlan::full(*placement_, rpn, flags_, nbhd_, boundary_);
+    const ExchangePlan ep =
+        ExchangePlan::full(*placement_, rpn, flags_, nbhd_, boundary_, tenant_id());
     vd.xfers.reserve(ep.transfers().size());
     for (const Transfer& t : ep.transfers()) {
       const Region3 slab = interior_slab(hp.subdomain_size(t.src_idx), t.dir, radius_);
@@ -285,7 +304,10 @@ verify::ExchangeModel DistributedDomain::verify_model(const plan::CompiledPlan& 
       std::vector<ModelGroup> out;
       for (auto& [peer, g] : by_peer) {
         g.peer = peer;
-        g.tag = is_send ? tagspace::agg_tag(r) : tagspace::agg_tag(peer);
+        // Aggregation headers key off the *world* rank (matching the runtime
+        // derivation) so concurrent tenants' headers never alias.
+        g.tag = is_send ? tagspace::agg_tag(m.world_rank(r))
+                        : tagspace::agg_tag(m.world_rank(peer));
         std::sort(g.members.begin(), g.members.end(),
                   [](const ModelXfer* a, const ModelXfer* b) { return a->t.tag < b->t.tag; });
         for (const ModelXfer* mx : g.members) g.bytes += mx->bytes;

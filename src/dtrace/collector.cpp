@@ -65,6 +65,11 @@ std::vector<TraceContext> Collector::inflight() const {
   return out;
 }
 
+const std::string& Collector::tenant_of(int rank) const {
+  const auto it = tenant_of_rank_.find(rank);
+  return it != tenant_of_rank_.end() ? it->second : no_tenant_;
+}
+
 int Collector::max_rank() const {
   int m = -1;
   for (const auto& r : records_) m = std::max(m, r.rank);
@@ -101,9 +106,15 @@ void Collector::write_merged_chrome_trace(std::ostream& os) const {
   for (const auto& [pid, unused] : pids_seen) {
     (void)unused;
     sep();
+    std::string pname = pid == 0 ? std::string("shared") : "rank " + std::to_string(pid - 1);
+    if (pid > 0) {
+      // Tenant namespace: co-scheduled jobs merge into one trace, so rank
+      // ids alone would alias across tenants.
+      const std::string& tenant = tenant_of(pid - 1);
+      if (!tenant.empty()) pname = tenant + "/" + pname;
+    }
     os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":0,\"name\":\"process_name\",\"args\":"
-       << "{\"name\":\"" << (pid == 0 ? std::string("shared") : "rank " + std::to_string(pid - 1))
-       << "\"}}";
+       << "{\"name\":\"" << json_escape(pname) << "\"}}";
     sep();
     os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":0,\"name\":\"process_sort_index\","
        << "\"args\":{\"sort_index\":" << pid << "}}";
@@ -142,7 +153,11 @@ void Collector::write_merged_chrome_trace(std::ostream& os) const {
 }
 
 void Collector::write_rank_json(std::ostream& os, int rank) const {
-  os << "{\"schema\":\"dtrace-rank-v1\",\"rank\":" << rank << ",\"spans\":[";
+  os << "{\"schema\":\"dtrace-rank-v1\",\"rank\":" << rank;
+  if (const std::string& tenant = tenant_of(rank); !tenant.empty()) {
+    os << ",\"tenant\":\"" << json_escape(tenant) << "\"";
+  }
+  os << ",\"spans\":[";
   bool first = true;
   for (const auto& r : records_) {
     if (r.rank != rank) continue;
@@ -252,6 +267,7 @@ class Scanner {
 Collector Collector::merge(const std::vector<std::string>& docs) {
   std::vector<trace::OpRecord> spans;
   std::vector<trace::FlowEdge> flows;
+  std::map<int, std::string> tenants;
   for (const std::string& doc : docs) {
     Scanner sc(doc);
     sc.expect('{');
@@ -259,9 +275,15 @@ Collector Collector::merge(const std::vector<std::string>& docs) {
     if (sc.string() != "dtrace-rank-v1") sc.fail("unknown schema");
     sc.expect(',');
     if (sc.key() != "rank") sc.fail("missing rank");
-    (void)sc.integer();
+    const int doc_rank = static_cast<int>(sc.integer());
     sc.expect(',');
-    if (sc.key() != "spans") sc.fail("missing spans");
+    std::string next = sc.key();
+    if (next == "tenant") {
+      tenants[doc_rank] = sc.string();
+      sc.expect(',');
+      next = sc.key();
+    }
+    if (next != "spans") sc.fail("missing spans");
     sc.expect('[');
     if (!sc.eat(']')) {
       do {
@@ -312,6 +334,7 @@ Collector Collector::merge(const std::vector<std::string>& docs) {
   std::sort(flows.begin(), flows.end(),
             [](const trace::FlowEdge& a, const trace::FlowEdge& b) { return a.id < b.id; });
   Collector out;
+  out.tenant_of_rank_ = std::move(tenants);
   for (auto& s : spans) {
     out.next_span_id_ = std::max(out.next_span_id_, s.id);
     out.records_.push_back(std::move(s));

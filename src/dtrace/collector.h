@@ -28,6 +28,17 @@ class Collector : public trace::Recorder {
   void set_topology(int world_size, int gpus_per_rank);
   int world_size() const { return world_size_; }
 
+  /// Multi-tenancy (src/sched): name the tenant each world rank belongs to.
+  /// Ranks of different co-scheduled jobs share one recorder, so without a
+  /// namespace a merged trace reads as one anonymous job. With labels set,
+  /// the merged chrome trace names each rank's process "tenant/rank N" and
+  /// write_rank_json stamps a "tenant" field; unlabeled ranks (and a
+  /// label-free collector) render exactly as before.
+  void set_tenant_labels(std::map<int, std::string> rank_to_tenant) {
+    tenant_of_rank_ = std::move(rank_to_tenant);
+  }
+  const std::string& tenant_of(int rank) const;
+
   std::uint64_t record(std::string lane, std::string label, sim::Time start,
                        sim::Time end) override;
   bool causal() const override { return true; }
@@ -71,6 +82,8 @@ class Collector : public trace::Recorder {
   int world_size_ = 0;
   int gpus_per_rank_ = 0;
   std::map<std::uint64_t, TraceContext> inflight_;  // serial -> stamped context
+  std::map<int, std::string> tenant_of_rank_;       // world rank -> tenant name
+  std::string no_tenant_;
 };
 
 }  // namespace stencil::dtrace

@@ -1,15 +1,23 @@
 #include "simpi/mpi.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
 #include <stdexcept>
 
+#include "core/tagspace.h"
 #include "fault/fault.h"
 #include "telemetry/telemetry.h"
 
 namespace stencil::simpi {
 
 namespace {
+
+// Slots inside the reserved collective tag window (tagspace.h). Barrier
+// dissemination rounds occupy slots [0, 32); allgather phases sit well away.
+constexpr int kSlotBarrierRound0 = 0;
+constexpr int kSlotGather = 100;
+constexpr int kSlotBcast = 101;
 
 int ceil_log2(int n) {
   int hops = 0;
@@ -902,19 +910,41 @@ void Comm::waitall(std::vector<Request>& rs) {
 int Comm::wait_any(std::vector<Request>& rs) { return job_->wait_any(rs, world_rank()); }
 
 void Comm::barrier() {
-  // Only the world communicator (or its post-failure shrink, which is the
-  // whole live set) may use the single counting barrier.
-  if (size() != job_->world_size() && size() != job_->live_count()) {
-    throw std::logic_error("simpi: barrier on a sub-communicator is not supported");
+  // The world communicator (or its post-failure shrink, which is the whole
+  // live set) uses the single counting barrier with fault-hazard detection.
+  if (size() == job_->world_size() || size() == job_->live_count()) {
+    job_->barrier(world_rank());
+    return;
   }
-  job_->barrier(world_rank());
+  // Sub-communicator (tenant) barrier: log-round dissemination over the
+  // members. Round k sends one eager byte to (rank + 2^k) mod n and receives
+  // from (rank - 2^k) mod n; after ceil(log2(n)) rounds every rank has
+  // transitively heard from every other, so none can leave before all have
+  // arrived. Per-channel FIFO matching keeps back-to-back barriers on one
+  // communicator from aliasing: a fast rank's round-k byte of the next
+  // barrier queues behind its round-k byte of this one.
+  const int n = size();
+  if (n <= 1) return;
+  std::byte token{};
+  std::byte sink{};
+  int round = 0;
+  for (int hop = 1; hop < n; hop *= 2, ++round) {
+    const int to = (rank() + hop) % n;
+    const int from = (rank() - hop + n) % n;
+    const int tag = tagspace::collective_tag(kSlotBarrierRound0 + round);
+    Request s = isend(Payload::raw_host(&token, 1), to, tag);
+    this->recv(Payload::raw_host(&sink, 1), from, tag);
+    wait(s);
+  }
 }
 
 void Comm::allgather(const void* send, void* recv, std::size_t bytes) {
   // Simple setup-path implementation: everyone sends to sub-rank 0, which
-  // broadcasts the gathered vector back over point-to-point messages.
-  constexpr int kTagGather = -1001;
-  constexpr int kTagBcast = -1002;
+  // broadcasts the gathered vector back over point-to-point messages. Tags
+  // live in the reserved collective window — the old ad-hoc -1001/-1002 sat
+  // inside the colocated-setup span and could alias an IPC handshake.
+  const int kTagGather = tagspace::collective_tag(kSlotGather);
+  const int kTagBcast = tagspace::collective_tag(kSlotBcast);
   auto* out = static_cast<std::byte*>(recv);
   if (rank() == 0) {
     std::memcpy(out, send, bytes);

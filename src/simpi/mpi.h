@@ -273,6 +273,10 @@ class Comm {
   /// Node index this rank runs on (what hwloc/MPI would derive).
   int node() const { return job_->node_of_rank(world_rank()); }
   int world_rank() const { return members_[static_cast<std::size_t>(rank_)]; }
+  /// World rank of any member (identity on the world communicator). Tag
+  /// derivations that must be globally unique (aggregation headers under
+  /// multi-tenancy) key off this instead of the sub-rank.
+  int world_rank_of(int r) const { return members_.at(static_cast<std::size_t>(r)); }
 
   Request isend(const Payload& p, int dst, int tag);
   Request irecv(const Payload& p, int src, int tag);

@@ -128,6 +128,26 @@ struct ExchangeModel {
   std::vector<RankProgram> ranks;
   std::vector<TagRange> reserved;
   std::string name;  ///< plan description, echoed in findings / JSON
+
+  // --- multi-tenancy (src/sched) ------------------------------------------
+  /// When tenant_scoped, check_tags additionally requires every data
+  /// (non-negative) message tag to lie inside `tenant_window` — the
+  /// tenant's slice of the tagspace data span — so a tenant whose tags
+  /// leak outside its window is rejected at plan admission, before it can
+  /// alias a co-tenant on the wire.
+  bool tenant_scoped = false;
+  int tenant = 0;
+  TagRange tenant_window{};
+  /// Model rank -> world rank of the underlying job (identity when empty).
+  /// check_cross_tenant compares channels of models built over different
+  /// sub-communicators in world coordinates.
+  std::vector<int> world_rank_of;
+
+  int world_rank(int model_rank) const {
+    return world_rank_of.empty()
+               ? model_rank
+               : world_rank_of[static_cast<std::size_t>(model_rank)];
+  }
 };
 
 }  // namespace stencil::verify

@@ -313,6 +313,18 @@ void tags_impl(const ExchangeModel& m, const ChannelMap& chans, Report& r) {
 
   for (const Channel& c : chans.chans) {
     const auto [src, dst, tag] = c.key;
+    // Tenant window membership: data (non-negative) tags of a tenant-scoped
+    // model must stay inside the tenant's slice of the data span. Service
+    // tags are negative and governed by the reserved-range rules below.
+    if (m.tenant_scoped && tag >= 0 && !m.tenant_window.contains(tag)) {
+      const Op* op = !c.sends.empty() ? c.sends.front() : c.recvs.front();
+      r.add({FindingKind::kTagCollision, src, dst, tag,
+             "data tag " + std::to_string(tag) + " escapes tenant " +
+                 std::to_string(m.tenant) + "'s window [" +
+                 std::to_string(m.tenant_window.lo) + ", " +
+                 std::to_string(m.tenant_window.hi) + "]",
+             {op->label()}});
+    }
     for (const TagRange& tr : m.reserved) {
       if (tr.contains(tag)) {
         // A range is off-limits unless every endpoint of the channel claims
@@ -676,6 +688,70 @@ Report verify(const ExchangeModel& m) {
   check_deadlock(m, r);
   check_hazards(m, r);
   return r;
+}
+
+// --- cross-tenant hygiene ---------------------------------------------------
+
+void check_cross_tenant(const std::vector<const ExchangeModel*>& models, Report& r) {
+  // (1) Declared windows of distinct tenants must not intersect.
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    for (std::size_t j = i + 1; j < models.size(); ++j) {
+      const ExchangeModel& a = *models[i];
+      const ExchangeModel& b = *models[j];
+      if (!a.tenant_scoped || !b.tenant_scoped || a.tenant == b.tenant) continue;
+      if (a.tenant_window.intersects(b.tenant_window)) {
+        r.add({FindingKind::kTagCollision, -1, -1, 0,
+               "tenant " + std::to_string(a.tenant) + " (" + a.name +
+                   ") window [" + std::to_string(a.tenant_window.lo) + ", " +
+                   std::to_string(a.tenant_window.hi) + "] overlaps tenant " +
+                   std::to_string(b.tenant) + " (" + b.name + ") window [" +
+                   std::to_string(b.tenant_window.lo) + ", " +
+                   std::to_string(b.tenant_window.hi) + "]",
+               {}});
+      }
+    }
+  }
+
+  // (2) No world-coordinate channel may be used by two different models:
+  // disjoint rank sets make this impossible for correctly carved slices, so
+  // a hit means two tenants share a rank (or a window alias slipped past the
+  // per-model check) and MPI matching between them is order-dependent.
+  struct WorldChan {
+    int src, dst, tag;
+    std::size_t model;
+    const Op* op;
+  };
+  std::vector<WorldChan> chans;
+  for (std::size_t mi = 0; mi < models.size(); ++mi) {
+    const ExchangeModel& m = *models[mi];
+    for (const RankProgram& rp : m.ranks) {
+      for (const Op& op : rp.ops) {
+        if (op.kind == OpKind::kStartSend) {
+          chans.push_back({m.world_rank(op.rank), m.world_rank(op.peer), op.tag, mi, &op});
+        } else if (op.kind == OpKind::kPostRecv) {
+          chans.push_back({m.world_rank(op.peer), m.world_rank(op.rank), op.tag, mi, &op});
+        }
+      }
+    }
+  }
+  std::sort(chans.begin(), chans.end(), [](const WorldChan& a, const WorldChan& b) {
+    return std::tie(a.src, a.dst, a.tag, a.model) < std::tie(b.src, b.dst, b.tag, b.model);
+  });
+  for (std::size_t i = 0; i + 1 < chans.size(); ++i) {
+    const WorldChan& a = chans[i];
+    const WorldChan& b = chans[i + 1];
+    if (a.src != b.src || a.dst != b.dst || a.tag != b.tag || a.model == b.model) continue;
+    r.add({FindingKind::kTagCollision, a.src, a.dst, a.tag,
+           "world channel " + std::to_string(a.src) + " -> " + std::to_string(b.dst) +
+               " tag " + std::to_string(a.tag) + " is used by both tenant model \"" +
+               models[a.model]->name + "\" and \"" + models[b.model]->name + "\"",
+           {a.op->label(), b.op->label()}});
+    // One finding per colliding channel: skip this channel's remaining ends.
+    while (i + 1 < chans.size() && chans[i + 1].src == a.src && chans[i + 1].dst == a.dst &&
+           chans[i + 1].tag == a.tag) {
+      ++i;
+    }
+  }
 }
 
 }  // namespace stencil::verify

@@ -79,4 +79,11 @@ void check_hazards(const ExchangeModel& m, Report& r);
 /// Run all four passes.
 Report verify(const ExchangeModel& m);
 
+/// Cross-tenant tag hygiene over the models of concurrently admitted jobs
+/// (each built over its own sub-communicator): tenant windows of distinct
+/// tenants must be disjoint, and no world-coordinate channel
+/// (src, dst, tag) may appear in two different tenants' models — either
+/// one means a message of tenant A could be matched by tenant B.
+void check_cross_tenant(const std::vector<const ExchangeModel*>& models, Report& r);
+
 }  // namespace stencil::verify

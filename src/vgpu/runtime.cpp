@@ -478,8 +478,11 @@ IpcMappedPtr Runtime::ipc_open_mem_handle(const IpcMemHandle& h, int opener_ggpu
   if (it == ipc_exports_.end()) {
     throw std::runtime_error("ipc_open_mem_handle: unknown or stale handle");
   }
+  // Copy the target out before sleeping: the yield lets other actors export
+  // handles, and their emplace_back may reallocate ipc_exports_ under `it`.
+  Buffer* target = it->second;
   eng_.sleep_for(machine_.arch().lat_ipc_setup);
-  IpcMappedPtr p{it->second, h.device, eng_.now(), false};
+  IpcMappedPtr p{target, h.device, eng_.now(), false};
   if (checker_ != nullptr) checker_->on_ipc_open(p, opener_ggpu);
   return p;
 }

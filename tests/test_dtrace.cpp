@@ -362,6 +362,35 @@ TEST(DtraceCollector, OfflineMergeMatchesDirectMerge) {
       << "offline per-rank merge must reproduce the direct merged trace byte-for-byte";
 }
 
+TEST(DtraceCollector, TenantLabelsNamespaceProcessesAndRoundTrip) {
+  Collector col;
+  run_collected(&col, RunOpts{});
+  ASSERT_GE(col.max_rank(), 1);
+  col.set_tenant_labels({{0, "jobA"}, {1, "jobB"}});
+  EXPECT_EQ(col.tenant_of(0), "jobA");
+  EXPECT_EQ(col.tenant_of(1), "jobB");
+  EXPECT_EQ(col.tenant_of(2), "");  // unlabeled ranks keep plain names
+
+  // Labeled ranks render as "tenant/rank N" processes in the merged trace.
+  const std::string chrome = merged(col);
+  EXPECT_NE(chrome.find("jobA/rank 0"), std::string::npos);
+  EXPECT_NE(chrome.find("jobB/rank 1"), std::string::npos);
+  EXPECT_EQ(chrome.find("jobA/rank 1"), std::string::npos);
+
+  // Per-rank exports carry the label and merge() restores it.
+  std::vector<std::string> docs;
+  for (int r = -1; r <= col.max_rank(); ++r) {
+    std::ostringstream os;
+    col.write_rank_json(os, r);
+    docs.push_back(os.str());
+  }
+  EXPECT_NE(docs[1].find("\"tenant\":\"jobA\""), std::string::npos);
+  const Collector rebuilt = Collector::merge(docs);
+  EXPECT_EQ(rebuilt.tenant_of(0), "jobA");
+  EXPECT_EQ(rebuilt.tenant_of(1), "jobB");
+  EXPECT_EQ(merged(rebuilt), merged(col));
+}
+
 TEST(DtraceCollector, MergeRejectsMalformedInput) {
   EXPECT_THROW(Collector::merge({"not json"}), std::runtime_error);
   EXPECT_THROW(Collector::merge({"{\"schema\": \"other\"}"}), std::runtime_error);

@@ -247,6 +247,34 @@ TEST(Simpi, BarrierReusable) {
   });
 }
 
+TEST(Simpi, SubCommBarrierSynchronizesOnlyMembers) {
+  // Sub-communicator barriers run a dissemination round over the members —
+  // they must synchronize the color group without involving (or blocking on)
+  // the other color.
+  World w(2, 3);
+  w.job.run([](simpi::Comm& comm) {
+    auto* eng = sim::Engine::current();
+    const int color = comm.rank() % 2;          // evens {0,2,4}, odds {1,3,5}
+    simpi::Comm sub = comm.split(color, comm.rank());
+    // Stagger arrivals inside each group; nobody leaves before the latest
+    // member of their own group arrives.
+    const sim::Duration arrive = (color == 0 ? sub.rank() : 10 + sub.rank()) * 100 * sim::kMicrosecond;
+    eng->sleep_for(arrive);
+    sub.barrier();
+    if (color == 0) {
+      EXPECT_GE(eng->now(), 2 * 100 * sim::kMicrosecond);
+      // The even group must not have waited for the odd group's stragglers.
+      EXPECT_LT(eng->now(), 10 * 100 * sim::kMicrosecond);
+    } else {
+      EXPECT_GE(eng->now(), 12 * 100 * sim::kMicrosecond);
+    }
+    // Back-to-back barriers on the same sub-communicator must not alias.
+    sub.barrier();
+    sub.barrier();
+    SUCCEED();
+  });
+}
+
 TEST(Simpi, AllgatherCollectsRankMajor) {
   World w(2, 2);
   w.job.run([](simpi::Comm& comm) {

@@ -304,6 +304,107 @@ TEST(TagSpace, DerivationsStayInsideTheirRanges) {
   EXPECT_TRUE(in("restore", tagspace::restore_tag(156'249, 63)));
 }
 
+TEST(TagSpace, TenantWindowsTileDisjointAndDeriveInside) {
+  for (int t = 0; t < tagspace::kMaxTenants; ++t) {
+    const tagspace::Range w = tagspace::tenant_data_range(t);
+    EXPECT_EQ(w.lo, t * tagspace::kTenantDataSpan);
+    EXPECT_EQ(w.hi - w.lo + 1, tagspace::kTenantDataSpan);
+    if (t > 0) {
+      EXPECT_EQ(w.lo, tagspace::tenant_data_range(t - 1).hi + 1);  // no gap, no overlap
+    }
+  }
+  // Per-tenant derivation lands inside the owner's window...
+  const int tag = tagspace::data_tag(7, 3, 2);
+  const tagspace::Range w2 = tagspace::tenant_data_range(2);
+  EXPECT_GE(tag, w2.lo);
+  EXPECT_LE(tag, w2.hi);
+  EXPECT_EQ(tag, 2 * tagspace::kTenantDataSpan + 7 * 26 + 3);
+  // ...and throws at the window edge for tenants > 0 instead of bleeding
+  // into the neighbour (tenant 0 keeps the legacy full-span bound).
+  const std::int64_t over = (tagspace::kTenantDataSpan + 25) / 26;
+  EXPECT_THROW(tagspace::data_tag(over, 25, 1), std::overflow_error);
+  EXPECT_NO_THROW(tagspace::data_tag(over, 25, 0));
+  EXPECT_THROW(tagspace::tenant_data_range(tagspace::kMaxTenants), std::overflow_error);
+  EXPECT_THROW(tagspace::data_tag(0, 0, -1), std::overflow_error);
+}
+
+TEST(TagSpace, CollectiveRangeIsReservedAndHoldsSimpiTags) {
+  // PR 7's allgather tags (-1001/-1002) lived inside the colocated-setup
+  // span; collectives now derive from their own reserved window.
+  bool found = false;
+  for (const auto& r : tagspace::reserved_ranges()) {
+    if (std::string(r.name) != tagspace::kCollectiveRangeName) continue;
+    found = true;
+    EXPECT_GE(tagspace::collective_tag(0), r.lo);
+    EXPECT_LE(tagspace::collective_tag(0), r.hi);
+    EXPECT_GE(tagspace::collective_tag(tagspace::kCollectiveSpan - 1), r.lo);
+    EXPECT_LE(tagspace::collective_tag(tagspace::kCollectiveSpan - 1), r.hi);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_THROW(tagspace::collective_tag(tagspace::kCollectiveSpan), std::overflow_error);
+  EXPECT_THROW(tagspace::collective_tag(-1), std::overflow_error);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-tenant isolation: per-model window enforcement plus the whole-machine
+// disjointness pass the scheduler runs after every wave.
+// ---------------------------------------------------------------------------
+
+TEST(VerifyTenant, DataTagEscapingTheWindowIsFlagged) {
+  ExchangeModel m = two_ranks();
+  m.tenant_scoped = true;
+  m.tenant = 1;
+  const tagspace::Range w = tagspace::tenant_data_range(1);
+  m.tenant_window = {w.lo, w.hi, "tenant-data"};
+  add_clean_message(m, w.lo + 4, 256);  // inside: fine
+  add_clean_message(m, 4, 256);         // tenant 0's window: escape
+  const verify::Report rep = verify::verify(m);
+  ASSERT_EQ(rep.count(), 1u) << dump(rep);
+  EXPECT_EQ(rep.findings()[0].kind, FindingKind::kTagCollision);
+  EXPECT_NE(rep.findings()[0].detail.find("escapes tenant 1"), std::string::npos);
+}
+
+TEST(VerifyTenant, CrossTenantWindowOverlapIsFlagged) {
+  ExchangeModel a = two_ranks();
+  a.name = "jobA";
+  a.tenant_scoped = true;
+  a.tenant = 0;
+  a.tenant_window = {0, 599'999, "tenant-data"};
+  ExchangeModel b = two_ranks();
+  b.name = "jobB";
+  b.tenant_scoped = true;
+  b.tenant = 1;
+  b.tenant_window = {599'000, 1'199'999, "tenant-data"};  // leaks into tenant 0
+  verify::Report rep;
+  verify::check_cross_tenant({&a, &b}, rep);
+  ASSERT_EQ(rep.count(), 1u) << dump(rep);
+  EXPECT_NE(rep.findings()[0].detail.find("overlaps tenant 1"), std::string::npos);
+}
+
+TEST(VerifyTenant, SharedWorldChannelAcrossModelsIsFlagged) {
+  // Two tenants whose slices wrongly share world rank 3 and whose programs
+  // both use the same (src, dst, tag) world channel: matching between them
+  // would be order-dependent on a real MPI.
+  ExchangeModel a = two_ranks();
+  a.name = "jobA";
+  a.world_rank_of = {2, 3};
+  add_clean_message(a, 17, 64);
+  ExchangeModel b = two_ranks();
+  b.name = "jobB";
+  b.world_rank_of = {2, 3};
+  add_clean_message(b, 17, 64);
+  verify::Report rep;
+  verify::check_cross_tenant({&a, &b}, rep);
+  ASSERT_EQ(rep.count(), 1u) << dump(rep);
+  EXPECT_EQ(rep.findings()[0].kind, FindingKind::kTagCollision);
+  EXPECT_NE(rep.findings()[0].detail.find("used by both tenant model"), std::string::npos);
+  // Disjoint world slices with identical local programs are clean.
+  b.world_rank_of = {4, 5};
+  verify::Report clean;
+  verify::check_cross_tenant({&a, &b}, clean);
+  EXPECT_EQ(clean.count(), 0u) << dump(clean);
+}
+
 TEST(TagSpace, ExhaustionThrowsInsteadOfAliasing) {
   // Before tagspace.h, each of these silently bled into the next span.
   EXPECT_THROW(tagspace::data_tag(385'000, 0), std::overflow_error);
