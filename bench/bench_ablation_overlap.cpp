@@ -46,7 +46,11 @@ double step_ms(int nodes, std::uint64_t compute_bytes, bool overlapped) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  BenchJson json("ablation_overlap");
+  const bool emit_json = parse_json_flag(argc, argv, "ablation_overlap", &json_path);
+
   std::printf("Ablation: computation/communication overlap (2 nodes, 6r/6g, radius 3)\n");
   std::printf("per-step time; compute modeled as bytes swept through device memory per GPU\n\n");
   std::printf("%-16s %-14s %-14s %-10s\n", "compute/GPU", "sequential", "overlapped", "saving");
@@ -56,8 +60,26 @@ int main() {
     const double ovl = step_ms(2, bytes, true);
     std::printf("%6llu MiB       %9.3f ms   %9.3f ms   %5.1f%%\n",
                 static_cast<unsigned long long>(mib), seq, ovl, 100.0 * (seq - ovl) / seq);
+    if (emit_json) {
+      ExchangeConfig cfg;
+      cfg.nodes = 2;
+      cfg.ranks_per_node = 6;
+      cfg.domain = weak_scaling_domain(12);
+      const std::string label = std::to_string(mib) + "MiB_compute";
+      json.add(label, "sequential", cfg, scalar_result(seq));
+      json.add(label, "overlapped", cfg, scalar_result(ovl));
+    }
   }
   std::printf("\n(saving approaches the smaller of exchange and compute time as they\n"
               " fully hide one another)\n");
+
+  if (emit_json) {
+    std::string err;
+    if (!json.write(json_path, &err)) {
+      std::fprintf(stderr, "bench_ablation_overlap: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu rows to %s\n", json.rows(), json_path.c_str());
+  }
   return 0;
 }

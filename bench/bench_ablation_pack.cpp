@@ -9,7 +9,11 @@
 
 using namespace stencil::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  BenchJson json("ablation_pack");
+  const bool emit_json = parse_json_flag(argc, argv, "ablation_pack", &json_path);
+
   std::printf("Ablation: pack-kernel efficiency vs single-node exchange time\n");
   std::printf("1 node, 6 ranks, 1364^3 domain, radius 3, 4 SP quantities, full specialization\n\n");
   std::printf("%-12s %-14s %-14s\n", "eff_pack", "pack GiB/s", "exchange");
@@ -24,6 +28,11 @@ int main() {
     cfg.flags = stencil::MethodFlags::kAll;
     const double ms = measure_exchange_ms(cfg);
     std::printf("%-12.2f %-14.0f %9.3f ms\n", eff, cfg.arch.bw_gpu_mem * eff, ms);
+    if (emit_json) {
+      char v[32];
+      std::snprintf(v, sizeof(v), "eff_pack=%.2f", eff);
+      json.add("eff_sweep", v, cfg, scalar_result(ms));
+    }
   }
   std::printf("\n(0.30 is the calibrated Summit default; 1.00 approximates the zero-copy\n"
               " / cudaMemcpy3D future-work upper bound)\n");
@@ -50,6 +59,13 @@ int main() {
       t = ctx.comm.wtime() - t0;
     });
     std::printf("%-14s %9.3f ms\n", to_string(mode), t * 1e3);
+    if (emit_json) {
+      ExchangeConfig cfg;
+      cfg.nodes = 1;
+      cfg.ranks_per_node = 1;
+      cfg.domain = weak_scaling_domain(6);
+      json.add("pack_mode", to_string(mode), cfg, scalar_result(t * 1e3));
+    }
   }
   std::printf("(kernel packs win on thin x-face rows; memcpy3d wins on long z-face\n"
               " rows; auto picks per transfer — the Sec. VI tradeoff quantified)\n");
@@ -75,8 +91,25 @@ int main() {
       if (ctx.rank() == 0) t = ctx.comm.wtime() - t0;
     });
     std::printf("  %-22s %9.3f ms\n", zc ? "zero-copy pack" : "pack + D2H", t * 1e3);
+    if (emit_json) {
+      ExchangeConfig cfg;
+      cfg.nodes = 1;
+      cfg.ranks_per_node = 6;
+      cfg.domain = weak_scaling_domain(6);
+      cfg.flags = stencil::MethodFlags::kStaged;
+      json.add("staged_zero_copy", zc ? "zero_copy" : "pack_d2h", cfg, scalar_result(t * 1e3));
+    }
   }
   std::printf("(zero-copy saves an op and a staging hop per message but holds the GPU\n"
               " for the host-link duration — [18]'s 'may be faster in some circumstances')\n");
+
+  if (emit_json) {
+    std::string err;
+    if (!json.write(json_path, &err)) {
+      std::fprintf(stderr, "bench_ablation_pack: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu rows to %s\n", json.rows(), json_path.c_str());
+  }
   return 0;
 }

@@ -10,7 +10,11 @@
 using namespace stencil::bench;
 using stencil::Dim3;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  BenchJson json("ablation_partition");
+  const bool emit_json = parse_json_flag(argc, argv, "ablation_partition", &json_path);
+
   std::printf("Ablation: hierarchical vs flat partitioning (radius 3)\n\n");
   struct Case {
     Dim3 dom;
@@ -28,6 +32,17 @@ int main() {
     std::printf("%-24s %-6d %-18lld %-18lld %.3f\n", c.dom.str().c_str(), c.nodes,
                 static_cast<long long>(h), static_cast<long long>(f),
                 static_cast<double>(h) / static_cast<double>(f));
+    if (emit_json) {
+      ExchangeConfig cfg;
+      cfg.nodes = c.nodes;
+      cfg.ranks_per_node = 6;
+      cfg.domain = c.dom;
+      const std::string label = c.dom.str() + "/" + std::to_string(c.nodes) + "n";
+      json.add(label, "internode_hier", cfg, scalar_result(static_cast<double>(h)));
+      json.add(label, "internode_flat", cfg, scalar_result(static_cast<double>(f)));
+      json.add(label, "total_hier", cfg,
+               scalar_result(static_cast<double>(hp.total_exchange_volume(3))));
+    }
   }
 
   std::printf("\nTotal exchange volume (hier may be larger overall — the tradeoff §III-A accepts):\n");
@@ -39,6 +54,15 @@ int main() {
                 static_cast<long long>(hp.internode_exchange_volume(3)),
                 100.0 * static_cast<double>(hp.internode_exchange_volume(3)) /
                     static_cast<double>(hp.total_exchange_volume(3)));
+  }
+
+  if (emit_json) {
+    std::string err;
+    if (!json.write(json_path, &err)) {
+      std::fprintf(stderr, "bench_ablation_partition: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %zu rows to %s\n", json.rows(), json_path.c_str());
   }
   return 0;
 }

@@ -6,13 +6,18 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <string>
 
+#include "common.h"
 #include "core/partition.h"
 #include "core/placement.h"
 #include "qap/qap.h"
 #include "topo/archetype.h"
 
 using stencil::Dim3;
+using stencil::bench::BenchJson;
+using stencil::bench::ExchangeConfig;
+using stencil::bench::scalar_result;
 
 namespace {
 
@@ -24,7 +29,11 @@ double wall_us(const std::function<void()>& f) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  BenchJson json("ablation_qap");
+  const bool emit_json = stencil::bench::parse_json_flag(argc, argv, "ablation_qap", &json_path);
+
   std::printf("Ablation: QAP solver quality and cost on node flow matrices\n\n");
   const auto arch = stencil::topo::summit();
   struct Case {
@@ -57,7 +66,30 @@ int main() {
                 c.name, c_ex, t_ex, c_gr, t_gr, 100.0 * (c_gr - c_ex) / c_ex);
     std::printf("%-14s identity=%.4g (+%.2f%%)  worst=%.4g (+%.2f%%)\n", "", c_id,
                 100.0 * (c_id - c_ex) / c_ex, c_wo, 100.0 * (c_wo - c_ex) / c_ex);
+
+    if (emit_json) {
+      // Only the deterministic solver costs are emitted; the wall-clock
+      // timings above are host-machine noise and would make every CI
+      // comparison flaky.
+      ExchangeConfig cfg;
+      cfg.nodes = 1;
+      cfg.ranks_per_node = 6;
+      cfg.domain = c.dom;
+      json.add(c.name, "exhaustive", cfg, scalar_result(c_ex));
+      json.add(c.name, "greedy2swap", cfg, scalar_result(c_gr));
+      json.add(c.name, "identity", cfg, scalar_result(c_id));
+      json.add(c.name, "worst", cfg, scalar_result(c_wo));
+    }
   }
   std::printf("\n(exhaustive n=6 visits 720 permutations; the paper's choice is cheap and exact)\n");
+
+  if (emit_json) {
+    std::string err;
+    if (!json.write(json_path, &err)) {
+      std::fprintf(stderr, "bench_ablation_qap: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu rows to %s\n", json.rows(), json_path.c_str());
+  }
   return 0;
 }

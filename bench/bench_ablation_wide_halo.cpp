@@ -11,7 +11,11 @@
 
 using namespace stencil::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  BenchJson json("ablation_wide_halo");
+  const bool emit_json = parse_json_flag(argc, argv, "ablation_wide_halo", &json_path);
+
   std::printf("Ablation: halo width vs exchange frequency (2 nodes, 6r/6g, base radius 1)\n\n");
   std::printf("%-4s %-10s %-16s %-20s\n", "k", "radius", "per exchange", "amortized per step");
   for (const int k : {1, 2, 4, 8}) {
@@ -24,8 +28,22 @@ int main() {
     cfg.flags = stencil::MethodFlags::kAll;
     const double ms = measure_exchange_ms(cfg);
     std::printf("%-4d %-10d %10.3f ms    %10.3f ms\n", k, k, ms, ms / k);
+    if (emit_json) {
+      const std::string label = "k" + std::to_string(k);
+      json.add(label, "per_exchange", cfg, scalar_result(ms));
+      json.add(label, "amortized_per_step", cfg, scalar_result(ms / k));
+    }
   }
   std::printf("\n(the per-step optimum depends on how latency-bound the exchange is:\n"
               " wider halos amortize fixed costs until bandwidth dominates)\n");
+
+  if (emit_json) {
+    std::string err;
+    if (!json.write(json_path, &err)) {
+      std::fprintf(stderr, "bench_ablation_wide_halo: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu rows to %s\n", json.rows(), json_path.c_str());
+  }
   return 0;
 }

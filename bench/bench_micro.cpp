@@ -18,6 +18,7 @@
 #include "simtime/engine.h"
 #include "simtime/resource.h"
 #include "topo/archetype.h"
+#include "watch/watch.h"
 
 namespace sim = stencil::sim;
 
@@ -110,9 +111,14 @@ BENCHMARK(BM_PackRegion)->Arg(64)->Arg(128);
 
 static void BM_FullExchangeSimulated(benchmark::State& state) {
   // Real seconds needed to *simulate* one single-node 6-rank exchange.
+  // Arg(1) attaches a stencil::watch, so the delta between the two rows is
+  // the watch's whole hot-path overhead (acceptance: under 2%).
+  const bool watched = state.range(0) != 0;
   for (auto _ : state) {
+    stencil::watch::Watch live;
     stencil::Cluster cluster(stencil::topo::summit(), 1, 6);
     cluster.set_mem_mode(stencil::vgpu::MemMode::kPhantom);
+    if (watched) cluster.set_watch(&live);
     cluster.run([&](stencil::RankCtx& ctx) {
       stencil::DistributedDomain dd(ctx, {512, 512, 512});
       dd.set_radius(3);
@@ -122,7 +128,11 @@ static void BM_FullExchangeSimulated(benchmark::State& state) {
     });
   }
 }
-BENCHMARK(BM_FullExchangeSimulated)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullExchangeSimulated)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("watch")
+    ->Unit(benchmark::kMillisecond);
 
 namespace {
 

@@ -1,17 +1,33 @@
 // Reproduces Fig. 3 (partition surface-to-volume comparison) and Fig. 4
 // (the hierarchical prime-factor decomposition walkthrough).
 #include <cstdio>
+#include <string>
 
+#include "common.h"
 #include "core/partition.h"
 
 using stencil::Dim3;
+using stencil::bench::BenchJson;
+using stencil::bench::ExchangeConfig;
+using stencil::bench::scalar_result;
 
 namespace {
+
+/// bench-v1 row config for the analytic tables: the partition geometry,
+/// no simulated exchange behind it.
+ExchangeConfig volume_cfg(Dim3 dom, int nodes, int gpus, int radius) {
+  ExchangeConfig cfg;
+  cfg.nodes = nodes;
+  cfg.ranks_per_node = gpus;
+  cfg.domain = dom;
+  cfg.radius = radius;
+  return cfg;
+}
 
 // Fig. 3: a 2D domain split four ways; report the per-subdomain and total
 // communication volume for each partition shape (radius r, non-periodic
 // surface counting as the figure draws it).
-void fig3() {
+void fig3(BenchJson* json) {
   std::printf("== Fig. 3: partition shape vs communication volume ==\n");
   const Dim3 dom{36, 36, 1};
   const int r = 1;
@@ -45,6 +61,13 @@ void fig3() {
     std::printf("  %-6s %4lldx%-9lld %-18lld %-18lld\n", c.name, static_cast<long long>(sz.x),
                 static_cast<long long>(sz.y), static_cast<long long>(per_sub),
                 static_cast<long long>(total));
+    if (json != nullptr) {
+      const auto cfg = volume_cfg(dom, 1, static_cast<int>(c.ext.volume()), r);
+      json->add("fig3/" + std::string(c.name), "volume_per_sub", cfg,
+                scalar_result(static_cast<double>(per_sub)));
+      json->add("fig3/" + std::string(c.name), "volume_total", cfg,
+                scalar_result(static_cast<double>(total)));
+    }
   }
   std::printf("  -> for a fixed part count, the more cubical partition moves less data\n\n");
 }
@@ -71,7 +94,7 @@ void fig4() {
 }
 
 // Hierarchy payoff: inter-node volume of hierarchical vs flat partitions.
-void hierarchy_table() {
+void hierarchy_table(BenchJson* json) {
   std::printf("== hierarchical vs flat partition: inter-node exchange volume (r=3) ==\n");
   struct Case {
     Dim3 dom;
@@ -90,15 +113,35 @@ void hierarchy_table() {
     std::printf("  %-22s %-8d %-16lld %-16lld %.3f\n", c.dom.str().c_str(), c.nodes,
                 static_cast<long long>(h), static_cast<long long>(f),
                 static_cast<double>(h) / static_cast<double>(f));
+    if (json != nullptr) {
+      const auto cfg = volume_cfg(c.dom, c.nodes, c.gpus, 3);
+      const std::string label = c.dom.str() + "/" + std::to_string(c.nodes) + "n";
+      json->add(label, "hierarchical", cfg, scalar_result(static_cast<double>(h)));
+      json->add(label, "flat", cfg, scalar_result(static_cast<double>(f)));
+    }
   }
   std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
-  fig3();
+int main(int argc, char** argv) {
+  std::string json_path;
+  BenchJson json("partition");
+  const bool emit_json = stencil::bench::parse_json_flag(argc, argv, "partition", &json_path);
+  BenchJson* jp = emit_json ? &json : nullptr;
+
+  fig3(jp);
   fig4();
-  hierarchy_table();
+  hierarchy_table(jp);
+
+  if (emit_json) {
+    std::string err;
+    if (!json.write(json_path, &err)) {
+      std::fprintf(stderr, "bench_partition: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu rows to %s\n", json.rows(), json_path.c_str());
+  }
   return 0;
 }

@@ -15,17 +15,21 @@ using stencil::PlacementStrategy;
 
 namespace {
 
-double run(Dim3 domain, PlacementStrategy strategy) {
+ExchangeConfig make_cfg(Dim3 domain, PlacementStrategy strategy) {
   ExchangeConfig cfg;
   cfg.nodes = 1;
   cfg.ranks_per_node = 6;
   cfg.domain = domain;
   cfg.flags = stencil::MethodFlags::kAll;
   cfg.strategy = strategy;
-  return measure_exchange_ms(cfg);
+  return cfg;
 }
 
-void report(const char* what, Dim3 domain) {
+double run(Dim3 domain, PlacementStrategy strategy) {
+  return measure_exchange_ms(make_cfg(domain, strategy));
+}
+
+void report(const char* what, const char* key, Dim3 domain, BenchJson* json) {
   const double aware = run(domain, PlacementStrategy::kNodeAware);
   const double measured = run(domain, PlacementStrategy::kMeasured);
   const double trivial = run(domain, PlacementStrategy::kTrivial);
@@ -34,17 +38,30 @@ void report(const char* what, Dim3 domain) {
               what, aware, measured, trivial, worst);
   std::printf("%-28s speedup vs trivial: %.3fx, vs worst: %.3fx\n", "", trivial / aware,
               worst / aware);
+  if (json != nullptr) {
+    json->add(key, "node-aware", make_cfg(domain, PlacementStrategy::kNodeAware),
+              scalar_result(aware));
+    json->add(key, "measured", make_cfg(domain, PlacementStrategy::kMeasured),
+              scalar_result(measured));
+    json->add(key, "trivial", make_cfg(domain, PlacementStrategy::kTrivial),
+              scalar_result(trivial));
+    json->add(key, "worst", make_cfg(domain, PlacementStrategy::kWorst), scalar_result(worst));
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  BenchJson json("placement");
+  const bool emit_json = parse_json_flag(argc, argv, "placement", &json_path);
+  BenchJson* jp = emit_json ? &json : nullptr;
   std::printf("Fig. 11 reproduction: node-aware data placement (1 node, 6 ranks, 6 GPUs)\n");
   std::printf("radius 3, 4 SP quantities; paper reports ~20%% speedup on the skewed domain\n\n");
 
-  report("1440x1452x700 (Fig. 11):", {1440, 1452, 700});
+  report("1440x1452x700 (Fig. 11):", "fig11_skewed", {1440, 1452, 700}, jp);
   std::printf("\n");
-  report("1364^3 cube (control):", {1364, 1364, 1364});
+  report("1364^3 cube (control):", "cube_control", {1364, 1364, 1364}, jp);
   std::printf("\n(control: near-cubical subdomains make all exchanges alike, so placement\n"
               " has little effect — §IV-B)\n");
 
@@ -55,6 +72,19 @@ int main() {
                  PlacementStrategy::kWorst}) {
     stencil::Placement p(hp, stencil::topo::summit(), 3, 16, stencil::Neighborhood::kFull, s);
     std::printf("  %-12s %.4f\n", to_string(s), p.total_cost());
+    if (emit_json) {
+      json.add("fig11_qap_cost", to_string(s), make_cfg({1440, 1452, 700}, s),
+               scalar_result(p.total_cost()));
+    }
+  }
+
+  if (emit_json) {
+    std::string err;
+    if (!json.write(json_path, &err)) {
+      std::fprintf(stderr, "bench_placement: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %zu rows to %s\n", json.rows(), json_path.c_str());
   }
   return 0;
 }

@@ -140,15 +140,6 @@ MttrResult measure_mttr(const ExchangeConfig& cfg, std::int64_t cadence, int kil
   return r;
 }
 
-MeasureResult scalar_result(double ms) {
-  MeasureResult m;
-  m.max_avg_ms = ms;
-  m.iter_ms = {ms};
-  m.median_ms = ms;
-  m.p95_ms = ms;
-  return m;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -3,15 +3,20 @@
 // discovery (nvml-style) reports, and the communication capabilities that
 // drive specialization.
 #include <cstdio>
+#include <string>
 
+#include "common.h"
 #include "topo/archetype.h"
 #include "topo/machine.h"
 
 namespace topo = stencil::topo;
+using stencil::bench::BenchJson;
+using stencil::bench::ExchangeConfig;
+using stencil::bench::scalar_result;
 
 namespace {
 
-void print_archetype(const topo::NodeArchetype& a) {
+void print_archetype(const topo::NodeArchetype& a, BenchJson* json) {
   std::printf("== node archetype: %s ==\n", a.name.c_str());
   std::printf("  sockets:            %d\n", a.sockets);
   std::printf("  GPUs per socket:    %d  (%d per node)\n", a.gpus_per_socket, a.gpus_per_node());
@@ -49,15 +54,49 @@ void print_archetype(const topo::NodeArchetype& a) {
     std::printf("\n");
   }
   std::printf("\n");
+
+  if (json != nullptr) {
+    ExchangeConfig cfg;
+    cfg.arch = a;
+    cfg.nodes = 1;
+    cfg.ranks_per_node = 1;
+    // The "latencies" here are discovered bandwidths in GiB/s — deterministic
+    // archetype constants, so a regression in one is a model change.
+    json->add(a.name, "bw_nvlink_gpu_gpu", cfg, scalar_result(a.bw_nvlink_gpu_gpu));
+    json->add(a.name, "bw_nvlink_cpu_gpu", cfg, scalar_result(a.bw_nvlink_cpu_gpu));
+    json->add(a.name, "bw_xbus", cfg, scalar_result(a.bw_xbus));
+    json->add(a.name, "bw_nic", cfg, scalar_result(a.bw_nic));
+    json->add(a.name, "bw_gpu_mem", cfg, scalar_result(a.bw_gpu_mem));
+    for (int i = 0; i < g; ++i) {
+      for (int j = 0; j < g; ++j) {
+        if (i == j) continue;
+        json->add(a.name, "gpu" + std::to_string(i) + "->gpu" + std::to_string(j), cfg,
+                  scalar_result(a.theoretical_gpu_bw(i, j)));
+      }
+    }
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  BenchJson json("topology");
+  const bool emit_json = stencil::bench::parse_json_flag(argc, argv, "topology", &json_path);
+
   std::printf("Table I / Fig. 10 reproduction: node hardware summary\n");
   std::printf("(simulated archetypes; Summit values mirror the paper's Fig. 10)\n\n");
-  print_archetype(topo::summit());
-  print_archetype(topo::dgx_like(4));
-  print_archetype(topo::pcie_box(2));
+  print_archetype(topo::summit(), emit_json ? &json : nullptr);
+  print_archetype(topo::dgx_like(4), emit_json ? &json : nullptr);
+  print_archetype(topo::pcie_box(2), emit_json ? &json : nullptr);
+
+  if (emit_json) {
+    std::string err;
+    if (!json.write(json_path, &err)) {
+      std::fprintf(stderr, "bench_topology: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu rows to %s\n", json.rows(), json_path.c_str());
+  }
   return 0;
 }

@@ -73,6 +73,18 @@ struct MeasureResult {
 /// (method_bytes is the caller's). p95 is nearest-rank over iter_ms.
 MeasureResult reduce_latency(const std::vector<std::vector<double>>& per_iter);
 
+/// Wrap one scalar (a latency, a volume, a QAP cost, a bandwidth — not
+/// necessarily milliseconds) as a single-iteration MeasureResult so the
+/// analytic benches emit bench-v1 rows too; tools/bench_compare.py treats
+/// every row's median uniformly, whatever the unit, so deterministic model
+/// outputs (partition volumes, solver costs) regress like latencies do.
+inline MeasureResult scalar_result(double v) {
+  MeasureResult r;
+  r.max_avg_ms = r.median_ms = r.p95_ms = v;
+  r.iter_ms = {v};
+  return r;
+}
+
 /// Run the exchange benchmark exactly as §IV-A measures it: per iteration,
 /// MPI_Barrier, MPI_Wtime, exchange, MPI_Wtime; report the maximum per-rank
 /// average across the job, in milliseconds of *virtual* time. Deterministic.

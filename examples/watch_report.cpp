@@ -1,0 +1,218 @@
+// watch_report — live monitoring quickstart (DESIGN.md §16).
+//
+// Attaches a stencil::watch to a 2-node cluster, runs a healthy
+// calibration phase so the watch learns every wire's floor cost, then
+// (with --degrade) re-runs the same exchange with node 0's NIC throttled.
+// The watch notices each message's per-byte wire cost stretching past the
+// learned floor and opens a congested-link incident — complete with the
+// FlightRecorder tail captured at open time and an instant event in the
+// chrome trace. The report prints the lane table, the live per-node cost
+// factors placement would consult, and every incident.
+//
+//   watch_report                          # healthy run, clean report
+//   watch_report --degrade                # induced congestion incident
+//   watch_report --degrade --expect congestion   # CI self-check
+//   watch_report --json watch.json        # watch-v1 snapshot
+//   watch_report --metrics watch.prom     # Prometheus exposition
+//
+// Exits non-zero when --expect is given and the incident stream does not
+// match (clean = no incidents at all, congestion = at least one
+// congested-link incident on the throttled wire).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/cluster.h"
+#include "core/distributed_domain.h"
+#include "fault/fault.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
+#include "topo/archetype.h"
+#include "trace/recorder.h"
+#include "watch/watch.h"
+
+using namespace stencil;
+namespace fault = stencil::fault;
+namespace watch = stencil::watch;
+
+namespace {
+
+struct Args {
+  int nodes = 2;
+  int rpn = 2;
+  // 96^3 keeps the internode faces above the congestion detector's
+  // min-bytes vote gate (small messages are latency-dominated and silent).
+  std::int64_t edge = 96;
+  int iters = 4;
+  bool degrade = false;
+  double factor = 0.1;  ///< throttled NIC runs at this fraction of nominal
+  std::string expect;   ///< "", "clean", "congestion"
+  std::string json_path;
+  std::string metrics_path;
+};
+
+bool parse(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string f = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* v = nullptr;
+    if (f == "--nodes" && (v = next())) a->nodes = std::atoi(v);
+    else if (f == "--rpn" && (v = next())) a->rpn = std::atoi(v);
+    else if (f == "--domain" && (v = next())) a->edge = std::atoll(v);
+    else if (f == "--iters" && (v = next())) a->iters = std::atoi(v);
+    else if (f == "--factor" && (v = next())) a->factor = std::atof(v);
+    else if (f == "--degrade") a->degrade = true;
+    else if (f == "--expect" && (v = next())) a->expect = v;
+    else if (f == "--json" && (v = next())) a->json_path = v;
+    else if (f == "--metrics" && (v = next())) a->metrics_path = v;
+    else if (f == "--help") {
+      std::printf("usage: watch_report [--nodes N] [--rpn R] [--domain EDGE] [--iters N]\n"
+                  "                    [--degrade] [--factor F] [--expect clean|congestion]\n"
+                  "                    [--json PATH] [--metrics PATH]\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "watch_report: unknown flag '%s' (try --help)\n", f.c_str());
+      return false;
+    }
+    if (v == nullptr && f != "--degrade") return false;
+  }
+  if (a->nodes < 2) {
+    std::fprintf(stderr, "watch_report: needs at least 2 nodes (the drill throttles a NIC)\n");
+    return false;
+  }
+  return true;
+}
+
+/// One exchange phase: every rank realizes the same domain and runs
+/// `iters` halo exchanges.
+void run_phase(Cluster& cluster, const Args& a) {
+  const Dim3 domain{a.edge, a.edge, a.edge};
+  cluster.run([&](RankCtx& ctx) {
+    DistributedDomain dd(ctx, domain);
+    dd.set_radius(1);
+    dd.add_data<float>("q0");
+    dd.realize();
+    for (int it = 0; it < a.iters; ++it) {
+      ctx.comm.barrier();
+      dd.exchange();
+    }
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, &a)) return 2;
+
+  trace::Recorder rec;
+  telemetry::Telemetry tel;
+  watch::Watch live;
+  Cluster cluster(topo::summit(), a.nodes, a.rpn);
+  cluster.set_mem_mode(vgpu::MemMode::kPhantom);
+  cluster.set_recorder(&rec);
+  cluster.set_telemetry(&tel);
+  cluster.set_watch(&live);
+
+  std::printf("watch_report: %d nodes x %d ranks, %lld^3 floats, %d iters/phase\n",
+              a.nodes, a.rpn, static_cast<long long>(a.edge), a.iters);
+
+  // Phase 1 — healthy calibration: the watch learns per-lane floors and the
+  // published cost factors settle at 1.
+  run_phase(cluster, a);
+  live.publish();
+  // Roll the measurement window so phase 2's cost factors come from phase
+  // 2's own floors — a mid-life degradation is invisible to lifetime minima.
+  live.clear_window();
+  std::printf("calibrated: %llu messages, %llu exchange completions, publish epoch %llu\n",
+              static_cast<unsigned long long>(live.messages()),
+              static_cast<unsigned long long>(live.exchanges()),
+              static_cast<unsigned long long>(live.publish_epoch()));
+
+  // Phase 2 — optionally throttle node 0's NIC (both directions) and run
+  // the same traffic again. Per-message occupancy now stretches past the
+  // learned floor and the congestion detector opens an incident.
+  fault::FaultPlan plan;
+  fault::Injector inj(plan);
+  if (a.degrade) {
+    plan.degrade_link(0, fault::LinkClass::kNic, 0, -1, a.factor);
+    plan.degrade_link(0, fault::LinkClass::kNic, -1, 0, a.factor);
+    inj = fault::Injector(plan);
+    cluster.set_fault_injector(&inj);
+    std::printf("\nphase 2: node 0 NIC throttled to %.0f%% of nominal\n", a.factor * 100.0);
+  } else {
+    std::printf("\nphase 2: healthy re-run\n");
+  }
+  run_phase(cluster, a);
+  live.publish();
+
+  // --- the report ----------------------------------------------------------
+  std::printf("\nlanes (per (src, dst, wire class)):\n");
+  std::printf("  %-4s %-4s %-11s %8s %12s %12s %8s\n", "src", "dst", "class", "msgs",
+              "bytes", "GB/s", "stretch");
+  for (int s = 0; s < live.num_nodes(); ++s) {
+    for (int d = 0; d < live.num_nodes(); ++d) {
+      for (int c = 0; c < watch::kWireClasses; ++c) {
+        const auto wc = static_cast<watch::WireClass>(c);
+        const double bw = live.lane_bandwidth(s, d, wc);
+        if (bw <= 0.0) continue;
+        std::printf("  n%-3d n%-3d %-11s %8llu %12llu %12.2f %+7.1f%%\n", s, d,
+                    watch::to_string(wc),
+                    static_cast<unsigned long long>(live.lane_messages(s, d, wc)),
+                    static_cast<unsigned long long>(live.lane_bytes(s, d, wc)), bw / 1e9,
+                    live.lane_window_stretch(s, d, wc) * 100.0);
+      }
+    }
+  }
+  std::printf("\nlive node cost factors:");
+  for (int n = 0; n < live.num_nodes(); ++n)
+    std::printf("  n%d=%.2f", n, live.live_node_cost_factor(n));
+  std::printf("\nexchange p95 (window): %.3f ms\n", live.exchange_p95_ms());
+
+  std::printf("\nincidents (%llu opened, %d open):\n",
+              static_cast<unsigned long long>(live.incidents_opened()), live.open_incidents());
+  for (const auto& inc : live.incidents()) {
+    std::printf("  [%s] %s  severity %.2f  opened %lld ns%s\n", watch::to_string(inc.kind),
+                inc.subject.c_str(), inc.severity, static_cast<long long>(inc.opened),
+                inc.closed != 0 ? " (closed)" : "");
+    std::printf("      %s\n", inc.detail.c_str());
+    if (!inc.flight_tail.empty()) {
+      std::printf("      flight tail: %zu bytes captured\n", inc.flight_tail.size());
+    }
+  }
+  if (live.incidents().empty()) std::printf("  (none)\n");
+
+  if (!a.json_path.empty()) {
+    std::ofstream os(a.json_path);
+    live.write_snapshot_json(os);
+    std::printf("\nwatch-v1 snapshot written to %s\n", a.json_path.c_str());
+  }
+  if (!a.metrics_path.empty()) {
+    telemetry::MetricsRegistry reg;
+    live.export_metrics(reg);
+    std::ofstream os(a.metrics_path);
+    telemetry::write_prometheus(os, reg);
+    std::printf("prometheus metrics written to %s\n", a.metrics_path.c_str());
+  }
+
+  // --- self-check ----------------------------------------------------------
+  if (a.expect == "clean") {
+    if (live.incidents_opened() != 0) {
+      std::fprintf(stderr, "watch_report: expected a clean run but %llu incident(s) opened\n",
+                   static_cast<unsigned long long>(live.incidents_opened()));
+      return 1;
+    }
+    std::printf("\nself-check: clean as expected\n");
+  } else if (a.expect == "congestion") {
+    if (live.incidents_of(watch::Incident::Kind::kCongestedLink) == 0) {
+      std::fprintf(stderr, "watch_report: expected a congested-link incident, saw none\n");
+      return 1;
+    }
+    std::printf("\nself-check: congestion detected as expected\n");
+  } else if (!a.expect.empty()) {
+    std::fprintf(stderr, "watch_report: unknown --expect '%s'\n", a.expect.c_str());
+    return 2;
+  }
+  return 0;
+}

@@ -19,6 +19,7 @@ void Cluster::run(const std::function<void(RankCtx&)>& body) {
     }
     body(ctx);
   });
+  if (telemetry_ != nullptr) telemetry_->record_engine(eng_);
 }
 
 std::shared_ptr<const Placement> Cluster::placement_cached(

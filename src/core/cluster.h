@@ -16,6 +16,7 @@
 #include "topo/machine.h"
 #include "trace/recorder.h"
 #include "vgpu/runtime.h"
+#include "watch/watch.h"
 
 namespace stencil {
 
@@ -66,6 +67,7 @@ class Cluster {
     recorder_ = rec;
     rt_.set_recorder(rec);
     job_.set_recorder(rec);
+    if (watch_ != nullptr) watch_->set_recorder(rec);
   }
   trace::Recorder* recorder() const { return recorder_; }
 
@@ -98,8 +100,25 @@ class Cluster {
     rt_.set_telemetry(t);
     job_.set_telemetry(t);
     if (checker_ != nullptr) checker_->set_telemetry(t);
+    if (watch_ != nullptr) watch_->set_flight(t != nullptr ? &t->flight() : nullptr);
   }
   telemetry::Telemetry* telemetry() const { return telemetry_; }
+
+  /// Attach a live performance watch (nullptr detaches): every delivered
+  /// MPI message and every completed exchange feeds its lane estimators and
+  /// anomaly detectors. Configures the watch to this cluster's shape and
+  /// cross-wires the current recorder (incident instant events) and
+  /// telemetry flight recorder (incident evidence tails). Pure bookkeeping:
+  /// timing is bit-identical with or without one attached.
+  void set_watch(watch::Watch* w) {
+    watch_ = w;
+    job_.set_watch(w);
+    if (w == nullptr) return;
+    w->configure(num_nodes(), job_.world_size());
+    w->set_recorder(recorder_);
+    w->set_flight(telemetry_ != nullptr ? &telemetry_->flight() : nullptr);
+  }
+  watch::Watch* watch() const { return watch_; }
 
   /// Attach a progress/stall monitor (nullptr detaches): every rank
   /// heartbeats at exchange start and completion, and the monitor flags
@@ -144,6 +163,7 @@ class Cluster {
   trace::Recorder* recorder_ = nullptr;
   check::Checker* checker_ = nullptr;
   telemetry::Telemetry* telemetry_ = nullptr;
+  watch::Watch* watch_ = nullptr;
   dtrace::ProgressMonitor* monitor_ = nullptr;
   std::map<std::string, std::shared_ptr<const Placement>> placement_cache_;
 };

@@ -1,6 +1,7 @@
 #include "core/distributed_domain.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <stdexcept>
 
@@ -914,11 +915,29 @@ std::vector<DistributedDomain::Rehome> DistributedDomain::recover_replace(
   }
   if (load.empty()) throw std::runtime_error("recover_replace: no surviving GPUs");
 
+  // Live-cost bias (see set_live_costs): published per-node factors from
+  // the watch inflate the apparent load of GPUs on degraded nodes. Reading
+  // the *published* table keeps every survivor's answer identical.
+  std::vector<int> node_bias(static_cast<std::size_t>(hp.num_nodes()), 0);
+  if (live_costs_) {
+    if (const watch::Watch* w = ctx_.cluster.watch(); w != nullptr) {
+      for (int n = 0; n < hp.num_nodes(); ++n) {
+        node_bias[static_cast<std::size_t>(n)] =
+            static_cast<int>(std::lround((w->node_cost_factor(n) - 1.0) * 2.0));
+      }
+    }
+  }
+
   auto np = std::make_shared<Placement>(*placement_);
   for (Rehome& rh : moves) {
     int best = -1;
+    int best_eff = 0;
     for (const auto& [g, n] : load) {
-      if (best < 0 || n < load[best]) best = g;  // ties to the lowest GPU id
+      const int eff = n + node_bias[static_cast<std::size_t>(g / gpn)];
+      if (best < 0 || eff < best_eff) {  // ties to the lowest GPU id
+        best = g;
+        best_eff = eff;
+      }
     }
     rh.new_gpu = best;
     rh.new_rank = rank_of_gpu(best);
@@ -1115,6 +1134,9 @@ void DistributedDomain::note_exchange_complete() {
   telemetry_.on_exchange_latency(now - inflight_.start_time);
   if (auto* pm = ctx_.cluster.progress_monitor(); pm != nullptr) {
     pm->on_exchange_complete(ctx_.comm.world_rank(), seq_, now);
+  }
+  if (auto* w = ctx_.cluster.watch(); w != nullptr) {
+    w->on_exchange_complete(ctx_.comm.world_rank(), seq_, now - inflight_.start_time, now);
   }
   std::map<Method, std::pair<std::uint64_t, std::uint64_t>> per;  // method -> (msgs, bytes)
   for (const auto& xp : xfers_) {

@@ -224,6 +224,17 @@ class DistributedDomain {
   /// the topology epoch so cached plans migrate on next acquire.
   std::vector<Rehome> recover_replace(const std::vector<int>& dead_ranks);
 
+  /// When on, recover_replace biases its greedy adoption by the *published*
+  /// per-node cost factors of the cluster's attached watch (stencil::watch):
+  /// GPUs on nodes whose wires have measurably degraded look more loaded,
+  /// so orphans land on healthy nodes first. Published factors only change
+  /// at Watch::publish() — a quiescent point — so every survivor still
+  /// computes the same answer with no communication. Off (or with no watch,
+  /// or before the first publish) the behavior is byte-identical to the
+  /// static policy.
+  void set_live_costs(bool on) { live_costs_ = on; }
+  bool live_costs() const { return live_costs_; }
+
   /// Exchanges are pairwise, not globally synchronized, so ranks can be a
   /// few iterations apart when an incident hits. Survivors agree on
   /// max(exchanges_done()) and realign here — COLOCATED flow control
@@ -346,6 +357,7 @@ class DistributedDomain {
   // Exchange-plan state (persistent mode).
   bool persistent_ = false;
   bool verify_plans_ = true;
+  bool live_costs_ = false;
   std::uint64_t topo_epoch_ = 0;
   telemetry::Telemetry telemetry_;
   plan::PlanCache plan_cache_;

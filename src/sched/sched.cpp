@@ -230,6 +230,14 @@ std::optional<Admission> Scheduler::try_place(const JobSpec& spec, const Machine
     int c = 0;
     std::vector<int> nodes;
   };
+  // Live link costs (Options::live_costs): the watch's published per-node
+  // factor lf >= 1 scales what a node's wire is worth — healthy nodes are
+  // preferred when picking candidates, own traffic terminating on a
+  // degraded node costs b*(lf-1) extra, and overlapping a co-tenant on a
+  // degraded wire hurts lf times as much. All factors at 1 (healthy
+  // machine, no watch, nothing published) reduce every comparison and term
+  // to the static policy — placements are then bit-identical.
+  const watch::Watch* w = opt_.live_costs ? cluster_.watch() : nullptr;
   std::optional<Choice> best;
   for (const auto& [k, c] : shp) {
     const std::uint64_t own = volumes(spec, k, c).first;
@@ -237,6 +245,11 @@ std::optional<Admission> Scheduler::try_place(const JobSpec& spec, const Machine
     std::vector<int> cand = candidates(c, b);
     if (static_cast<int>(cand.size()) < k) continue;
     std::sort(cand.begin(), cand.end(), [&](int a, int z) {
+      if (w != nullptr) {
+        const double fa = w->node_cost_factor(a);
+        const double fz = w->node_cost_factor(z);
+        if (fa != fz) return fa < fz;
+      }
       const auto ia = static_cast<std::size_t>(a);
       const auto iz = static_cast<std::size_t>(z);
       if (ms.link[ia] != ms.link[iz]) return ms.link[ia] < ms.link[iz];
@@ -247,7 +260,9 @@ std::optional<Admission> Scheduler::try_place(const JobSpec& spec, const Machine
     double score = static_cast<double>(own);
     for (const int n : cand) {
       const auto i = static_cast<std::size_t>(n);
-      score += static_cast<double>(std::min(ms.link[i], b));
+      const double lf = w != nullptr ? w->node_cost_factor(n) : 1.0;
+      score += static_cast<double>(b) * (lf - 1.0);
+      score += static_cast<double>(std::min(ms.link[i], b)) * lf;
       if (ms.used[i] > 0) score += 1e-3;  // sharing a node at all is a tiebreak cost
     }
     Choice ch{score, k, c, std::move(cand)};
@@ -372,6 +387,23 @@ Scheduler::WaveResult Scheduler::run_wave(const std::vector<Admission>& wave, Ru
                   std::vector<double>(wave[w].world_ranks.size(), 0.0));
   }
 
+  // Watch integration: attribute this wave's wire traffic to tenants and
+  // start a fresh window. Watch tenant ids are *job* ids — stable across
+  // waves and solo re-runs, so a job's solo window refines the same
+  // baselines its co-run window is judged against. Solo re-runs
+  // (rep == nullptr) flow through here too.
+  watch::Watch* wtc = cluster_.watch();
+  if (wtc != nullptr) {
+    std::vector<int> tmap(static_cast<std::size_t>(world), -1);
+    int num_tenants = 0;
+    for (const Admission& adm : wave) {
+      for (const int r : adm.world_ranks) tmap[static_cast<std::size_t>(r)] = adm.job;
+      num_tenants = std::max(num_tenants, adm.job + 1);
+    }
+    wtc->set_tenant_map(tmap, num_tenants);
+    wtc->clear_window();
+  }
+
   std::mutex mu;
   std::vector<verify::ExchangeModel> models;
 
@@ -429,6 +461,17 @@ Scheduler::WaveResult Scheduler::run_wave(const std::vector<Admission>& wave, Ru
   const double t1 = sim::to_seconds(cluster_.engine().now());
 
   WaveResult res;
+  if (wtc != nullptr) {
+    // Freeze each tenant's window, publish the live cost tables at this
+    // quiescent point (the wave is over; no actor is running) so the next
+    // wave's placement and any recover_replace read one epoch, then fold
+    // the windows into the per-job baselines for later evaluation.
+    for (const Admission& adm : wave) {
+      res.watch_windows[adm.job] = wtc->tenant_window(adm.job);
+    }
+    wtc->publish();
+    wtc->clear_window();
+  }
   res.duration_ms = (t1 - t0) * 1e3;
   res.iter_ms.resize(wave.size());
   for (std::size_t w = 0; w < wave.size(); ++w) {
@@ -472,6 +515,7 @@ RunReport Scheduler::run() {
   RunReport rep;
   const int gpr = cluster_.gpus_per_rank();
   std::vector<std::pair<Admission, std::size_t>> done;  // (placement, rep.tenants index)
+  std::map<std::size_t, watch::Watch::TenantWindow> windows;  // rep.tenants index -> window
 
   while (queued() > 0) {
     const auto order = queue_order();
@@ -526,6 +570,9 @@ RunReport Scheduler::run() {
       if (const auto it = wr.blame_ms.find(adm.tenant); it != wr.blame_ms.end()) {
         t.blame_ms = it->second;
       }
+      if (const auto it = wr.watch_windows.find(adm.job); it != wr.watch_windows.end()) {
+        windows[rep.tenants.size()] = it->second;
+      }
       done.emplace_back(adm, rep.tenants.size());
       rep.tenants.push_back(std::move(t));
     }
@@ -540,6 +587,15 @@ RunReport Scheduler::run() {
       TenantReport& t = rep.tenants[ti];
       t.solo_p95_ms = percentile(steady(solo.iter_ms.front()), 0.95);
       if (t.solo_p95_ms > 0.0) t.interference = t.p95_ms / t.solo_p95_ms - 1.0;
+    }
+  }
+
+  // Evaluate the frozen co-run windows now: the solo re-runs above carried
+  // the same traffic uncontended and folded into each job's baselines, so
+  // every window is judged against its job's least-contended behavior.
+  if (const watch::Watch* w = cluster_.watch(); w != nullptr) {
+    for (const auto& [ti, win] : windows) {
+      rep.tenants[ti].online_interference = w->window_interference(rep.tenants[ti].job, win);
     }
   }
 

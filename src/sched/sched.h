@@ -141,6 +141,11 @@ struct TenantReport {
   std::uint64_t bytes_per_exchange = 0;
   std::uint64_t internode_bytes = 0;
   double blame_ms = 0.0;           ///< critical-path time owned by this tenant
+  /// Live estimate from the cluster's watch (stencil::watch), captured at
+  /// the end of the tenant's wave: observed wire time over floor-predicted
+  /// wire time - 1. 0 when no watch is attached or the tenant moved no
+  /// wire bytes. Unlike `interference` it needs no solo re-run.
+  double online_interference = 0.0;
 };
 
 struct RunReport {
@@ -177,6 +182,13 @@ class Scheduler {
     bool cross_verify = true;
     /// Optional happens-before checker attached for the duration of runs.
     check::Checker* checker = nullptr;
+    /// Consult the cluster watch's *published* link-cost factors in
+    /// kNodeAware placement: degraded wires make their nodes more expensive
+    /// to own traffic on and worse to overlap with. With no watch attached,
+    /// nothing published yet, or all factors at 1 (healthy machine), the
+    /// scores — and therefore every placement — are bit-identical to the
+    /// static policy.
+    bool live_costs = false;
   };
 
   explicit Scheduler(Cluster& cluster) : Scheduler(cluster, Options{}) {}
@@ -216,6 +228,10 @@ class Scheduler {
     std::vector<std::vector<double>> iter_ms;  ///< [job-in-wave][iteration]
     double duration_ms = 0.0;
     std::map<int, double> blame_ms;  ///< tenant -> critical-path time
+    /// Frozen per-tenant watch windows from this wave, keyed by job id
+    /// (empty when the cluster has no watch attached); evaluated lazily in
+    /// run() so the solo re-runs refine the baselines first.
+    std::map<int, watch::Watch::TenantWindow> watch_windows;
   };
 
   MachineState empty_state() const;

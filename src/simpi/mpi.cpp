@@ -8,6 +8,7 @@
 #include "core/tagspace.h"
 #include "fault/fault.h"
 #include "telemetry/telemetry.h"
+#include "watch/watch.h"
 
 namespace stencil::simpi {
 
@@ -405,6 +406,10 @@ void Job::complete_match(Request::Record& send, Request::Record& recv) {
 
   const bool dev_s = send.payload.is_device();
   const bool dev_r = recv.payload.is_device();
+  // Instant both endpoints were ready, before any resource queuing: the
+  // watch measures span.end - wire_ready so queueing on shared wires counts
+  // as observed cost.
+  const sim::Time wire_ready = ready;
   sim::Span span;
 
   if (dev_s || dev_r) {
@@ -509,6 +514,10 @@ void Job::complete_match(Request::Record& send, Request::Record& recv) {
   if (telemetry_ != nullptr) {
     telemetry_->on_mpi_match(send.src, recv.dst, send.tag, bytes, send.attempts, same_node,
                              span.end);
+  }
+  if (watch_ != nullptr) {
+    watch_->on_message(send.src, recv.dst, node_s, node_r, dev_s || dev_r, bytes, wire_ready,
+                       span);
   }
 
   rank_gates_[static_cast<std::size_t>(send.src)]->notify_all(eng_);

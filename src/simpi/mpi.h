@@ -15,6 +15,10 @@
 #include "trace/recorder.h"
 #include "vgpu/runtime.h"
 
+namespace stencil::watch {
+class Watch;
+}  // namespace stencil::watch
+
 namespace stencil::simpi {
 
 class Comm;
@@ -119,6 +123,11 @@ class Job {
   void set_telemetry(telemetry::Telemetry* t) { telemetry_ = t; }
   telemetry::Telemetry* telemetry() const { return telemetry_; }
 
+  /// Optional live performance watch (stencil::watch): every delivered
+  /// message feeds its lane estimators. Pure bookkeeping — no virtual time.
+  void set_watch(watch::Watch* w) { watch_ = w; }
+  watch::Watch* watch() const { return watch_; }
+
   // --- ULFM-style failure semantics (stencil::recover) ----------------------
 
   /// Instant rank `r` dies, or fault::kForever. A rank is dead once its node
@@ -193,6 +202,7 @@ class Job {
   trace::Recorder* recorder_ = nullptr;
   JobObserver* checker_ = nullptr;
   telemetry::Telemetry* telemetry_ = nullptr;
+  watch::Watch* watch_ = nullptr;
   int ranks_per_node_ = 0;
   int world_size_ = 0;
   std::uint64_t next_request_serial_ = 1;

@@ -187,14 +187,20 @@ void Engine::block_and_reschedule(std::unique_lock<std::mutex>& lk, Actor& self,
 
 Engine::Actor* Engine::pick_next_locked() {
   Actor* best = nullptr;
+  std::size_t queued = 0;
   for (const auto& a : actors_) {
     if (a->state != State::kTimed) continue;
+    ++queued;
     if (best == nullptr || a->wake_time < best->wake_time ||
         (a->wake_time == best->wake_time && a->seq < best->seq)) {
       best = a.get();
     }
   }
-  if (best != nullptr && best->wake_time > now_) now_ = best->wake_time;
+  if (best != nullptr) {
+    ++events_processed_;
+    if (queued > max_run_queue_depth_) max_run_queue_depth_ = queued;
+    if (best->wake_time > now_) now_ = best->wake_time;
+  }
   return best;
 }
 

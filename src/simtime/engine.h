@@ -112,6 +112,27 @@ class Engine {
   /// Number of token handoffs performed so far (scheduling cost metric).
   std::uint64_t context_switches() const { return context_switches_; }
 
+  /// Number of scheduling decisions made so far: every time the engine
+  /// picked the next actor to run, including same-actor fast paths that
+  /// avoid a thread handoff. The discrete-event analogue of "events
+  /// processed".
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Largest run-queue depth seen at any scheduling decision: how many
+  /// actors held a timed wakeup when the engine picked the next one. A
+  /// throughput/pressure signal — deep queues mean many actors contend for
+  /// each virtual instant.
+  std::size_t max_run_queue_depth() const { return max_run_queue_depth_; }
+
+  /// Events per *virtual* second of progress (0 before time advances).
+  /// Derived from deterministic state only, so identical runs report
+  /// identical throughput — unlike any wall-clock rate.
+  double events_per_virtual_second() const {
+    return now_ > 0 ? static_cast<double>(events_processed_) /
+                          (static_cast<double>(now_) * 1e-9)
+                    : 0.0;
+  }
+
   /// Annotate the calling actor's next block for deadlock diagnostics
   /// (what it is about to wait for). Gate::wait also accepts the detail
   /// directly; this entry point serves multi-step wait loops.
@@ -171,6 +192,8 @@ class Engine {
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t context_switches_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::size_t max_run_queue_depth_ = 0;
   int live_actors_ = 0;
   bool shutdown_ = false;
   std::exception_ptr first_error_;

@@ -38,6 +38,36 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+/// Escape label *values* inside an inline label block for the Prometheus
+/// text exposition format, which requires \\ , \" and \n escapes. The block
+/// is `k="v",k2="v2"` as interned in the metric name; values are raw (call
+/// sites interpolate arbitrary strings), so a quote inside a value is a
+/// terminator only when followed by `,` or the end of the block.
+std::string prom_escape_labels(const std::string& labels) {
+  std::string out;
+  out.reserve(labels.size());
+  bool in_value = false;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const char c = labels[i];
+    if (!in_value) {
+      out.push_back(c);
+      if (c == '"') in_value = true;
+    } else if (c == '"' && (i + 1 == labels.size() || labels[i + 1] == ',')) {
+      out.push_back('"');
+      in_value = false;
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 void write_histogram_json(std::ostream& os, const Histogram& h) {
   os << "{\"count\": " << h.count() << ", \"sum\": " << h.sum() << ", \"min\": " << h.min()
      << ", \"max\": " << h.max() << ", \"mean\": " << fmt_double(h.mean()) << ", \"buckets\": [";
@@ -83,7 +113,7 @@ void write_prometheus(std::ostream& os, const MetricsRegistry& reg) {
   };
   const auto series = [](const std::string& base, const std::string& labels,
                          const std::string& extra = "") {
-    std::string all = labels;
+    std::string all = prom_escape_labels(labels);  // `extra` is generated, already clean
     if (!extra.empty()) all += (all.empty() ? "" : ",") + extra;
     return all.empty() ? base : base + "{" + all + "}";
   };

@@ -115,6 +115,14 @@ void Telemetry::on_recover_step(const std::string& step, const std::string& deta
   flight_.log(EventKind::kRecover, at, "recover", step + ": " + detail);
 }
 
+void Telemetry::record_engine(const sim::Engine& eng) {
+  metrics_.gauge("sim_events_processed").set(static_cast<double>(eng.events_processed()));
+  metrics_.gauge("sim_events_per_virtual_second").set(eng.events_per_virtual_second());
+  metrics_.gauge("sim_max_run_queue_depth")
+      .set(static_cast<double>(eng.max_run_queue_depth()));
+  metrics_.gauge("sim_context_switches").set(static_cast<double>(eng.context_switches()));
+}
+
 void Telemetry::install_deadlock_dump(sim::Engine& eng, std::size_t tail_n) {
   dump_tail_n_ = tail_n;
   eng.set_watchdog([this, tail_n](const sim::DeadlockReport& report) {

@@ -70,6 +70,14 @@ class Telemetry {
   /// "replace", "shrink", ...): per-step counter plus a kRecover flight event.
   void on_recover_step(const std::string& step, const std::string& detail, sim::Time at);
 
+  // --- sim::Engine throughput ----------------------------------------------
+  /// Snapshot the engine's scheduler throughput counters into gauges:
+  /// sim_events_processed, sim_events_per_virtual_second,
+  /// sim_max_run_queue_depth, sim_context_switches. All derive from
+  /// deterministic virtual-time state — identical runs export identical
+  /// numbers. Call after (or between) runs; later calls overwrite.
+  void record_engine(const sim::Engine& eng);
+
   // --- deadlock / failure dumps --------------------------------------------
   /// Installs an engine watchdog that appends the flight-recorder tail to
   /// the DeadlockReport text and stores the combined dump for retrieval

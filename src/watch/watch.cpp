@@ -1,0 +1,642 @@
+#include "watch/watch.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace stencil::watch {
+namespace {
+
+/// Minimal JSON string escape for snapshot output (subjects/details hold
+/// only ASCII we generate, but stay safe anyway).
+void json_escape_to(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf] << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(WireClass c) {
+  switch (c) {
+    case WireClass::kHostIntra: return "host-intra";
+    case WireClass::kHostInter: return "host-inter";
+    case WireClass::kDevIntra: return "dev-intra";
+    case WireClass::kDevInter: return "dev-inter";
+  }
+  return "?";
+}
+
+const char* to_string(Incident::Kind k) {
+  switch (k) {
+    case Incident::Kind::kCongestedLink: return "congested-link";
+    case Incident::Kind::kStragglerRank: return "straggler-rank";
+    case Incident::Kind::kInterferenceSpike: return "interference-spike";
+    case Incident::Kind::kSloBreach: return "slo-breach";
+  }
+  return "?";
+}
+
+Watch::Watch(Config cfg) : cfg_(cfg) {}
+
+int Watch::size_bucket(std::uint64_t bytes) {
+  // One bucket per factor of four: bucket = ceil(log2(bytes)) / 2, clamped.
+  int lg = 0;
+  while (bytes > (std::uint64_t{1} << lg) && lg < 63) ++lg;
+  const int b = lg / 2;
+  return b < kSizeBuckets ? b : kSizeBuckets - 1;
+}
+
+void Watch::configure(int num_nodes, int world_size) {
+  num_nodes_ = num_nodes < 0 ? 0 : num_nodes;
+  world_size_ = world_size < 0 ? 0 : world_size;
+  lanes_.assign(static_cast<std::size_t>(num_nodes_) * static_cast<std::size_t>(num_nodes_) *
+                    kWireClasses,
+                LaneStats{});
+  for (auto& c : class_floor_)
+    for (auto& b : c) b = 0.0;
+  ranks_.assign(static_cast<std::size_t>(world_size_), RankStats{});
+  for (auto& r : ranks_) r.lat_ms = Ewma(cfg_.ewma_alpha);
+  for (auto& l : lanes_) {
+    l.ewma_pb = Ewma(cfg_.ewma_alpha);
+    for (auto& b : l.buckets) b.ewma_pb = Ewma(cfg_.ewma_alpha);
+  }
+  scratch_.assign(static_cast<std::size_t>(world_size_), 0.0);
+  tenant_of_.clear();
+  tenants_.clear();
+  exch_p95_.reset();
+  exchange_completions_ = 0;
+  messages_ = 0;
+  window_ = 0;
+  slo_breach_streak_ = slo_clear_streak_ = 0;
+  slo_incident_open_ = false;
+  slo_incident_idx_ = -1;
+  incidents_.clear();
+  open_incidents_ = 0;
+  incidents_opened_ = 0;
+  for (auto& k : incidents_by_kind_) k = 0;
+  published_node_.clear();
+  published_link_.clear();
+  publish_epoch_ = 0;
+}
+
+int Watch::open_incident(Incident::Kind kind, std::string subject, std::string detail,
+                         double severity, sim::Time at) {
+  ++incidents_opened_;
+  ++incidents_by_kind_[static_cast<std::size_t>(kind)];
+  ++open_incidents_;
+  if (recorder_ != nullptr) {
+    // Zero-duration span = chrome-trace instant event on the watch lane.
+    recorder_->record("watch", std::string(to_string(kind)) + " " + subject, at, at);
+  }
+  if (incidents_.size() >= cfg_.max_incidents) return -1;
+  Incident inc;
+  inc.kind = kind;
+  inc.subject = std::move(subject);
+  inc.detail = std::move(detail);
+  inc.severity = severity;
+  inc.opened = at;
+  if (flight_ != nullptr && cfg_.flight_tail > 0) {
+    std::ostringstream tail;
+    flight_->dump_tail(tail, cfg_.flight_tail);
+    inc.flight_tail = tail.str();
+  }
+  incidents_.push_back(std::move(inc));
+  return static_cast<int>(incidents_.size()) - 1;
+}
+
+void Watch::close_incident(int idx, sim::Time at) {
+  if (open_incidents_ > 0) --open_incidents_;
+  if (idx >= 0 && idx < static_cast<int>(incidents_.size())) incidents_[idx].closed = at;
+}
+
+void Watch::on_message(int src_rank, int dst_rank, int src_node, int dst_node, bool device,
+                       std::uint64_t bytes, sim::Time ready, sim::Span span) {
+  if (lanes_.empty() || bytes == 0) return;
+  if (src_node < 0 || src_node >= num_nodes_ || dst_node < 0 || dst_node >= num_nodes_) return;
+  const bool inter = src_node != dst_node;
+  const WireClass wc = device ? (inter ? WireClass::kDevInter : WireClass::kDevIntra)
+                              : (inter ? WireClass::kHostInter : WireClass::kHostIntra);
+  // Two costs per message: wire occupancy (span duration) feeds the
+  // capability estimators — floors, EWMAs, congestion — because it is
+  // immune to queueing; the queue-inclusive time (completion minus ready)
+  // feeds the tenant windows, because queueing is what contention costs.
+  const double actual_ns = static_cast<double>(span.end - ready);
+  const double occ_ns = static_cast<double>(span.end - span.start);
+  if (actual_ns <= 0.0 || occ_ns <= 0.0) return;
+  const double pb = occ_ns / static_cast<double>(bytes);
+  const int b = size_bucket(bytes);
+  const int ci = static_cast<int>(wc);
+
+  LaneStats& lane = lanes_[lane_index(src_node, dst_node, wc)];
+  BucketStats& bs = lane.buckets[b];
+  ++bs.count;
+  bs.bytes += bytes;
+  if (bs.floor_pb == 0.0 || pb < bs.floor_pb) bs.floor_pb = pb;
+  if (bs.win_floor_pb == 0.0 || pb < bs.win_floor_pb) bs.win_floor_pb = pb;
+  bs.ewma_pb.observe(pb);
+  if (class_floor_[ci][b] == 0.0 || pb < class_floor_[ci][b]) class_floor_[ci][b] = pb;
+
+  ++lane.msgs;
+  lane.bytes += bytes;
+  lane.ewma_pb.observe(pb);
+  ++lane.win_msgs;
+  lane.win_bytes += bytes;
+  lane.win_actual_ns += actual_ns;
+  lane.win_floor_ns += class_floor_[ci][b] * static_cast<double>(bytes);
+  ++messages_;
+
+  // Tenant attribution (src side owns the send cost).
+  if (src_rank >= 0 && src_rank < static_cast<int>(tenant_of_.size())) {
+    const int t = tenant_of_[static_cast<std::size_t>(src_rank)];
+    if (t >= 0 && t < static_cast<int>(tenants_.size())) {
+      TenantWindow& tw = tenants_[static_cast<std::size_t>(t)].win;
+      const int cb = ci * kSizeBuckets + b;
+      tw.bytes[cb] += bytes;
+      tw.actual_ns[cb] += actual_ns;
+      ++tw.msgs;
+    }
+  }
+  (void)dst_rank;
+
+  // Congested-link detector with hysteresis. Only messages large enough to
+  // be bandwidth-dominated vote, and only once the class floor has settled
+  // (two observations in the bucket).
+  if (bytes >= cfg_.congestion_min_bytes && bs.count >= 2 && class_floor_[ci][b] > 0.0) {
+    const double stretch = pb / class_floor_[ci][b] - 1.0;
+    if (stretch > cfg_.congestion_stretch) {
+      lane.clear_streak = 0;
+      if (++lane.breach_streak >= cfg_.open_after && !lane.incident_open) {
+        lane.incident_open = true;
+        std::ostringstream subject, detail;
+        subject << "link n" << src_node << "->n" << dst_node << " " << to_string(wc);
+        detail << "per-byte cost " << pb << " ns/B vs floor " << class_floor_[ci][b]
+               << " ns/B (stretch " << stretch << ", bucket " << b << ", " << bytes << " B)";
+        lane.incident_idx =
+            open_incident(Incident::Kind::kCongestedLink, subject.str(), detail.str(), stretch,
+                          span.end);
+      }
+    } else {
+      lane.breach_streak = 0;
+      if (lane.incident_open && ++lane.clear_streak >= cfg_.close_after) {
+        lane.incident_open = false;
+        lane.clear_streak = 0;
+        close_incident(lane.incident_idx, span.end);
+        lane.incident_idx = -1;
+      }
+    }
+  }
+}
+
+void Watch::on_exchange_complete(int world_rank, std::uint64_t seq, sim::Duration latency,
+                                 sim::Time at) {
+  if (world_rank < 0 || world_rank >= static_cast<int>(ranks_.size())) return;
+  const double ms = sim::to_millis(latency);
+  RankStats& rs = ranks_[static_cast<std::size_t>(world_rank)];
+  rs.lat_ms.observe(ms);
+  exch_p95_.observe(ms);
+  ++exchange_completions_;
+
+  // Tenant attribution: group completions by seq and keep the max across
+  // the tenant's ranks — the per-iteration barrier guarantees every rank
+  // finishes exchange k before any completes k+1, so a seq change closes
+  // the group. The resulting per-iteration-max stream feeds the window's
+  // exchange-p95 sketch, the primary online-interference signal.
+  if (world_rank < static_cast<int>(tenant_of_.size())) {
+    const int t = tenant_of_[static_cast<std::size_t>(world_rank)];
+    if (t >= 0 && t < static_cast<int>(tenants_.size())) {
+      TenantWindow& tw = tenants_[static_cast<std::size_t>(t)].win;
+      const long long sq = static_cast<long long>(seq);
+      if (tw.cur_seq != sq) {
+        flush_exchange_group(&tw);
+        tw.cur_seq = sq;
+        tw.cur_max_ms = ms;
+      } else if (ms > tw.cur_max_ms) {
+        tw.cur_max_ms = ms;
+      }
+    }
+  }
+
+  // Straggler detector: this rank's EWMA vs the median EWMA across ranks
+  // that have reported. scratch_ is preallocated — no allocation here.
+  std::size_t n = 0;
+  for (const auto& r : ranks_)
+    if (!r.lat_ms.empty()) scratch_[n++] = r.lat_ms.value();
+  if (n >= 3 && rs.lat_ms.count() >= 2) {
+    const std::size_t mid = n / 2;
+    std::nth_element(scratch_.begin(), scratch_.begin() + static_cast<std::ptrdiff_t>(mid),
+                     scratch_.begin() + static_cast<std::ptrdiff_t>(n));
+    const double med = scratch_[mid];
+    if (med > 0.0 && rs.lat_ms.value() > cfg_.straggler_factor * med) {
+      rs.clear_streak = 0;
+      if (++rs.breach_streak >= cfg_.open_after && !rs.incident_open) {
+        rs.incident_open = true;
+        std::ostringstream subject, detail;
+        subject << "rank " << world_rank;
+        detail << "exchange ewma " << rs.lat_ms.value() << " ms vs median " << med
+               << " ms (seq " << seq << ")";
+        rs.incident_idx = open_incident(Incident::Kind::kStragglerRank, subject.str(),
+                                        detail.str(), rs.lat_ms.value() / med, at);
+      }
+    } else {
+      rs.breach_streak = 0;
+      if (rs.incident_open && ++rs.clear_streak >= cfg_.close_after) {
+        rs.incident_open = false;
+        rs.clear_streak = 0;
+        close_incident(rs.incident_idx, at);
+        rs.incident_idx = -1;
+      }
+    }
+  }
+
+  // Exchange-p95 SLO detector (global, hysteresis on completions).
+  if (cfg_.slo_p95_ms > 0.0 && exch_p95_.count() >= 8) {
+    if (exch_p95_.value() > cfg_.slo_p95_ms) {
+      slo_clear_streak_ = 0;
+      if (++slo_breach_streak_ >= cfg_.open_after && !slo_incident_open_) {
+        slo_incident_open_ = true;
+        std::ostringstream detail;
+        detail << "exchange p95 " << exch_p95_.value() << " ms over SLO " << cfg_.slo_p95_ms
+               << " ms";
+        slo_incident_idx_ =
+            open_incident(Incident::Kind::kSloBreach, "exchange-p95", detail.str(),
+                          exch_p95_.value() / cfg_.slo_p95_ms, at);
+      }
+    } else {
+      slo_breach_streak_ = 0;
+      if (slo_incident_open_ && ++slo_clear_streak_ >= cfg_.close_after) {
+        slo_incident_open_ = false;
+        slo_clear_streak_ = 0;
+        close_incident(slo_incident_idx_, at);
+        slo_incident_idx_ = -1;
+      }
+    }
+  }
+}
+
+void Watch::flush_exchange_group(TenantWindow* w) {
+  if (w->cur_seq < 0) return;
+  if (!w->seen_first) {
+    w->seen_first = true;  // warm-up: plan compile + admission ride on it
+  } else {
+    w->exch_p95.observe(w->cur_max_ms);
+    ++w->exchanges;
+  }
+  w->cur_seq = -1;
+  w->cur_max_ms = 0.0;
+}
+
+void Watch::set_tenant_map(const std::vector<int>& tenant_of_rank, int num_tenants) {
+  tenant_of_ = tenant_of_rank;
+  // Grow-only: a tenant id keeps its learned baselines across remappings, so
+  // a solo re-run of the same tenant refines — never restarts — its model.
+  const std::size_t n = static_cast<std::size_t>(num_tenants < 0 ? 0 : num_tenants);
+  if (tenants_.size() < n) tenants_.resize(n);
+}
+
+void Watch::clear_window() {
+  for (auto& l : lanes_) {
+    l.win_msgs = 0;
+    l.win_bytes = 0;
+    l.win_actual_ns = 0.0;
+    l.win_floor_ns = 0.0;
+    for (auto& b : l.buckets) {
+      if (b.win_floor_pb > 0.0) b.recent_floor_pb = b.win_floor_pb;
+      b.win_floor_pb = 0.0;
+    }
+  }
+  for (auto& t : tenants_) {
+    // Fold the closing window into the tenant's baselines: the min across
+    // windows is the tenant's least-contended behavior with its inherent
+    // self-queuing included (a solo window serializes the same messages a
+    // co-run window does).
+    flush_exchange_group(&t.win);
+    for (int cb = 0; cb < kWireClasses * kSizeBuckets; ++cb) {
+      if (t.win.bytes[cb] == 0) continue;
+      const double avg = t.win.actual_ns[cb] / static_cast<double>(t.win.bytes[cb]);
+      if (t.base_avg_pb[cb] == 0.0 || avg < t.base_avg_pb[cb]) t.base_avg_pb[cb] = avg;
+    }
+    if (t.win.exch_p95.count() >= 3) {
+      const double p = t.win.exch_p95.value();
+      if (p > 0.0 && (t.base_exch_p95_ms == 0.0 || p < t.base_exch_p95_ms))
+        t.base_exch_p95_ms = p;
+    }
+    t.win = TenantWindow{};
+  }
+  exch_p95_.reset();
+  ++window_;
+}
+
+double Watch::live_link_cost_factor(int src_node, int dst_node) const {
+  if (lanes_.empty() || src_node < 0 || src_node >= num_nodes_ || dst_node < 0 ||
+      dst_node >= num_nodes_ || src_node == dst_node)
+    return 1.0;
+  // Capability degradation of this directional wire pair: how much worse
+  // this lane's *recent windowed floor* (the pure service cost of its
+  // least-queued recent message) is than the best same-class/same-size
+  // floor anywhere on the machine, bytes-weighted across buckets. Floors
+  // are minima over a window, so queueing on a congested but healthy link
+  // cancels out (each iteration's first message finds empty queues and
+  // reads 1.0) — the scheduler models co-tenant overlap itself; the oracle
+  // reports what the wire can still do. Windowed (not lifetime) floors let
+  // the factor track degradation that begins mid-life, and the dead-band
+  // snaps healthy jitter to exactly 1.0 so live-cost placement on a
+  // healthy machine is bit-identical to static placement.
+  double wsum = 0.0, fsum = 0.0;
+  for (WireClass wc : {WireClass::kHostInter, WireClass::kDevInter}) {
+    const LaneStats& lane = lanes_[lane_index(src_node, dst_node, wc)];
+    const int ci = static_cast<int>(wc);
+    for (int b = 0; b < kSizeBuckets; ++b) {
+      const BucketStats& bs = lane.buckets[b];
+      if (bs.count == 0 || class_floor_[ci][b] <= 0.0) continue;
+      const double eff = bs.win_floor_pb > 0.0
+                             ? bs.win_floor_pb
+                             : (bs.recent_floor_pb > 0.0 ? bs.recent_floor_pb : bs.floor_pb);
+      const double f = eff / class_floor_[ci][b];
+      const double w = static_cast<double>(bs.bytes);
+      wsum += w;
+      fsum += w * (f < 1.0 ? 1.0 : f);
+    }
+  }
+  if (wsum <= 0.0) return 1.0;
+  const double factor = fsum / wsum;
+  return factor < 1.0 + cfg_.cost_deadband ? 1.0 : factor;
+}
+
+double Watch::live_node_cost_factor(int node) const {
+  if (lanes_.empty() || node < 0 || node >= num_nodes_) return 1.0;
+  // Bytes-weighted average of the link factors over every internode lane
+  // touching this node.
+  double wsum = 0.0, fsum = 0.0;
+  const auto fold = [&](int s, int d) {
+    double w = 0.0;
+    for (WireClass wc : {WireClass::kHostInter, WireClass::kDevInter}) {
+      const LaneStats& lane = lanes_[lane_index(s, d, wc)];
+      w += static_cast<double>(lane.bytes);
+    }
+    if (w <= 0.0) return;
+    wsum += w;
+    fsum += w * live_link_cost_factor(s, d);
+  };
+  for (int other = 0; other < num_nodes_; ++other) {
+    if (other == node) continue;
+    fold(node, other);
+    fold(other, node);
+  }
+  return wsum > 0.0 ? fsum / wsum : 1.0;
+}
+
+void Watch::publish() {
+  if (num_nodes_ <= 0) return;
+  published_node_.resize(static_cast<std::size_t>(num_nodes_));
+  published_link_.resize(static_cast<std::size_t>(num_nodes_) *
+                         static_cast<std::size_t>(num_nodes_));
+  for (int n = 0; n < num_nodes_; ++n)
+    published_node_[static_cast<std::size_t>(n)] = live_node_cost_factor(n);
+  for (int s = 0; s < num_nodes_; ++s)
+    for (int d = 0; d < num_nodes_; ++d)
+      published_link_[static_cast<std::size_t>(s) * static_cast<std::size_t>(num_nodes_) +
+                      static_cast<std::size_t>(d)] = live_link_cost_factor(s, d);
+  ++publish_epoch_;
+
+  // Interference-spike incidents are evaluated here (window-granular, at a
+  // quiescent point) rather than per message.
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    TenantStats& ts = tenants_[t];
+    if (ts.win.msgs == 0) continue;
+    const double stretch = tenant_online_interference(static_cast<int>(t));
+    // publish() runs outside the engine; stamp incidents with a zero time —
+    // the window ordinal in the detail string localizes them.
+    if (stretch > cfg_.interference_spike) {
+      ts.clear_streak = 0;
+      if (++ts.breach_streak >= 1 && !ts.incident_open) {  // window-level: open on first
+        ts.incident_open = true;
+        std::ostringstream subject, detail;
+        subject << "tenant " << t;
+        detail << "online interference " << stretch << " over threshold "
+               << cfg_.interference_spike << " (window " << window_ << ")";
+        ts.incident_idx = open_incident(Incident::Kind::kInterferenceSpike, subject.str(),
+                                        detail.str(), stretch, 0);
+      }
+    } else {
+      ts.breach_streak = 0;
+      if (ts.incident_open) {
+        ts.incident_open = false;
+        close_incident(ts.incident_idx, 0);
+        ts.incident_idx = -1;
+      }
+    }
+  }
+}
+
+double Watch::node_cost_factor(int node) const {
+  if (node < 0 || node >= static_cast<int>(published_node_.size())) return 1.0;
+  return published_node_[static_cast<std::size_t>(node)];
+}
+
+double Watch::link_cost_factor(int src_node, int dst_node) const {
+  const std::size_t nn = static_cast<std::size_t>(num_nodes_);
+  const std::size_t idx =
+      static_cast<std::size_t>(src_node) * nn + static_cast<std::size_t>(dst_node);
+  if (src_node < 0 || dst_node < 0 || idx >= published_link_.size()) return 1.0;
+  return published_link_[idx];
+}
+
+double Watch::lane_bandwidth(int src_node, int dst_node, WireClass c) const {
+  if (lanes_.empty() || src_node < 0 || src_node >= num_nodes_ || dst_node < 0 ||
+      dst_node >= num_nodes_)
+    return 0.0;
+  const LaneStats& lane = lanes_[lane_index(src_node, dst_node, c)];
+  const double pb = lane.ewma_pb.value();  // ns per byte
+  return pb > 0.0 ? 1e9 / pb : 0.0;        // bytes per virtual second
+}
+
+std::uint64_t Watch::lane_messages(int src_node, int dst_node, WireClass c) const {
+  if (lanes_.empty() || src_node < 0 || src_node >= num_nodes_ || dst_node < 0 ||
+      dst_node >= num_nodes_)
+    return 0;
+  return lanes_[lane_index(src_node, dst_node, c)].msgs;
+}
+
+std::uint64_t Watch::lane_bytes(int src_node, int dst_node, WireClass c) const {
+  if (lanes_.empty() || src_node < 0 || src_node >= num_nodes_ || dst_node < 0 ||
+      dst_node >= num_nodes_)
+    return 0;
+  return lanes_[lane_index(src_node, dst_node, c)].bytes;
+}
+
+double Watch::lane_window_stretch(int src_node, int dst_node, WireClass c) const {
+  if (lanes_.empty() || src_node < 0 || src_node >= num_nodes_ || dst_node < 0 ||
+      dst_node >= num_nodes_)
+    return 0.0;
+  const LaneStats& lane = lanes_[lane_index(src_node, dst_node, c)];
+  if (lane.win_floor_ns <= 0.0) return 0.0;
+  const double s = lane.win_actual_ns / lane.win_floor_ns - 1.0;
+  return s < 0.0 ? 0.0 : s;
+}
+
+double Watch::tenant_online_interference(int tenant) const {
+  if (tenant < 0 || tenant >= static_cast<int>(tenants_.size())) return 0.0;
+  return window_interference(tenant, tenants_[static_cast<std::size_t>(tenant)].win);
+}
+
+Watch::TenantWindow Watch::tenant_window(int tenant) const {
+  if (tenant < 0 || tenant >= static_cast<int>(tenants_.size())) return TenantWindow{};
+  TenantWindow w = tenants_[static_cast<std::size_t>(tenant)].win;
+  // The caller freezes at a quiescent point: close the trailing iteration
+  // group so the copy's p95 covers every completed iteration.
+  flush_exchange_group(&w);
+  return w;
+}
+
+double Watch::window_interference(int tenant, const TenantWindow& w) const {
+  if (tenant < 0 || tenant >= static_cast<int>(tenants_.size())) return 0.0;
+  const TenantStats& ts = tenants_[static_cast<std::size_t>(tenant)];
+
+  // Primary signal: the window's exchange-p95 against the tenant's best
+  // window exchange-p95 — the same quantity a post-hoc solo baseline
+  // measures, so the two estimates converge by construction. Baselines keep
+  // improving after a window froze (solo re-runs fold in at clear_window),
+  // so frozen windows are evaluated lazily.
+  if (w.exch_p95.count() >= 3 && ts.base_exch_p95_ms > 0.0) {
+    const double p = w.exch_p95.value();
+    if (p > 0.0) {
+      const double s = p / ts.base_exch_p95_ms - 1.0;
+      return s < 0.0 ? 0.0 : s;
+    }
+  }
+
+  // Fallback: queue-inclusive wire time against the tenant's best window
+  // average per (class, bucket) cell. Cells with no baseline predict
+  // themselves (contributing zero stretch) rather than inflating.
+  double actual = 0.0, predicted = 0.0;
+  for (int cb = 0; cb < kWireClasses * kSizeBuckets; ++cb) {
+    if (w.bytes[cb] == 0) continue;
+    const double self_avg = w.actual_ns[cb] / static_cast<double>(w.bytes[cb]);
+    const double base = (ts.base_avg_pb[cb] > 0.0 && ts.base_avg_pb[cb] < self_avg)
+                            ? ts.base_avg_pb[cb]
+                            : self_avg;
+    actual += w.actual_ns[cb];
+    predicted += base * static_cast<double>(w.bytes[cb]);
+  }
+  if (predicted <= 0.0) return 0.0;
+  const double s = actual / predicted - 1.0;
+  return s < 0.0 ? 0.0 : s;
+}
+
+double Watch::rank_latency_ms(int world_rank) const {
+  if (world_rank < 0 || world_rank >= static_cast<int>(ranks_.size())) return 0.0;
+  return ranks_[static_cast<std::size_t>(world_rank)].lat_ms.value();
+}
+
+void Watch::write_snapshot_json(std::ostream& os) const {
+  os << "{\n  \"schema\": \"watch-v1\",\n";
+  os << "  \"nodes\": " << num_nodes_ << ",\n";
+  os << "  \"world\": " << world_size_ << ",\n";
+  os << "  \"window\": " << window_ << ",\n";
+  os << "  \"publish_epoch\": " << publish_epoch_ << ",\n";
+  os << "  \"messages\": " << messages_ << ",\n";
+  os << "  \"exchanges\": " << exchange_completions_ << ",\n";
+  os << "  \"exchange_p95_ms\": " << exchange_p95_ms() << ",\n";
+
+  os << "  \"lanes\": [";
+  bool first = true;
+  for (int s = 0; s < num_nodes_; ++s) {
+    for (int d = 0; d < num_nodes_; ++d) {
+      for (int c = 0; c < kWireClasses; ++c) {
+        const LaneStats& lane = lanes_[lane_index(s, d, static_cast<WireClass>(c))];
+        if (lane.msgs == 0) continue;
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    {\"src\": " << s << ", \"dst\": " << d << ", \"class\": \""
+           << to_string(static_cast<WireClass>(c)) << "\", \"msgs\": " << lane.msgs
+           << ", \"bytes\": " << lane.bytes << ", \"ewma_ns_per_byte\": " << lane.ewma_pb.value()
+           << ", \"bandwidth_bytes_per_s\": "
+           << lane_bandwidth(s, d, static_cast<WireClass>(c))
+           << ", \"window_stretch\": " << lane_window_stretch(s, d, static_cast<WireClass>(c))
+           << "}";
+      }
+    }
+  }
+  os << (first ? "],\n" : "\n  ],\n");
+
+  os << "  \"node_cost_factors\": [";
+  for (int n = 0; n < num_nodes_; ++n)
+    os << (n ? ", " : "") << live_node_cost_factor(n);
+  os << "],\n";
+
+  os << "  \"published_node_cost_factors\": [";
+  for (std::size_t n = 0; n < published_node_.size(); ++n)
+    os << (n ? ", " : "") << published_node_[n];
+  os << "],\n";
+
+  os << "  \"tenants\": [";
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    os << (t ? ", " : "") << "{\"tenant\": " << t
+       << ", \"msgs\": " << tenants_[t].win.msgs
+       << ", \"online_interference\": " << tenant_online_interference(static_cast<int>(t))
+       << "}";
+  }
+  os << "],\n";
+
+  os << "  \"incidents_opened\": " << incidents_opened_ << ",\n";
+  os << "  \"incidents_open\": " << open_incidents_ << ",\n";
+  os << "  \"incidents\": [";
+  for (std::size_t i = 0; i < incidents_.size(); ++i) {
+    const Incident& inc = incidents_[i];
+    os << (i ? ",\n" : "\n");
+    os << "    {\"kind\": \"" << to_string(inc.kind) << "\", \"subject\": \"";
+    json_escape_to(os, inc.subject);
+    os << "\", \"severity\": " << inc.severity << ", \"opened_ns\": " << inc.opened
+       << ", \"closed_ns\": " << inc.closed << ", \"detail\": \"";
+    json_escape_to(os, inc.detail);
+    os << "\"}";
+  }
+  os << (incidents_.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+}
+
+void Watch::export_metrics(telemetry::MetricsRegistry& reg) const {
+  reg.counter("watch_messages_total").value = messages_;
+  reg.counter("watch_exchanges_total").value = exchange_completions_;
+  reg.counter("watch_incidents_opened_total").value = incidents_opened_;
+  reg.gauge("watch_incidents_open").set(static_cast<double>(open_incidents_));
+  reg.gauge("watch_exchange_p95_ms").set(exchange_p95_ms());
+  reg.gauge("watch_publish_epoch").set(static_cast<double>(publish_epoch_));
+  for (int k = 0; k < 4; ++k) {
+    reg.counter(std::string("watch_incidents_total{kind=\"") +
+                to_string(static_cast<Incident::Kind>(k)) + "\"}")
+        .value = incidents_by_kind_[k];
+  }
+  for (int n = 0; n < num_nodes_; ++n) {
+    reg.gauge("watch_node_cost_factor{node=\"" + std::to_string(n) + "\"}")
+        .set(live_node_cost_factor(n));
+  }
+  for (int s = 0; s < num_nodes_; ++s) {
+    for (int d = 0; d < num_nodes_; ++d) {
+      for (int c = 0; c < kWireClasses; ++c) {
+        const LaneStats& lane = lanes_[lane_index(s, d, static_cast<WireClass>(c))];
+        if (lane.msgs == 0) continue;
+        const std::string labels = "{src=\"n" + std::to_string(s) + "\",dst=\"n" +
+                                   std::to_string(d) + "\",class=\"" +
+                                   to_string(static_cast<WireClass>(c)) + "\"}";
+        reg.gauge("watch_lane_bandwidth_bytes_per_s" + labels)
+            .set(lane_bandwidth(s, d, static_cast<WireClass>(c)));
+        reg.counter("watch_lane_bytes_total" + labels).value = lane.bytes;
+      }
+    }
+  }
+}
+
+}  // namespace stencil::watch

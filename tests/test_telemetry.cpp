@@ -739,3 +739,113 @@ TEST(DomainTelemetry, ExchangePlanGaugesExported) {
     EXPECT_DOUBLE_EQ(it->second.value, static_cast<double>(dd.transfers().size()));
   });
 }
+
+// --- registry edge cases -----------------------------------------------------
+
+TEST(RegistryMerge, DisjointNamesUnionAndCollidingNamesFold) {
+  MetricsRegistry a, b;
+  a.counter("only_a_total").add(3);
+  a.counter("shared_total{method=\"staged\"}").add(5);
+  a.gauge("shared_gauge").set(1.0);
+  a.histogram("shared_ns").observe(8);
+  b.counter("only_b_total").add(7);
+  b.counter("shared_total{method=\"staged\"}").add(11);
+  // Same base name, different label set: a distinct series, not a collision.
+  b.counter("shared_total{method=\"peer\"}").add(2);
+  b.gauge("shared_gauge").set(4.0);
+  b.histogram("shared_ns").observe(8);
+  b.histogram("shared_ns").observe(1024);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("only_a_total"), 3u);
+  EXPECT_EQ(a.counter_value("only_b_total"), 7u);
+  EXPECT_EQ(a.counter_value("shared_total{method=\"staged\"}"), 16u);  // adds
+  EXPECT_EQ(a.counter_value("shared_total{method=\"peer\"}"), 2u);
+  EXPECT_DOUBLE_EQ(a.gauges().at("shared_gauge").value, 4.0);  // last write wins
+  const Histogram& h = a.histograms().at("shared_ns");
+  EXPECT_EQ(h.count(), 3u);  // bucketwise fold
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(8)), 2u);
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(1024)), 1u);
+  EXPECT_EQ(h.sum(), 8u + 8u + 1024u);
+}
+
+TEST(Exporters, PrometheusEscapesLabelValues) {
+  MetricsRegistry reg;
+  reg.counter("findings_total{kind=\"say \"hi\" now\"}").add(1);
+  reg.counter("paths_total{path=\"a\\b\"}").add(2);
+  reg.gauge("msg_gauge{note=\"line1\nline2\"}").set(3.0);
+  std::ostringstream os;
+  telemetry::write_prometheus(os, reg);
+  const std::string out = os.str();
+  // Exposition-format label values must escape quotes, backslashes, and
+  // newlines — and the output must stay one series per line.
+  EXPECT_NE(out.find("findings_total{kind=\"say \\\"hi\\\" now\"} 1"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("paths_total{path=\"a\\\\b\"} 2"), std::string::npos) << out;
+  EXPECT_NE(out.find("msg_gauge{note=\"line1\\nline2\"} 3"), std::string::npos) << out;
+}
+
+TEST(HistogramBuckets, PowerOfTwoBoundaries) {
+  // Bucket i holds 2^(i-1) < v <= 2^i; bucket 0 holds {0, 1}.
+  EXPECT_EQ(Histogram::bucket_index(0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1), 0);
+  EXPECT_EQ(Histogram::bucket_index(2), 1);
+  EXPECT_EQ(Histogram::bucket_index(3), 2);
+  EXPECT_EQ(Histogram::bucket_index(4), 2);
+  EXPECT_EQ(Histogram::bucket_index(1024), 10);      // exactly 2^10
+  EXPECT_EQ(Histogram::bucket_index(1025), 11);      // one past the bound
+  EXPECT_EQ(Histogram::bucket_index((1ull << 63)), 63);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<std::uint64_t>::max()), 63);
+  EXPECT_EQ(Histogram::bucket_bound(0), 1u);
+  EXPECT_EQ(Histogram::bucket_bound(10), 1024u);
+  // Top bucket bound saturates instead of overflowing.
+  EXPECT_EQ(Histogram::bucket_bound(63), std::numeric_limits<std::uint64_t>::max());
+
+  Histogram h;
+  h.observe(0);
+  h.observe(1);
+  h.observe(2);
+  h.observe(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(63), 1u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.used_buckets(), 64);
+}
+
+// --- engine throughput gauges ------------------------------------------------
+
+TEST(EngineTelemetry, RecordEngineExportsDeterministicThroughputGauges) {
+  const auto run_once = [] {
+    Telemetry tel;
+    Cluster cluster(topo::summit(), 1, 2);
+    cluster.set_mem_mode(vgpu::MemMode::kPhantom);
+    cluster.set_telemetry(&tel);
+    cluster.run([](RankCtx& ctx) {
+      for (int i = 0; i < 4; ++i) {
+        ctx.engine().sleep_for(1000);
+        ctx.comm.barrier();
+      }
+    });
+    const auto& g = tel.metrics().gauges();
+    struct Snap {
+      double events, rate, depth, switches;
+    };
+    return Snap{g.at("sim_events_processed").value,
+                g.at("sim_events_per_virtual_second").value,
+                g.at("sim_max_run_queue_depth").value, g.at("sim_context_switches").value};
+  };
+  const auto a = run_once();
+  EXPECT_GT(a.events, 0.0);
+  EXPECT_GT(a.rate, 0.0);
+  EXPECT_GE(a.depth, 1.0);
+  EXPECT_LE(a.depth, 2.0);  // two actors on this shape
+  EXPECT_GT(a.switches, 0.0);
+  // Virtual-time derived: a second identical run exports identical numbers.
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.events, b.events);
+  EXPECT_DOUBLE_EQ(a.rate, b.rate);
+  EXPECT_DOUBLE_EQ(a.depth, b.depth);
+  EXPECT_DOUBLE_EQ(a.switches, b.switches);
+}

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Compare two bench-v1 JSON documents (or directories of them) and report
+per-key latency regressions.
+
+Every row in a bench-v1 document is keyed by (bench, label+config, variant);
+for each key present in both baseline and candidate the median and p95
+latencies are compared, and a relative increase beyond --threshold (default
+10%) counts as a regression. Most benches here run in deterministic virtual
+time, so any drift at all is a model change — the threshold exists to absorb
+the few wall-clock-adjacent rows and float formatting.
+
+Usage:
+  bench_compare.py BASELINE CANDIDATE [--threshold 0.10] [--require]
+
+BASELINE / CANDIDATE are either two bench-v1 .json files or two directories;
+for directories, every BENCH_*.json in BASELINE is compared against the
+same-named file in CANDIDATE (a missing candidate file is a failure — the
+bench stopped emitting).
+
+Exit status: 0 when clean or advisory (no --require); 1 with --require when
+any regression, schema problem, or missing file/key is found.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_doc(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "bench-v1":
+        raise ValueError(f"{path}: schema is {doc.get('schema')!r}, expected 'bench-v1'")
+    return doc
+
+
+def row_key(row):
+    # config is already folded into the label by the emitters ("2n/6r/6g/..."),
+    # but include the distinguishing config fields anyway so two rows that
+    # share a label but differ in shape never collide.
+    cfg = row.get("config", {})
+    cfg_sig = ",".join(
+        str(cfg.get(k, "")) for k in ("arch", "nodes", "ranks_per_node", "domain", "radius")
+    )
+    return (row.get("label", ""), row.get("variant", ""), cfg_sig)
+
+
+def index_rows(doc):
+    rows = {}
+    for row in doc.get("rows", []):
+        key = row_key(row)
+        if key in rows:
+            raise ValueError(f"duplicate row key {key} in bench {doc.get('bench')!r}")
+        rows[key] = row
+    return rows
+
+
+def compare_docs(base_doc, cand_doc, threshold, report):
+    """Appends report lines; returns (regressions, missing)."""
+    bench = base_doc.get("bench", "?")
+    base = index_rows(base_doc)
+    cand = index_rows(cand_doc)
+    regressions = 0
+    missing = 0
+
+    for key in sorted(base):
+        label, variant, _ = key
+        name = f"{bench}: {label} [{variant}]"
+        if key not in cand:
+            report.append(f"MISSING  {name} — row dropped from candidate")
+            missing += 1
+            continue
+        b, c = base[key]["latency_ms"], cand[key]["latency_ms"]
+        worst = 0.0
+        worst_stat = None
+        for stat in ("median", "p95"):
+            bv, cv = b.get(stat, 0.0), c.get(stat, 0.0)
+            if bv <= 0.0:
+                continue  # zero baselines carry no regression signal
+            rel = (cv - bv) / bv
+            if rel > worst:
+                worst, worst_stat = rel, (stat, bv, cv)
+        if worst > threshold:
+            stat, bv, cv = worst_stat
+            report.append(
+                f"REGRESS  {name} — {stat} {bv:.6g} -> {cv:.6g} (+{100.0 * worst:.1f}%)"
+            )
+            regressions += 1
+
+    for key in sorted(set(cand) - set(base)):
+        label, variant, _ = key
+        report.append(f"NEW      {bench}: {label} [{variant}] — no baseline yet")
+    return regressions, missing
+
+
+def pair_files(base, cand):
+    """Yields (base_path, cand_path_or_None) pairs for the two arguments."""
+    if os.path.isdir(base):
+        if not os.path.isdir(cand):
+            raise ValueError(f"{base} is a directory but {cand} is not")
+        names = sorted(n for n in os.listdir(base) if n.startswith("BENCH_") and n.endswith(".json"))
+        if not names:
+            raise ValueError(f"no BENCH_*.json files in {base}")
+        for n in names:
+            cpath = os.path.join(cand, n)
+            yield os.path.join(base, n), (cpath if os.path.exists(cpath) else None)
+    else:
+        yield base, (cand if os.path.exists(cand) else None)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="bench-v1 file or directory of BENCH_*.json baselines")
+    ap.add_argument("candidate", help="bench-v1 file or directory to compare against the baseline")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative median/p95 increase that counts as a regression (default 0.10)")
+    ap.add_argument("--require", action="store_true",
+                    help="exit 1 on any regression or missing row/file (default: advisory)")
+    args = ap.parse_args()
+
+    report = []
+    regressions = 0
+    missing = 0
+    compared = 0
+    try:
+        for base_path, cand_path in pair_files(args.baseline, args.candidate):
+            if cand_path is None:
+                report.append(f"MISSING  {os.path.basename(base_path)} — candidate file not found")
+                missing += 1
+                continue
+            base_doc = load_doc(base_path)
+            cand_doc = load_doc(cand_path)
+            r, m = compare_docs(base_doc, cand_doc, args.threshold, report)
+            regressions += r
+            missing += m
+            compared += 1
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"bench_compare: error: {e}", file=sys.stderr)
+        return 1
+
+    for line in report:
+        print(line)
+    verdict_bad = regressions > 0 or missing > 0
+    print(f"bench_compare: {compared} file(s) compared, {regressions} regression(s), "
+          f"{missing} missing, threshold {100.0 * args.threshold:.0f}%"
+          + ("" if args.require else " (advisory)"))
+    return 1 if (verdict_bad and args.require) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
