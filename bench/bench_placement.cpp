@@ -6,14 +6,21 @@
 // reports ~20% speedup for node-aware placement over a poor placement.
 // On a cube domain all exchanges are alike and placement has no effect.
 #include <cstdio>
+#include <fstream>
 
 #include "common.h"
+#include "explain/explain.h"
 
 using namespace stencil::bench;
 using stencil::Dim3;
 using stencil::PlacementStrategy;
 
 namespace {
+
+// When --json is on, every measured run also records its decision
+// provenance here, exported as EXPLAIN_placement.json next to the bench
+// document (tools/bench_compare.py diffs it when a row regresses).
+stencil::explain::Ledger* g_ledger = nullptr;
 
 ExchangeConfig make_cfg(Dim3 domain, PlacementStrategy strategy) {
   ExchangeConfig cfg;
@@ -22,7 +29,22 @@ ExchangeConfig make_cfg(Dim3 domain, PlacementStrategy strategy) {
   cfg.domain = domain;
   cfg.flags = stencil::MethodFlags::kAll;
   cfg.strategy = strategy;
+  cfg.explain = g_ledger;
   return cfg;
+}
+
+/// BENCH_<x>.json -> sibling EXPLAIN_<x>.json (EXPLAIN_placement.json when
+/// the bench path does not follow the BENCH_ convention).
+std::string explain_path_for(const std::string& bench_path) {
+  const auto slash = bench_path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "" : bench_path.substr(0, slash + 1);
+  std::string base = slash == std::string::npos ? bench_path : bench_path.substr(slash + 1);
+  if (base.rfind("BENCH_", 0) == 0) {
+    base = "EXPLAIN_" + base.substr(6);
+  } else {
+    base = "EXPLAIN_placement.json";
+  }
+  return dir + base;
 }
 
 double run(Dim3 domain, PlacementStrategy strategy) {
@@ -56,6 +78,8 @@ int main(int argc, char** argv) {
   BenchJson json("placement");
   const bool emit_json = parse_json_flag(argc, argv, "placement", &json_path);
   BenchJson* jp = emit_json ? &json : nullptr;
+  stencil::explain::Ledger ledger(4096);
+  if (emit_json) g_ledger = &ledger;
   std::printf("Fig. 11 reproduction: node-aware data placement (1 node, 6 ranks, 6 GPUs)\n");
   std::printf("radius 3, 4 SP quantities; paper reports ~20%% speedup on the skewed domain\n\n");
 
@@ -85,6 +109,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("\nwrote %zu rows to %s\n", json.rows(), json_path.c_str());
+
+    const std::string epath = explain_path_for(json_path);
+    std::ofstream eos(epath);
+    if (!eos) {
+      std::fprintf(stderr, "bench_placement: cannot open %s\n", epath.c_str());
+      return 1;
+    }
+    ledger.write_json(eos, "placement");
+    std::printf("wrote %llu decision(s) to %s\n",
+                static_cast<unsigned long long>(ledger.total_recorded()), epath.c_str());
   }
   return 0;
 }

@@ -43,6 +43,7 @@ MeasureResult reduce_latency(const std::vector<std::vector<double>>& per_iter) {
 MeasureResult measure_exchange(const ExchangeConfig& cfg) {
   Cluster cluster(cfg.arch, cfg.nodes, cfg.ranks_per_node);
   cluster.set_mem_mode(vgpu::MemMode::kPhantom);  // timing-only at scale
+  if (cfg.explain != nullptr) cluster.set_explain(cfg.explain);
   const auto ranks =
       static_cast<std::size_t>(cfg.nodes) * static_cast<std::size_t>(cfg.ranks_per_node);
   std::vector<std::vector<double>> per_iter(static_cast<std::size_t>(cfg.iterations),

@@ -29,6 +29,10 @@ struct ExchangeConfig {
   // Planned (persistent) exchanges: the untimed warm-up compiles the plan,
   // so the timed iterations measure pure replay.
   bool persistent = false;
+  // When set, the run's partition/placement/specialization decisions land
+  // in this ledger (stencil::explain) — benches export them next to the
+  // bench-v1 document so bench_compare.py can diff the why with the what.
+  explain::Ledger* explain = nullptr;
 
   int gpus_per_node() const { return arch.gpus_per_node(); }
   int total_gpus() const { return nodes * gpus_per_node(); }

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "core/provenance.h"
+
 namespace stencil {
 
 Cluster::Cluster(topo::NodeArchetype arch, int num_nodes, int ranks_per_node)
@@ -41,6 +43,12 @@ std::shared_ptr<const Placement> Cluster::placement_cached(
   auto placement = std::make_shared<const Placement>(hp, machine_.arch(), radius, bytes_per_point,
                                                      nbhd, strategy, boundary, gpu_slot_base);
   placement_cache_.emplace(std::move(key), placement);
+  if (explain_ != nullptr) {
+    // Cold path only: cache hits never re-record. Costs wall clock, not
+    // virtual time, so attached and detached runs time identically.
+    record_partition_decision(*explain_, hp, radius, eng_.now());
+    record_placement_decision(*explain_, *placement, eng_.now());
+  }
   return placement;
 }
 

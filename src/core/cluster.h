@@ -10,6 +10,7 @@
 #include "core/tenant.h"
 #include "dtrace/collector.h"
 #include "dtrace/progress.h"
+#include "explain/explain.h"
 #include "simpi/mpi.h"
 #include "simtime/engine.h"
 #include "telemetry/telemetry.h"
@@ -139,6 +140,17 @@ class Cluster {
   }
   dtrace::ProgressMonitor* progress_monitor() const { return monitor_; }
 
+  /// Attach a decision-provenance ledger (nullptr detaches): placement
+  /// cache misses record the partition shape choice and every distinct QAP
+  /// instance (winner, runner-up, objective values), and the exchange,
+  /// scheduler, and recovery layers record specialization rungs, demotions,
+  /// plan compiles/migrations, admission verdicts, and recovery ladder
+  /// steps into the same ring. Pure bookkeeping with zero virtual-time
+  /// cost: timing and all other artifacts are byte-identical with or
+  /// without one attached.
+  void set_explain(explain::Ledger* e) { explain_ = e; }
+  explain::Ledger* explain_ledger() const { return explain_; }
+
   /// Attach a fault injector for this cluster's runs (nullptr detaches).
   /// The Machine holds the single authoritative pointer; the runtime, MPI
   /// job, and exchange layer all read it from there. The injector must
@@ -165,6 +177,7 @@ class Cluster {
   telemetry::Telemetry* telemetry_ = nullptr;
   watch::Watch* watch_ = nullptr;
   dtrace::ProgressMonitor* monitor_ = nullptr;
+  explain::Ledger* explain_ = nullptr;
   std::map<std::string, std::shared_ptr<const Placement>> placement_cache_;
 };
 

@@ -210,6 +210,8 @@ void DistributedDomain::realize() {
   build_transfer_states();
   plan_.export_metrics(telemetry_.metrics());
   if (aggregate_remote_) build_aggregation_groups();
+  record_specialization();
+  record_aggregation();
   colocated_setup();
   ctx_.comm.barrier();
   realized_ = true;
@@ -344,7 +346,95 @@ void DistributedDomain::colocated_setup() {
   }
 }
 
+void DistributedDomain::record_specialization() {
+  explain::Ledger* led = ledger();
+  if (led == nullptr) return;
+  const sim::Time now = ctx_.engine().now();
+  std::map<Method, std::pair<std::uint64_t, std::uint64_t>> per;  // (transfers, bytes)
+  for (const auto& xp : xfers_) {
+    auto& [n, b] = per[xp->t.method];
+    ++n;
+    b += xp->bytes;
+  }
+  for (const auto& [m, nb] : per) {
+    explain::DecisionRecord rec;
+    rec.kind = explain::DecisionKind::kSpecialization;
+    rec.at = now;
+    rec.actor = ctx_.comm.rank();
+    rec.subject = std::to_string(nb.first) + " transfers, " + std::to_string(nb.second) + " bytes";
+    rec.chosen = to_string(m);
+    rec.chosen_score = static_cast<double>(static_cast<int>(m));
+    if (m != Method::kStaged) {
+      // Every rung could instead have taken the universal fallback; the
+      // positive delta is how far up the ladder the capability check got.
+      rec.rejected.push_back({"staged (universal fallback)",
+                              static_cast<double>(static_cast<int>(Method::kStaged))});
+    } else {
+      rec.rejected.push_back({"cuda-aware-mpi (capability absent or disabled)",
+                              static_cast<double>(static_cast<int>(Method::kCudaAwareMpi))});
+    }
+    rec.detail = "score = specialization rung (0 kernel ... 4 staged; lower is better)";
+    led->append(std::move(rec));
+  }
+}
+
+void DistributedDomain::record_aggregation() {
+  explain::Ledger* led = ledger();
+  if (led == nullptr) return;
+  // Staged MPI messages this rank moves per exchange when each transfer
+  // ships alone, vs one grouped message per (peer, direction).
+  std::uint64_t msgs = 0;
+  std::set<int> send_peers, recv_peers;
+  for (const auto& xp : xfers_) {
+    if (xp->t.method != Method::kStaged || xp->bytes == 0) continue;
+    if (xp->i_send) {
+      ++msgs;
+      send_peers.insert(xp->t.dst_rank);
+    }
+    if (xp->i_recv) {
+      ++msgs;
+      recv_peers.insert(xp->t.src_rank);
+    }
+  }
+  if (msgs == 0) return;  // no staged traffic: aggregation is moot
+  const auto grouped = static_cast<double>(send_peers.size() + recv_peers.size());
+  explain::DecisionRecord rec;
+  rec.kind = explain::DecisionKind::kAggregation;
+  rec.at = ctx_.engine().now();
+  rec.actor = ctx_.comm.rank();
+  rec.subject = std::to_string(msgs) + " staged transfers";
+  if (aggregate_remote_) {
+    rec.chosen = "on (one message per peer per direction)";
+    rec.chosen_score = grouped;
+    rec.rejected.push_back({"off (one message per transfer)", static_cast<double>(msgs)});
+  } else {
+    rec.chosen = "off (one message per transfer)";
+    rec.chosen_score = static_cast<double>(msgs);
+    rec.rejected.push_back({"on (one message per peer per direction)", grouped});
+  }
+  rec.detail = "score = staged MPI messages per exchange";
+  led->append(std::move(rec));
+}
+
+void DistributedDomain::record_demotion(const TransferState& x, Method from, Method to) {
+  explain::Ledger* led = ledger();
+  if (led == nullptr) return;
+  explain::DecisionRecord rec;
+  rec.kind = explain::DecisionKind::kDemotion;
+  rec.at = ctx_.engine().now();
+  rec.actor = ctx_.comm.rank();
+  rec.subject = "tag=" + std::to_string(x.t.tag) + " (" + std::to_string(x.bytes) + " bytes)";
+  rec.chosen = to_string(to);
+  rec.chosen_score = static_cast<double>(static_cast<int>(to));
+  // Negative delta: the revoked rung was better, the fault forced the move.
+  rec.rejected.push_back({std::string(to_string(from)) + " (capability revoked)",
+                          static_cast<double>(static_cast<int>(from))});
+  rec.detail = "fault-forced fail-down; dirties this tag's frozen programs in every cached plan";
+  led->append(std::move(rec));
+}
+
 void DistributedDomain::demote_transfer(TransferState& x, Method target) {
+  record_demotion(x, x.t.method, target);
   if (auto* rec = ctx_.rt.recorder()) {
     const sim::Time now = ctx_.engine().now();
     rec->record("fault",
@@ -1170,6 +1260,25 @@ plan::CompiledPlan& DistributedDomain::acquire_plan() {
     plan::CompiledPlan& np = compile_plan();
     // Fail-fast admission: a plan with a protocol defect never replays.
     plan_cache_.admit(np);
+    if (explain::Ledger* led = ledger(); led != nullptr) {
+      explain::DecisionRecord rec;
+      rec.kind = explain::DecisionKind::kPlanCompile;
+      rec.at = ctx_.engine().now();
+      rec.actor = ctx_.comm.rank();
+      rec.subject = "epoch " + std::to_string(topo_epoch_) + ", " +
+                    std::to_string(active_qs_.size()) + " quantities" +
+                    (aggregate_remote_ ? ", aggregated" : "");
+      rec.chosen = "compile " + std::to_string(np.programs.size()) + " programs, " +
+                   std::to_string(np.send_groups.size() + np.recv_groups.size()) + " groups";
+      rec.chosen_score = static_cast<double>(np.programs.size());
+      // The cheaper option did not exist: no compatible plan was cached.
+      // Negative delta quantifies the cold-start cost; repeats counts the
+      // later hits that did get it for free.
+      rec.rejected.push_back({"cache hit (no compatible plan cached)", 0.0});
+      rec.work = np.programs.size();
+      rec.detail = "score = programs (re)built";
+      plan_record_ids_[&np] = led->append(std::move(rec));
+    }
     return np;
   }
   if (p->key.topo_epoch != topo_epoch_ || p->dirty_count() > 0) {
@@ -1179,9 +1288,13 @@ plan::CompiledPlan& DistributedDomain::acquire_plan() {
     // the plan with the current epoch. Clean programs are untouched.
     ++stats.invalidations;
     telemetry_.on_plan_event("invalidation");
+    const std::uint64_t epoch_before = p->key.topo_epoch;
+    std::uint64_t rebuilt = 0;
+    std::uint64_t appended = 0;
     for (plan::TransferProgram& prog : p->programs) {
       if (!prog.dirty) continue;
       compile_program(prog);
+      ++rebuilt;
       ++stats.rebuilt_programs;
       telemetry_.on_plan_event("rebuild");
     }
@@ -1193,15 +1306,38 @@ plan::CompiledPlan& DistributedDomain::acquire_plan() {
       prog.xfer_index = i;
       compile_program(prog);
       p->programs.push_back(std::move(prog));
+      ++appended;
       ++stats.rebuilt_programs;
       telemetry_.on_plan_event("rebuild");
     }
     p->key.topo_epoch = topo_epoch_;
     // Re-verify only migrated plans: clean cache hits skip the verifier.
     plan_cache_.admit(*p);
+    if (explain::Ledger* led = ledger(); led != nullptr) {
+      explain::DecisionRecord rec;
+      rec.kind = explain::DecisionKind::kPlanMigrate;
+      rec.at = ctx_.engine().now();
+      rec.actor = ctx_.comm.rank();
+      rec.subject = "epoch " + std::to_string(epoch_before) + " -> " +
+                    std::to_string(topo_epoch_);
+      rec.chosen = "rebuild " + std::to_string(rebuilt) + " dirty + " +
+                   std::to_string(appended) + " appended of " +
+                   std::to_string(p->programs.size()) + " programs";
+      rec.chosen_score = static_cast<double>(rebuilt + appended);
+      // Positive delta: programs the partial migration did NOT rebuild.
+      rec.rejected.push_back({"full recompile", static_cast<double>(p->programs.size())});
+      rec.work = rebuilt + appended;
+      rec.detail = "score = programs (re)built";
+      plan_record_ids_[p] = led->append(std::move(rec));
+    }
   } else {
     ++stats.hits;
     telemetry_.on_plan_event("hit");
+    // Hot path: one map find + O(1) counter bump, allocation-free.
+    if (explain::Ledger* led = ledger(); led != nullptr) {
+      const auto it = plan_record_ids_.find(p);
+      if (it != plan_record_ids_.end()) led->bump(it->second);
+    }
   }
   return *p;
 }

@@ -281,6 +281,21 @@ class DistributedDomain {
   // sides of the transfer this rank owns.
   void ensure_staged_buffers(TransferState& x);
 
+  // --- decision provenance (stencil::explain, DESIGN.md §17) --------------
+  // The cluster-attached ledger, or nullptr (the common case). Every hook
+  // below is pure bookkeeping with zero virtual-time cost and records
+  // nothing when detached, so detached artifacts stay byte-identical.
+  explain::Ledger* ledger() const { return ctx_.cluster.explain_ledger(); }
+  // realize(): one kSpecialization record per method rung in use, scored by
+  // ladder position (kernel 0 ... staged 4; lower = more specialized).
+  void record_specialization();
+  // realize(): the aggregation on/off choice, scored by staged message
+  // count per exchange (grouped vs per-transfer).
+  void record_aggregation();
+  // demote_transfer(): the fault-forced rung change, with the revoked rung
+  // as the rejected alternative (negative delta = capability lost).
+  void record_demotion(const TransferState& x, Method from, Method to);
+
   // --- checker annotations (byte ranges a kernel closure touches) ---------
   vgpu::AccessList pack_access(const TransferState& x, const vgpu::Buffer& dst) const;
   vgpu::AccessList unpack_access(const TransferState& x, const vgpu::Buffer& src) const;
@@ -362,6 +377,10 @@ class DistributedDomain {
   telemetry::Telemetry telemetry_;
   plan::PlanCache plan_cache_;
   plan::CompiledPlan* cur_plan_ = nullptr;  // plan driving the in-flight exchange
+  // Latest provenance record per cached plan, so the hot path (cache hit)
+  // is a single map find + O(1) ledger bump — no allocation, no string
+  // formatting. Populated only on the cold compile/migrate paths.
+  std::map<const plan::CompiledPlan*, std::uint64_t> plan_record_ids_;
 
   // verify_model derivation cache: the world transfer list and per-transfer
   // slab element counts depend only on the placement and exchange shape, not

@@ -97,6 +97,12 @@ class Placement {
   /// node — exposed for tests and the placement benchmark.
   qap::SquareMatrix node_flow(int node_linear) const;
 
+  /// Base QAP assignment for one node (subdomain slot -> local GPU),
+  /// ignoring re-homing overrides — exposed for decision provenance.
+  const std::vector<int>& node_assignment(int node_linear) const {
+    return assign_[static_cast<std::size_t>(node_linear)];
+  }
+
   /// Distance matrix shared by all nodes: 1 / theoretical bandwidth.
   const qap::SquareMatrix& distance() const { return distance_; }
 

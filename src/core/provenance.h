@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file provenance.h
+/// Bridges the partition/placement phase into stencil::explain: free
+/// helpers that turn a HierarchicalPartition or a finished Placement into
+/// DecisionRecords with the chosen option, the rejected alternatives, and
+/// the objective values. Called from Cluster::placement_cached on cache
+/// misses (cold path only — hits never re-record) and from bench_placement,
+/// which constructs Placements directly.
+
+#include "core/placement.h"
+#include "core/radius.h"
+#include "explain/explain.h"
+#include "simtime/time.h"
+
+namespace stencil {
+
+/// Record the prime-factor shape choice: the hierarchical node*gpu split
+/// against the flat single-level baseline, scored by inter-node exchange
+/// volume (grid points crossing node boundaries per radius-r exchange).
+void record_partition_decision(explain::Ledger& led, const HierarchicalPartition& hp,
+                               Radius radius, sim::Time now);
+
+/// Record one kPlacement decision per distinct per-node flow matrix (most
+/// nodes share one of a few — subdomain sizes differ by at most one point),
+/// re-running the matching solver in explained mode to recover the
+/// runner-up assignment and the deterministic work counter. Re-solving
+/// costs wall clock only, never virtual time, and only happens with a
+/// ledger attached — detached runs skip this entirely.
+void record_placement_decision(explain::Ledger& led, const Placement& p, sim::Time now);
+
+}  // namespace stencil

@@ -71,9 +71,51 @@ std::vector<int> identity_assignment(int n) {
   return f;
 }
 
-std::vector<int> solve_greedy_2swap(const SquareMatrix& w, const SquareMatrix& d) {
+ExplainedSolution solve_exhaustive_explained(const SquareMatrix& w, const SquareMatrix& d) {
   check_inputs(w, d);
   const int n = w.n();
+  if (n > 10) throw std::invalid_argument("qap: exhaustive search capped at n=10");
+  ExplainedSolution out;
+  std::vector<int> f(static_cast<std::size_t>(n));
+  std::iota(f.begin(), f.end(), 0);
+  out.best = f;
+  out.best_cost = cost(w, d, f);
+  out.evaluated = 1;
+  // Visit permutations in the same order as solve_exhaustive so the winner
+  // (first-encountered minimum under strict <) is identical; additionally
+  // track the best losing assignment. When a new minimum appears, the old
+  // one becomes the runner-up candidate.
+  bool have_runner = false;
+  while (std::next_permutation(f.begin(), f.end())) {
+    const double c = cost(w, d, f);
+    ++out.evaluated;
+    if (c < out.best_cost) {
+      out.runner_up = out.best;
+      out.runner_up_cost = out.best_cost;
+      have_runner = true;
+      out.best_cost = c;
+      out.best = f;
+    } else if (!have_runner || c < out.runner_up_cost) {
+      out.runner_up = f;
+      out.runner_up_cost = c;
+      have_runner = true;
+    }
+  }
+  if (!have_runner) {
+    out.runner_up.clear();
+    out.runner_up_cost = 0.0;
+  }
+  return out;
+}
+
+std::vector<int> solve_greedy_2swap(const SquareMatrix& w, const SquareMatrix& d) {
+  return solve_greedy_2swap_explained(w, d).best;
+}
+
+ExplainedSolution solve_greedy_2swap_explained(const SquareMatrix& w, const SquareMatrix& d) {
+  check_inputs(w, d);
+  const int n = w.n();
+  ExplainedSolution out;
 
   // Constructive phase: repeatedly take the facility with the largest total
   // flow to already-placed facilities (or largest overall flow first), and
@@ -110,6 +152,7 @@ std::vector<int> solve_greedy_2swap(const SquareMatrix& w, const SquareMatrix& d
         inc += w.at(fac, j) * d.at(loc, f[static_cast<std::size_t>(j)]);
         inc += w.at(j, fac) * d.at(f[static_cast<std::size_t>(j)], loc);
       }
+      ++out.evaluated;
       if (inc < best_inc) {
         best_inc = inc;
         best_loc = loc;
@@ -120,8 +163,14 @@ std::vector<int> solve_greedy_2swap(const SquareMatrix& w, const SquareMatrix& d
     loc_used[static_cast<std::size_t>(best_loc)] = true;
   }
 
+  // The runner-up is the constructive solution before hill climbing — the
+  // answer a swap-free greedy would have shipped.
+  out.runner_up = f;
+  out.runner_up_cost = cost(w, d, f);
+  ++out.evaluated;
+
   // Improvement phase: pairwise swaps to a local optimum.
-  double cur = cost(w, d, f);
+  double cur = out.runner_up_cost;
   bool improved = true;
   while (improved) {
     improved = false;
@@ -129,6 +178,7 @@ std::vector<int> solve_greedy_2swap(const SquareMatrix& w, const SquareMatrix& d
       for (int j = i + 1; j < n; ++j) {
         std::swap(f[static_cast<std::size_t>(i)], f[static_cast<std::size_t>(j)]);
         const double c = cost(w, d, f);
+        ++out.evaluated;
         if (c < cur) {
           cur = c;
           improved = true;
@@ -138,7 +188,9 @@ std::vector<int> solve_greedy_2swap(const SquareMatrix& w, const SquareMatrix& d
       }
     }
   }
-  return f;
+  out.best = std::move(f);
+  out.best_cost = cur;
+  return out;
 }
 
 }  // namespace stencil::qap

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace stencil::qap {
@@ -47,5 +48,26 @@ std::vector<int> identity_assignment(int n);
 /// Exhaustive search for the *worst* assignment; the adversarial baseline in
 /// the Fig. 11 comparison ("poorly placed").
 std::vector<int> solve_worst(const SquareMatrix& w, const SquareMatrix& d);
+
+/// Provenance-bearing solver result for stencil::explain: the winner, the
+/// best *distinct* losing assignment, and how many candidates the solver
+/// scored — a deterministic work counter that stands in for "solver time"
+/// in virtual-time runs (wall clock is banned).
+struct ExplainedSolution {
+  std::vector<int> best;
+  double best_cost = 0.0;
+  std::vector<int> runner_up;   ///< empty for n == 1 (no other assignment)
+  double runner_up_cost = 0.0;
+  std::uint64_t evaluated = 0;  ///< cost evaluations performed
+};
+
+/// solve_exhaustive with provenance: tracks the distinct second-best
+/// assignment across all n! candidates. Same n <= 10 cap.
+ExplainedSolution solve_exhaustive_explained(const SquareMatrix& w, const SquareMatrix& d);
+
+/// solve_greedy_2swap with provenance: the runner-up is the constructive
+/// solution before 2-swap hill climbing (identical to best when no swap
+/// improved it); evaluated counts incremental + full cost evaluations.
+ExplainedSolution solve_greedy_2swap_explained(const SquareMatrix& w, const SquareMatrix& d);
 
 }  // namespace stencil::qap

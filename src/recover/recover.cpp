@@ -327,6 +327,25 @@ RecoveryManager::RecoveryManager(RankCtx& ctx, DistributedDomain& dd, std::int64
   if (cadence < 0) throw std::invalid_argument("RecoveryManager: negative cadence");
 }
 
+void RecoveryManager::record_step(const std::string& chosen, double score,
+                                  const std::string& alt, double alt_score,
+                                  const std::string& subject, const std::string& detail) {
+  explain::Ledger* led = ctx_.cluster.explain_ledger();
+  if (led == nullptr) return;
+  explain::DecisionRecord rec;
+  rec.kind = explain::DecisionKind::kRecoverStep;
+  rec.at = ctx_.engine().now();
+  rec.actor = ctx_.comm.rank();
+  rec.subject = subject;
+  rec.chosen = chosen;
+  rec.chosen_score = score;
+  rec.rejected.push_back({alt, alt_score});
+  rec.detail = detail.empty()
+                   ? "score = ladder rung (0 retry ... 3 shrink, 4 cold restart)"
+                   : detail + "; score = ladder rung (0 retry ... 3 shrink, 4 cold restart)";
+  led->append(std::move(rec));
+}
+
 bool RecoveryManager::maybe_checkpoint(std::int64_t iter) {
   if (cadence_ == 0 || iter % cadence_ != 0) return false;
   store_.checkpoint(iter);
@@ -345,11 +364,17 @@ std::int64_t RecoveryManager::recover(const FailureEvent& ev, std::int64_t iter)
     case FailureKind::kTransient:
       ++stats_.transient_retries;
       dd_.telemetry().on_recover_step("retry", ev.what, eng.now());
+      record_step("retry (replay iteration " + std::to_string(iter) + ")", 0.0,
+                  "shrink + rollback to checkpoint floor", 3.0, ev.what,
+                  "transient fault: nothing died, nothing to re-place");
       export_metrics();
       return iter;
     case FailureKind::kCapability:
       ++stats_.capability_demotions;
       dd_.telemetry().on_recover_step("demote", ev.what, eng.now());
+      record_step("demote (fail-down, replay iteration " + std::to_string(iter) + ")", 1.0,
+                  "shrink + rollback to checkpoint floor", 3.0, ev.what,
+                  "capability revoked: re-specialize affected transfers to staged");
       export_metrics();
       return iter;
     case FailureKind::kLocalDeviceLoss:
@@ -359,6 +384,9 @@ std::int64_t RecoveryManager::recover(const FailureEvent& ev, std::int64_t iter)
       // drain ledger is per-incident: await_drain also requires that we
       // have actually been retired.
       dd_.telemetry().on_recover_step("die", "rank=" + std::to_string(me), eng.now());
+      record_step("die (park until survivors retire this rank)", 2.0,
+                  "survivor shrink protocol (not applicable: we are the casualty)", 3.0,
+                  "rank=" + std::to_string(me), "local device lost");
       dd_.recover_abort();
       job.await_drain(me);
       return kRankGone;
@@ -388,6 +416,9 @@ std::int64_t RecoveryManager::recover(const FailureEvent& ev, std::int64_t iter)
     // iteration. Nothing was re-placed, so no collectives are owed.
     job.clear_revoke();
     dd_.telemetry().on_recover_step("revoke-clear", ev.what, eng.now());
+    record_step("clear spurious revoke (replay iteration " + std::to_string(iter) + ")", 0.0,
+                "full incident protocol (shrink + rollback)", 3.0, ev.what,
+                "revoke with no unprocessed death behind it");
     return iter;
   }
   const fault::Injector* inj = ctx_.machine.fault_injector();
@@ -404,6 +435,9 @@ std::int64_t RecoveryManager::recover(const FailureEvent& ev, std::int64_t iter)
     processed_.insert(r);
     job.retire_rank(r);
     dd_.telemetry().on_recover_step("retire", "rank=" + std::to_string(r), eng.now());
+    record_step("retire rank " + std::to_string(r) + " (fold into this incident)", 2.0,
+                "defer to a later incident (risk a wedged protocol)", 4.0,
+                "rank=" + std::to_string(r), "death manifested within the detector horizon");
   }
   stats_.ranks_retired += dead.size();
 
@@ -444,6 +478,12 @@ std::int64_t RecoveryManager::recover(const FailureEvent& ev, std::int64_t iter)
                                       " floor=" + std::to_string(back) +
                                       " mttr_ns=" + std::to_string(stats_.last_mttr),
                                   eng.now());
+  record_step("shrink to " + std::to_string(job.live_count()) + " live + rollback to floor " +
+                  std::to_string(back),
+              3.0, "cold restart from iteration 0", 4.0,
+              std::to_string(dead.size()) + " rank(s) retired",
+              "replays " + std::to_string(iter - back) + " iteration(s), mttr_ns=" +
+                  std::to_string(stats_.last_mttr));
   return back;
 }
 

@@ -169,6 +169,12 @@ class RecoveryManager {
 
  private:
   void export_metrics();
+  // Decision provenance (stencil::explain): one kRecoverStep record per
+  // ladder rung taken, scored by ladder position (0 retry ... 3 shrink,
+  // 4 cold restart), with the avoided more-drastic rung as the rejected
+  // alternative. No-op without a cluster-attached ledger.
+  void record_step(const std::string& chosen, double score, const std::string& alt,
+                   double alt_score, const std::string& subject, const std::string& detail);
 
   RankCtx& ctx_;
   DistributedDomain& dd_;

@@ -41,6 +41,17 @@ double median(std::vector<double> v) {
   return v[(v.size() - 1) / 2];
 }
 
+/// Provenance label for one (shape, node set) placement candidate.
+std::string shape_str(int k, int c, const std::vector<int>& nodes) {
+  std::string s = "k=" + std::to_string(k) + " c=" + std::to_string(c) + " nodes=[";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) s += ' ';
+    s += std::to_string(nodes[i]);
+  }
+  s += ']';
+  return s;
+}
+
 }  // namespace
 
 const char* to_string(PlacePolicy p) {
@@ -140,7 +151,7 @@ Admission Scheduler::materialize(const JobSpec& spec, int k, int c, std::vector<
 }
 
 std::optional<Admission> Scheduler::try_place(const JobSpec& spec, const MachineState& ms,
-                                              PlacePolicy policy) const {
+                                              PlacePolicy policy, PlaceExplain* ex) const {
   const int gpr = cluster_.gpus_per_rank();
   const int rpn = cluster_.ranks_per_node();
   const int nn = cluster_.num_nodes();
@@ -185,16 +196,47 @@ std::optional<Admission> Scheduler::try_place(const JobSpec& spec, const Machine
     for (auto it = shp.rbegin(); it != shp.rend(); ++it) {
       if (it->second > frag) order.push_back(*it);  // ascending c above frag
     }
-    for (const auto& [k, c] : order) {
-      const std::uint64_t b =
-          k > 1 ? volumes(spec, k, c).first / static_cast<std::uint64_t>(k) : 0;
+    for (std::size_t oi = 0; oi < order.size(); ++oi) {
+      const auto [k, c] = order[oi];
+      const std::uint64_t own = volumes(spec, k, c).first;
+      const std::uint64_t b = k > 1 ? own / static_cast<std::uint64_t>(k) : 0;
       std::vector<int> cand = candidates(c, b);
+      if (ex != nullptr) ++ex->work;
       if (static_cast<int>(cand.size()) < k) continue;
       std::sort(cand.begin(), cand.end(), [&](int a, int z) {
         if (free_of(a) != free_of(z)) return free_of(a) < free_of(z);
         return a < z;
       });
+      const bool spare = static_cast<int>(cand.size()) > k;
+      const int next_node = spare ? cand[static_cast<std::size_t>(k)] : -1;
       cand.resize(static_cast<std::size_t>(k));
+      if (ex != nullptr) {
+        ex->chosen = shape_str(k, c, cand);
+        ex->chosen_score = static_cast<double>(own);
+        // The best losing candidate: the next shape in preference order
+        // that also fits, else the same shape on the next-preferred node.
+        for (std::size_t oj = oi + 1; oj < order.size(); ++oj) {
+          const auto [k2, c2] = order[oj];
+          const std::uint64_t own2 = volumes(spec, k2, c2).first;
+          const std::uint64_t b2 = k2 > 1 ? own2 / static_cast<std::uint64_t>(k2) : 0;
+          std::vector<int> cand2 = candidates(c2, b2);
+          ++ex->work;
+          if (static_cast<int>(cand2.size()) < k2) continue;
+          std::sort(cand2.begin(), cand2.end(), [&](int a, int z) {
+            if (free_of(a) != free_of(z)) return free_of(a) < free_of(z);
+            return a < z;
+          });
+          cand2.resize(static_cast<std::size_t>(k2));
+          ex->rejected.emplace_back(shape_str(k2, c2, cand2), static_cast<double>(own2));
+          break;
+        }
+        if (ex->rejected.empty() && spare) {
+          std::vector<int> alt = cand;
+          alt.back() = next_node;
+          std::sort(alt.begin(), alt.end());
+          ex->rejected.emplace_back(shape_str(k, c, alt), static_cast<double>(own));
+        }
+      }
       return materialize(spec, k, c, cand, bases_of(cand));
     }
     return std::nullopt;
@@ -205,15 +247,43 @@ std::optional<Admission> Scheduler::try_place(const JobSpec& spec, const Machine
     // own NIC when possible.
     for (auto it = shp.rbegin(); it != shp.rend(); ++it) {  // ascending c
       const auto [k, c] = *it;
-      const std::uint64_t b =
-          k > 1 ? volumes(spec, k, c).first / static_cast<std::uint64_t>(k) : 0;
+      const std::uint64_t own = volumes(spec, k, c).first;
+      const std::uint64_t b = k > 1 ? own / static_cast<std::uint64_t>(k) : 0;
       std::vector<int> cand = candidates(c, b);
+      if (ex != nullptr) ++ex->work;
       if (static_cast<int>(cand.size()) < k) continue;
       std::sort(cand.begin(), cand.end(), [&](int a, int z) {
         if (free_of(a) != free_of(z)) return free_of(a) > free_of(z);
         return a < z;
       });
+      const bool spare = static_cast<int>(cand.size()) > k;
+      const int next_node = spare ? cand[static_cast<std::size_t>(k)] : -1;
       cand.resize(static_cast<std::size_t>(k));
+      if (ex != nullptr) {
+        ex->chosen = shape_str(k, c, cand);
+        ex->chosen_score = static_cast<double>(own);
+        for (auto jt = std::next(it); jt != shp.rend(); ++jt) {
+          const auto [k2, c2] = *jt;
+          const std::uint64_t own2 = volumes(spec, k2, c2).first;
+          const std::uint64_t b2 = k2 > 1 ? own2 / static_cast<std::uint64_t>(k2) : 0;
+          std::vector<int> cand2 = candidates(c2, b2);
+          ++ex->work;
+          if (static_cast<int>(cand2.size()) < k2) continue;
+          std::sort(cand2.begin(), cand2.end(), [&](int a, int z) {
+            if (free_of(a) != free_of(z)) return free_of(a) > free_of(z);
+            return a < z;
+          });
+          cand2.resize(static_cast<std::size_t>(k2));
+          ex->rejected.emplace_back(shape_str(k2, c2, cand2), static_cast<double>(own2));
+          break;
+        }
+        if (ex->rejected.empty() && spare) {
+          std::vector<int> alt = cand;
+          alt.back() = next_node;
+          std::sort(alt.begin(), alt.end());
+          ex->rejected.emplace_back(shape_str(k, c, alt), static_cast<double>(own));
+        }
+      }
       return materialize(spec, k, c, cand, bases_of(cand));
     }
     return std::nullopt;
@@ -238,11 +308,25 @@ std::optional<Admission> Scheduler::try_place(const JobSpec& spec, const Machine
   // machine, no watch, nothing published) reduce every comparison and term
   // to the static policy — placements are then bit-identical.
   const watch::Watch* w = opt_.live_costs ? cluster_.watch() : nullptr;
+  const auto node_score = [&](const std::vector<int>& cand, std::uint64_t own,
+                              std::uint64_t b) {
+    double score = static_cast<double>(own);
+    for (const int n : cand) {
+      const auto i = static_cast<std::size_t>(n);
+      const double lf = w != nullptr ? w->node_cost_factor(n) : 1.0;
+      score += static_cast<double>(b) * (lf - 1.0);
+      score += static_cast<double>(std::min(ms.link[i], b)) * lf;
+      if (ms.used[i] > 0) score += 1e-3;  // sharing a node at all is a tiebreak cost
+    }
+    return score;
+  };
   std::optional<Choice> best;
+  std::optional<Choice> second;  // best losing shape, for provenance
   for (const auto& [k, c] : shp) {
     const std::uint64_t own = volumes(spec, k, c).first;
     const std::uint64_t b = k > 1 ? own / static_cast<std::uint64_t>(k) : 0;
     std::vector<int> cand = candidates(c, b);
+    if (ex != nullptr) ++ex->work;
     if (static_cast<int>(cand.size()) < k) continue;
     std::sort(cand.begin(), cand.end(), [&](int a, int z) {
       if (w != nullptr) {
@@ -256,24 +340,47 @@ std::optional<Admission> Scheduler::try_place(const JobSpec& spec, const Machine
       if (ms.used[ia] != ms.used[iz]) return ms.used[ia] < ms.used[iz];
       return a < z;
     });
-    cand.resize(static_cast<std::size_t>(k));
-    double score = static_cast<double>(own);
-    for (const int n : cand) {
-      const auto i = static_cast<std::size_t>(n);
-      const double lf = w != nullptr ? w->node_cost_factor(n) : 1.0;
-      score += static_cast<double>(b) * (lf - 1.0);
-      score += static_cast<double>(std::min(ms.link[i], b)) * lf;
-      if (ms.used[i] > 0) score += 1e-3;  // sharing a node at all is a tiebreak cost
+    // Provenance: the same shape on the next-preferred node set is itself a
+    // scored candidate when a spare node exists.
+    std::optional<Choice> alt;
+    if (ex != nullptr && static_cast<int>(cand.size()) > k) {
+      std::vector<int> alt_nodes(cand.begin(), cand.begin() + k);
+      alt_nodes.back() = cand[static_cast<std::size_t>(k)];
+      alt = Choice{node_score(alt_nodes, own, b), k, c, std::move(alt_nodes)};
     }
-    Choice ch{score, k, c, std::move(cand)};
+    cand.resize(static_cast<std::size_t>(k));
+    Choice ch{node_score(cand, own, b), k, c, std::move(cand)};
     const auto better = [](const Choice& a, const Choice& z) {
       if (a.score != z.score) return a.score < z.score;
       if (a.k != z.k) return a.k < z.k;
       return a.nodes < z.nodes;
     };
-    if (!best || better(ch, *best)) best = std::move(ch);
+    const auto consider_second = [&](Choice&& cand_ch) {
+      if (!second || better(cand_ch, *second)) second = std::move(cand_ch);
+    };
+    if (!best || better(ch, *best)) {
+      if (best) consider_second(std::move(*best));
+      best = std::move(ch);
+    } else {
+      consider_second(std::move(ch));
+    }
+    if (alt) {
+      // Provenance only — the greedy sort already proved the chosen node
+      // set scores no worse, so alt can never displace best. Feeding it to
+      // the winner tracking could flip ties and make an attached run place
+      // differently from a detached one, which must never happen.
+      ++ex->work;
+      consider_second(std::move(*alt));
+    }
   }
   if (!best) return std::nullopt;
+  if (ex != nullptr) {
+    ex->chosen = shape_str(best->k, best->c, best->nodes);
+    ex->chosen_score = best->score;
+    if (second) {
+      ex->rejected.emplace_back(shape_str(second->k, second->c, second->nodes), second->score);
+    }
+  }
   return materialize(spec, best->k, best->c, best->nodes, bases_of(best->nodes));
 }
 
@@ -317,6 +424,23 @@ int Scheduler::submit(JobSpec spec) {
                            std::to_string(cluster_.num_nodes() * cluster_.ranks_per_node()) +
                            "; or per-node link/pinned budget exceeded)"
                      : why;
+    }
+  }
+  if (j.state == JobState::kRejected) {
+    if (explain::Ledger* led = cluster_.explain_ledger(); led != nullptr) {
+      const int capacity = cluster_.num_nodes() * cluster_.ranks_per_node();
+      explain::DecisionRecord rec;
+      rec.kind = explain::DecisionKind::kSchedAdmission;
+      rec.at = cluster_.engine().now();
+      rec.actor = j.id;
+      rec.subject = "job " + j.spec.name + " (user " + j.spec.user + ", " +
+                    std::to_string(j.spec.gpus) + " GPUs)";
+      rec.chosen = "reject at submit: " + j.reject;
+      rec.chosen_score = static_cast<double>(j.ranks);
+      // Negative delta: the machine is smaller than the request.
+      rec.rejected.push_back({"admit (machine capacity)", static_cast<double>(capacity)});
+      rec.detail = "score = rank slots (requested vs machine)";
+      led->append(std::move(rec));
     }
   }
   ++submit_seq_;
@@ -517,13 +641,59 @@ RunReport Scheduler::run() {
   std::vector<std::pair<Admission, std::size_t>> done;  // (placement, rep.tenants index)
   std::map<std::size_t, watch::Watch::TenantWindow> windows;  // rep.tenants index -> window
 
+  explain::Ledger* led = cluster_.explain_ledger();
   while (queued() > 0) {
     const auto order = queue_order();
+    const int wave_idx = rep.waves;
     MachineState ms = empty_state();
     std::vector<Admission> wave;
     for (const std::size_t idx : order) {
       if (static_cast<int>(wave.size()) >= tagspace::kMaxTenants) break;
-      auto adm = try_place(jobs_[idx].spec, ms, opt_.place);
+      const Job& job = jobs_[idx];
+      PlaceExplain pe;
+      auto adm = try_place(job.spec, ms, opt_.place, led != nullptr ? &pe : nullptr);
+      if (led != nullptr) {
+        // Admission verdict, scored in waves waited (lower is better).
+        const std::string subject = "job " + job.spec.name + " (user " + job.spec.user + ", " +
+                                    std::to_string(job.spec.gpus) + " GPUs)";
+        explain::DecisionRecord rec;
+        rec.kind = explain::DecisionKind::kSchedAdmission;
+        rec.at = cluster_.engine().now();
+        rec.actor = job.id;
+        rec.subject = subject;
+        if (adm) {
+          rec.chosen = "admit to wave " + std::to_string(wave_idx) + " as tenant " +
+                       std::to_string(wave.size());
+          rec.chosen_score = static_cast<double>(wave_idx);
+          rec.rejected.push_back({"defer to wave " + std::to_string(wave_idx + 1),
+                                  static_cast<double>(wave_idx + 1)});
+        } else {
+          rec.chosen = "defer (backfill: residual machine cannot host it this wave)";
+          rec.chosen_score = static_cast<double>(wave_idx + 1);
+          rec.rejected.push_back({"admit to wave " + std::to_string(wave_idx),
+                                  static_cast<double>(wave_idx)});
+        }
+        rec.detail = "score = waves waited";
+        led->append(std::move(rec));
+        if (adm) {
+          // The placement choice itself: winner, losing candidates, work.
+          explain::DecisionRecord prec;
+          prec.kind = explain::DecisionKind::kSchedPlacement;
+          prec.at = cluster_.engine().now();
+          prec.actor = job.id;
+          prec.subject = subject;
+          prec.chosen = std::string(to_string(opt_.place)) + " " + pe.chosen;
+          prec.chosen_score = pe.chosen_score;
+          for (auto& [label, score] : pe.rejected) {
+            prec.rejected.push_back({std::move(label), score});
+          }
+          prec.work = pe.work;
+          prec.detail =
+              "score = internode bytes/exchange (+ degraded-wire and co-tenant overlap "
+              "terms under node-aware)";
+          led->append(std::move(prec));
+        }
+      }
       if (!adm) continue;  // backfill: a later job may still fit
       adm->job = jobs_[idx].id;
       adm->tenant = static_cast<int>(wave.size());

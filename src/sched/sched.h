@@ -106,6 +106,18 @@ struct MachineState {
   std::vector<std::uint64_t> pinned;    ///< admitted pinned-staging bytes per node
 };
 
+/// Provenance capture for one try_place call (stencil::explain): the
+/// winning (shape, node set) with its score, the labeled losing candidates
+/// (next-preferred shape, alternate node set), and a deterministic count of
+/// candidates scored. Filled only when a caller passes one; the placement
+/// itself is unaffected.
+struct PlaceExplain {
+  std::string chosen;        ///< "k=2 c=2 nodes=[0 1]"
+  double chosen_score = 0.0; ///< internode bytes (+ overlap terms, node-aware)
+  std::vector<std::pair<std::string, double>> rejected;  ///< (label, score)
+  std::uint64_t work = 0;    ///< candidate shapes scored
+};
+
 /// One admitted job's placement: the tenant slice plus the bookkeeping the
 /// scheduler and the reports need.
 struct Admission {
@@ -207,9 +219,11 @@ class Scheduler {
 
   /// Placement engine, exposed for tests: shape + node choice for `spec`
   /// against residual state `ms` under `policy`, or nullopt when the job
-  /// does not fit right now. Does not mutate `ms`.
+  /// does not fit right now. Does not mutate `ms`. A non-null `ex` captures
+  /// decision provenance (winner, losing candidates, work) for
+  /// stencil::explain without changing the choice.
   std::optional<Admission> try_place(const JobSpec& spec, const MachineState& ms,
-                                     PlacePolicy policy) const;
+                                     PlacePolicy policy, PlaceExplain* ex = nullptr) const;
 
   /// All (vnodes, ranks_per_vnode) factorizations of `ranks` that fit a
   /// machine of `max_nodes` x `slots_per_node`, ranks_per_vnode descending.

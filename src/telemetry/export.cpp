@@ -107,9 +107,30 @@ void write_metrics_json(std::ostream& os, const MetricsRegistry& reg) {
 }
 
 void write_prometheus(std::ostream& os, const MetricsRegistry& reg) {
+  // One # HELP + # TYPE pair per base name, emitted before its first series
+  // (the exposition format requires metadata to precede samples). Help text
+  // comes from MetricsRegistry::set_help, with a generated fallback so the
+  // output is promtool-parseable even for undocumented metrics. HELP values
+  // escape backslash and newline per the text format.
   std::set<std::string> typed;
+  const auto escape_help = [](const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+      if (c == '\\') out += "\\\\";
+      else if (c == '\n') out += "\\n";
+      else out.push_back(c);
+    }
+    return out;
+  };
   const auto type_line = [&](const std::string& base, const char* kind) {
-    if (typed.insert(base).second) os << "# TYPE " << base << " " << kind << "\n";
+    if (!typed.insert(base).second) return;
+    const auto& help = reg.help_texts();
+    const auto it = help.find(base);
+    const std::string text =
+        it != help.end() ? it->second : "Stencil telemetry " + std::string(kind) + " " + base + ".";
+    os << "# HELP " << base << " " << escape_help(text) << "\n";
+    os << "# TYPE " << base << " " << kind << "\n";
   };
   const auto series = [](const std::string& base, const std::string& labels,
                          const std::string& extra = "") {

@@ -73,6 +73,13 @@ class MetricsRegistry {
   /// Value of a counter, or 0 when it was never touched (does not intern).
   std::uint64_t counter_value(const std::string& name) const;
 
+  /// Register documentation for a metric, keyed by *base* name (labels
+  /// stripped). The Prometheus exporter emits it as the `# HELP` line;
+  /// metrics without registered help get a generated fallback, so the text
+  /// format is always promtool-parseable.
+  void set_help(const std::string& base, const std::string& text) { help_[base] = text; }
+  const std::map<std::string, std::string>& help_texts() const { return help_; }
+
   void clear();
 
   /// Fold another registry into this one (counters add, gauges last-write,
@@ -84,6 +91,7 @@ class MetricsRegistry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::string> help_;
 };
 
 /// Split `name{labels}` into its base name and label set ("" when plain).

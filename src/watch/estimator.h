@@ -7,6 +7,7 @@
 /// watch layer allocates nothing and touches a handful of doubles.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 namespace stencil::watch {
@@ -99,15 +100,19 @@ class P2Quantile {
     ++n_;
   }
 
-  /// Current estimate of the q-quantile (nearest-rank over the sorted
-  /// prefix while fewer than five samples have arrived; 0 when empty).
+  /// Current estimate of the q-quantile. Windows with fewer than five
+  /// samples return the *exact* order statistic — nearest-rank, rank
+  /// ceil(q*n) over the sorted prefix — instead of an unprimed sketch
+  /// estimate (truncating q*n skews small windows high: the old cast made
+  /// q=0.5 over two samples return the max). 0 when empty.
   double value() const {
     if (n_ == 0) return 0.0;
     if (n_ < 5) {
       double sorted[5];
       std::copy(h_, h_ + n_, sorted);
       std::sort(sorted, sorted + n_);
-      auto idx = static_cast<std::uint64_t>(q_ * static_cast<double>(n_));
+      const double rank = std::ceil(q_ * static_cast<double>(n_));
+      auto idx = rank <= 1.0 ? 0 : static_cast<std::uint64_t>(rank) - 1;
       if (idx >= n_) idx = n_ - 1;
       return sorted[idx];
     }

@@ -486,6 +486,13 @@ double Watch::lane_window_stretch(int src_node, int dst_node, WireClass c) const
   return s < 0.0 ? 0.0 : s;
 }
 
+double Watch::lane_window_actual_ns(int src_node, int dst_node, WireClass c) const {
+  if (lanes_.empty() || src_node < 0 || src_node >= num_nodes_ || dst_node < 0 ||
+      dst_node >= num_nodes_)
+    return 0.0;
+  return lanes_[lane_index(src_node, dst_node, c)].win_actual_ns;
+}
+
 double Watch::tenant_online_interference(int tenant) const {
   if (tenant < 0 || tenant >= static_cast<int>(tenants_.size())) return 0.0;
   return window_interference(tenant, tenants_[static_cast<std::size_t>(tenant)].win);

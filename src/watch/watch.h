@@ -194,6 +194,10 @@ class Watch final : public LinkCostOracle {
   std::uint64_t lane_bytes(int src_node, int dst_node, WireClass c) const;
   /// Window stretch of a lane: observed cost over floor-predicted cost - 1.
   double lane_window_stretch(int src_node, int dst_node, WireClass c) const;
+  /// Accumulated wire-span nanoseconds of a lane over the current window
+  /// (0 = no data). Raw material for counterfactual what-if models
+  /// (stencil::explain): actual time spent on the wire, floor-independent.
+  double lane_window_actual_ns(int src_node, int dst_node, WireClass c) const;
   /// Online interference estimate for a tenant over the current window
   /// against the tenant's learned baselines (see window_interference).
   /// 0 until at least one earlier window established a baseline.

@@ -314,6 +314,54 @@ TEST(FlightRecorderTest, DumpTailFormat) {
   EXPECT_EQ(s.find("pack +x"), std::string::npos) << s;           // ... that one
 }
 
+TEST(FlightRecorderTest, SustainedChurnKeepsTailOrderedAndBounded) {
+  // Incident-style churn: many exchanges, several events per exchange, far
+  // more than the ring holds. The ring must stay bounded, evict strictly
+  // oldest-first, and tail()/dump_tail() must report the survivors in log
+  // order with the evicted count right.
+  constexpr std::size_t kCap = 8;
+  FlightRecorder fr(kCap);
+  std::uint64_t logged = 0;
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    fr.set_exchange_seq(seq);
+    for (int e = 0; e < 3; ++e) {
+      fr.log(e == 2 ? EventKind::kDemote : EventKind::kMpiMatch,
+             static_cast<sim::Time>(logged) * sim::kMicrosecond, "mpi.r0->r1",
+             "e" + std::to_string(logged), 64);
+      ++logged;
+    }
+  }
+  EXPECT_EQ(fr.size(), kCap);
+  EXPECT_EQ(fr.total_logged(), logged);
+
+  const auto t = fr.tail(kCap);
+  ASSERT_EQ(t.size(), kCap);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Survivors are exactly the last kCap logs, oldest first...
+    EXPECT_EQ(t[i].detail, "e" + std::to_string(logged - kCap + i));
+    // ... monotone in time and exchange seq.
+    if (i > 0) {
+      EXPECT_GE(t[i].at, t[i - 1].at);
+      EXPECT_GE(t[i].exchange_seq, t[i - 1].exchange_seq);
+    }
+  }
+  EXPECT_EQ(t.back().exchange_seq, 99u);
+
+  std::ostringstream os;
+  fr.dump_tail(os, 4);  // ask for less than the ring holds
+  const std::string s = os.str();
+  EXPECT_NE(s.find(std::to_string(logged - 4) + " earlier event(s)"), std::string::npos) << s;
+  // The four youngest survive, in order.
+  std::size_t prev = 0;
+  for (std::uint64_t i = logged - 4; i < logged; ++i) {
+    const auto pos = s.find("e" + std::to_string(i));
+    ASSERT_NE(pos, std::string::npos) << s;
+    EXPECT_GT(pos, prev) << s;
+    prev = pos;
+  }
+  EXPECT_EQ(s.find("e" + std::to_string(logged - 5)), std::string::npos) << s;
+}
+
 TEST(FlightRecorderTest, ZeroCapacityClampsToOne) {
   FlightRecorder fr(0);
   fr.log(EventKind::kNote, 0, "l", "only");
@@ -549,13 +597,24 @@ TEST(Exporters, PrometheusTextIsWellFormed) {
   reg.gauge("plan_stats_hits").set(3);
   reg.histogram("exchange_latency_ns").observe(900);
   reg.histogram("exchange_latency_ns").observe(1100);
+  reg.set_help("exchange_bytes_total", "Halo bytes moved, by method.");
   std::ostringstream os;
   telemetry::write_prometheus(os, reg);
   const std::string s = os.str();
-  // One TYPE line per base name, even with two labeled series.
+  // One HELP + TYPE pair per base name, even with two labeled series, with
+  // HELP immediately before TYPE and both before the first sample.
+  EXPECT_NE(s.find("# HELP exchange_bytes_total Halo bytes moved, by method."), std::string::npos)
+      << s;
+  EXPECT_EQ(s.find("# HELP exchange_bytes_total"), s.rfind("# HELP exchange_bytes_total"));
   EXPECT_NE(s.find("# TYPE exchange_bytes_total counter"), std::string::npos) << s;
   EXPECT_EQ(s.find("# TYPE exchange_bytes_total counter"),
             s.rfind("# TYPE exchange_bytes_total counter"));
+  EXPECT_LT(s.find("# HELP exchange_bytes_total"), s.find("# TYPE exchange_bytes_total counter"));
+  EXPECT_LT(s.find("# TYPE exchange_bytes_total counter"), s.find("exchange_bytes_total{"));
+  // Undocumented metrics still get a generated HELP line (promtool parses
+  // help-free metrics, but a uniform format keeps scrapers simple).
+  EXPECT_NE(s.find("# HELP plan_stats_hits "), std::string::npos) << s;
+  EXPECT_NE(s.find("# HELP exchange_latency_ns "), std::string::npos) << s;
   EXPECT_NE(s.find("exchange_bytes_total{method=\"staged\"} 4096"), std::string::npos) << s;
   EXPECT_NE(s.find("# TYPE plan_stats_hits gauge"), std::string::npos) << s;
   EXPECT_NE(s.find("# TYPE exchange_latency_ns histogram"), std::string::npos) << s;
@@ -783,6 +842,30 @@ TEST(Exporters, PrometheusEscapesLabelValues) {
       << out;
   EXPECT_NE(out.find("paths_total{path=\"a\\\\b\"} 2"), std::string::npos) << out;
   EXPECT_NE(out.find("msg_gauge{note=\"line1\\nline2\"} 3"), std::string::npos) << out;
+}
+
+TEST(Exporters, PrometheusHelpTextEscapesAndMerges) {
+  MetricsRegistry reg;
+  reg.counter("odd_total").add(1);
+  reg.set_help("odd_total", "path c:\\tmp\nsecond line");
+  std::ostringstream os;
+  telemetry::write_prometheus(os, reg);
+  // HELP values escape backslash and newline so the line stays one line.
+  EXPECT_NE(os.str().find("# HELP odd_total path c:\\\\tmp\\nsecond line\n"), std::string::npos)
+      << os.str();
+
+  // merge(): first registration wins when two registries document one base.
+  MetricsRegistry a, b;
+  a.counter("x_total").add(1);
+  a.set_help("x_total", "from a");
+  b.counter("x_total").add(2);
+  b.set_help("x_total", "from b");
+  b.set_help("y_total", "only b");
+  a.merge(b);
+  EXPECT_EQ(a.help_texts().at("x_total"), "from a");
+  EXPECT_EQ(a.help_texts().at("y_total"), "only b");
+  a.clear();
+  EXPECT_TRUE(a.help_texts().empty());
 }
 
 TEST(HistogramBuckets, PowerOfTwoBoundaries) {

@@ -80,6 +80,37 @@ TEST(Estimator, P2QuantileExactBelowFiveSamples) {
   EXPECT_DOUBLE_EQ(q.value(), 0.0);
 }
 
+TEST(Estimator, P2QuantileSmallWindowNearestRank) {
+  // Exact nearest-rank (rank ceil(q*n)) below five samples: a truncating
+  // index would return the max for the median of two — the small-window
+  // regression this pins down.
+  P2Quantile med(0.5);
+  med.observe(10.0);
+  med.observe(2.0);
+  EXPECT_DOUBLE_EQ(med.value(), 2.0);  // rank ceil(0.5*2) = 1 -> the min
+  med.observe(6.0);
+  EXPECT_DOUBLE_EQ(med.value(), 6.0);  // rank ceil(1.5) = 2 of {2,6,10}
+  med.observe(8.0);
+  EXPECT_DOUBLE_EQ(med.value(), 6.0);  // rank ceil(2) = 2 of {2,6,8,10}
+
+  P2Quantile p25(0.25);
+  p25.observe(4.0);
+  p25.observe(1.0);
+  p25.observe(3.0);
+  p25.observe(2.0);
+  EXPECT_DOUBLE_EQ(p25.value(), 1.0);  // rank ceil(1) = 1 of {1,2,3,4}
+
+  // q=0 degenerates to the minimum, and a p95 over four samples still
+  // lands on the max (rank ceil(3.8) = 4).
+  P2Quantile q0(0.0);
+  q0.observe(5.0);
+  q0.observe(-1.0);
+  EXPECT_DOUBLE_EQ(q0.value(), -1.0);
+  P2Quantile p95(0.95);
+  for (const double v : {7.0, 5.0, 9.0, 6.0}) p95.observe(v);
+  EXPECT_DOUBLE_EQ(p95.value(), 9.0);
+}
+
 TEST(Estimator, P2QuantileUniformErrorBound) {
   P2Quantile q(0.95);
   Lcg rng;
